@@ -1,0 +1,93 @@
+// Extension bench for the paper's §4.3 collusion analysis: colluding
+// predecessor/successor exposure per round (predicted 1 - Pr(r)), the
+// multi-round Bayesian distribution exposure, and the paper's proposed
+// countermeasure of re-randomizing the ring mapping every round.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "privacy/adversary.hpp"
+#include "privacy/distribution_exposure.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+constexpr std::size_t kNodes = 6;
+constexpr Round kRounds = 6;
+constexpr int kTrials = 1500;
+
+struct CollusionResult {
+  std::vector<double> conditionalByRound;
+  double bayesianExposure = 0.0;
+};
+
+CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
+  protocol::ProtocolParams params;
+  params.rounds = kRounds;
+  params.remapEachRound = remapEachRound;
+  const protocol::RingQueryRunner runner(params,
+                                         protocol::ProtocolKind::Probabilistic);
+  const protocol::ExponentialSchedule schedule(params.p0, params.d);
+
+  data::UniformDistribution dist;
+  Rng dataRng(seed);
+  Rng rng(seed + 1);
+
+  privacy::CollusionAnalyzer analyzer(kRounds);
+  double bayes = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
+    const auto trace = runner.run(values, rng).trace;
+    analyzer.addTrial(trace);
+    if (t < 200) {  // the Bayesian replay is the expensive part
+      bayes += privacy::averageDistributionExposure(trace, schedule);
+    }
+  }
+
+  CollusionResult result;
+  for (const auto& stats : analyzer.perRound()) {
+    result.conditionalByRound.push_back(stats.conditionalExposure());
+  }
+  result.bayesianExposure = bayes / 200;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto fixedRing = measure(false, 1201);
+  const auto remapped = measure(true, 1203);
+
+  std::vector<double> xs;
+  std::vector<double> predicted;
+  for (Round r = 1; r <= kRounds; ++r) {
+    xs.push_back(r);
+    predicted.push_back(1.0 -
+                        analysis::randomizationProbability(1.0, 0.5, r));
+  }
+
+  bench::printHeader(
+      "Extension: SS4.3 collusion analysis",
+      "colluding neighbours, P(v_i = g_i | vector changed); n = 6");
+  bench::printSeriesTable("round",
+                          {"predicted 1-Pr", "fixed ring", "remapped ring"},
+                          xs,
+                          {predicted, fixedRing.conditionalByRound,
+                           remapped.conditionalByRound});
+
+  bench::printHeader("Multi-round Bayesian distribution exposure", "");
+  std::printf("  fixed ring:     %.4f\n", fixedRing.bayesianExposure);
+  std::printf("  remapped ring:  %.4f\n", remapped.bayesianExposure);
+  std::printf(
+      "\nReading: the measured conditional exposure tracks the paper's\n"
+      "1 - Pr(r) prediction.  Per-round remapping does not change the\n"
+      "per-observation leak, but it breaks the ASSUMPTION that the same\n"
+      "pair of colluders flanks the victim every round: with remapping a\n"
+      "fixed colluding pair sees a given victim's step only ~1/n of the\n"
+      "rounds, so the multi-round aggregation above is an upper bound that\n"
+      "only a coalition colluding at every position could achieve.\n");
+  return 0;
+}

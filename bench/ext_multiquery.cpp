@@ -1,0 +1,70 @@
+// Extension bench: privacy erosion across REPEATED queries over the same
+// data (the flip side of the paper's §7 multi-round aggregation question).
+// Each query is an independent randomized execution, but the victim's
+// value is constant, so a colluding adversary can keep updating its
+// Bayesian posterior across queries.  This bench quantifies how fast the
+// distribution exposure grows with the number of repeated max queries.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "privacy/distribution_exposure.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+constexpr std::size_t kNodes = 4;
+constexpr Round kRounds = 6;
+constexpr int kRepeats = 10;   // queries over the same data
+constexpr int kTrials = 100;   // independent datasets
+
+}  // namespace
+
+int main() {
+  protocol::ProtocolParams params;
+  params.rounds = kRounds;
+  const protocol::RingQueryRunner runner(params,
+                                         protocol::ProtocolKind::Probabilistic);
+  const protocol::ExponentialSchedule schedule(params.p0, params.d);
+
+  data::UniformDistribution dist;
+  Rng dataRng(1301);
+  Rng rng(1302);
+
+  // exposure[q] = average exposure after q+1 queries.
+  std::vector<double> exposure(kRepeats, 0.0);
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
+    std::vector<privacy::ValuePosterior> posteriors(
+        kNodes, privacy::ValuePosterior(kPaperDomain, 100));
+    for (int q = 0; q < kRepeats; ++q) {
+      const auto trace = runner.run(values, rng).trace;
+      for (const auto& step : trace.steps) {
+        posteriors[step.node].observeMaxStep(step.input[0], step.output[0],
+                                             step.round, schedule);
+      }
+      double avg = 0.0;
+      for (const auto& p : posteriors) avg += p.exposure();
+      exposure[static_cast<std::size_t>(q)] += avg / kNodes;
+    }
+  }
+  for (double& e : exposure) e /= kTrials;
+
+  bench::printHeader(
+      "Extension: privacy erosion under repeated queries",
+      "colluding-neighbour Bayesian exposure vs # identical max queries");
+  std::vector<double> xs;
+  for (int q = 1; q <= kRepeats; ++q) xs.push_back(q);
+  bench::printSeriesTable("queries", {"avg exposure"}, xs, {exposure});
+
+  std::printf(
+      "Reading: exposure grows with every repeated query - the protocol's\n"
+      "guarantees are per-execution.  Deployments that answer the same\n"
+      "query repeatedly over static data should cache the first answer\n"
+      "(same result, zero additional leakage) instead of re-running.\n");
+  return 0;
+}

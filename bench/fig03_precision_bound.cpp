@@ -1,0 +1,44 @@
+// Figure 3: analytic precision bound (Eq. 3) vs number of rounds.
+//   (a) d = 1/2, p0 in {1, 3/4, 1/2, 1/4}
+//   (b) p0 = 1, d in {1, 1/2, 1/4, 1/8}
+// Expected shape: monotone to 1; smaller p0 higher early precision;
+// smaller d converges much faster.
+
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+std::vector<double> boundSeries(double p0, double d, Round maxRound) {
+  std::vector<double> out;
+  for (Round r = 1; r <= maxRound; ++r) {
+    out.push_back(analysis::precisionBound(p0, d, r));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr Round kMaxRound = 10;
+  std::vector<double> xs;
+  for (Round r = 1; r <= kMaxRound; ++r) xs.push_back(r);
+
+  bench::printHeader("Figure 3(a): precision bound vs rounds (d = 1/2)",
+                     "P(g(r)=vmax) >= 1 - p0^r * d^(r(r-1)/2)   [Eq. 3]");
+  bench::printSeriesTable(
+      "round", {"p0=1", "p0=3/4", "p0=1/2", "p0=1/4"}, xs,
+      {boundSeries(1.0, 0.5, kMaxRound), boundSeries(0.75, 0.5, kMaxRound),
+       boundSeries(0.5, 0.5, kMaxRound), boundSeries(0.25, 0.5, kMaxRound)});
+
+  bench::printHeader("Figure 3(b): precision bound vs rounds (p0 = 1)", "");
+  bench::printSeriesTable(
+      "round", {"d=1", "d=1/2", "d=1/4", "d=1/8"}, xs,
+      {boundSeries(1.0, 1.0, kMaxRound), boundSeries(1.0, 0.5, kMaxRound),
+       boundSeries(1.0, 0.25, kMaxRound), boundSeries(1.0, 0.125, kMaxRound)});
+  return 0;
+}

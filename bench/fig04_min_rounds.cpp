@@ -1,0 +1,45 @@
+// Figure 4: minimum rounds for a precision guarantee (Eq. 4) vs error
+// bound epsilon (log-scaled x axis in the paper).
+//   (a) d = 1/2, p0 in {1, 3/4, 1/2, 1/4}
+//   (b) p0 = 1, d in {1/2, 1/4, 1/8}
+// Expected shape: r_min grows ~ sqrt(log 1/eps); d dominates the cost.
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+std::vector<double> roundsSeries(double p0, double d,
+                                 const std::vector<double>& epsilons) {
+  std::vector<double> out;
+  for (double eps : epsilons) {
+    out.push_back(static_cast<double>(analysis::minRounds(p0, d, eps)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> epsilons;
+  for (int e = 1; e <= 10; ++e) epsilons.push_back(std::pow(10.0, -e));
+
+  bench::printHeader("Figure 4(a): r_min vs epsilon (d = 1/2)",
+                     "r_min solves p0 * d^(r(r-1)/2) <= eps   [Eq. 4]");
+  bench::printSeriesTable(
+      "epsilon", {"p0=1", "p0=3/4", "p0=1/2", "p0=1/4"}, epsilons,
+      {roundsSeries(1.0, 0.5, epsilons), roundsSeries(0.75, 0.5, epsilons),
+       roundsSeries(0.5, 0.5, epsilons), roundsSeries(0.25, 0.5, epsilons)});
+
+  bench::printHeader("Figure 4(b): r_min vs epsilon (p0 = 1)", "");
+  bench::printSeriesTable(
+      "epsilon", {"d=1/2", "d=1/4", "d=1/8"}, epsilons,
+      {roundsSeries(1.0, 0.5, epsilons), roundsSeries(1.0, 0.25, epsilons),
+       roundsSeries(1.0, 0.125, epsilons)});
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5: the analytic expected-LoP term of Eq. 6 per round:
+//   (1/2^(r-1)) * (1 - p0 * d^(r-1))
+//   (a) d = 1/2, p0 in {1, 3/4, 1/2, 1/4}
+//   (b) p0 = 1, d in {1, 1/2, 1/4}
+// Expected shape: p0 = 1 starts at 0 and peaks in round 2; smaller p0
+// peaks in round 1; larger p0 (and slightly larger d) lower the peak.
+
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+std::vector<double> lopSeries(double p0, double d, Round maxRound) {
+  std::vector<double> out;
+  for (Round r = 1; r <= maxRound; ++r) {
+    out.push_back(analysis::expectedLoPTerm(p0, d, r));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr Round kMaxRound = 8;
+  std::vector<double> xs;
+  for (Round r = 1; r <= kMaxRound; ++r) xs.push_back(r);
+
+  bench::printHeader("Figure 5(a): expected LoP bound per round (d = 1/2)",
+                     "term_r = (1/2^(r-1)) * (1 - p0 * d^(r-1))   [Eq. 6]");
+  bench::printSeriesTable(
+      "round", {"p0=1", "p0=3/4", "p0=1/2", "p0=1/4"}, xs,
+      {lopSeries(1.0, 0.5, kMaxRound), lopSeries(0.75, 0.5, kMaxRound),
+       lopSeries(0.5, 0.5, kMaxRound), lopSeries(0.25, 0.5, kMaxRound)});
+
+  bench::printHeader("Figure 5(b): expected LoP bound per round (p0 = 1)", "");
+  bench::printSeriesTable(
+      "round", {"d=1", "d=1/2", "d=1/4"}, xs,
+      {lopSeries(1.0, 1.0, kMaxRound), lopSeries(1.0, 0.5, kMaxRound),
+       lopSeries(1.0, 0.25, kMaxRound)});
+
+  bench::printHeader("Peak expected LoP (max over rounds)", "");
+  std::vector<double> p0s = {0.25, 0.5, 0.75, 1.0};
+  std::vector<double> peaks;
+  for (double p0 : p0s) {
+    peaks.push_back(analysis::probabilisticLoPBound(p0, 0.5, 20));
+  }
+  bench::printSeriesTable("p0", {"peak(d=1/2)"}, p0s, {peaks});
+  return 0;
+}

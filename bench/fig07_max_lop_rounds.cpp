@@ -1,0 +1,46 @@
+// Figure 7: measured average data-value LoP per round for max selection,
+// n = 4 (the paper reports n = 4 as the most pronounced case).
+//   (a) d = 1/2, p0 in {1, 3/4, 1/2, 1/4}
+//   (b) p0 = 1, d in {1, 1/2, 1/4}
+// Expected shape (paper §5.3): with p0 = 1 LoP starts at 0, peaks in round
+// 2 and decays; smaller p0 peaks in round 1; larger p0 lowers the peak.
+
+#include <vector>
+
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+using bench::SeriesSpec;
+
+namespace {
+
+std::vector<double> run(double p0, double d, std::uint64_t seed) {
+  SeriesSpec spec;
+  spec.p0 = p0;
+  spec.d = d;
+  spec.rounds = 8;
+  spec.trials = 400;  // per-round estimates need more samples than 100
+  spec.seed = seed;
+  return bench::measureLoP(spec).perRound;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> xs;
+  for (Round r = 1; r <= 8; ++r) xs.push_back(r);
+
+  bench::printHeader(
+      "Figure 7(a): measured LoP per round, max selection (d = 1/2)",
+      "n = 4, uniform [1,10000]");
+  bench::printSeriesTable("round", {"p0=1", "p0=3/4", "p0=1/2", "p0=1/4"}, xs,
+                          {run(1.0, 0.5, 11), run(0.75, 0.5, 12),
+                           run(0.5, 0.5, 13), run(0.25, 0.5, 14)});
+
+  bench::printHeader(
+      "Figure 7(b): measured LoP per round, max selection (p0 = 1)", "");
+  bench::printSeriesTable("round", {"d=1", "d=1/2", "d=1/4"}, xs,
+                          {run(1.0, 1.0, 15), run(1.0, 0.5, 16),
+                           run(1.0, 0.25, 17)});
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 8: measured (peak-over-rounds) LoP of max selection vs number of
+// nodes.
+//   (a) d = 1/2, p0 in {1, 3/4, 1/2, 1/4}
+//   (b) p0 = 1, d in {1, 1/2, 1/4}
+// Expected shape (paper §5.3): LoP decreases as n grows - the global value
+// climbs faster, so fewer nodes ever expose their own value.
+
+#include <vector>
+
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+using bench::SeriesSpec;
+
+namespace {
+
+const std::vector<double> kNodes = {4, 8, 16, 32, 64, 128};
+
+std::vector<double> run(double p0, double d, std::uint64_t seed) {
+  std::vector<double> out;
+  for (double n : kNodes) {
+    SeriesSpec spec;
+    spec.n = static_cast<std::size_t>(n);
+    spec.p0 = p0;
+    spec.d = d;
+    spec.rounds = 8;
+    spec.seed = seed + static_cast<std::uint64_t>(n);
+    out.push_back(bench::measureLoP(spec).average);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Figure 8(a): LoP vs number of nodes (d = 1/2)",
+                     "max selection, peak over rounds, 100 trials");
+  bench::printSeriesTable("nodes", {"p0=1", "p0=3/4", "p0=1/2", "p0=1/4"},
+                          kNodes,
+                          {run(1.0, 0.5, 21), run(0.75, 0.5, 22),
+                           run(0.5, 0.5, 23), run(0.25, 0.5, 24)});
+
+  bench::printHeader("Figure 8(b): LoP vs number of nodes (p0 = 1)", "");
+  bench::printSeriesTable("nodes", {"d=1", "d=1/2", "d=1/4"}, kNodes,
+                          {run(1.0, 1.0, 25), run(1.0, 0.5, 26),
+                           run(1.0, 0.25, 27)});
+  return 0;
+}

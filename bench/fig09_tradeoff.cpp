@@ -1,0 +1,50 @@
+// Figure 9: privacy/efficiency tradeoff over (p0, d) pairs.
+// X axis: measured (peak) average LoP at n = 4; Y axis: rounds required
+// for the precision guarantee eps = 0.001 (Eq. 4).
+// Expected shape (paper §5.3): p0 dominates privacy, d dominates cost;
+// (p0, d) = (1, 1/2) sits at the lower-left knee and becomes the default.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/param_select.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+using bench::SeriesSpec;
+
+int main() {
+  constexpr double kEpsilon = 0.001;
+  const std::vector<double> p0s = {0.25, 0.5, 0.75, 1.0};
+  const std::vector<double> ds = {0.125, 0.25, 0.5, 0.75};
+
+  bench::printHeader(
+      "Figure 9: privacy vs efficiency for (p0, d) pairs",
+      "x = measured avg LoP (n = 4, peak over rounds); y = r_min(eps=0.001)");
+  std::printf("%-8s %-8s %14s %14s\n", "p0", "d", "measured_LoP",
+              "rounds(eps)");
+
+  std::uint64_t seed = 31;
+  for (double p0 : p0s) {
+    for (double d : ds) {
+      const Round rmin = analysis::minRounds(p0, d, kEpsilon);
+      SeriesSpec spec;
+      spec.p0 = p0;
+      spec.d = d;
+      spec.rounds = rmin;
+      spec.seed = seed++;
+      const double lop = bench::measureLoP(spec).average;
+      std::printf("%-8.3g %-8.3g %14.4f %14u\n", p0, d, lop, rmin);
+    }
+  }
+  std::printf("\n");
+
+  // The analytic knee-selection the library offers on top of the figure.
+  const auto sweep = analysis::sweepParameters(p0s, ds, kEpsilon);
+  const auto knee = analysis::selectKnee(sweep);
+  std::printf("selected knee (normalized-distance criterion): "
+              "p0 = %.3g, d = %.3g  (LoP bound %.4f, %u rounds)\n\n",
+              knee.p0, knee.d, knee.lopBound, knee.rounds);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 10: LoP comparison of the three protocols vs number of nodes.
+//   (a) average LoP over nodes      (b) worst-case LoP over nodes
+// Protocols: naive (fixed start), anonymous naive (random start),
+// probabilistic (p0 = 1, d = 1/2, r_min(0.001) rounds).
+// Expected shape (paper §5.3): naive and anonymous naive share the same
+// average; naive's worst case is ~1 (the starting node) while anonymous
+// avoids it; probabilistic is near 0 everywhere; all fall with n.
+
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+using bench::SeriesSpec;
+using protocol::ProtocolKind;
+
+namespace {
+
+const std::vector<double> kNodes = {4, 8, 16, 32, 64, 128};
+
+bench::LoPSummary measure(ProtocolKind kind, std::size_t n,
+                          std::uint64_t seed) {
+  SeriesSpec spec;
+  spec.kind = kind;
+  spec.n = n;
+  spec.rounds = analysis::minRounds(1.0, 0.5, 0.001);
+  spec.seed = seed;
+  return bench::measureLoP(spec);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> naiveAvg;
+  std::vector<double> anonAvg;
+  std::vector<double> probAvg;
+  std::vector<double> naiveWorst;
+  std::vector<double> anonWorst;
+  std::vector<double> probWorst;
+
+  std::uint64_t seed = 41;
+  for (double nd : kNodes) {
+    const auto n = static_cast<std::size_t>(nd);
+    const auto naive = measure(ProtocolKind::Naive, n, seed++);
+    const auto anon = measure(ProtocolKind::AnonymousNaive, n, seed++);
+    const auto prob = measure(ProtocolKind::Probabilistic, n, seed++);
+    naiveAvg.push_back(naive.average);
+    anonAvg.push_back(anon.average);
+    probAvg.push_back(prob.average);
+    naiveWorst.push_back(naive.worst);
+    anonWorst.push_back(anon.worst);
+    probWorst.push_back(prob.worst);
+  }
+
+  bench::printHeader("Figure 10(a): average LoP vs number of nodes",
+                     "max selection; probabilistic uses (p0,d) = (1,1/2)");
+  bench::printSeriesTable("nodes", {"naive", "anon-naive", "probabilistic"},
+                          kNodes, {naiveAvg, anonAvg, probAvg});
+
+  bench::printHeader("Figure 10(b): worst-case LoP vs number of nodes", "");
+  bench::printSeriesTable("nodes", {"naive", "anon-naive", "probabilistic"},
+                          kNodes, {naiveWorst, anonWorst, probWorst});
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 12: LoP of top-k selection vs k for the three protocols (n = 4).
+//   (a) average LoP      (b) worst-case LoP
+// Expected shape (paper §5.5): probabilistic stays far below both naive
+// variants but its LoP grows mildly with k (a node exposes more items to
+// its successor as k grows).
+
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "support/experiment.hpp"
+
+using namespace privtopk;
+using bench::SeriesSpec;
+using protocol::ProtocolKind;
+
+namespace {
+
+const std::vector<double> kKs = {1, 2, 4, 8, 16};
+
+bench::LoPSummary measure(ProtocolKind kind, std::size_t k,
+                          std::uint64_t seed) {
+  SeriesSpec spec;
+  spec.kind = kind;
+  spec.k = k;
+  spec.valuesPerNode = std::max<std::size_t>(k, 8);
+  spec.rounds = analysis::minRounds(1.0, 0.5, 0.001);
+  spec.seed = seed;
+  return bench::measureLoP(spec);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> naiveAvg;
+  std::vector<double> anonAvg;
+  std::vector<double> probAvg;
+  std::vector<double> naiveWorst;
+  std::vector<double> anonWorst;
+  std::vector<double> probWorst;
+
+  std::uint64_t seed = 61;
+  for (double kd : kKs) {
+    const auto k = static_cast<std::size_t>(kd);
+    const auto naive = measure(ProtocolKind::Naive, k, seed++);
+    const auto anon = measure(ProtocolKind::AnonymousNaive, k, seed++);
+    const auto prob = measure(ProtocolKind::Probabilistic, k, seed++);
+    naiveAvg.push_back(naive.average);
+    anonAvg.push_back(anon.average);
+    probAvg.push_back(prob.average);
+    naiveWorst.push_back(naive.worst);
+    anonWorst.push_back(anon.worst);
+    probWorst.push_back(prob.worst);
+  }
+
+  bench::printHeader("Figure 12(a): average LoP vs k",
+                     "n = 4; probabilistic uses (p0,d) = (1,1/2)");
+  bench::printSeriesTable("k", {"naive", "anon-naive", "probabilistic"}, kKs,
+                          {naiveAvg, anonAvg, probAvg});
+
+  bench::printHeader("Figure 12(b): worst-case LoP vs k", "");
+  bench::printSeriesTable("k", {"naive", "anon-naive", "probabilistic"}, kKs,
+                          {naiveWorst, anonWorst, probWorst});
+  return 0;
+}

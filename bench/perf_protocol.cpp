@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks: protocol execution cost as a function
+// of ring size and k, plus the engines' overheads.  Not a paper figure;
+// establishes the computational claim of §4.2 that local computation is
+// negligible (no cryptographic operations on the token path).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "data/generator.hpp"
+#include "protocol/local_algorithm.hpp"
+#include "protocol/group.hpp"
+#include "protocol/runner.hpp"
+#include "protocol/secure_sum.hpp"
+#include "protocol/sim_engine.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+protocol::ProtocolParams params(std::size_t k) {
+  protocol::ProtocolParams p;
+  p.k = k;
+  p.rounds = 5;
+  return p;
+}
+
+void BM_MaxQuery_VsNodes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::UniformDistribution dist;
+  Rng dataRng(1);
+  const auto values = data::generateValueSets(n, 10, dist, dataRng);
+  const protocol::RingQueryRunner runner(params(1),
+                                         protocol::ProtocolKind::Probabilistic);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(values, rng).result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 5);
+}
+BENCHMARK(BM_MaxQuery_VsNodes)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TopKQuery_VsK(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  data::UniformDistribution dist;
+  Rng dataRng(3);
+  const auto values = data::generateValueSets(8, 64, dist, dataRng);
+  const protocol::RingQueryRunner runner(params(k),
+                                         protocol::ProtocolKind::Probabilistic);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(values, rng).result);
+  }
+}
+BENCHMARK(BM_TopKQuery_VsK)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NaiveQuery(benchmark::State& state) {
+  data::UniformDistribution dist;
+  Rng dataRng(5);
+  const auto values = data::generateValueSets(16, 10, dist, dataRng);
+  const protocol::RingQueryRunner runner(params(4),
+                                         protocol::ProtocolKind::Naive);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(values, rng).result);
+  }
+}
+BENCHMARK(BM_NaiveQuery);
+
+void BM_SimulatedQuery(benchmark::State& state) {
+  data::UniformDistribution dist;
+  Rng dataRng(7);
+  const auto values = data::generateValueSets(16, 10, dist, dataRng);
+  protocol::SimulatedRunConfig cfg;
+  cfg.params = params(1);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runSimulatedQuery(values, cfg, rng).result);
+  }
+}
+BENCHMARK(BM_SimulatedQuery);
+
+void BM_GroupedQuery(benchmark::State& state) {
+  data::UniformDistribution dist;
+  Rng dataRng(9);
+  const auto values = data::generateValueSets(128, 5, dist, dataRng);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protocol::runGrouped(values, params(1), 8, rng).result);
+  }
+}
+BENCHMARK(BM_GroupedQuery);
+
+void BM_SecureSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<std::int64_t>> counters(
+      n, std::vector<std::int64_t>(16, 3));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::secureSum(counters, rng).totals);
+  }
+}
+BENCHMARK(BM_SecureSum)->Arg(4)->Arg(64);
+
+void BM_LocalTopKStep(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto schedule =
+      std::make_shared<const protocol::ExponentialSchedule>(1.0, 0.5);
+  protocol::RandomizedTopKAlgorithm algo(k, schedule, Rng(12), kPaperDomain);
+  data::UniformDistribution dist;
+  Rng rng(13);
+  TopKVector local = dist.sampleMany(rng, k);
+  std::sort(local.begin(), local.end(), std::greater<>());
+  algo.reset(local);
+  TopKVector incoming = dist.sampleMany(rng, k);
+  std::sort(incoming.begin(), incoming.end(), std::greater<>());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.step(incoming, 2));
+  }
+}
+BENCHMARK(BM_LocalTopKStep)->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

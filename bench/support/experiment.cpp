@@ -1,0 +1,119 @@
+#include "support/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privtopk::bench {
+
+std::vector<double> precisionByRound(const protocol::ExecutionTrace& trace,
+                                     const TopKVector& truth) {
+  std::vector<double> out;
+  out.reserve(trace.rounds);
+  const std::size_t n = trace.nodeCount;
+  for (Round r = 1; r <= trace.rounds; ++r) {
+    const std::size_t lastStep = static_cast<std::size_t>(r) * n - 1;
+    if (lastStep >= trace.steps.size()) break;
+    const TopKVector& state = trace.steps[lastStep].output;
+    const double matched = static_cast<double>(
+        privacy::multisetIntersectionSize(state, truth));
+    out.push_back(matched / static_cast<double>(trace.k));
+  }
+  return out;
+}
+
+namespace {
+
+protocol::ProtocolParams paramsOf(const SeriesSpec& spec) {
+  protocol::ProtocolParams params;
+  params.k = spec.k;
+  params.p0 = spec.p0;
+  params.d = spec.d;
+  params.rounds = spec.rounds;
+  return params;
+}
+
+}  // namespace
+
+std::vector<double> measurePrecisionSeries(const SeriesSpec& spec) {
+  const protocol::RingQueryRunner runner(paramsOf(spec), spec.kind);
+  const auto dist = data::makeDistribution(spec.distribution);
+  Rng dataRng(spec.seed);
+  Rng rng(spec.seed + 1);
+
+  const Round rounds =
+      spec.kind == protocol::ProtocolKind::Probabilistic ? spec.rounds : 1;
+  std::vector<double> sums(rounds, 0.0);
+  for (int t = 0; t < spec.trials; ++t) {
+    const auto values =
+        data::generateValueSets(spec.n, spec.valuesPerNode, *dist, dataRng);
+    const TopKVector truth = data::trueTopK(values, spec.k);
+    const auto run = runner.run(values, rng);
+    const auto series = precisionByRound(run.trace, truth);
+    for (std::size_t r = 0; r < series.size(); ++r) sums[r] += series[r];
+  }
+  for (double& s : sums) s /= spec.trials;
+  return sums;
+}
+
+LoPSummary measureLoP(const SeriesSpec& spec) {
+  const protocol::RingQueryRunner runner(paramsOf(spec), spec.kind);
+  const auto dist = data::makeDistribution(spec.distribution);
+  Rng dataRng(spec.seed);
+  Rng rng(spec.seed + 1);
+
+  const Round rounds =
+      spec.kind == protocol::ProtocolKind::Probabilistic ? spec.rounds : 1;
+  const privacy::Grouping grouping =
+      spec.kind == protocol::ProtocolKind::Naive
+          ? privacy::Grouping::ByRingPosition
+          : privacy::Grouping::ByNodeId;
+  privacy::LoPAccumulator acc(spec.n, rounds, grouping);
+  for (int t = 0; t < spec.trials; ++t) {
+    const auto values =
+        data::generateValueSets(spec.n, spec.valuesPerNode, *dist, dataRng);
+    acc.addTrial(runner.run(values, rng).trace);
+  }
+  LoPSummary summary;
+  summary.perRound = acc.perRoundAverage();
+  summary.average = acc.averageLoP();
+  summary.worst = acc.worstLoP();
+  return summary;
+}
+
+void printHeader(const std::string& title, const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n");
+}
+
+void printSeriesTable(const std::string& xLabel,
+                      const std::vector<std::string>& seriesNames,
+                      const std::vector<double>& xs,
+                      const std::vector<std::vector<double>>& columns) {
+  if (columns.size() != seriesNames.size()) {
+    throw Error("printSeriesTable: column/name count mismatch");
+  }
+  std::printf("%-12s", xLabel.c_str());
+  for (const auto& name : seriesNames) std::printf(" %14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t row = 0; row < xs.size(); ++row) {
+    if (xs[row] == static_cast<double>(static_cast<long long>(xs[row]))) {
+      std::printf("%-12lld", static_cast<long long>(xs[row]));
+    } else {
+      std::printf("%-12.4g", xs[row]);
+    }
+    for (const auto& col : columns) {
+      if (row < col.size()) {
+        std::printf(" %14.4f", col[row]);
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace privtopk::bench

@@ -1,0 +1,63 @@
+// Shared experiment harness for the figure-reproduction benches.
+//
+// Mirrors the paper's §5.1 setup: n nodes, attribute values drawn from the
+// integer domain [1,10000] (uniform by default; normal and zipf available),
+// every plotted point averaged over 100 experiments.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/generator.hpp"
+#include "privacy/lop.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::bench {
+
+/// The paper's repetition count per plotted point.
+inline constexpr int kTrials = 100;
+
+/// Precision of the global vector state at the end of each round:
+/// |state_r ∩ TopK| / k (the paper's §5.4 metric; for k = 1 this is the
+/// 0/1 indicator of §5.2).  state_r is the output of the round's last step.
+[[nodiscard]] std::vector<double> precisionByRound(
+    const protocol::ExecutionTrace& trace, const TopKVector& truth);
+
+/// Config for one measured series.
+struct SeriesSpec {
+  protocol::ProtocolKind kind = protocol::ProtocolKind::Probabilistic;
+  std::size_t n = 4;
+  std::size_t k = 1;
+  double p0 = 1.0;
+  double d = 0.5;
+  Round rounds = 10;
+  std::size_t valuesPerNode = 1;
+  std::string distribution = "uniform";
+  int trials = kTrials;
+  std::uint64_t seed = 42;
+};
+
+/// Mean precision per round across trials (length = spec.rounds).
+[[nodiscard]] std::vector<double> measurePrecisionSeries(const SeriesSpec& spec);
+
+/// LoP summary across trials.
+struct LoPSummary {
+  std::vector<double> perRound;  // Figure 7 series
+  double average = 0.0;          // mean over nodes of the per-node peak
+  double worst = 0.0;            // max over nodes of the per-node peak
+};
+
+[[nodiscard]] LoPSummary measureLoP(const SeriesSpec& spec);
+
+/// Printing helpers: every bench emits a self-describing text table, one
+/// series per column, so the output diffs cleanly against EXPERIMENTS.md.
+void printHeader(const std::string& title, const std::string& note);
+void printSeriesTable(const std::string& xLabel,
+                      const std::vector<std::string>& seriesNames,
+                      const std::vector<double>& xs,
+                      const std::vector<std::vector<double>>& columns);
+
+}  // namespace privtopk::bench

@@ -1,0 +1,66 @@
+// Privacy-preserving kNN classification - the paper's §7 future-work item,
+// built from this library's primitives (bottom-k protocol + secure sum).
+//
+// Scenario: three hospitals hold private patient records (two features:
+// normalized biomarker levels) labeled benign (0) / malignant (1).  A new
+// case is classified against ALL hospitals' data without any hospital
+// revealing its records.
+
+#include <cstdio>
+
+#include "knn/knn.hpp"
+
+using namespace privtopk;
+
+int main() {
+  Rng rng(99);
+
+  // --- Private training data at three hospitals. ------------------------
+  std::vector<std::vector<knn::LabeledPoint>> hospitals(3);
+  for (std::size_t h = 0; h < 3; ++h) {
+    for (int i = 0; i < 40; ++i) {
+      const int label = static_cast<int>(rng.bernoulli(0.5));
+      const double cx = label == 0 ? 2.0 : 7.0;
+      const double cy = label == 0 ? 3.0 : 8.0;
+      hospitals[h].push_back(knn::LabeledPoint{
+          {cx + rng.normal(0, 1.2), cy + rng.normal(0, 1.2)}, label});
+    }
+  }
+
+  knn::KnnConfig config;
+  config.k = 7;
+  config.protocolParams.epsilon = 1e-9;  // effectively exact selection
+  knn::PrivateKnnClassifier classifier(hospitals, /*numLabels=*/2, config);
+
+  std::printf("Private 7-NN across 3 hospitals (120 records total)\n\n");
+  std::printf("%-22s %-10s %-12s %s\n", "query (biomarkers)", "private",
+              "centralized", "votes (benign/malignant)");
+
+  const std::vector<std::vector<double>> queries = {
+      {2.1, 3.2},  // deep in the benign blob
+      {7.2, 7.9},  // deep in the malignant blob
+      {4.5, 5.5},  // boundary case
+      {1.0, 2.0},
+      {8.5, 9.5},
+  };
+
+  Rng protoRng(123);
+  for (const auto& q : queries) {
+    const knn::KnnResult res = classifier.classify(q, protoRng);
+    const int central = classifier.classifyCentralized(q);
+    std::printf("(%4.1f, %4.1f)            %-10s %-12s %lld / %lld\n", q[0],
+                q[1], res.label == 0 ? "benign" : "malignant",
+                central == 0 ? "benign" : "malignant",
+                static_cast<long long>(res.votes[0]),
+                static_cast<long long>(res.votes[1]));
+  }
+
+  std::printf("\nHow it works:\n");
+  std::printf(" 1. each hospital computes distances to the query locally;\n");
+  std::printf(" 2. the ring protocol finds the k smallest distances with the\n");
+  std::printf("    paper's randomized masking (nobody learns whose patients\n");
+  std::printf("    are the neighbours);\n");
+  std::printf(" 3. a decentralized secure sum tallies the class votes inside\n");
+  std::printf("    the neighbourhood radius - only the totals are revealed.\n");
+  return 0;
+}

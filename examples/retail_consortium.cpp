@@ -1,0 +1,113 @@
+// Retail consortium: the paper's §1 motivating scenario.
+//
+// "A group of competing retail companies in the same market sector may wish
+//  to find out statistics about their sales, such as the top sales revenue
+//  among them, but to keep the sales data private at the same time."
+//
+// Eight competing retailers compute the top-5 regional revenue figures in
+// the sector.  The example then quantifies what the protocol choice costs
+// in privacy: it replays the same query under the naive, anonymous-naive
+// and probabilistic protocols across many Monte-Carlo trials and reports
+// each protocol's measured Loss of Privacy - reproducing the paper's
+// comparison on a concrete business scenario.
+
+#include <cstdio>
+
+#include "data/generator.hpp"
+#include "privacy/lop.hpp"
+#include "privacy/spectrum.hpp"
+#include "protocol/runner.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+privacy::LoPAccumulator measure(protocol::ProtocolKind kind, std::size_t n,
+                                const protocol::ProtocolParams& params,
+                                int trials, std::uint64_t seed) {
+  const protocol::RingQueryRunner runner(params, kind);
+  data::UniformDistribution dist{Domain{1000, 99000}};
+  Rng dataRng(seed);
+  Rng rng(seed + 1);
+  const Round rounds =
+      kind == protocol::ProtocolKind::Probabilistic ? params.effectiveRounds()
+                                                    : 1;
+  privacy::LoPAccumulator acc(n, rounds,
+                              kind == protocol::ProtocolKind::Naive
+                                  ? privacy::Grouping::ByRingPosition
+                                  : privacy::Grouping::ByNodeId);
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(n, params.k, dist, dataRng);
+    acc.addTrial(runner.run(values, rng).trace);
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t retailers = 8;
+  const std::size_t k = 5;
+
+  // --- The actual query: one consortium-wide top-5. ----------------------
+  data::FleetSpec spec;
+  spec.nodes = retailers;
+  spec.rowsPerNode = 40;  // 40 regional revenue figures per retailer
+  spec.domain = Domain{1000, 99000};
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng dataRng(7);
+  const auto fleet = data::generateFleet(spec, dataRng);
+
+  std::vector<std::vector<Value>> locals;
+  for (const auto& db : fleet) {
+    locals.push_back(db.localTopK("sales", "revenue", k));
+  }
+
+  protocol::ProtocolParams params;
+  params.k = k;
+  params.domain = spec.domain;
+  params.epsilon = 1e-6;
+
+  const protocol::RingQueryRunner runner(params,
+                                         protocol::ProtocolKind::Probabilistic);
+  Rng rng(8);
+  const auto run = runner.run(locals, rng);
+
+  std::printf("Consortium of %zu retailers, top-%zu regional revenues:\n",
+              retailers, k);
+  std::printf("  %s\n", toString(run.result).c_str());
+  std::printf("  protocol: probabilistic (p0=%.1f, d=%.1f), %u rounds, "
+              "%zu messages\n\n",
+              params.p0, params.d, run.rounds, run.totalMessages);
+
+  // --- Why not the naive protocol?  Measure the difference. --------------
+  std::printf("Measured Loss of Privacy (500 Monte-Carlo queries each):\n");
+  std::printf("  %-18s %12s %12s\n", "protocol", "avg LoP", "worst LoP");
+  const int trials = 500;
+  const auto naive =
+      measure(protocol::ProtocolKind::Naive, retailers, params, trials, 100);
+  const auto anon = measure(protocol::ProtocolKind::AnonymousNaive, retailers,
+                            params, trials, 200);
+  const auto prob = measure(protocol::ProtocolKind::Probabilistic, retailers,
+                            params, trials, 300);
+  std::printf("  %-18s %12.4f %12.4f\n", "naive", naive.averageLoP(),
+              naive.worstLoP());
+  std::printf("  %-18s %12.4f %12.4f\n", "anonymous-naive", anon.averageLoP(),
+              anon.worstLoP());
+  std::printf("  %-18s %12.4f %12.4f\n", "probabilistic", prob.averageLoP(),
+              prob.worstLoP());
+
+  std::printf("\nThe naive protocol's worst-case node (the ring starter) is "
+              "classified as:\n  %s\n",
+              toString(privacy::classifyExposure(
+                           std::min(1.0, std::max(0.0, naive.worstLoP())),
+                           retailers))
+                  .c_str());
+  std::printf("The probabilistic protocol keeps every node at:\n  %s\n",
+              toString(privacy::classifyExposure(
+                           std::min(1.0, std::max(0.0, prob.worstLoP())),
+                           retailers))
+                  .c_str());
+  return 0;
+}

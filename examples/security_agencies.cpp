@@ -1,0 +1,110 @@
+// Security agencies: the paper's second §1 scenario.
+//
+// "Multiple agencies may need to share their criminal record databases in
+//  identifying certain suspects ... However, they cannot indiscriminately
+//  open up their databases to all other agencies."
+//
+// Five agencies hold private threat-score databases.  They run a max query
+// (top-1 threat score) over a simulated wide-area network with realistic
+// latencies - and the example crashes one agency mid-query to demonstrate
+// the ring repair of §3.2 (the survivors still finish and agree).
+
+#include <cstdio>
+
+#include "data/database.hpp"
+#include "protocol/sim_engine.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+data::PrivateDatabase makeAgency(const std::string& name,
+                                 std::initializer_list<std::pair<const char*, Value>>
+                                     suspects) {
+  data::PrivateDatabase db(name);
+  data::Table records(data::Schema(
+      {{"alias", data::ColumnType::Text}, {"threat_score", data::ColumnType::Int}}));
+  for (const auto& [alias, score] : suspects) {
+    records.appendRow({data::Cell{std::string(alias)}, data::Cell{score}});
+  }
+  db.addTable("records", std::move(records));
+  return db;
+}
+
+protocol::SimulatedRunResult runQuery(
+    const std::vector<data::PrivateDatabase>& agencies,
+    const sim::FailurePlan& failures, std::uint64_t seed) {
+  std::vector<std::vector<Value>> locals;
+  for (const auto& db : agencies) {
+    locals.push_back(db.localTopK("records", "threat_score", 1));
+  }
+  protocol::SimulatedRunConfig cfg;
+  cfg.params.k = 1;
+  cfg.params.domain = Domain{0, 1000};
+  cfg.params.epsilon = 1e-6;
+  static const sim::ExponentialLatency wan(20.0, 15.0);  // ~WAN round trips
+  cfg.latency = &wan;
+  cfg.failures = failures;
+  Rng rng(seed);
+  return runSimulatedQuery(locals, cfg, rng);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<data::PrivateDatabase> agencies;
+  agencies.push_back(makeAgency("agency-north",
+                                {{"viper", 310}, {"ghost", 640}}));
+  agencies.push_back(makeAgency("agency-south",
+                                {{"raven", 720}, {"mole", 150}}));
+  agencies.push_back(makeAgency("agency-east",
+                                {{"shade", 910}, {"drift", 430}}));
+  agencies.push_back(makeAgency("agency-west", {{"croc", 505}}));
+  agencies.push_back(makeAgency("agency-central",
+                                {{"lynx", 660}, {"pike", 875}}));
+
+  // --- Normal operation over a simulated WAN. ---------------------------
+  const auto healthy = runQuery(agencies, sim::FailurePlan{}, 11);
+  std::printf("Maximum threat score across %zu agencies: %lld\n",
+              agencies.size(),
+              static_cast<long long>(healthy.result.front()));
+  std::printf("  completed in %.1f virtual ms over a WAN "
+              "(%zu ring messages)\n\n",
+              healthy.completionTime, healthy.messages);
+
+  // --- The same query with agency-east crashing mid-protocol. -----------
+  // agency-east holds the global max (910); if it dies before contributing,
+  // the survivors' answer is the max among the remaining data.
+  sim::FailurePlan crashEarly;
+  crashEarly.crashAt(2, 0.0);  // node 2 = agency-east, dead from the start
+  const auto degraded = runQuery(agencies, crashEarly, 12);
+  std::printf("With agency-east down from the start:\n");
+  std::printf("  survivors' maximum threat score: %lld (agency-east's 910 "
+              "is unavailable)\n",
+              static_cast<long long>(degraded.result.front()));
+  std::printf("  failed nodes spliced out of the ring: %zu\n\n",
+              degraded.failedNodes.size());
+
+  // --- Crash late: the value is usually already contributed. -------------
+  // The probabilistic protocol masks values in early rounds, so a node that
+  // dies mid-query may or may not have inserted its real value yet.  Count
+  // both outcomes over repeated runs.
+  int kept = 0;
+  const int reruns = 50;
+  for (int i = 0; i < reruns; ++i) {
+    sim::FailurePlan crashLate;
+    crashLate.crashAt(2, 400.0);  // well into the later rounds
+    const auto lateCrash =
+        runQuery(agencies, crashLate, 13 + static_cast<std::uint64_t>(i));
+    if (lateCrash.result.front() == 910) ++kept;
+  }
+  std::printf("With agency-east crashing late (t = 400ms), over %d runs:\n",
+              reruns);
+  std::printf("  its value (910) survived in %d runs - it was already "
+              "merged into the\n  global vector;  in the other %d runs the "
+              "value was still masked by the\n  randomization when the "
+              "agency died, so the survivors converge on a\n  lower value "
+              "(correct over the data that remained reachable).\n",
+              kept, reruns - kept);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Distributed deployment demo: the protocol over real TCP sockets with
+// authenticated encryption on every ring link (DH handshake + ChaCha20 +
+// HMAC), one thread per participant to emulate one process per
+// organization.
+//
+// This is the deployment-shaped path: the same DistributedParticipant
+// drives production processes; only the address book changes.
+
+#include <cstdio>
+#include <future>
+#include <numeric>
+
+#include "net/tcp.hpp"
+#include "protocol/engine.hpp"
+
+using namespace privtopk;
+
+int main() {
+  constexpr std::size_t kParties = 5;
+  constexpr std::size_t kTopK = 3;
+
+  // Private inputs (already reduced to local top-k by each party).
+  const std::vector<TopKVector> locals = {
+      {8120, 7300, 100}, {9050, 2200, 90}, {8800, 8790, 4000},
+      {6100, 5900, 5800}, {9925, 300, 200},
+  };
+
+  // --- Address book: reserve distinct localhost ports. -------------------
+  std::vector<net::TcpPeer> peers;
+  {
+    std::vector<std::unique_ptr<net::TcpTransport>> probes;
+    for (std::size_t i = 0; i < kParties; ++i) {
+      probes.push_back(std::make_unique<net::TcpTransport>(
+          0, std::vector<net::TcpPeer>{{0, "127.0.0.1", 0}}));
+      peers.push_back(net::TcpPeer{static_cast<NodeId>(i), "127.0.0.1",
+                                   probes.back()->listenPort()});
+    }
+    for (auto& p : probes) p->shutdown();
+  }
+
+  // --- Shared query descriptor (agreed out of band). ---------------------
+  protocol::DistributedConfig cfg;
+  cfg.queryId = 20260707;
+  cfg.params.k = kTopK;
+  cfg.params.epsilon = 1e-6;
+  cfg.ringOrder.resize(kParties);
+  std::iota(cfg.ringOrder.begin(), cfg.ringOrder.end(), NodeId{0});
+  Rng ringRng(404);
+  ringRng.shuffle(cfg.ringOrder);  // random mapping + random starting node
+
+  net::TcpOptions tcpOptions;
+  tcpOptions.encrypt = true;  // DH + ChaCha20 + HMAC on every link
+  tcpOptions.keySeed = 20260707;
+
+  std::printf("ring order:");
+  for (NodeId id : cfg.ringOrder) std::printf(" %u", id);
+  std::printf("   (node %u starts)\n", cfg.ringOrder.front());
+
+  // --- One participant per thread, each with its own TCP endpoint. -------
+  std::vector<std::unique_ptr<net::TcpTransport>> transports;
+  for (std::size_t i = 0; i < kParties; ++i) {
+    transports.push_back(std::make_unique<net::TcpTransport>(
+        static_cast<NodeId>(i), peers, tcpOptions));
+  }
+
+  Rng rng(505);
+  std::vector<Rng> nodeRngs;
+  for (std::size_t i = 0; i < kParties; ++i) nodeRngs.push_back(rng.fork(i));
+
+  std::vector<std::future<TopKVector>> futures;
+  for (std::size_t i = 0; i < kParties; ++i) {
+    futures.push_back(std::async(std::launch::async, [&, i] {
+      protocol::ProtocolNode node(
+          static_cast<NodeId>(i), locals[i],
+          protocol::makeLocalAlgorithm(cfg.kind, cfg.params, nodeRngs[i]));
+      protocol::DistributedParticipant participant(std::move(node),
+                                                   *transports[i], cfg);
+      return participant.run();
+    }));
+  }
+
+  TopKVector agreed;
+  bool consistent = true;
+  for (std::size_t i = 0; i < kParties; ++i) {
+    const TopKVector result = futures[i].get();
+    std::printf("party %zu received result %s\n", i,
+                toString(result).c_str());
+    if (i == 0) {
+      agreed = result;
+    } else if (result != agreed) {
+      consistent = false;
+    }
+  }
+  for (auto& t : transports) t->shutdown();
+
+  std::printf("\nall parties agree: %s\n", consistent ? "yes" : "NO");
+  std::printf("every link ran a Diffie-Hellman handshake and sealed each\n");
+  std::printf("token with ChaCha20 + HMAC-SHA256 (encrypt-then-MAC).\n");
+  return 0;
+}

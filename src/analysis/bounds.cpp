@@ -1,0 +1,99 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace privtopk::analysis {
+
+namespace {
+
+void checkParams(double p0, double d) {
+  if (p0 < 0.0 || p0 > 1.0) {
+    throw ConfigError("analysis: p0 must be in [0, 1]");
+  }
+  if (d < 0.0 || d > 1.0) {
+    throw ConfigError("analysis: d must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double randomizationProbability(double p0, double d, Round r) {
+  checkParams(p0, d);
+  if (r < 1) throw ConfigError("analysis: rounds are 1-based");
+  return p0 * std::pow(d, static_cast<double>(r - 1));
+}
+
+double precisionBound(double p0, double d, Round r) {
+  checkParams(p0, d);
+  if (r < 1) throw ConfigError("analysis: rounds are 1-based");
+  const double lg = errorTermLog(p0, d, static_cast<double>(r));
+  const double err = std::exp(lg);
+  return clampDouble(1.0 - err, 0.0, 1.0);
+}
+
+Round minRounds(double p0, double d, double epsilon) {
+  checkParams(p0, d);
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw ConfigError("analysis: epsilon must be in (0, 1)");
+  }
+  if (p0 <= epsilon) return 1;
+  if (d >= 1.0) {
+    throw ConfigError(
+        "analysis: minRounds diverges for d = 1 with p0 > epsilon");
+  }
+  if (d == 0.0) return 2;  // error term vanishes from round 2 on
+  // Solve r(r-1)/2 >= log_d(eps/p0):  r >= (1 + sqrt(1 + 8 L)) / 2.
+  const double L = std::log(epsilon / p0) / std::log(d);
+  const double r = (1.0 + std::sqrt(1.0 + 8.0 * L)) / 2.0;
+  return static_cast<Round>(std::max(1.0, std::ceil(r)));
+}
+
+Round minRoundsTight(double p0, double d, double epsilon) {
+  checkParams(p0, d);
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw ConfigError("analysis: epsilon must be in (0, 1)");
+  }
+  if (p0 <= epsilon) return 1;
+  if (d >= 1.0 && p0 >= 1.0) {
+    throw ConfigError(
+        "analysis: minRoundsTight diverges for p0 = 1 and d = 1");
+  }
+  const double logEps = std::log(epsilon);
+  for (Round r = 1;; ++r) {
+    if (errorTermLog(p0, d, static_cast<double>(r)) <= logEps) return r;
+    if (r > 1'000'000) {
+      throw ConfigError("analysis: minRoundsTight did not converge");
+    }
+  }
+}
+
+double naiveLoPBound(std::size_t n) {
+  if (n == 0) throw ConfigError("analysis: n must be > 0");
+  return std::log(static_cast<double>(n)) / static_cast<double>(n);
+}
+
+double naiveAverageLoP(std::size_t n) {
+  if (n == 0) throw ConfigError("analysis: n must be > 0");
+  return (harmonicNumber(n) - 1.0) / static_cast<double>(n);
+}
+
+double expectedLoPTerm(double p0, double d, Round r) {
+  checkParams(p0, d);
+  if (r < 1) throw ConfigError("analysis: rounds are 1-based");
+  const double pr = p0 * std::pow(d, static_cast<double>(r - 1));
+  return std::pow(0.5, static_cast<double>(r - 1)) * (1.0 - pr);
+}
+
+double probabilisticLoPBound(double p0, double d, Round maxRound) {
+  double best = 0.0;
+  for (Round r = 1; r <= maxRound; ++r) {
+    best = std::max(best, expectedLoPTerm(p0, d, r));
+  }
+  return best;
+}
+
+}  // namespace privtopk::analysis

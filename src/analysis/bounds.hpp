@@ -1,0 +1,49 @@
+// Closed-form analysis of the probabilistic max protocol (paper §4).
+//
+// These are the formulas behind Figures 3, 4 and 5:
+//   Eq. 3  P(g(r) = vmax) >= 1 - p0^r * d^(r(r-1)/2)          (precision)
+//   Eq. 4  r_min = smallest r with p0 * d^(r(r-1)/2) <= eps    (efficiency)
+//   Eq. 5  LoP_naive > ln(n)/n                                 (naive privacy)
+//   Eq. 6  E[LoP] <= max_r (1/2^(r-1)) * (1 - p0 * d^(r-1))    (prob. privacy)
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace privtopk::analysis {
+
+/// Randomization probability for round r (Eq. 2): p0 * d^(r-1).
+[[nodiscard]] double randomizationProbability(double p0, double d, Round r);
+
+/// Lower bound on the probability that the global value equals the true max
+/// after r rounds (Eq. 3).  Clamped to [0, 1].
+[[nodiscard]] double precisionBound(double p0, double d, Round r);
+
+/// Minimum number of rounds guaranteeing precision >= 1 - epsilon using the
+/// paper's relaxation p0 * d^(r(r-1)/2) <= epsilon (Eq. 4).  Requires
+/// 0 < epsilon < 1 and (d < 1 or p0 <= epsilon); throws ConfigError when
+/// the bound cannot be met (p0 >= epsilon and d >= 1).
+[[nodiscard]] Round minRounds(double p0, double d, double epsilon);
+
+/// Minimum rounds using the tighter Eq. 3 bound p0^r * d^(r(r-1)/2) <=
+/// epsilon, found by incremental search.  Never larger than minRounds().
+[[nodiscard]] Round minRoundsTight(double p0, double d, double epsilon);
+
+/// Paper's lower bound on the naive protocol's average LoP (Eq. 5): ln(n)/n.
+[[nodiscard]] double naiveLoPBound(std::size_t n);
+
+/// Exact average LoP of the naive protocol under the paper's §4.3 analysis:
+/// sum_i (1/i - 1/n) / n = (H_n - 1) / n.
+[[nodiscard]] double naiveAverageLoP(std::size_t n);
+
+/// The per-round term inside Eq. 6: (1/2^(r-1)) * (1 - p0 * d^(r-1)).
+[[nodiscard]] double expectedLoPTerm(double p0, double d, Round r);
+
+/// Upper bound on the probabilistic protocol's expected LoP (Eq. 6):
+/// max over rounds 1..maxRound of expectedLoPTerm.
+[[nodiscard]] double probabilisticLoPBound(double p0, double d,
+                                           Round maxRound);
+
+}  // namespace privtopk::analysis

@@ -1,0 +1,87 @@
+#include "analysis/optimal_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privtopk::analysis {
+
+namespace {
+
+/// The schedule induced by a peak bound L: q_r = clamp(1 - L * 2^(r-1)).
+std::vector<double> scheduleForPeak(Round rounds, double peak) {
+  std::vector<double> q(rounds);
+  for (Round r = 1; r <= rounds; ++r) {
+    const double term = peak * std::pow(2.0, static_cast<double>(r - 1));
+    q[r - 1] = std::clamp(1.0 - term, 0.0, 1.0);
+  }
+  return q;
+}
+
+}  // namespace
+
+double scheduleLoPBound(const std::vector<double>& probabilities) {
+  double peak = 0.0;
+  for (std::size_t r = 0; r < probabilities.size(); ++r) {
+    peak = std::max(peak, std::pow(0.5, static_cast<double>(r)) *
+                              (1.0 - probabilities[r]));
+  }
+  return peak;
+}
+
+double scheduleErrorProduct(const std::vector<double>& probabilities) {
+  double product = 1.0;
+  for (double q : probabilities) product *= q;
+  return product;
+}
+
+OptimalScheduleResult optimalSchedule(Round rounds, double epsilon) {
+  if (rounds < 2) {
+    throw ConfigError("optimalSchedule: need at least 2 rounds");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw ConfigError("optimalSchedule: epsilon must be in (0, 1)");
+  }
+
+  // Feasibility is monotone in L: larger peak -> smaller q_r -> smaller
+  // product.  L = 1 forces every q_r toward 0 (product 0 <= eps), so a
+  // feasible L always exists; bisect for the smallest one.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const double product = scheduleErrorProduct(scheduleForPeak(rounds, mid));
+    if (product <= epsilon) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  OptimalScheduleResult result;
+  result.probabilities = scheduleForPeak(rounds, hi);
+  result.peakLoPBound = scheduleLoPBound(result.probabilities);
+  result.errorProduct = scheduleErrorProduct(result.probabilities);
+  return result;
+}
+
+TabulatedSchedule::TabulatedSchedule(std::vector<double> probabilities)
+    : table_(std::move(probabilities)) {
+  if (table_.empty()) {
+    throw ConfigError("TabulatedSchedule: empty probability table");
+  }
+  for (double q : table_) {
+    if (q < 0.0 || q > 1.0) {
+      throw ConfigError("TabulatedSchedule: probability outside [0, 1]");
+    }
+  }
+}
+
+double TabulatedSchedule::probability(Round r) const {
+  if (r < 1) throw ConfigError("TabulatedSchedule: rounds are 1-based");
+  if (r > table_.size()) return 0.0;  // deterministic past the plan
+  return table_[r - 1];
+}
+
+}  // namespace privtopk::analysis

@@ -1,0 +1,73 @@
+// Optimal randomization schedules (paper §7: "given the probabilistic
+// scheme, it is possible to design other forms of randomization
+// probability ... We are interested in conducting a theoretical analysis
+// for discovering the optimal randomized algorithm").
+//
+// Formulation.  A schedule is the per-round randomization probability
+// vector (q_1, ..., q_R).  Two analytic quantities from §4 generalize
+// verbatim to arbitrary schedules:
+//
+//   correctness:  P(g(R) = vmax) >= 1 - prod_r q_r           (Eq. 3 form)
+//   privacy:      E[LoP] <= max_r (1/2^(r-1)) * (1 - q_r)    (Eq. 6 form)
+//
+// The optimal schedule for a round budget R and precision target eps
+// minimizes the peak privacy term subject to prod q_r <= eps.  For a fixed
+// peak L the least "expensive" feasible choice is q_r = 1 - L * 2^(r-1)
+// (clamped to [0,1]) - any smaller q_r only shrinks the product slack
+// without lowering the peak - so the optimum follows from a bisection on
+// L.  The resulting schedule front-loads randomization (q_1 = 1 whenever
+// L <= 1) and decays roughly geometrically, which is why the paper's
+// exponential family with d = 1/2 is near-optimal: it matches the 2^(r-1)
+// envelope of the LoP terms.
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/schedule.hpp"
+
+namespace privtopk::analysis {
+
+struct OptimalScheduleResult {
+  /// Per-round probabilities q_1..q_R.
+  std::vector<double> probabilities;
+  /// The achieved peak LoP bound max_r (1/2^(r-1))(1 - q_r).
+  double peakLoPBound = 0.0;
+  /// prod q_r (<= epsilon by construction).
+  double errorProduct = 0.0;
+};
+
+/// Computes the optimal schedule for `rounds` rounds and correctness target
+/// prod q_r <= epsilon.  Requires rounds >= 2 (a 1-round protocol cannot
+/// satisfy eps < 1 with any privacy) and 0 < epsilon < 1.  Throws
+/// ConfigError when no feasible schedule exists for the budget (epsilon too
+/// small for the round count even with L = 1... never happens: q_r -> 0
+/// drives the product to 0; infeasibility cannot occur for rounds >= 1).
+[[nodiscard]] OptimalScheduleResult optimalSchedule(Round rounds,
+                                                    double epsilon);
+
+/// The analytic peak-LoP bound of an arbitrary schedule (Eq. 6 form).
+[[nodiscard]] double scheduleLoPBound(const std::vector<double>& probabilities);
+
+/// The analytic error product of an arbitrary schedule (Eq. 3 form).
+[[nodiscard]] double scheduleErrorProduct(
+    const std::vector<double>& probabilities);
+
+/// A protocol::RandomizationSchedule backed by an explicit per-round
+/// probability table.  Rounds past the table use probability 0, so the
+/// protocol is deterministic beyond the planned budget (extra rounds can
+/// only improve precision).
+class TabulatedSchedule final : public protocol::RandomizationSchedule {
+ public:
+  explicit TabulatedSchedule(std::vector<double> probabilities);
+
+  [[nodiscard]] double probability(Round r) const override;
+  [[nodiscard]] std::string name() const override { return "tabulated"; }
+  [[nodiscard]] const std::vector<double>& table() const { return table_; }
+
+ private:
+  std::vector<double> table_;
+};
+
+}  // namespace privtopk::analysis

@@ -1,0 +1,57 @@
+#include "analysis/param_select.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace privtopk::analysis {
+
+std::vector<TradeoffPoint> sweepParameters(const std::vector<double>& p0Values,
+                                           const std::vector<double>& dValues,
+                                           double epsilon) {
+  std::vector<TradeoffPoint> points;
+  points.reserve(p0Values.size() * dValues.size());
+  for (double p0 : p0Values) {
+    for (double d : dValues) {
+      TradeoffPoint pt;
+      pt.p0 = p0;
+      pt.d = d;
+      try {
+        pt.rounds = minRounds(p0, d, epsilon);
+      } catch (const ConfigError&) {
+        continue;  // diverging pair (d = 1 with p0 > epsilon)
+      }
+      // Eq. 6's max is attained within the first few rounds; the term decays
+      // as 2^-(r-1) afterwards, so scanning to the round bound suffices.
+      pt.lopBound = probabilisticLoPBound(p0, d, std::max<Round>(pt.rounds, 8));
+      points.push_back(pt);
+    }
+  }
+  return points;
+}
+
+TradeoffPoint selectKnee(const std::vector<TradeoffPoint>& sweep) {
+  if (sweep.empty()) throw ConfigError("selectKnee: empty sweep");
+  double maxLop = 0.0;
+  double maxRounds = 0.0;
+  for (const auto& pt : sweep) {
+    maxLop = std::max(maxLop, pt.lopBound);
+    maxRounds = std::max(maxRounds, static_cast<double>(pt.rounds));
+  }
+  const TradeoffPoint* best = &sweep.front();
+  double bestScore = std::numeric_limits<double>::infinity();
+  for (const auto& pt : sweep) {
+    const double x = maxLop > 0 ? pt.lopBound / maxLop : 0.0;
+    const double y =
+        maxRounds > 0 ? static_cast<double>(pt.rounds) / maxRounds : 0.0;
+    const double score = std::hypot(x, y);
+    if (score < bestScore) {
+      bestScore = score;
+      best = &pt;
+    }
+  }
+  return *best;
+}
+
+}  // namespace privtopk::analysis

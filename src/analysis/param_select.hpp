@@ -1,0 +1,36 @@
+// Randomization-parameter selection (paper §5.3, Figure 9): sweep (p0, d)
+// pairs and report each pair's privacy/efficiency point so a deployment
+// can pick the knee of the tradeoff.
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/bounds.hpp"
+
+namespace privtopk::analysis {
+
+/// One point of the Figure 9 scatter.
+struct TradeoffPoint {
+  double p0 = 1.0;
+  double d = 0.5;
+  /// Privacy cost: analytic expected-LoP bound (Eq. 6, peak over rounds).
+  double lopBound = 0.0;
+  /// Efficiency cost: rounds needed for the precision target (Eq. 4).
+  Round rounds = 0;
+};
+
+/// Evaluates every (p0, d) combination; epsilon is the precision target of
+/// the rounds column.  Pairs whose round bound diverges (d = 1 with
+/// p0 > epsilon) are skipped.
+[[nodiscard]] std::vector<TradeoffPoint> sweepParameters(
+    const std::vector<double>& p0Values, const std::vector<double>& dValues,
+    double epsilon);
+
+/// Picks the point minimizing normalized distance to the origin of the
+/// (LoP, rounds) plane - the "lower left corner" criterion the paper uses
+/// to choose (p0 = 1, d = 1/2).  Both axes are normalized to the sweep's
+/// max before combining.  Requires a non-empty sweep.
+[[nodiscard]] TradeoffPoint selectKnee(const std::vector<TradeoffPoint>& sweep);
+
+}  // namespace privtopk::analysis

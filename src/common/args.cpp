@@ -1,0 +1,100 @@
+#include "common/args.hpp"
+
+#include <charconv>
+
+namespace privtopk {
+
+std::vector<std::string> splitString(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     const std::set<std::string>& allowedFlags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+
+    std::optional<std::string> value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+    }
+    if (!allowedFlags.contains(arg)) {
+      throw ConfigError("unknown flag --" + arg);
+    }
+    if (!value && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (values_.contains(arg)) {
+      throw ConfigError("duplicate flag --" + arg);
+    }
+    values_[arg] = std::move(value);
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return values_.contains(flag);
+}
+
+std::string ArgParser::getString(const std::string& flag,
+                                 const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  if (!it->second) {
+    throw ConfigError("flag --" + flag + " requires a value");
+  }
+  return *it->second;
+}
+
+std::int64_t ArgParser::getInt(const std::string& flag,
+                               std::int64_t fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  if (!it->second) throw ConfigError("flag --" + flag + " requires a value");
+  const std::string& s = *it->second;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw ConfigError("flag --" + flag + ": '" + s + "' is not an integer");
+  }
+  return v;
+}
+
+double ArgParser::getDouble(const std::string& flag, double fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  if (!it->second) throw ConfigError("flag --" + flag + " requires a value");
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*it->second, &pos);
+    if (pos != it->second->size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + flag + ": '" + *it->second +
+                      "' is not a number");
+  }
+}
+
+std::vector<std::string> ArgParser::getList(const std::string& flag) const {
+  const std::string raw = getString(flag);
+  if (raw.empty()) return {};
+  return splitString(raw, ',');
+}
+
+}  // namespace privtopk

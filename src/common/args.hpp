@@ -1,0 +1,57 @@
+// Minimal command-line argument parser for the CLI tools.
+//
+// Supports `--key value`, `--key=value`, bare boolean flags (`--encrypt`),
+// and positional arguments.  Typed getters validate and convert; unknown
+// flags are rejected up front so typos fail loudly.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace privtopk {
+
+class ArgParser {
+ public:
+  /// `allowedFlags` lists every accepted --flag name (without dashes).
+  /// Throws ConfigError on unknown flags or malformed input.
+  ArgParser(int argc, const char* const* argv,
+            const std::set<std::string>& allowedFlags);
+
+  /// Positional arguments in order (argv[0] excluded).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+
+  /// String value; `fallback` when absent.  Throws when the flag was given
+  /// as a bare boolean.
+  [[nodiscard]] std::string getString(const std::string& flag,
+                                      const std::string& fallback = "") const;
+
+  [[nodiscard]] std::int64_t getInt(const std::string& flag,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double getDouble(const std::string& flag,
+                                 double fallback) const;
+  [[nodiscard]] bool getBool(const std::string& flag) const { return has(flag); }
+
+  /// Splits a comma-separated flag value ("a,b,c"); empty when absent.
+  [[nodiscard]] std::vector<std::string> getList(const std::string& flag) const;
+
+ private:
+  std::map<std::string, std::optional<std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Splits `text` on `sep` (no empty-token suppression).
+[[nodiscard]] std::vector<std::string> splitString(const std::string& text,
+                                                   char sep);
+
+}  // namespace privtopk

@@ -1,0 +1,51 @@
+// Exception hierarchy for the privtopk library.
+//
+// Following the C++ Core Guidelines (E.14) we throw purpose-designed types
+// derived from std::runtime_error / std::logic_error so callers can catch
+// per-category.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace privtopk {
+
+/// Base class for all recoverable runtime failures raised by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Invalid configuration supplied by the caller (bad p0/d/k/domain...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Wire-format violation: a message could not be parsed or failed
+/// authentication.
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A transport-level failure (socket error, closed channel, peer gone).
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Cryptographic failure (handshake mismatch, MAC verification failure).
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a query references an unknown table/attribute.
+class SchemaError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace privtopk

@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+namespace privtopk {
+namespace detail {
+
+LogLevel& globalLogLevel() {
+  static LogLevel level = LogLevel::Warn;
+  return level;
+}
+
+std::mutex& logMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::ostream*& logSink() {
+  static std::ostream* sink = &std::clog;
+  return sink;
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace detail
+
+void setLogLevel(LogLevel level) { detail::globalLogLevel() = level; }
+
+LogLevel logLevel() { return detail::globalLogLevel(); }
+
+void setLogSink(std::ostream* sink) {
+  std::scoped_lock lock(detail::logMutex());
+  detail::logSink() = (sink != nullptr) ? sink : &std::clog;
+}
+
+}  // namespace privtopk

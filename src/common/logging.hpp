@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (level Warn); experiment harnesses can
+// raise verbosity.  The logger is process-global and thread-safe; log lines
+// are assembled in a local stream and written with a single mutex-guarded
+// call so concurrent transports do not interleave characters.
+
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace privtopk {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+namespace detail {
+LogLevel& globalLogLevel();
+std::mutex& logMutex();
+std::ostream*& logSink();
+const char* levelName(LogLevel level);
+}  // namespace detail
+
+/// Sets the global minimum level (default Warn).
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+/// Redirects log output (default std::clog).  Pass nullptr to restore the
+/// default sink.
+void setLogSink(std::ostream* sink);
+
+/// Writes one formatted log line if `level` is enabled.
+template <typename... Args>
+void logLine(LogLevel level, Args&&... args) {
+  if (level < detail::globalLogLevel()) return;
+  std::ostringstream os;
+  os << '[' << detail::levelName(level) << "] ";
+  (os << ... << std::forward<Args>(args));
+  os << '\n';
+  const std::string line = os.str();
+  std::scoped_lock lock(detail::logMutex());
+  std::ostream* sink = detail::logSink();
+  (*sink) << line;
+}
+
+#define PRIVTOPK_LOG_TRACE(...) ::privtopk::logLine(::privtopk::LogLevel::Trace, __VA_ARGS__)
+#define PRIVTOPK_LOG_DEBUG(...) ::privtopk::logLine(::privtopk::LogLevel::Debug, __VA_ARGS__)
+#define PRIVTOPK_LOG_INFO(...) ::privtopk::logLine(::privtopk::LogLevel::Info, __VA_ARGS__)
+#define PRIVTOPK_LOG_WARN(...) ::privtopk::logLine(::privtopk::LogLevel::Warn, __VA_ARGS__)
+#define PRIVTOPK_LOG_ERROR(...) ::privtopk::logLine(::privtopk::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace privtopk

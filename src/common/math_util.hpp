@@ -1,0 +1,38 @@
+// Small mathematical helpers referenced by the paper's analysis section.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace privtopk {
+
+/// The nth harmonic number H_n = sum_{i=1..n} 1/i.  The paper's Eq. 5 uses
+/// the bound H_n > ln n to lower-bound the naive protocol's average LoP.
+[[nodiscard]] inline double harmonicNumber(std::size_t n) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+/// Numerically safe power p0^r * d^(r(r-1)/2) used by Eq. 3/4; computed in
+/// log space to avoid underflow for large r.
+[[nodiscard]] inline double errorTermLog(double p0, double d, double r) {
+  // p0 == 0 or d == 0 drive the term to 0 for any r >= 1 (r >= 2 for d).
+  if (p0 <= 0.0) return -std::numeric_limits<double>::infinity();
+  double lg = r * std::log(p0);
+  if (d <= 0.0) {
+    if (r >= 2.0) return -std::numeric_limits<double>::infinity();
+    return lg;
+  }
+  lg += (r * (r - 1.0) / 2.0) * std::log(d);
+  return lg;
+}
+
+/// Clamps x into [lo, hi].
+[[nodiscard]] inline double clampDouble(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace privtopk

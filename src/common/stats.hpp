@@ -1,0 +1,149 @@
+// Streaming statistics accumulators used by the experiment harnesses.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace privtopk {
+
+/// Welford-style streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact quantiles.  Use for the modest sample
+/// counts of the experiment harnesses (hundreds of trials).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Exact q-quantile (nearest-rank, q in [0,1]).  Requires count() > 0.
+  [[nodiscard]] double quantile(double q) {
+    ensureSorted();
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    return samples_[rank - 1];
+  }
+
+  [[nodiscard]] double min() {
+    ensureSorted();
+    return samples_.front();
+  }
+  [[nodiscard]] double max() {
+    ensureSorted();
+    return samples_.back();
+  }
+
+ private:
+  void ensureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.  Used for latency and LoP distributions in the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) {
+    const auto b = bucketOf(x);
+    ++counts_[b];
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t bucketOf(double x) const {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto b = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+    return std::min(b, counts_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Lower edge of a bucket.
+  [[nodiscard]] double edge(std::size_t bucket) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bucket) /
+                     static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace privtopk

@@ -1,0 +1,41 @@
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace privtopk {
+
+std::string toString(const TopKVector& v) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << v[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::size_t multisetIntersectionSize(const TopKVector& a, const TopKVector& b) {
+  TopKVector sa = a;
+  TopKVector sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] < sb[j]) {
+      ++i;
+    } else if (sa[i] > sb[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace privtopk

@@ -1,0 +1,69 @@
+// Core value types shared by every module of the privtopk library.
+//
+// The paper ("Top-k Queries across Multiple Private Databases", ICDCS 2005)
+// operates on integer attribute values drawn from a publicly known domain
+// (the experiments use [1, 10000]).  We model a value as a signed 64-bit
+// integer and a domain as a closed interval of such values.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace privtopk {
+
+/// An attribute value.  The protocol compares and transmits these.
+using Value = std::int64_t;
+
+/// Identifies a participating node (private database).  Nodes are numbered
+/// 0..n-1 by join order; their *ring position* is a separate concept owned
+/// by sim::RingTopology.
+using NodeId = std::uint32_t;
+
+/// A protocol round counter.  Round numbering is 1-based as in the paper
+/// (the randomization probability for round r is p0 * d^(r-1)).
+using Round = std::uint32_t;
+
+/// An ordered multiset of the current top-k values, sorted descending
+/// (index 0 is the largest, index k-1 the smallest, matching the paper's
+/// G[1..k] notation shifted to 0-based indexing).
+using TopKVector = std::vector<Value>;
+
+/// The publicly known, closed value domain [min, max] that all attribute
+/// values belong to.  Publicly known per the paper's problem statement.
+struct Domain {
+  Value min = 1;
+  Value max = 10000;
+
+  constexpr Domain() = default;
+  constexpr Domain(Value lo, Value hi) : min(lo), max(hi) {
+    if (lo > hi) throw std::invalid_argument("Domain: min > max");
+  }
+
+  /// Number of distinct values in the domain.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return static_cast<std::uint64_t>(max - min) + 1;
+  }
+
+  [[nodiscard]] constexpr bool contains(Value v) const {
+    return v >= min && v <= max;
+  }
+
+  friend constexpr bool operator==(const Domain&, const Domain&) = default;
+};
+
+/// The domain used throughout the paper's experimental section.
+inline constexpr Domain kPaperDomain{1, 10000};
+
+/// Renders a top-k vector as "[a, b, c]" for logs and error messages.
+std::string toString(const TopKVector& v);
+
+/// Multiset intersection size of two value vectors (order-insensitive).
+/// Used by the precision metric (|R ∩ TopK|/k) and the LoP estimator.
+[[nodiscard]] std::size_t multisetIntersectionSize(const TopKVector& a,
+                                                   const TopKVector& b);
+
+}  // namespace privtopk

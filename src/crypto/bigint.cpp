@@ -1,0 +1,333 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace privtopk::crypto {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+
+void BigUInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::fromHex(std::string_view hex) {
+  BigUInt out;
+  std::string clean;
+  clean.reserve(hex.size());
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      throw CryptoError("BigUInt::fromHex: invalid character");
+    }
+    clean.push_back(c);
+  }
+  // Consume from the least-significant end in 16-digit chunks.
+  std::size_t end = clean.size();
+  while (end > 0) {
+    const std::size_t begin = end >= 16 ? end - 16 : 0;
+    const std::string chunk = clean.substr(begin, end - begin);
+    out.limbs_.push_back(std::stoull(chunk, nullptr, 16));
+    end = begin;
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::fromBytes(std::span<const std::uint8_t> bytes) {
+  BigUInt out;
+  const std::size_t n = bytes.size();
+  out.limbs_.resize((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // bytes[0] is most significant.
+    const std::size_t byteIndexFromLsb = n - 1 - i;
+    out.limbs_[byteIndexFromLsb / 8] |=
+        static_cast<std::uint64_t>(bytes[i]) << (8 * (byteIndexFromLsb % 8));
+  }
+  out.trim();
+  return out;
+}
+
+std::string BigUInt::toHex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  const std::size_t firstNonZero = out.find_first_not_of('0');
+  return out.substr(firstNonZero);
+}
+
+std::vector<std::uint8_t> BigUInt::toBytes(std::size_t width) const {
+  const std::size_t minBytes = (bitLength() + 7) / 8;
+  const std::size_t outLen = std::max(width, std::max<std::size_t>(minBytes, 1));
+  std::vector<std::uint8_t> out(outLen, 0);
+  for (std::size_t i = 0; i < minBytes; ++i) {
+    out[outLen - 1 - i] =
+        static_cast<std::uint8_t>(limb(i / 8) >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::size_t BigUInt::bitLength() const {
+  if (limbs_.empty()) return 0;
+  const std::uint64_t top = limbs_.back();
+  const int lead = __builtin_clzll(top);
+  return limbs_.size() * 64 - static_cast<std::size_t>(lead);
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limbIdx = i / 64;
+  if (limbIdx >= limbs_.size()) return false;
+  return ((limbs_[limbIdx] >> (i % 64)) & 1) != 0;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt BigUInt::add(const BigUInt& other) const {
+  BigUInt out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 sum = static_cast<u128>(limb(i)) + other.limb(i) + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::sub(const BigUInt& other) const {
+  if (compare(other) < 0) throw CryptoError("BigUInt::sub: negative result");
+  BigUInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    // 128-bit arithmetic keeps the borrow logic obvious.
+    const u128 wide =
+        (static_cast<u128>(1) << 64) + limbs_[i] - other.limb(i) - borrow;
+    out.limbs_[i] = static_cast<std::uint64_t>(wide);
+    borrow = (wide >> 64) == 0 ? 1 : 0;
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::mul(const BigUInt& other) const {
+  if (isZero() || other.isZero()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * other.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + other.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::shiftLeft(std::size_t bits) const {
+  if (isZero() || bits == 0) return *this;
+  const std::size_t limbShift = bits / 64;
+  const std::size_t bitShift = bits % 64;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limbShift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limbShift] |= limbs_[i] << bitShift;
+    if (bitShift != 0) {
+      out.limbs_[i + limbShift + 1] |= limbs_[i] >> (64 - bitShift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::shiftRight(std::size_t bits) const {
+  const std::size_t limbShift = bits / 64;
+  if (limbShift >= limbs_.size()) return BigUInt();
+  const std::size_t bitShift = bits % 64;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limbShift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limbShift] >> bitShift;
+    if (bitShift != 0 && i + limbShift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limbShift + 1] << (64 - bitShift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigUInt, BigUInt> BigUInt::divmod(const BigUInt& divisor) const {
+  if (divisor.isZero()) throw CryptoError("BigUInt::divmod: divide by zero");
+  if (compare(divisor) < 0) return {BigUInt(), *this};
+
+  const std::size_t shift = bitLength() - divisor.bitLength();
+  BigUInt remainder = *this;
+  BigUInt quotient;
+  quotient.limbs_.assign(shift / 64 + 1, 0);
+  BigUInt shifted = divisor.shiftLeft(shift);
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder.compare(shifted) >= 0) {
+      remainder = remainder.sub(shifted);
+      quotient.limbs_[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+    shifted = shifted.shiftRight(1);
+  }
+  quotient.trim();
+  return {quotient, remainder};
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Computes -m^{-1} mod 2^64 for odd m via Newton iteration.
+std::uint64_t negInverse64(std::uint64_t m) {
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {  // doubles correct bits each step: 1->64
+    inv *= 2 - m * inv;
+  }
+  return ~inv + 1;  // -inv mod 2^64
+}
+
+}  // namespace
+
+Montgomery::Montgomery(const BigUInt& modulus) : modulus_(modulus) {
+  if (!modulus.isOdd() || modulus.bitLength() < 2) {
+    throw CryptoError("Montgomery: modulus must be odd and > 1");
+  }
+  n_ = modulus.limbCount();
+  nPrime_ = negInverse64(modulus.limb(0));
+  // R^2 mod m with R = 2^(64 n).
+  const BigUInt r2 = BigUInt(1).shiftLeft(2 * 64 * n_).mod(modulus_);
+  rSquared_.assign(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) rSquared_[i] = r2.limb(i);
+}
+
+Montgomery::Limbs Montgomery::montMul(const Limbs& a, const Limbs& b) const {
+  // CIOS (Coarsely Integrated Operand Scanning).
+  Limbs t(n_ + 2, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[n_]) + carry;
+      t[n_] = static_cast<std::uint64_t>(cur);
+      t[n_ + 1] = static_cast<std::uint64_t>(cur >> 64);
+    }
+    // m = t[0] * nPrime mod 2^64;  t += m * modulus;  t >>= 64
+    const std::uint64_t m = t[0] * nPrime_;
+    carry = 0;
+    {
+      const u128 cur = static_cast<u128>(m) * modulus_.limb(0) + t[0];
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (std::size_t j = 1; j < n_; ++j) {
+      const u128 cur = static_cast<u128>(m) * modulus_.limb(j) + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    {
+      const u128 cur = static_cast<u128>(t[n_]) + carry;
+      t[n_ - 1] = static_cast<std::uint64_t>(cur);
+      t[n_] = t[n_ + 1] + static_cast<std::uint64_t>(cur >> 64);
+      t[n_ + 1] = 0;
+    }
+  }
+
+  // Conditional final subtraction so the result is < modulus.
+  Limbs result(t.begin(), t.begin() + static_cast<long>(n_));
+  bool geq = t[n_] != 0;
+  if (!geq) {
+    geq = true;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (result[i] != modulus_.limb(i)) {
+        geq = result[i] > modulus_.limb(i);
+        break;
+      }
+    }
+  }
+  if (geq) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const u128 wide = (static_cast<u128>(1) << 64) + result[i] -
+                        modulus_.limb(i) - borrow;
+      result[i] = static_cast<std::uint64_t>(wide);
+      borrow = (wide >> 64) == 0 ? 1 : 0;
+    }
+  }
+  return result;
+}
+
+Montgomery::Limbs Montgomery::toMont(const BigUInt& x) const {
+  const BigUInt reduced = x.mod(modulus_);
+  Limbs xs(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) xs[i] = reduced.limb(i);
+  return montMul(xs, rSquared_);
+}
+
+BigUInt Montgomery::fromMont(const Limbs& x) const {
+  Limbs one(n_, 0);
+  one[0] = 1;
+  const Limbs raw = montMul(x, one);
+  BigUInt out;
+  out.limbs_ = raw;
+  out.trim();
+  return out;
+}
+
+BigUInt Montgomery::modmul(const BigUInt& a, const BigUInt& b) const {
+  return fromMont(montMul(toMont(a), toMont(b)));
+}
+
+BigUInt Montgomery::modexp(const BigUInt& base, const BigUInt& exponent) const {
+  Limbs result = toMont(BigUInt(1));
+  const Limbs b = toMont(base);
+  if (exponent.isZero()) return fromMont(result);
+  // Left-to-right square and multiply.
+  for (std::size_t i = exponent.bitLength(); i-- > 0;) {
+    result = montMul(result, result);
+    if (exponent.bit(i)) result = montMul(result, b);
+  }
+  return fromMont(result);
+}
+
+BigUInt modexp(const BigUInt& base, const BigUInt& exponent,
+               const BigUInt& modulus) {
+  return Montgomery(modulus).modexp(base, exponent);
+}
+
+}  // namespace privtopk::crypto

@@ -1,0 +1,131 @@
+// Arbitrary-precision unsigned integers and Montgomery modular
+// exponentiation, sized for Diffie-Hellman group arithmetic.
+//
+// The representation is a little-endian vector of 64-bit limbs with no
+// leading zero limbs (zero is the empty vector).  Multiplication is
+// schoolbook (fine for <= 4096-bit operands); modular exponentiation uses
+// Montgomery CIOS multiplication so 2048-bit DH completes in milliseconds.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privtopk::crypto {
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  explicit BigUInt(std::uint64_t v) {
+    if (v != 0) limbs_.push_back(v);
+  }
+
+  /// Parses a hexadecimal string (no 0x prefix; whitespace ignored).
+  static BigUInt fromHex(std::string_view hex);
+
+  /// Parses big-endian bytes.
+  static BigUInt fromBytes(std::span<const std::uint8_t> bytes);
+
+  /// Renders lowercase hex without leading zeros ("0" for zero).
+  [[nodiscard]] std::string toHex() const;
+
+  /// Big-endian byte rendering, zero-padded on the left to `width` bytes
+  /// (width 0 = minimal).
+  [[nodiscard]] std::vector<std::uint8_t> toBytes(std::size_t width = 0) const;
+
+  [[nodiscard]] bool isZero() const { return limbs_.empty(); }
+  [[nodiscard]] bool isOdd() const {
+    return !limbs_.empty() && (limbs_[0] & 1) != 0;
+  }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bitLength() const;
+
+  /// Value of bit i (0-based from LSB).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  [[nodiscard]] std::size_t limbCount() const { return limbs_.size(); }
+  [[nodiscard]] std::uint64_t limb(std::size_t i) const {
+    return i < limbs_.size() ? limbs_[i] : 0;
+  }
+
+  // Comparison: total order on the integer values.
+  [[nodiscard]] int compare(const BigUInt& other) const;
+  friend bool operator==(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) >= 0;
+  }
+
+  [[nodiscard]] BigUInt add(const BigUInt& other) const;
+  /// Requires *this >= other.
+  [[nodiscard]] BigUInt sub(const BigUInt& other) const;
+  [[nodiscard]] BigUInt mul(const BigUInt& other) const;
+  [[nodiscard]] BigUInt shiftLeft(std::size_t bits) const;
+  [[nodiscard]] BigUInt shiftRight(std::size_t bits) const;
+
+  /// Euclidean division; returns {quotient, remainder}.  Requires a nonzero
+  /// divisor.  Binary long division: O(bits) iterations, used only outside
+  /// hot loops (Montgomery conversion, tests).
+  [[nodiscard]] std::pair<BigUInt, BigUInt> divmod(const BigUInt& divisor) const;
+
+  [[nodiscard]] BigUInt mod(const BigUInt& m) const { return divmod(m).second; }
+
+ private:
+  friend class Montgomery;
+  void trim();
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, trimmed
+};
+
+/// Montgomery context for a fixed odd modulus; provides fast modular
+/// multiplication and exponentiation.
+class Montgomery {
+ public:
+  /// Requires an odd modulus > 1.
+  explicit Montgomery(const BigUInt& modulus);
+
+  /// Computes base^exponent mod modulus (square-and-multiply over the
+  /// Montgomery domain).
+  [[nodiscard]] BigUInt modexp(const BigUInt& base,
+                               const BigUInt& exponent) const;
+
+  /// Modular multiplication a*b mod modulus (converts through the
+  /// Montgomery domain).
+  [[nodiscard]] BigUInt modmul(const BigUInt& a, const BigUInt& b) const;
+
+  [[nodiscard]] const BigUInt& modulus() const { return modulus_; }
+
+ private:
+  using Limbs = std::vector<std::uint64_t>;
+
+  /// CIOS Montgomery multiplication on fixed-width limb vectors.
+  [[nodiscard]] Limbs montMul(const Limbs& a, const Limbs& b) const;
+
+  [[nodiscard]] Limbs toMont(const BigUInt& x) const;
+  [[nodiscard]] BigUInt fromMont(const Limbs& x) const;
+
+  BigUInt modulus_;
+  std::size_t n_;            // limb count of the modulus
+  std::uint64_t nPrime_;     // -modulus^{-1} mod 2^64
+  Limbs rSquared_;           // R^2 mod modulus, R = 2^(64 n)
+};
+
+/// Convenience one-shot modular exponentiation (odd modulus).
+[[nodiscard]] BigUInt modexp(const BigUInt& base, const BigUInt& exponent,
+                             const BigUInt& modulus);
+
+}  // namespace privtopk::crypto

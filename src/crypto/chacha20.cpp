@@ -1,0 +1,104 @@
+#include "crypto/chacha20.hpp"
+
+namespace privtopk::crypto {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void quarterRound(std::array<std::uint32_t, 16>& s, int a, int b, int c,
+                  int d) {
+  s[a] += s[b];
+  s[d] = rotl(s[d] ^ s[a], 16);
+  s[c] += s[d];
+  s[b] = rotl(s[b] ^ s[c], 12);
+  s[a] += s[b];
+  s[d] = rotl(s[d] ^ s[a], 8);
+  s[c] += s[d];
+  s[b] = rotl(s[b] ^ s[c], 7);
+}
+
+std::uint32_t readLE32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20Block(const ChaChaKey& key,
+                                           const ChaChaNonce& nonce,
+                                           std::uint32_t counter) {
+  std::array<std::uint32_t, 16> state = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+      readLE32(key.data() + 0),  readLE32(key.data() + 4),
+      readLE32(key.data() + 8),  readLE32(key.data() + 12),
+      readLE32(key.data() + 16), readLE32(key.data() + 20),
+      readLE32(key.data() + 24), readLE32(key.data() + 28),
+      counter,
+      readLE32(nonce.data() + 0), readLE32(nonce.data() + 4),
+      readLE32(nonce.data() + 8)};
+
+  std::array<std::uint32_t, 16> working = state;
+  for (int i = 0; i < 10; ++i) {
+    quarterRound(working, 0, 4, 8, 12);
+    quarterRound(working, 1, 5, 9, 13);
+    quarterRound(working, 2, 6, 10, 14);
+    quarterRound(working, 3, 7, 11, 15);
+    quarterRound(working, 0, 5, 10, 15);
+    quarterRound(working, 1, 6, 11, 12);
+    quarterRound(working, 2, 7, 8, 13);
+    quarterRound(working, 3, 4, 9, 14);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t word = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(word);
+    out[4 * i + 1] = static_cast<std::uint8_t>(word >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(word >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  return out;
+}
+
+void chacha20XorInPlace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                        std::uint32_t counter, std::span<std::uint8_t> data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::array<std::uint8_t, 64> ks = chacha20Block(key, nonce, counter);
+    ++counter;
+    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      data[offset + i] ^= ks[i];
+    }
+    offset += take;
+  }
+}
+
+std::vector<std::uint8_t> chacha20Xor(const ChaChaKey& key,
+                                      const ChaChaNonce& nonce,
+                                      std::uint32_t counter,
+                                      std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  chacha20XorInPlace(key, nonce, counter, out);
+  return out;
+}
+
+ChaChaNonce makeNonce(std::uint32_t channelId, std::uint64_t sequence) {
+  ChaChaNonce nonce;
+  for (int i = 0; i < 4; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(channelId >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<std::size_t>(4 + i)] =
+        static_cast<std::uint8_t>(sequence >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace privtopk::crypto

@@ -1,0 +1,41 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// The secure channel encrypts ring messages with ChaCha20 and authenticates
+// them with HMAC-SHA-256 (encrypt-then-MAC).  ChaCha20 is symmetric:
+// encrypt == decrypt.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace privtopk::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// Computes one 64-byte ChaCha20 keystream block for the given counter.
+/// Exposed for test vectors.
+[[nodiscard]] std::array<std::uint8_t, 64> chacha20Block(
+    const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter);
+
+/// XORs `data` with the ChaCha20 keystream starting at block `counter`
+/// (RFC 8439 uses counter=1 for AEAD payloads; we default to 0 for the raw
+/// stream).  In-place transformation.
+void chacha20XorInPlace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                        std::uint32_t counter, std::span<std::uint8_t> data);
+
+/// Convenience copy-transform.
+[[nodiscard]] std::vector<std::uint8_t> chacha20Xor(
+    const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,
+    std::span<const std::uint8_t> data);
+
+/// Builds a 12-byte nonce from a 4-byte channel id and 8-byte sequence
+/// number; the (key, nonce) pair is never reused because the sequence
+/// number increments per message.
+[[nodiscard]] ChaChaNonce makeNonce(std::uint32_t channelId,
+                                    std::uint64_t sequence);
+
+}  // namespace privtopk::crypto

@@ -1,0 +1,90 @@
+#include "crypto/dh.hpp"
+
+#include "common/error.hpp"
+
+namespace privtopk::crypto {
+
+namespace {
+
+// 512-bit safe prime (p = 2q+1 with q prime), generated offline and verified
+// with Miller-Rabin; g = 2 generates the prime-order-q subgroup.  For tests
+// and simulations only.
+constexpr const char* kP512 =
+    "cf1617c4333d783930468cca9389825f23f89a74435e8ae4b746e0365b349070"
+    "a622f66dfd609ffeed3291bd6c086b9d650d17cf565f0376584639590873dd27";
+
+// RFC 3526 group 5 (1536-bit MODP).
+constexpr const char* kP1536 =
+    "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74"
+    "020bbea63b139b22514a08798e3404ddef9519b3cd3a431b302b0a6df25f1437"
+    "4fe1356d6d51c245e485b576625e7ec6f44c42e9a637ed6b0bff5cb6f406b7ed"
+    "ee386bfb5a899fa5ae9f24117c4b1fe649286651ece45b3dc2007cb8a163bf05"
+    "98da48361c55d39a69163fa8fd24cf5f83655d23dca3ad961c62f356208552bb"
+    "9ed529077096966d670c354e4abc9804f1746c08ca237327ffffffffffffffff";
+
+// RFC 3526 group 14 (2048-bit MODP).
+constexpr const char* kP2048 =
+    "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74"
+    "020bbea63b139b22514a08798e3404ddef9519b3cd3a431b302b0a6df25f1437"
+    "4fe1356d6d51c245e485b576625e7ec6f44c42e9a637ed6b0bff5cb6f406b7ed"
+    "ee386bfb5a899fa5ae9f24117c4b1fe649286651ece45b3dc2007cb8a163bf05"
+    "98da48361c55d39a69163fa8fd24cf5f83655d23dca3ad961c62f356208552bb"
+    "9ed529077096966d670c354e4abc9804f1746c08ca18217c32905e462e36ce3b"
+    "e39e772c180e86039b2783a2ec07a28fb5c55df06f4c52c9de2bcbf695581718"
+    "3995497cea956ae515d2261898fa051015728e5a8aacaa68ffffffffffffffff";
+
+DhGroup makeGroup(const char* hex, const char* name) {
+  DhGroup g;
+  g.p = BigUInt::fromHex(hex);
+  g.g = BigUInt(2);
+  g.name = name;
+  return g;
+}
+
+}  // namespace
+
+const DhGroup& DhGroup::test512() {
+  static const DhGroup group = makeGroup(kP512, "test512");
+  return group;
+}
+
+const DhGroup& DhGroup::modp1536() {
+  static const DhGroup group = makeGroup(kP1536, "modp1536");
+  return group;
+}
+
+const DhGroup& DhGroup::modp2048() {
+  static const DhGroup group = makeGroup(kP2048, "modp2048");
+  return group;
+}
+
+DhKeyPair dhGenerate(const DhGroup& group, Rng& rng) {
+  const std::size_t bits = group.p.bitLength() - 1;
+  const std::size_t bytes = (bits + 7) / 8;
+
+  std::vector<std::uint8_t> raw(bytes);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next());
+  // Clear excess high bits, then force the top kept bit so the exponent is
+  // large, and avoid 0/1 exponents.
+  raw[0] &= static_cast<std::uint8_t>(0xff >> (8 * bytes - bits));
+  raw[0] |= static_cast<std::uint8_t>(1u << ((bits - 1) % 8));
+
+  DhKeyPair kp;
+  kp.privateKey = BigUInt::fromBytes(raw);
+  kp.publicKey = modexp(group.g, kp.privateKey, group.p);
+  return kp;
+}
+
+std::vector<std::uint8_t> dhSharedSecret(const DhGroup& group,
+                                         const BigUInt& privateKey,
+                                         const BigUInt& peerPublic) {
+  const BigUInt pMinus1 = group.p.sub(BigUInt(1));
+  if (peerPublic.isZero() || peerPublic == BigUInt(1) ||
+      peerPublic >= pMinus1) {
+    throw CryptoError("dhSharedSecret: degenerate peer public key");
+  }
+  const BigUInt secret = modexp(peerPublic, privateKey, group.p);
+  return secret.toBytes(group.p.bitLength() / 8);
+}
+
+}  // namespace privtopk::crypto

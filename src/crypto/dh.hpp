@@ -1,0 +1,50 @@
+// Finite-field Diffie-Hellman key agreement.
+//
+// Ring neighbours agree on pairwise channel keys with classic DH over a
+// multiplicative prime group, then derive directional ChaCha20/HMAC keys
+// with HKDF.  Named groups: a small 512-bit group for fast tests and the
+// RFC 3526 1536/2048-bit MODP groups for realistic deployments.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace privtopk::crypto {
+
+/// A Diffie-Hellman group: safe prime p and generator g.
+struct DhGroup {
+  BigUInt p;
+  BigUInt g;
+  std::string name;
+
+  /// 512-bit safe prime; only for tests and simulations.
+  static const DhGroup& test512();
+  /// RFC 3526 group 5 (1536-bit MODP).
+  static const DhGroup& modp1536();
+  /// RFC 3526 group 14 (2048-bit MODP).
+  static const DhGroup& modp2048();
+};
+
+/// One party's DH key pair.
+struct DhKeyPair {
+  BigUInt privateKey;  // x
+  BigUInt publicKey;   // g^x mod p
+};
+
+/// Samples a key pair; the private exponent is a uniform value with
+/// bitLength(p) - 1 bits drawn from `rng` (deterministic tests pass a seeded
+/// Rng; production callers should seed from an entropy source).
+[[nodiscard]] DhKeyPair dhGenerate(const DhGroup& group, Rng& rng);
+
+/// Computes the shared secret (peerPublic^privateKey mod p) as fixed-width
+/// big-endian bytes.  Throws CryptoError on a degenerate peer key
+/// (0, 1, or p-1), which would void the secrecy of the exchange.
+[[nodiscard]] std::vector<std::uint8_t> dhSharedSecret(
+    const DhGroup& group, const BigUInt& privateKey, const BigUInt& peerPublic);
+
+}  // namespace privtopk::crypto

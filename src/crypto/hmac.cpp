@@ -1,0 +1,79 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace privtopk::crypto {
+
+Sha256Digest hmacSha256(std::span<const std::uint8_t> key,
+                        std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Sha256Digest kd = sha256(key);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.update(data);
+  const Sha256Digest innerDigest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.update(
+      std::span<const std::uint8_t>(innerDigest.data(), innerDigest.size()));
+  return outer.finish();
+}
+
+bool constantTimeEqual(std::span<const std::uint8_t> a,
+                       std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+std::vector<std::uint8_t> hkdfSha256(
+    std::span<const std::uint8_t> inputKeyMaterial,
+    std::span<const std::uint8_t> salt, std::string_view info,
+    std::size_t length) {
+  if (length > 255 * 32) throw CryptoError("hkdf: requested output too long");
+
+  // Extract.
+  std::array<std::uint8_t, 32> zeroSalt{};
+  const Sha256Digest prk = hmacSha256(
+      salt.empty() ? std::span<const std::uint8_t>(zeroSalt.data(), 32) : salt,
+      inputKeyMaterial);
+
+  // Expand.
+  std::vector<std::uint8_t> out;
+  out.reserve(length);
+  std::vector<std::uint8_t> previous;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    std::vector<std::uint8_t> block = previous;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const Sha256Digest t = hmacSha256(
+        std::span<const std::uint8_t>(prk.data(), prk.size()), block);
+    previous.assign(t.begin(), t.end());
+    const std::size_t take = std::min<std::size_t>(32, length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return out;
+}
+
+}  // namespace privtopk::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA-256 (RFC 2104) and a small HKDF-style key derivation helper.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace privtopk::crypto {
+
+/// Computes HMAC-SHA-256 over `data` with `key` (any length).
+[[nodiscard]] Sha256Digest hmacSha256(std::span<const std::uint8_t> key,
+                                      std::span<const std::uint8_t> data);
+
+/// Constant-time digest comparison; prevents MAC timing oracles.
+[[nodiscard]] bool constantTimeEqual(std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b);
+
+/// HKDF-Extract-then-Expand (RFC 5869, SHA-256), producing `length` bytes.
+/// Used to derive directional channel keys from a Diffie-Hellman secret.
+[[nodiscard]] std::vector<std::uint8_t> hkdfSha256(
+    std::span<const std::uint8_t> inputKeyMaterial,
+    std::span<const std::uint8_t> salt, std::string_view info,
+    std::size_t length);
+
+}  // namespace privtopk::crypto

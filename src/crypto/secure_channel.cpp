@@ -1,0 +1,110 @@
+#include "crypto/secure_channel.hpp"
+
+#include <cstring>
+
+namespace privtopk::crypto {
+
+namespace {
+
+constexpr std::size_t kSeqLen = 8;
+constexpr std::size_t kMacLen = 32;
+
+void putSeq(std::uint64_t seq, std::uint8_t* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+}
+
+std::uint64_t getSeq(const std::uint8_t* in) {
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) seq |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return seq;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SecureSession::seal(
+    std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t seq = txSeq_++;
+  std::vector<std::uint8_t> record(kSeqLen + plaintext.size() + kMacLen);
+  putSeq(seq, record.data());
+
+  if (!plaintext.empty()) {
+    std::memcpy(record.data() + kSeqLen, plaintext.data(), plaintext.size());
+  }
+  chacha20XorInPlace(keys_.txKey, makeNonce(channelId_, seq), 0,
+                     std::span<std::uint8_t>(record.data() + kSeqLen,
+                                             plaintext.size()));
+
+  // MAC over sequence || ciphertext (encrypt-then-MAC).
+  const Sha256Digest mac = hmacSha256(
+      keys_.txMacKey,
+      std::span<const std::uint8_t>(record.data(), kSeqLen + plaintext.size()));
+  std::memcpy(record.data() + kSeqLen + plaintext.size(), mac.data(), kMacLen);
+  return record;
+}
+
+std::vector<std::uint8_t> SecureSession::open(
+    std::span<const std::uint8_t> record) {
+  if (record.size() < kSeqLen + kMacLen) {
+    throw CryptoError("SecureSession::open: record truncated");
+  }
+  const std::size_t ctLen = record.size() - kSeqLen - kMacLen;
+
+  const Sha256Digest expected = hmacSha256(
+      keys_.rxMacKey,
+      std::span<const std::uint8_t>(record.data(), kSeqLen + ctLen));
+  if (!constantTimeEqual(
+          expected,
+          std::span<const std::uint8_t>(record.data() + kSeqLen + ctLen,
+                                        kMacLen))) {
+    throw CryptoError("SecureSession::open: MAC verification failed");
+  }
+
+  const std::uint64_t seq = getSeq(record.data());
+  if (seq != rxSeq_) {
+    throw CryptoError("SecureSession::open: unexpected sequence number");
+  }
+  ++rxSeq_;
+
+  std::vector<std::uint8_t> plaintext(record.begin() + kSeqLen,
+                                      record.begin() + kSeqLen +
+                                          static_cast<long>(ctLen));
+  chacha20XorInPlace(keys_.rxKey, makeNonce(channelId_, seq), 0, plaintext);
+  return plaintext;
+}
+
+SecureHandshake::SecureHandshake(Role role, const DhGroup& group, Rng& rng)
+    : role_(role), group_(group), keyPair_(dhGenerate(group, rng)) {
+  hello_ = keyPair_.publicKey.toBytes(group.p.bitLength() / 8);
+}
+
+SecureSession SecureHandshake::deriveSession(
+    std::span<const std::uint8_t> peerHello, std::uint32_t channelId) const {
+  const BigUInt peerPublic = BigUInt::fromBytes(peerHello);
+  const std::vector<std::uint8_t> secret =
+      dhSharedSecret(group_, keyPair_.privateKey, peerPublic);
+
+  // 128 bytes of key material: i2r cipher key, r2i cipher key, i2r MAC key,
+  // r2i MAC key.  Both roles derive the same schedule and pick directions
+  // according to their role.
+  const std::vector<std::uint8_t> material =
+      hkdfSha256(secret, {}, "privtopk-secure-channel-v1", 128);
+
+  SessionKeys keys;
+  auto copy32 = [&material](std::size_t offset, std::uint8_t* dst) {
+    std::memcpy(dst, material.data() + offset, 32);
+  };
+  if (role_ == Role::Initiator) {
+    copy32(0, keys.txKey.data());
+    copy32(32, keys.rxKey.data());
+    copy32(64, keys.txMacKey.data());
+    copy32(96, keys.rxMacKey.data());
+  } else {
+    copy32(32, keys.txKey.data());
+    copy32(0, keys.rxKey.data());
+    copy32(96, keys.txMacKey.data());
+    copy32(64, keys.rxMacKey.data());
+  }
+  return SecureSession(keys, channelId);
+}
+
+}  // namespace privtopk::crypto

@@ -1,0 +1,92 @@
+// Authenticated encryption for ring links: DH handshake -> HKDF key
+// schedule -> ChaCha20 + HMAC-SHA-256 (encrypt-then-MAC) record layer.
+//
+// The paper notes "encryption techniques can be used so that data are
+// protected on the communication channel" without prescribing one; this is
+// the substitution we provide (see DESIGN.md §2).
+//
+// SecureSession is transport-agnostic: it seals plaintext into records and
+// opens records back into plaintext.  Handshaking over an arbitrary
+// byte-pipe is provided by SecureHandshake, driven by the caller (send the
+// bytes of localHello(), feed the peer's hello to deriveSession()).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/hmac.hpp"
+
+namespace privtopk::crypto {
+
+/// Directional key material for one established channel.
+struct SessionKeys {
+  ChaChaKey txKey{};
+  ChaChaKey rxKey{};
+  std::array<std::uint8_t, 32> txMacKey{};
+  std::array<std::uint8_t, 32> rxMacKey{};
+};
+
+/// A sealed record: 8-byte sequence || ciphertext || 32-byte MAC.
+class SecureSession {
+ public:
+  explicit SecureSession(SessionKeys keys, std::uint32_t channelId = 0)
+      : keys_(keys), channelId_(channelId) {}
+
+  /// Encrypts and authenticates `plaintext` into a record.
+  [[nodiscard]] std::vector<std::uint8_t> seal(
+      std::span<const std::uint8_t> plaintext);
+
+  /// Verifies and decrypts a record.  Throws CryptoError on MAC failure,
+  /// truncation, or replayed/reordered sequence numbers.
+  [[nodiscard]] std::vector<std::uint8_t> open(
+      std::span<const std::uint8_t> record);
+
+  [[nodiscard]] std::uint64_t sealedCount() const { return txSeq_; }
+  [[nodiscard]] std::uint64_t openedCount() const { return rxSeq_; }
+
+ private:
+  SessionKeys keys_;
+  std::uint32_t channelId_;
+  std::uint64_t txSeq_ = 0;
+  std::uint64_t rxSeq_ = 0;
+};
+
+/// One side of an unauthenticated DH handshake.
+///
+///   SecureHandshake hs(role, group, rng);
+///   sendBytes(hs.localHello());
+///   SecureSession session = hs.deriveSession(recvBytes());
+///
+/// Roles must differ between the two endpoints; the role only decides the
+/// key-schedule direction so both sides agree which key encrypts which way.
+class SecureHandshake {
+ public:
+  enum class Role { Initiator, Responder };
+
+  SecureHandshake(Role role, const DhGroup& group, Rng& rng);
+
+  /// This side's public value, fixed-width big-endian.
+  [[nodiscard]] const std::vector<std::uint8_t>& localHello() const {
+    return hello_;
+  }
+
+  /// Completes the exchange with the peer's hello and derives the session.
+  [[nodiscard]] SecureSession deriveSession(
+      std::span<const std::uint8_t> peerHello,
+      std::uint32_t channelId = 0) const;
+
+ private:
+  Role role_;
+  const DhGroup& group_;
+  DhKeyPair keyPair_;
+  std::vector<std::uint8_t> hello_;
+};
+
+}  // namespace privtopk::crypto

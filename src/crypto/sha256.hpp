@@ -1,0 +1,54 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the secure-channel substrate for key derivation and message
+// authentication (via HMAC).  Streaming interface plus a one-shot helper.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace privtopk::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Resets to the initial state.
+  void reset();
+
+  /// Absorbs `data`.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Finalizes and returns the digest.  The hasher must be reset() before
+  /// reuse.
+  [[nodiscard]] Sha256Digest finish();
+
+ private:
+  void processBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t bufferLen_ = 0;
+  std::uint64_t totalLen_ = 0;
+};
+
+/// One-shot digest.
+[[nodiscard]] Sha256Digest sha256(std::span<const std::uint8_t> data);
+[[nodiscard]] Sha256Digest sha256(std::string_view s);
+
+/// Hex rendering for tests and logs.
+[[nodiscard]] std::string toHex(std::span<const std::uint8_t> bytes);
+
+}  // namespace privtopk::crypto

@@ -1,0 +1,165 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace privtopk::data {
+
+namespace {
+
+/// Splits one CSV record honoring quotes; consumes additional physical
+/// lines when a quoted field contains newlines.
+std::vector<std::string> parseRecord(std::istream& in, bool& gotRecord) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool inQuotes = false;
+  bool any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    any = true;
+    const char ch = static_cast<char>(c);
+    if (inQuotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field.push_back('"');
+          in.get();
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      inQuotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      break;
+    } else if (ch == '\r') {
+      // swallow; \r\n handled by the \n branch next iteration
+    } else {
+      field.push_back(ch);
+    }
+  }
+  gotRecord = any;
+  if (any) fields.push_back(std::move(field));
+  return fields;
+}
+
+Cell parseCell(const std::string& raw, ColumnType type,
+               const std::string& columnName) {
+  switch (type) {
+    case ColumnType::Int: {
+      Value v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(raw.data(), raw.data() + raw.size(), v);
+      if (ec != std::errc() || ptr != raw.data() + raw.size()) {
+        throw SchemaError("loadCsv: bad int in column '" + columnName + "': '" +
+                          raw + "'");
+      }
+      return Cell{v};
+    }
+    case ColumnType::Real: {
+      try {
+        std::size_t pos = 0;
+        const double v = std::stod(raw, &pos);
+        if (pos != raw.size()) throw std::invalid_argument(raw);
+        return Cell{v};
+      } catch (const std::exception&) {
+        throw SchemaError("loadCsv: bad real in column '" + columnName +
+                          "': '" + raw + "'");
+      }
+    }
+    case ColumnType::Text:
+      return Cell{raw};
+  }
+  throw SchemaError("loadCsv: bad column type");
+}
+
+std::string escapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table loadCsv(std::istream& in, const Schema& schema) {
+  bool gotRecord = false;
+  const std::vector<std::string> header = parseRecord(in, gotRecord);
+  if (!gotRecord) throw SchemaError("loadCsv: empty input");
+  if (header.size() != schema.columnCount()) {
+    throw SchemaError("loadCsv: header has " + std::to_string(header.size()) +
+                      " columns, schema has " +
+                      std::to_string(schema.columnCount()));
+  }
+  // Map file column order -> schema order.
+  std::vector<std::size_t> schemaIndex;
+  schemaIndex.reserve(header.size());
+  for (const auto& name : header) schemaIndex.push_back(schema.indexOf(name));
+
+  Table table{schema};
+  while (true) {
+    const std::vector<std::string> record = parseRecord(in, gotRecord);
+    if (!gotRecord) break;
+    if (record.size() == 1 && record[0].empty()) continue;  // blank line
+    if (record.size() != header.size()) {
+      throw SchemaError("loadCsv: row has " + std::to_string(record.size()) +
+                        " fields, expected " + std::to_string(header.size()));
+    }
+    std::vector<Cell> row(schema.columnCount(), Cell{Value{0}});
+    for (std::size_t i = 0; i < record.size(); ++i) {
+      const std::size_t col = schemaIndex[i];
+      row[col] = parseCell(record[i], schema.column(col).type,
+                           schema.column(col).name);
+    }
+    table.appendRow(row);
+  }
+  return table;
+}
+
+Table loadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) throw Error("loadCsvFile: cannot open '" + path + "'");
+  return loadCsv(in, schema);
+}
+
+void saveCsv(std::ostream& out, const Table& table) {
+  const Schema& schema = table.schema();
+  for (std::size_t i = 0; i < schema.columnCount(); ++i) {
+    if (i != 0) out << ',';
+    out << escapeCsv(schema.column(i).name);
+  }
+  out << '\n';
+  for (std::size_t row = 0; row < table.rowCount(); ++row) {
+    for (std::size_t col = 0; col < schema.columnCount(); ++col) {
+      if (col != 0) out << ',';
+      const Cell cell = table.at(row, col);
+      if (const auto* v = std::get_if<Value>(&cell)) {
+        out << *v;
+      } else if (const auto* d = std::get_if<double>(&cell)) {
+        out << *d;
+      } else {
+        out << escapeCsv(std::get<std::string>(cell));
+      }
+    }
+    out << '\n';
+  }
+}
+
+void saveCsvFile(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  if (!out) throw Error("saveCsvFile: cannot open '" + path + "'");
+  saveCsv(out, table);
+}
+
+}  // namespace privtopk::data

@@ -1,0 +1,28 @@
+// CSV import/export for Table, so examples can run on files a user edits.
+//
+// Dialect: comma separator, double-quote quoting with "" escapes, first row
+// is the header.  Types are taken from the schema passed by the caller
+// (loadCsv) or from the table (saveCsv); no type inference.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/table.hpp"
+
+namespace privtopk::data {
+
+/// Parses CSV from a stream into a table with the given schema.  The header
+/// must name exactly the schema's columns (any order); values are converted
+/// per the schema and a SchemaError is thrown on malformed cells.
+[[nodiscard]] Table loadCsv(std::istream& in, const Schema& schema);
+
+/// Loads from a file path.  Throws Error when the file cannot be opened.
+[[nodiscard]] Table loadCsvFile(const std::string& path, const Schema& schema);
+
+/// Writes a table as CSV (header + rows).
+void saveCsv(std::ostream& out, const Table& table);
+void saveCsvFile(const std::string& path, const Table& table);
+
+}  // namespace privtopk::data

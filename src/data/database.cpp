@@ -1,0 +1,99 @@
+#include "data/database.hpp"
+
+#include <algorithm>
+
+namespace privtopk::data {
+
+void PrivateDatabase::addTable(const std::string& tableName, Table table) {
+  const auto [it, inserted] = tables_.emplace(tableName, std::move(table));
+  (void)it;
+  if (!inserted) {
+    throw SchemaError("PrivateDatabase: table '" + tableName +
+                      "' already exists");
+  }
+}
+
+bool PrivateDatabase::hasTable(const std::string& tableName) const {
+  return tables_.contains(tableName);
+}
+
+const Table& PrivateDatabase::table(const std::string& tableName) const {
+  const auto it = tables_.find(tableName);
+  if (it == tables_.end()) {
+    throw SchemaError("PrivateDatabase: no table '" + tableName + "'");
+  }
+  return it->second;
+}
+
+Table& PrivateDatabase::table(const std::string& tableName) {
+  const auto it = tables_.find(tableName);
+  if (it == tables_.end()) {
+    throw SchemaError("PrivateDatabase: no table '" + tableName + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> PrivateDatabase::tableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<Value> PrivateDatabase::extract(
+    const std::string& tableName, const std::string& attribute,
+    const RowPredicate& predicate) const {
+  const Table& t = table(tableName);
+  const std::vector<Value>& column = t.intColumn(attribute);
+  if (!predicate) return column;
+  std::vector<Value> values;
+  values.reserve(column.size());
+  for (std::size_t row = 0; row < column.size(); ++row) {
+    if (predicate(t, row)) values.push_back(column[row]);
+  }
+  return values;
+}
+
+TopKVector PrivateDatabase::localTopK(const std::string& tableName,
+                                      const std::string& attribute,
+                                      std::size_t k,
+                                      const RowPredicate& predicate) const {
+  std::vector<Value> values = extract(tableName, attribute, predicate);
+  const std::size_t take = std::min(k, values.size());
+  std::partial_sort(values.begin(),
+                    values.begin() + static_cast<std::ptrdiff_t>(take),
+                    values.end(), std::greater<>());
+  values.resize(take);
+  return values;
+}
+
+TopKVector PrivateDatabase::localBottomK(const std::string& tableName,
+                                         const std::string& attribute,
+                                         std::size_t k,
+                                         const RowPredicate& predicate) const {
+  std::vector<Value> values = extract(tableName, attribute, predicate);
+  const std::size_t take = std::min(k, values.size());
+  std::partial_sort(values.begin(),
+                    values.begin() + static_cast<std::ptrdiff_t>(take),
+                    values.end());
+  values.resize(take);
+  return values;
+}
+
+std::optional<Value> PrivateDatabase::localMax(
+    const std::string& tableName, const std::string& attribute,
+    const RowPredicate& predicate) const {
+  const TopKVector top = localTopK(tableName, attribute, 1, predicate);
+  if (top.empty()) return std::nullopt;
+  return top.front();
+}
+
+std::optional<Value> PrivateDatabase::localMin(
+    const std::string& tableName, const std::string& attribute,
+    const RowPredicate& predicate) const {
+  const TopKVector bottom = localBottomK(tableName, attribute, 1, predicate);
+  if (bottom.empty()) return std::nullopt;
+  return bottom.front();
+}
+
+}  // namespace privtopk::data

@@ -1,0 +1,74 @@
+// PrivateDatabase: one participant's local data store.
+//
+// Each node owns a PrivateDatabase holding one or more tables.  The only
+// thing the protocol ever extracts from it is the *local top-k vector* of a
+// named integer attribute (optionally filtered by a predicate) - this is
+// the paper's initialization step where "each node first sorts its values
+// and takes the local set of topk values ... to participate in the
+// protocol".  Nothing else leaves the database object.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/table.hpp"
+
+namespace privtopk::data {
+
+/// Optional row filter applied before extracting attribute values; receives
+/// the table and a row index.
+using RowPredicate = std::function<bool(const Table&, std::size_t)>;
+
+class PrivateDatabase {
+ public:
+  explicit PrivateDatabase(std::string ownerName = "anonymous")
+      : ownerName_(std::move(ownerName)) {}
+
+  [[nodiscard]] const std::string& ownerName() const { return ownerName_; }
+
+  /// Adds a table under `tableName`; throws SchemaError if the name exists.
+  void addTable(const std::string& tableName, Table table);
+
+  [[nodiscard]] bool hasTable(const std::string& tableName) const;
+  [[nodiscard]] const Table& table(const std::string& tableName) const;
+  [[nodiscard]] Table& table(const std::string& tableName);
+  [[nodiscard]] std::vector<std::string> tableNames() const;
+
+  /// Local top-k: the k largest values of `attribute` in `tableName`
+  /// (all values if fewer than k rows), sorted descending.  Duplicates kept
+  /// (the global vector is a multiset).  `predicate`, when given, restricts
+  /// which rows participate.
+  [[nodiscard]] TopKVector localTopK(const std::string& tableName,
+                                     const std::string& attribute,
+                                     std::size_t k,
+                                     const RowPredicate& predicate = {}) const;
+
+  /// Local bottom-k (k smallest ascending); the min/k-min query dual used
+  /// by the kNN extension where smaller distance is better.
+  [[nodiscard]] TopKVector localBottomK(
+      const std::string& tableName, const std::string& attribute,
+      std::size_t k, const RowPredicate& predicate = {}) const;
+
+  /// Local max/min (top/bottom 1); nullopt when no rows qualify.
+  [[nodiscard]] std::optional<Value> localMax(
+      const std::string& tableName, const std::string& attribute,
+      const RowPredicate& predicate = {}) const;
+  [[nodiscard]] std::optional<Value> localMin(
+      const std::string& tableName, const std::string& attribute,
+      const RowPredicate& predicate = {}) const;
+
+ private:
+  [[nodiscard]] std::vector<Value> extract(const std::string& tableName,
+                                           const std::string& attribute,
+                                           const RowPredicate& predicate) const;
+
+  std::string ownerName_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace privtopk::data

@@ -1,0 +1,72 @@
+#include "data/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privtopk::data {
+
+std::vector<Value> ValueDistribution::sampleMany(Rng& rng,
+                                                 std::size_t n) const {
+  std::vector<Value> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+NormalDistribution::NormalDistribution(Domain domain,
+                                       std::optional<double> mean,
+                                       std::optional<double> stddev)
+    : domain_(domain),
+      mean_(mean.value_or((static_cast<double>(domain.min) +
+                           static_cast<double>(domain.max)) /
+                          2.0)),
+      stddev_(stddev.value_or(
+          std::max(1.0, (static_cast<double>(domain.max) -
+                         static_cast<double>(domain.min)) /
+                            6.0))) {
+  if (stddev_ <= 0) throw ConfigError("NormalDistribution: stddev must be > 0");
+}
+
+Value NormalDistribution::sample(Rng& rng) const {
+  const double draw = rng.normal(mean_, stddev_);
+  const auto v = static_cast<Value>(std::llround(draw));
+  return std::clamp(v, domain_.min, domain_.max);
+}
+
+ZipfDistribution::ZipfDistribution(Domain domain, double exponent)
+    : domain_(domain), exponent_(exponent) {
+  if (exponent <= 0) throw ConfigError("ZipfDistribution: exponent must be > 0");
+  const std::uint64_t n = domain.size();
+  if (n > (1u << 24)) {
+    throw ConfigError("ZipfDistribution: domain too large for exact CDF");
+  }
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (std::uint64_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), exponent);
+    cumulative_.push_back(total);
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+Value ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto rank =
+      static_cast<Value>(std::distance(cumulative_.begin(), it));
+  return domain_.min + rank;  // rank 0 => most probable => domain.min
+}
+
+std::unique_ptr<ValueDistribution> makeDistribution(const std::string& name,
+                                                    Domain domain) {
+  if (name == "uniform") return std::make_unique<UniformDistribution>(domain);
+  if (name == "normal") return std::make_unique<NormalDistribution>(domain);
+  if (name == "zipf") return std::make_unique<ZipfDistribution>(domain);
+  throw ConfigError("makeDistribution: unknown distribution '" + name + "'");
+}
+
+}  // namespace privtopk::data

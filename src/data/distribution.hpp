@@ -1,0 +1,93 @@
+// Synthetic attribute-value distributions.
+//
+// The paper's experiments generate attribute values "randomly ... over the
+// integer domain [1,10000]" under uniform, normal and zipf distributions
+// (reporting uniform because results were similar).  All three are provided
+// so every experiment can be repeated under each.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace privtopk::data {
+
+/// Abstract generator of attribute values over a fixed integer domain.
+class ValueDistribution {
+ public:
+  virtual ~ValueDistribution() = default;
+
+  /// Draws one value; always within domain().
+  [[nodiscard]] virtual Value sample(Rng& rng) const = 0;
+
+  [[nodiscard]] virtual const Domain& domain() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Draws n values.
+  [[nodiscard]] std::vector<Value> sampleMany(Rng& rng, std::size_t n) const;
+};
+
+/// Uniform over [domain.min, domain.max].
+class UniformDistribution final : public ValueDistribution {
+ public:
+  explicit UniformDistribution(Domain domain = kPaperDomain)
+      : domain_(domain) {}
+
+  [[nodiscard]] Value sample(Rng& rng) const override {
+    return rng.uniformInt(domain_.min, domain_.max);
+  }
+  [[nodiscard]] const Domain& domain() const override { return domain_; }
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  Domain domain_;
+};
+
+/// Normal with configurable mean/stddev, rounded and clamped to the domain.
+/// Omitted mean/stddev centre the bell on the domain midpoint with ~6 sigma
+/// across it.  A supplied stddev must be > 0.
+class NormalDistribution final : public ValueDistribution {
+ public:
+  explicit NormalDistribution(Domain domain = kPaperDomain,
+                              std::optional<double> mean = std::nullopt,
+                              std::optional<double> stddev = std::nullopt);
+
+  [[nodiscard]] Value sample(Rng& rng) const override;
+  [[nodiscard]] const Domain& domain() const override { return domain_; }
+  [[nodiscard]] std::string name() const override { return "normal"; }
+
+ private:
+  Domain domain_;
+  double mean_;
+  double stddev_;
+};
+
+/// Zipf-distributed rank mapped onto the domain: rank 1 (most probable)
+/// maps to domain.min, so high values are rare - the interesting case for a
+/// top-k query.  Sampling inverts the CDF with a binary search over
+/// precomputed cumulative weights (exact, O(log N) per draw).
+class ZipfDistribution final : public ValueDistribution {
+ public:
+  explicit ZipfDistribution(Domain domain = kPaperDomain, double exponent = 1.0);
+
+  [[nodiscard]] Value sample(Rng& rng) const override;
+  [[nodiscard]] const Domain& domain() const override { return domain_; }
+  [[nodiscard]] std::string name() const override { return "zipf"; }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  Domain domain_;
+  double exponent_;
+  std::vector<double> cumulative_;  // normalized CDF over ranks
+};
+
+/// Factory by name ("uniform" | "normal" | "zipf").
+[[nodiscard]] std::unique_ptr<ValueDistribution> makeDistribution(
+    const std::string& name, Domain domain = kPaperDomain);
+
+}  // namespace privtopk::data

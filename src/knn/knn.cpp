@@ -1,0 +1,130 @@
+#include "knn/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "protocol/runner.hpp"
+#include "protocol/secure_sum.hpp"
+
+namespace privtopk::knn {
+
+PrivateKnnClassifier::PrivateKnnClassifier(
+    std::vector<std::vector<LabeledPoint>> partyData, std::size_t numLabels,
+    KnnConfig config)
+    : partyData_(std::move(partyData)), numLabels_(numLabels),
+      config_(std::move(config)) {
+  if (partyData_.size() < 3) {
+    throw ConfigError("PrivateKnnClassifier: need >= 3 parties");
+  }
+  if (numLabels_ < 2) {
+    throw ConfigError("PrivateKnnClassifier: need >= 2 labels");
+  }
+  if (config_.k == 0) throw ConfigError("PrivateKnnClassifier: k >= 1");
+  if (config_.scale <= 0) throw ConfigError("PrivateKnnClassifier: scale > 0");
+  std::size_t total = 0;
+  for (const auto& party : partyData_) {
+    total += party.size();
+    for (const auto& point : party) {
+      if (point.label < 0 ||
+          static_cast<std::size_t>(point.label) >= numLabels_) {
+        throw ConfigError("PrivateKnnClassifier: label out of range");
+      }
+    }
+  }
+  if (total < config_.k) {
+    throw ConfigError("PrivateKnnClassifier: fewer points than k");
+  }
+}
+
+Value PrivateKnnClassifier::quantizedDistance(
+    const LabeledPoint& point, const std::vector<double>& query) const {
+  if (point.features.size() != query.size()) {
+    throw ConfigError("PrivateKnnClassifier: dimension mismatch");
+  }
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    const double diff = point.features[i] - query[i];
+    d2 += diff * diff;
+  }
+  return static_cast<Value>(std::llround(d2 * config_.scale));
+}
+
+KnnResult PrivateKnnClassifier::classify(const std::vector<double>& query,
+                                         Rng& rng) const {
+  // Phase 1: local distances (private to each party).
+  std::vector<std::vector<Value>> distances(partyData_.size());
+  Value maxDistance = 0;
+  for (std::size_t p = 0; p < partyData_.size(); ++p) {
+    distances[p].reserve(partyData_[p].size());
+    for (const auto& point : partyData_[p]) {
+      const Value d = quantizedDistance(point, query);
+      distances[p].push_back(d);
+      maxDistance = std::max(maxDistance, d);
+    }
+  }
+
+  // Phase 2: k smallest distances via the ring protocol's bottom-k form.
+  // The domain bound is public in the paper's model; here we take the
+  // observed max (a deployment would agree on a bound from public feature
+  // ranges).
+  protocol::ProtocolParams params = config_.protocolParams;
+  params.k = config_.k;
+  params.domain = Domain{0, std::max<Value>(maxDistance, 1)};
+  const protocol::RingQueryRunner runner(params,
+                                         protocol::ProtocolKind::Probabilistic);
+  protocol::RunResult run = runner.runBottomK(distances, rng);
+
+  KnnResult result;
+  result.neighbourDistances = run.result;
+  const Value radius = run.result.back();  // kth smallest = neighbourhood
+
+  // Phase 3: private vote tally.  Each party counts its in-radius points
+  // per label; the secure sum reveals only the totals.
+  std::vector<std::vector<std::int64_t>> counters(
+      partyData_.size(), std::vector<std::int64_t>(numLabels_, 0));
+  for (std::size_t p = 0; p < partyData_.size(); ++p) {
+    for (std::size_t idx = 0; idx < partyData_[p].size(); ++idx) {
+      if (distances[p][idx] <= radius) {
+        ++counters[p][static_cast<std::size_t>(partyData_[p][idx].label)];
+      }
+    }
+  }
+  result.votes = protocol::secureSum(counters, rng).totals;
+
+  // Phase 4: majority vote; ties break to the smaller label.
+  result.label = static_cast<int>(std::distance(
+      result.votes.begin(),
+      std::max_element(result.votes.begin(), result.votes.end())));
+  return result;
+}
+
+int PrivateKnnClassifier::classifyCentralized(
+    const std::vector<double>& query) const {
+  // Pool all quantized distances, find the same radius, count the same way.
+  std::vector<Value> all;
+  for (const auto& party : partyData_) {
+    for (const auto& point : party) {
+      all.push_back(quantizedDistance(point, query));
+    }
+  }
+  std::vector<Value> sorted = all;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(config_.k - 1),
+                   sorted.end());
+  const Value radius = sorted[config_.k - 1];
+
+  std::vector<std::int64_t> votes(numLabels_, 0);
+  std::size_t idx = 0;
+  for (const auto& party : partyData_) {
+    for (const auto& point : party) {
+      if (all[idx++] <= radius) {
+        ++votes[static_cast<std::size_t>(point.label)];
+      }
+    }
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+}  // namespace privtopk::knn

@@ -1,0 +1,81 @@
+// Privacy-preserving k-nearest-neighbour classification across private
+// databases - the paper's §7 future-work item ("we are developing a
+// privacy preserving kNN classifier on top of the topk protocol"),
+// realized with the library's own primitives:
+//
+//   1. every party computes distances from the query point to its private
+//      training points locally (nothing leaves the party);
+//   2. the ring protocol's bottom-k form (top-k on mirrored values) finds
+//      the k smallest distances across all parties with the probabilistic
+//      privacy guarantees of the paper;
+//   3. the kth distance acts as the neighbourhood radius; each party
+//      counts its in-radius points per class label, and a decentralized
+//      secure sum (protocol/secure_sum.hpp) tallies the votes without
+//      revealing per-party counts;
+//   4. the label with the most votes wins (ties break to the smaller
+//      label, as in the centralized reference implementation).
+//
+// Distances are squared-Euclidean, quantized to the integer value domain
+// with a fixed scale so the private and centralized paths agree exactly.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "protocol/params.hpp"
+
+namespace privtopk::knn {
+
+struct LabeledPoint {
+  std::vector<double> features;
+  int label = 0;
+};
+
+struct KnnConfig {
+  /// Neighbourhood size.
+  std::size_t k = 5;
+  /// Quantization: quantized = llround(squaredDistance * scale).
+  double scale = 1000.0;
+  /// Protocol parameters for the distance-selection phase (k and domain
+  /// are overwritten internally).
+  protocol::ProtocolParams protocolParams;
+};
+
+struct KnnResult {
+  int label = 0;
+  /// The k smallest quantized distances (ascending) the protocol returned.
+  TopKVector neighbourDistances;
+  /// Per-label vote totals from the secure sum.
+  std::vector<std::int64_t> votes;
+};
+
+class PrivateKnnClassifier {
+ public:
+  /// `partyData[i]` is party i's private training set; >= 3 parties.
+  /// `numLabels` is the publicly known label count (labels 0..numLabels-1).
+  PrivateKnnClassifier(std::vector<std::vector<LabeledPoint>> partyData,
+                       std::size_t numLabels, KnnConfig config = {});
+
+  /// Runs the private protocol end to end.
+  [[nodiscard]] KnnResult classify(const std::vector<double>& query,
+                                   Rng& rng) const;
+
+  /// Centralized reference (pools all data); for accuracy comparisons.
+  [[nodiscard]] int classifyCentralized(const std::vector<double>& query) const;
+
+  [[nodiscard]] std::size_t parties() const { return partyData_.size(); }
+  [[nodiscard]] const KnnConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] Value quantizedDistance(const LabeledPoint& point,
+                                        const std::vector<double>& query) const;
+
+  std::vector<std::vector<LabeledPoint>> partyData_;
+  std::size_t numLabels_;
+  KnnConfig config_;
+};
+
+}  // namespace privtopk::knn

@@ -1,0 +1,54 @@
+#include "net/inproc.hpp"
+
+namespace privtopk::net {
+
+InProcTransport::InProcTransport(std::size_t nodeCount)
+    : mailboxes_(nodeCount) {}
+
+void InProcTransport::send(NodeId from, NodeId to, const Bytes& payload) {
+  std::unique_lock lock(mutex_);
+  if (shutdown_) throw TransportError("InProcTransport: shut down");
+  if (to >= mailboxes_.size()) {
+    throw TransportError("InProcTransport: unknown destination " +
+                         std::to_string(to));
+  }
+  mailboxes_[to].queue.push_back(Envelope{from, to, payload});
+  ++messagesSent_;
+  bytesSent_ += payload.size();
+  cv_.notify_all();
+}
+
+std::optional<Envelope> InProcTransport::receive(
+    NodeId node, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (node >= mailboxes_.size()) {
+    throw TransportError("InProcTransport: unknown node " +
+                         std::to_string(node));
+  }
+  auto& box = mailboxes_[node];
+  const bool ready = cv_.wait_for(lock, timeout, [&] {
+    return shutdown_ || !box.queue.empty();
+  });
+  if (!ready || box.queue.empty()) return std::nullopt;
+  Envelope env = std::move(box.queue.front());
+  box.queue.pop_front();
+  return env;
+}
+
+void InProcTransport::shutdown() {
+  std::unique_lock lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+std::size_t InProcTransport::messagesSent() const {
+  std::unique_lock lock(mutex_);
+  return messagesSent_;
+}
+
+std::size_t InProcTransport::bytesSent() const {
+  std::unique_lock lock(mutex_);
+  return bytesSent_;
+}
+
+}  // namespace privtopk::net

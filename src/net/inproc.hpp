@@ -1,0 +1,47 @@
+// In-process transport: per-node FIFO mailboxes guarded by a mutex and
+// condition variable.  Delivery is instantaneous and ordered per sender.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+
+namespace privtopk::net {
+
+class InProcTransport final : public Transport {
+ public:
+  /// Creates mailboxes for nodes 0..nodeCount-1.
+  explicit InProcTransport(std::size_t nodeCount);
+
+  void send(NodeId from, NodeId to, const Bytes& payload) override;
+
+  [[nodiscard]] std::optional<Envelope> receive(
+      NodeId node, std::chrono::milliseconds timeout) override;
+
+  void shutdown() override;
+
+  /// Messages ever sent (all nodes) - convenient for cost accounting.
+  [[nodiscard]] std::size_t messagesSent() const;
+  /// Payload bytes ever sent.
+  [[nodiscard]] std::size_t bytesSent() const;
+
+ private:
+  struct Mailbox {
+    std::deque<Envelope> queue;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Mailbox> mailboxes_;
+  bool shutdown_ = false;
+  std::size_t messagesSent_ = 0;
+  std::size_t bytesSent_ = 0;
+};
+
+}  // namespace privtopk::net

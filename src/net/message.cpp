@@ -1,0 +1,103 @@
+#include "net/message.hpp"
+
+namespace privtopk::net {
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  RoundToken = 1,
+  ResultAnnouncement = 2,
+  RingRepair = 3,
+  SumToken = 4,
+  QueryAnnounce = 5,
+};
+
+}  // namespace
+
+Bytes encodeMessage(const Message& message) {
+  ByteWriter w;
+  if (const auto* token = std::get_if<RoundToken>(&message)) {
+    w.writeU8(static_cast<std::uint8_t>(Tag::RoundToken));
+    w.writeU64(token->queryId);
+    w.writeU32(token->round);
+    w.writeValueVector(token->vector);
+  } else if (const auto* result = std::get_if<ResultAnnouncement>(&message)) {
+    w.writeU8(static_cast<std::uint8_t>(Tag::ResultAnnouncement));
+    w.writeU64(result->queryId);
+    w.writeValueVector(result->result);
+  } else if (const auto* repair = std::get_if<RingRepair>(&message)) {
+    w.writeU8(static_cast<std::uint8_t>(Tag::RingRepair));
+    w.writeU64(repair->queryId);
+    w.writeU32(repair->failedNode);
+    w.writeU32(repair->newSuccessor);
+  } else if (const auto* sum = std::get_if<SumToken>(&message)) {
+    w.writeU8(static_cast<std::uint8_t>(Tag::SumToken));
+    w.writeU64(sum->queryId);
+    w.writeU32(sum->round);
+    w.writeValueVector(sum->sums);
+  } else {
+    const auto& announce = std::get<QueryAnnounce>(message);
+    w.writeU8(static_cast<std::uint8_t>(Tag::QueryAnnounce));
+    w.writeU64(announce.queryId);
+    w.writeBlob(announce.descriptor);
+    w.writeVarint(announce.ringOrder.size());
+    for (NodeId id : announce.ringOrder) w.writeU32(id);
+  }
+  return w.take();
+}
+
+Message decodeMessage(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto tag = static_cast<Tag>(r.readU8());
+  switch (tag) {
+    case Tag::RoundToken: {
+      RoundToken token;
+      token.queryId = r.readU64();
+      token.round = r.readU32();
+      token.vector = r.readValueVector();
+      if (!r.atEnd()) throw ProtocolError("RoundToken: trailing bytes");
+      return token;
+    }
+    case Tag::ResultAnnouncement: {
+      ResultAnnouncement result;
+      result.queryId = r.readU64();
+      result.result = r.readValueVector();
+      if (!r.atEnd()) throw ProtocolError("ResultAnnouncement: trailing bytes");
+      return result;
+    }
+    case Tag::RingRepair: {
+      RingRepair repair;
+      repair.queryId = r.readU64();
+      repair.failedNode = r.readU32();
+      repair.newSuccessor = r.readU32();
+      if (!r.atEnd()) throw ProtocolError("RingRepair: trailing bytes");
+      return repair;
+    }
+    case Tag::SumToken: {
+      SumToken sum;
+      sum.queryId = r.readU64();
+      sum.round = r.readU32();
+      sum.sums = r.readValueVector();
+      if (!r.atEnd()) throw ProtocolError("SumToken: trailing bytes");
+      return sum;
+    }
+    case Tag::QueryAnnounce: {
+      QueryAnnounce announce;
+      announce.queryId = r.readU64();
+      announce.descriptor = r.readBlob();
+      const std::uint64_t n = r.readVarint();
+      if (n > r.remaining() / 4) {
+        throw ProtocolError("QueryAnnounce: ring order too long");
+      }
+      announce.ringOrder.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        announce.ringOrder.push_back(r.readU32());
+      }
+      if (!r.atEnd()) throw ProtocolError("QueryAnnounce: trailing bytes");
+      return announce;
+    }
+  }
+  throw ProtocolError("decodeMessage: unknown tag");
+}
+
+}  // namespace privtopk::net

@@ -1,0 +1,77 @@
+// Wire messages exchanged on the ring.
+//
+// Every message carries a query id so concurrent queries can share links.
+// Framing/encryption is the transport's job; this layer is the typed
+// payload codec (see common/serialization.hpp for the encoding rules).
+
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+
+namespace privtopk::net {
+
+/// The per-round payload: the current global top-k vector.
+struct RoundToken {
+  std::uint64_t queryId = 0;
+  Round round = 1;
+  TopKVector vector;
+
+  friend bool operator==(const RoundToken&, const RoundToken&) = default;
+};
+
+/// Final-result broadcast sent around the ring once the starting node
+/// terminates the query.
+struct ResultAnnouncement {
+  std::uint64_t queryId = 0;
+  TopKVector result;
+
+  friend bool operator==(const ResultAnnouncement&,
+                         const ResultAnnouncement&) = default;
+};
+
+/// Ring-maintenance control message (failure repair handshakes in the TCP
+/// deployment; the simulator performs repairs directly).
+struct RingRepair {
+  std::uint64_t queryId = 0;
+  NodeId failedNode = 0;
+  NodeId newSuccessor = 0;
+
+  friend bool operator==(const RingRepair&, const RingRepair&) = default;
+};
+
+/// Additive-share payload for the secure-sum protocol (kNN label voting,
+/// sum/count/average queries).
+struct SumToken {
+  std::uint64_t queryId = 0;
+  Round round = 1;
+  std::vector<std::int64_t> sums;  // one accumulator per counter
+
+  friend bool operator==(const SumToken&, const SumToken&) = default;
+};
+
+/// Announces a new query to the ring: the encoded query descriptor (opaque
+/// at this layer; see query/descriptor.hpp) plus the agreed ring order.
+/// Circles the ring once so every participant can register before the
+/// first round token arrives (links are FIFO, so ordering is guaranteed).
+struct QueryAnnounce {
+  std::uint64_t queryId = 0;
+  Bytes descriptor;
+  std::vector<NodeId> ringOrder;
+
+  friend bool operator==(const QueryAnnounce&, const QueryAnnounce&) = default;
+};
+
+using Message = std::variant<RoundToken, ResultAnnouncement, RingRepair,
+                             SumToken, QueryAnnounce>;
+
+/// Serializes a message (1-byte tag + body).
+[[nodiscard]] Bytes encodeMessage(const Message& message);
+
+/// Parses a message; throws ProtocolError on malformed input.
+[[nodiscard]] Message decodeMessage(std::span<const std::uint8_t> bytes);
+
+}  // namespace privtopk::net

@@ -1,0 +1,323 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace privtopk::net {
+
+namespace {
+
+/// Writes all of `data`, retrying on partial writes and EINTR.
+void writeAll(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("tcp send failed: ") +
+                           std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `len` bytes; returns false on orderly EOF at a frame
+/// boundary, throws on mid-frame EOF or errors.
+bool readAll(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw TransportError("tcp connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("tcp recv failed: ") +
+                           std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void writeFrame(int fd, std::span<const std::uint8_t> payload) {
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  writeAll(fd, header, 4);
+  writeAll(fd, payload.data(), payload.size());
+}
+
+/// Reads one frame; nullopt on orderly EOF.
+std::optional<Bytes> readFrame(int fd) {
+  std::uint8_t header[4];
+  if (!readAll(fd, header, 4)) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
+  if (len > kMaxFrame) throw TransportError("tcp frame too large");
+  Bytes payload(len);
+  if (len > 0 && !readAll(fd, payload.data(), len)) {
+    throw TransportError("tcp connection closed mid-frame");
+  }
+  return payload;
+}
+
+int makeListener(std::uint16_t port, std::uint16_t& boundPort) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw TransportError(std::string("tcp: bind failed: ") +
+                         std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw TransportError("tcp: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    boundPort = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeer> peers,
+                           TcpOptions options)
+    : self_(self), options_(options) {
+  for (const auto& p : peers) peers_[p.id] = p;
+  const auto it = peers_.find(self);
+  if (it == peers_.end()) {
+    throw TransportError("TcpTransport: self not in peer list");
+  }
+  if (options_.encrypt && options_.group == nullptr) {
+    options_.group = &crypto::DhGroup::test512();
+  }
+  listenFd_ = makeListener(it->second.port, listenPort_);
+  listenThread_ = std::thread([this] { listenLoop(); });
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::listenLoop() {
+  while (!shutdown_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd =
+        ::accept(listenFd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (shutdown_.load()) return;
+      if (errno == EINTR) continue;
+      PRIVTOPK_LOG_WARN("tcp accept failed: ", std::strerror(errno));
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::scoped_lock lock(readersMutex_);
+    if (shutdown_.load()) {
+      ::close(fd);
+      return;
+    }
+    acceptedFds_.push_back(fd);
+    readerThreads_.emplace_back([this, fd] { readerLoop(fd); });
+  }
+}
+
+void TcpTransport::readerLoop(int fd) {
+  std::unique_ptr<crypto::SecureSession> session;
+  NodeId from = 0;
+  try {
+    // First frame identifies the sender.
+    const std::optional<Bytes> hello = readFrame(fd);
+    if (!hello || hello->size() != 4) return;
+    for (int i = 0; i < 4; ++i) {
+      from |= static_cast<NodeId>((*hello)[static_cast<std::size_t>(i)])
+              << (8 * i);
+    }
+
+    if (options_.encrypt) {
+      // Responder side of the handshake: read the initiator's public value,
+      // answer with ours.
+      Rng rng(splitmix64(options_.keySeed ^ (static_cast<std::uint64_t>(self_)
+                                             << 32) ^ from ^ 0xACCE55ULL));
+      crypto::SecureHandshake hs(crypto::SecureHandshake::Role::Responder,
+                                 *options_.group, rng);
+      const std::optional<Bytes> peerHello = readFrame(fd);
+      if (!peerHello) return;
+      writeFrame(fd, hs.localHello());
+      session = std::make_unique<crypto::SecureSession>(
+          hs.deriveSession(*peerHello));
+    }
+
+    while (!shutdown_.load()) {
+      std::optional<Bytes> frame = readFrame(fd);
+      if (!frame) break;  // peer closed
+      Bytes payload =
+          session ? session->open(*frame) : std::move(*frame);
+      messagesReceived_.fetch_add(1);
+      bytesReceived_.fetch_add(payload.size());
+      {
+        std::scoped_lock lock(inboxMutex_);
+        inbox_.push_back(Envelope{from, self_, std::move(payload)});
+      }
+      inboxCv_.notify_all();
+    }
+  } catch (const Error& e) {
+    if (!shutdown_.load()) {
+      PRIVTOPK_LOG_WARN("tcp reader for peer ", from, " stopped: ", e.what());
+    }
+  }
+  // The fd is closed by shutdown(), which owns accepted descriptors.
+}
+
+TcpTransport::OutLink& TcpTransport::outgoingLink(NodeId to) {
+  std::scoped_lock lock(outMutex_);
+  auto it = outLinks_.find(to);
+  if (it != outLinks_.end()) return *it->second;
+
+  const auto peerIt = peers_.find(to);
+  if (peerIt == peers_.end()) {
+    throw TransportError("TcpTransport: unknown peer " + std::to_string(to));
+  }
+  const TcpPeer& peer = peerIt->second;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("TcpTransport: bad peer host " + peer.host);
+  }
+
+  // Retry while the peer's listener comes up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.connectTimeout;
+  int fd = -1;
+  while (true) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw TransportError("TcpTransport: socket() failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportError("TcpTransport: connect to " + std::to_string(to) +
+                           " timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  auto link = std::make_unique<OutLink>();
+  link->fd = fd;
+
+  // Identify ourselves.
+  std::uint8_t id[4];
+  for (int i = 0; i < 4; ++i) id[i] = static_cast<std::uint8_t>(self_ >> (8 * i));
+  writeFrame(fd, std::span<const std::uint8_t>(id, 4));
+
+  if (options_.encrypt) {
+    Rng rng(splitmix64(options_.keySeed ^ (static_cast<std::uint64_t>(self_)
+                                           << 32) ^ to ^ 0x1417ULL));
+    crypto::SecureHandshake hs(crypto::SecureHandshake::Role::Initiator,
+                               *options_.group, rng);
+    writeFrame(fd, hs.localHello());
+    const std::optional<Bytes> peerHello = readFrame(fd);
+    if (!peerHello) throw TransportError("TcpTransport: handshake EOF");
+    link->session = std::make_unique<crypto::SecureSession>(
+        hs.deriveSession(*peerHello));
+  }
+
+  auto& ref = *link;
+  outLinks_.emplace(to, std::move(link));
+  return ref;
+}
+
+void TcpTransport::send(NodeId from, NodeId to, const Bytes& payload) {
+  if (from != self_) {
+    throw TransportError("TcpTransport: can only send as self");
+  }
+  if (shutdown_.load()) throw TransportError("TcpTransport: shut down");
+  OutLink& link = outgoingLink(to);
+  std::scoped_lock lock(link.writeMutex);
+  if (link.session) {
+    writeFrame(link.fd, link.session->seal(payload));
+  } else {
+    writeFrame(link.fd, payload);
+  }
+  messagesSent_.fetch_add(1);
+  bytesSent_.fetch_add(payload.size());
+}
+
+std::optional<Envelope> TcpTransport::receive(
+    NodeId node, std::chrono::milliseconds timeout) {
+  if (node != self_) {
+    throw TransportError("TcpTransport: can only receive as self");
+  }
+  std::unique_lock lock(inboxMutex_);
+  const bool ready = inboxCv_.wait_for(lock, timeout, [&] {
+    return shutdown_.load() || !inbox_.empty();
+  });
+  if (!ready || inbox_.empty()) return std::nullopt;
+  Envelope env = std::move(inbox_.front());
+  inbox_.pop_front();
+  return env;
+}
+
+void TcpTransport::shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+
+  // Closing the listener unblocks accept(); shutting down links unblocks
+  // reader threads.
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  {
+    std::scoped_lock lock(outMutex_);
+    for (auto& [id, link] : outLinks_) {
+      if (link->fd >= 0) {
+        ::shutdown(link->fd, SHUT_RDWR);
+        ::close(link->fd);
+        link->fd = -1;
+      }
+    }
+  }
+  if (listenThread_.joinable()) listenThread_.join();
+  {
+    // Shutting down accepted sockets unblocks recv() in reader threads.
+    std::scoped_lock lock(readersMutex_);
+    for (int fd : acceptedFds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& t : readerThreads_) {
+      if (t.joinable()) t.join();
+    }
+    readerThreads_.clear();
+    for (int fd : acceptedFds_) ::close(fd);
+    acceptedFds_.clear();
+  }
+  inboxCv_.notify_all();
+}
+
+}  // namespace privtopk::net

@@ -1,0 +1,77 @@
+#include "privacy/adversary.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "privacy/lop.hpp"
+#include "protocol/local_algorithm.hpp"
+
+namespace privtopk::privacy {
+
+CollusionAnalyzer::CollusionAnalyzer(Round maxRounds) {
+  if (maxRounds == 0) throw ConfigError("CollusionAnalyzer: rounds > 0");
+  rounds_.resize(maxRounds);
+  for (Round r = 1; r <= maxRounds; ++r) {
+    rounds_[r - 1].round = r;
+  }
+}
+
+void CollusionAnalyzer::addTrial(const protocol::ExecutionTrace& trace) {
+  for (const auto& step : trace.steps) {
+    if (step.round > rounds_.size()) continue;
+    if (step.input == step.output) continue;  // colluders learn nothing
+
+    CollusionRoundStats& stats = rounds_[step.round - 1];
+    ++stats.changedCount;
+
+    // Values appearing in the output but not the input - the colluders
+    // attribute all of them to the victim.
+    const TopKVector fresh =
+        protocol::multisetDifference(step.output, step.input);
+    const TopKVector& localVec = trace.localVectors[step.node];
+    const std::size_t owned = multisetIntersectionSize(fresh, localVec);
+    if (!fresh.empty() && owned == fresh.size()) {
+      ++stats.claimTrueCount;
+    }
+  }
+}
+
+double CollusionAnalyzer::peakConditionalExposure() const {
+  double peak = 0.0;
+  for (const auto& stats : rounds_) {
+    peak = std::max(peak, stats.conditionalExposure());
+  }
+  return peak;
+}
+
+double groupExposure(const protocol::ExecutionTrace& trace,
+                     const std::vector<NodeId>& group) {
+  if (group.empty()) throw ConfigError("groupExposure: empty group");
+  // Pool the group's values into one multiset entity.
+  TopKVector pooled;
+  for (NodeId member : group) {
+    const auto& local = trace.localVectors.at(member);
+    pooled.insert(pooled.end(), local.begin(), local.end());
+  }
+
+  const double n = static_cast<double>(trace.nodeCount);
+  const double g = static_cast<double>(group.size());
+  const double k = static_cast<double>(trace.k);
+
+  double peak = 0.0;
+  for (const auto& step : trace.steps) {
+    // Only outputs emitted BY a group member are attributed to the entity.
+    if (std::find(group.begin(), group.end(), step.node) == group.end()) {
+      continue;
+    }
+    const double matched = static_cast<double>(
+        multisetIntersectionSize(step.output, pooled));
+    const double baseline = static_cast<double>(multisetIntersectionSize(
+                                step.output, trace.result)) *
+                            g / n;
+    peak = std::max(peak, (matched - baseline) / k);
+  }
+  return peak;
+}
+
+}  // namespace privtopk::privacy

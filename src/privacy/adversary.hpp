@@ -1,0 +1,70 @@
+// Adversary models over execution traces.
+//
+// SuccessorObserver is the baseline semi-honest adversary of the LoP
+// analysis (it sees only what its predecessor sends).  CollusionAnalyzer
+// models the §4.3 scenario where a node's predecessor and successor
+// collude: they jointly observe G_{i-1}(r) and G_i(r), so whenever the
+// vector changed at node i they learn node i contributed - and the claim
+// "v_i = g_i(r)" is true with probability 1 - Pr(r) for the max protocol.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/trace.hpp"
+
+namespace privtopk::privacy {
+
+/// Per-round collusion statistics for one Monte-Carlo batch.
+struct CollusionRoundStats {
+  Round round = 1;
+  /// Trials in which the victim's output differed from its input (the
+  /// colluders only learn something in this case).
+  std::size_t changedCount = 0;
+  /// Among those, trials where the output actually equaled the victim's
+  /// own value (the claim "v_i = g_i(r)" was true).
+  std::size_t claimTrueCount = 0;
+
+  /// Empirical P(v_i = g_i(r) | output changed) - the paper's analysis
+  /// predicts 1 - Pr(r) for the max protocol.
+  [[nodiscard]] double conditionalExposure() const {
+    return changedCount == 0
+               ? 0.0
+               : static_cast<double>(claimTrueCount) /
+                     static_cast<double>(changedCount);
+  }
+};
+
+/// Accumulates the colluding predecessor/successor view across trials.
+/// Works for k = 1 traces (the configuration §4.3 analyzes); for k > 1 the
+/// "claim true" test is whether ALL newly appearing values belong to the
+/// victim.
+class CollusionAnalyzer {
+ public:
+  explicit CollusionAnalyzer(Round maxRounds);
+
+  /// Adds every (node, round) observation of `trace`.
+  void addTrial(const protocol::ExecutionTrace& trace);
+
+  [[nodiscard]] const std::vector<CollusionRoundStats>& perRound() const {
+    return rounds_;
+  }
+
+  /// Peak conditional exposure over all rounds.
+  [[nodiscard]] double peakConditionalExposure() const;
+
+ private:
+  std::vector<CollusionRoundStats> rounds_;
+};
+
+/// Group (m-anonymity) exposure: treats `group` as one entity and measures
+/// the fraction of an output vector's values held by ANY group member,
+/// minus the baseline |output ∩ TopK| * |group| / n.  With the full node
+/// set this is ~0 by construction; shrinking groups shows how anonymity
+/// degrades (paper §2.2's m-anonymity discussion).
+[[nodiscard]] double groupExposure(const protocol::ExecutionTrace& trace,
+                                   const std::vector<NodeId>& group);
+
+}  // namespace privtopk::privacy

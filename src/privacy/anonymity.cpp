@@ -1,0 +1,69 @@
+#include "privacy/anonymity.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privtopk::privacy {
+
+std::optional<NodeId> firstEmitterOfResult(
+    const protocol::ExecutionTrace& trace) {
+  if (trace.k != 1) {
+    throw ConfigError("firstEmitterOfResult: attribution analysis is for "
+                      "k = 1 traces");
+  }
+  if (trace.result.empty()) return std::nullopt;
+  const Value target = trace.result.front();
+  for (const auto& step : trace.steps) {
+    if (step.output.front() == target && step.input.front() != target) {
+      return step.node;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> ownersOfResult(const protocol::ExecutionTrace& trace) {
+  if (trace.result.empty()) return {};
+  const Value target = trace.result.front();
+  std::vector<NodeId> owners;
+  for (NodeId node = 0; node < trace.nodeCount; ++node) {
+    const auto& local = trace.localVectors[node];
+    if (std::find(local.begin(), local.end(), target) != local.end()) {
+      owners.push_back(node);
+    }
+  }
+  return owners;
+}
+
+std::optional<Round> emissionRound(const protocol::ExecutionTrace& trace) {
+  if (trace.k != 1) {
+    throw ConfigError("emissionRound: analysis is for k = 1 traces");
+  }
+  if (trace.result.empty()) return std::nullopt;
+  const Value target = trace.result.front();
+  for (const auto& step : trace.steps) {
+    if (step.output.front() == target && step.input.front() != target) {
+      return step.round;
+    }
+  }
+  return std::nullopt;
+}
+
+void AttributionAnalyzer::addTrial(const protocol::ExecutionTrace& trace) {
+  const std::optional<NodeId> guess = firstEmitterOfResult(trace);
+  ++stats_.trials;
+  const std::vector<NodeId> owners = ownersOfResult(trace);
+  ownerSetSum_ += static_cast<double>(owners.size());
+  if (guess &&
+      std::find(owners.begin(), owners.end(), *guess) != owners.end()) {
+    ++stats_.correct;
+  }
+  if (const auto round = emissionRound(trace)) {
+    emissionRoundSum_ += static_cast<double>(*round);
+  }
+  stats_.meanEmissionRound =
+      emissionRoundSum_ / static_cast<double>(stats_.trials);
+  stats_.meanOwnerSetSize = ownerSetSum_ / static_cast<double>(stats_.trials);
+}
+
+}  // namespace privtopk::privacy

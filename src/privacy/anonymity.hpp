@@ -1,0 +1,81 @@
+// Contributor anonymity (paper §2.2: "a related goal could be protecting
+// the anonymity of the nodes who contribute to the final results", and
+// §3.3's argument that random starting-node selection protects the
+// starter).
+//
+// A structural fact of the max protocol worth stating precisely: the node
+// that FIRST emits the final maximum is ALWAYS a true owner of that value
+// - randomized values are drawn strictly below the emitter's own value,
+// so the global maximum can only ever enter the token as a real
+// insertion.  Contributor anonymity against a GLOBAL passive observer is
+// therefore impossible by design (AttributionAnalyzer verifies the attack
+// is 100% accurate for every protocol variant); what the protocol
+// provides is locality: each semi-honest node sees only its own incoming
+// tokens, cannot tell an inserter from a relayer upstream, and - with the
+// random start - cannot anchor round-1 observations to a known starting
+// position.  The quantitative privacy of the contributor against such
+// LOCAL observers is exactly what the LoP metric and the Bayesian
+// distribution-exposure posterior measure; this module contributes the
+// structural pieces: owners, first emitters, emission timing, and the
+// m-anonymity candidate set size.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/trace.hpp"
+
+namespace privtopk::privacy {
+
+/// The adversary's guess for who contributed the final maximum of a k = 1
+/// trace: the node whose OUTPUT first equals the final result while its
+/// INPUT did not.  nullopt when the value never visibly appeared (cannot
+/// happen for honest completed traces).
+[[nodiscard]] std::optional<NodeId> firstEmitterOfResult(
+    const protocol::ExecutionTrace& trace);
+
+/// True owners of the final maximum (every node holding the value; ties
+/// mean the m-anonymity set is larger than 1 even with perfect inference).
+[[nodiscard]] std::vector<NodeId> ownersOfResult(
+    const protocol::ExecutionTrace& trace);
+
+/// Round in which the final maximum first entered the token; nullopt when
+/// it never visibly entered.  Naive protocols always emit in round 1; the
+/// probabilistic protocol spreads insertion across rounds (geometric in
+/// 1 - Pr(r)), which is what denies LOCAL observers a timing anchor.
+[[nodiscard]] std::optional<Round> emissionRound(
+    const protocol::ExecutionTrace& trace);
+
+struct AttributionStats {
+  std::size_t trials = 0;
+  std::size_t correct = 0;     // guess was a true owner
+  double meanEmissionRound = 0.0;
+  double meanOwnerSetSize = 0.0;  // m-anonymity set size (ties)
+
+  /// Empirical probability the first-emitter guess identifies an owner.
+  [[nodiscard]] double accuracy() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Accumulates the global-observer first-emitter attack over traces
+/// (k = 1).  Expected outcome: accuracy() == 1 for every honest protocol
+/// variant (see the header comment) - the interesting columns are the
+/// emission timing and the owner-set size.
+class AttributionAnalyzer {
+ public:
+  void addTrial(const protocol::ExecutionTrace& trace);
+  [[nodiscard]] const AttributionStats& stats() const { return stats_; }
+
+ private:
+  double emissionRoundSum_ = 0.0;
+  double ownerSetSum_ = 0.0;
+  AttributionStats stats_;
+};
+
+}  // namespace privtopk::privacy

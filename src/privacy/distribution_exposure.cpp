@@ -1,0 +1,195 @@
+#include "privacy/distribution_exposure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privtopk::privacy {
+
+namespace {
+
+/// Sum of 1/(v - ref) for integer v in [a, b] with a > ref.  Loops for
+/// small ranges; falls back to the integral approximation for huge bins.
+double inverseSum(Value a, Value b, Value ref) {
+  if (a > b) return 0.0;
+  const std::int64_t span = b - a + 1;
+  if (span <= 4096) {
+    double s = 0.0;
+    for (Value v = a; v <= b; ++v) {
+      s += 1.0 / static_cast<double>(v - ref);
+    }
+    return s;
+  }
+  // Integral approximation of the harmonic tail.
+  return std::log(static_cast<double>(b - ref) + 0.5) -
+         std::log(static_cast<double>(a - ref) - 0.5);
+}
+
+}  // namespace
+
+ValuePosterior::ValuePosterior(Domain domain, std::size_t bins)
+    : domain_(domain) {
+  if (bins == 0) throw ConfigError("ValuePosterior: bins must be >= 1");
+  const std::uint64_t width = domain.size();
+  mass_.assign(std::min<std::uint64_t>(bins, width), 0.0);
+  const double uniform = 1.0 / static_cast<double>(mass_.size());
+  for (double& m : mass_) m = uniform;
+}
+
+std::size_t ValuePosterior::binOf(Value v) const {
+  if (v <= domain_.min) return 0;
+  if (v >= domain_.max) return mass_.size() - 1;
+  const double frac = static_cast<double>(v - domain_.min) /
+                      static_cast<double>(domain_.size());
+  return std::min(static_cast<std::size_t>(frac * static_cast<double>(mass_.size())),
+                  mass_.size() - 1);
+}
+
+Value ValuePosterior::binLow(std::size_t bin) const {
+  const double step =
+      static_cast<double>(domain_.size()) / static_cast<double>(mass_.size());
+  return domain_.min + static_cast<Value>(std::floor(step * static_cast<double>(bin)));
+}
+
+Value ValuePosterior::binHigh(std::size_t bin) const {
+  if (bin + 1 == mass_.size()) return domain_.max;
+  return binLow(bin + 1) - 1;
+}
+
+void ValuePosterior::renormalize() {
+  double total = 0.0;
+  for (double m : mass_) total += m;
+  if (total <= 0.0) {
+    // Inconsistent observations (cannot happen for honest traces); reset
+    // rather than divide by zero.
+    const double uniform = 1.0 / static_cast<double>(mass_.size());
+    for (double& m : mass_) m = uniform;
+    return;
+  }
+  for (double& m : mass_) m /= total;
+}
+
+void ValuePosterior::observeMaxStep(
+    Value input, Value output, Round round,
+    const protocol::RandomizationSchedule& schedule) {
+  if (output < input) {
+    throw Error("ValuePosterior: output below input is impossible under "
+                "Algorithm 1");
+  }
+  const double pr = schedule.probability(round);
+
+  for (std::size_t bin = 0; bin < mass_.size(); ++bin) {
+    if (mass_[bin] == 0.0) continue;
+    const Value lo = binLow(bin);
+    const Value hi = binHigh(bin);
+    const double size = static_cast<double>(hi - lo + 1);
+    double likelihood = 0.0;
+
+    if (output == input) {
+      // Pass: v <= input certain; v > input only via a randomized draw
+      // landing exactly on `input`.
+      const Value loAbove = std::max(lo, input + 1);
+      const double belowCount =
+          static_cast<double>(std::min(hi, input) - lo + 1);
+      double acc = std::max(0.0, belowCount);  // L = 1 region
+      if (loAbove <= hi && pr > 0.0) {
+        acc += pr * inverseSum(loAbove, hi, input);
+      }
+      likelihood = acc / size;
+    } else {
+      // Raise to `output`: v == output inserts with 1 - pr; v > output can
+      // emit `output` via a randomized draw from [input, v).
+      double acc = 0.0;
+      if (output >= lo && output <= hi) {
+        acc += 1.0 - pr;
+      }
+      const Value loAbove = std::max(lo, output + 1);
+      if (loAbove <= hi && pr > 0.0) {
+        acc += pr * inverseSum(loAbove, hi, input);
+      }
+      likelihood = acc / size;
+    }
+    mass_[bin] *= likelihood;
+  }
+  renormalize();
+}
+
+double ValuePosterior::massAt(Value v) const { return mass_[binOf(v)]; }
+
+double ValuePosterior::massIn(Value lo, Value hi) const {
+  if (lo > hi) return 0.0;
+  double total = 0.0;
+  for (std::size_t bin = binOf(lo); bin <= binOf(hi); ++bin) {
+    total += mass_[bin];
+  }
+  return std::min(total, 1.0);
+}
+
+double ValuePosterior::entropyBits() const {
+  double h = 0.0;
+  for (double m : mass_) {
+    if (m > 0.0) h -= m * std::log2(m);
+  }
+  return h;
+}
+
+double ValuePosterior::exposure() const {
+  const double prior = std::log2(static_cast<double>(mass_.size()));
+  if (prior == 0.0) return 1.0;  // single-bin domain: always pinned
+  return std::clamp(1.0 - entropyBits() / prior, 0.0, 1.0);
+}
+
+double ValuePosterior::klFromPriorBits() const {
+  const double uniform = 1.0 / static_cast<double>(mass_.size());
+  double kl = 0.0;
+  for (double m : mass_) {
+    if (m > 0.0) kl += m * std::log2(m / uniform);
+  }
+  return std::max(kl, 0.0);
+}
+
+std::size_t ValuePosterior::mapBin() const {
+  return static_cast<std::size_t>(std::distance(
+      mass_.begin(), std::max_element(mass_.begin(), mass_.end())));
+}
+
+std::vector<double> distributionExposureByNode(
+    const protocol::ExecutionTrace& trace,
+    const protocol::RandomizationSchedule& schedule, std::size_t bins) {
+  if (trace.k != 1) {
+    throw ConfigError(
+        "distributionExposureByNode: collusion analysis requires k = 1");
+  }
+  // Derive the domain from the trace: the round-1 initial token is the
+  // domain minimum, and the maximum defaults to the paper domain unless a
+  // larger value appears.  Callers with other domains should construct
+  // ValuePosterior instances directly.
+  Value lo = trace.steps.empty() ? 1 : trace.steps.front().input[0];
+  Value hi = 10000;
+  for (const auto& step : trace.steps) {
+    hi = std::max(hi, step.output[0]);
+  }
+
+  std::vector<ValuePosterior> posteriors(
+      trace.nodeCount, ValuePosterior(Domain{lo, hi}, bins));
+  for (const auto& step : trace.steps) {
+    posteriors[step.node].observeMaxStep(step.input[0], step.output[0],
+                                         step.round, schedule);
+  }
+  std::vector<double> out;
+  out.reserve(trace.nodeCount);
+  for (const auto& p : posteriors) out.push_back(p.exposure());
+  return out;
+}
+
+double averageDistributionExposure(
+    const protocol::ExecutionTrace& trace,
+    const protocol::RandomizationSchedule& schedule, std::size_t bins) {
+  const auto perNode = distributionExposureByNode(trace, schedule, bins);
+  double sum = 0.0;
+  for (double e : perNode) sum += e;
+  return sum / static_cast<double>(perNode.size());
+}
+
+}  // namespace privtopk::privacy

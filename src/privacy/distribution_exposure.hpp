@@ -1,0 +1,93 @@
+// Probability-distribution exposure (paper §2.2 exposure class 3 and §7
+// future work: "extending and generalizing the privacy analysis on the
+// probability distribution of the data using aggregated information from
+// multiple rounds").
+//
+// We model the strongest §4.3 adversary - colluding predecessor and
+// successor - who observes the victim's input g_{i-1}(r) AND output g_i(r)
+// in every round and knows the protocol parameters.  For the max protocol
+// each observation has an exact likelihood given a hypothesis v for the
+// victim's value:
+//
+//   output == input (a pass):
+//     v <= input:  certain            -> L = 1
+//     v >  input:  only via the randomized branch drawing exactly `input`
+//                  -> L = Pr(r) / (v - input)
+//   output > input (a raise):
+//     v == output: insert branch      -> L = 1 - Pr(r)
+//     v >  output: randomized draw of `output` from [input, v)
+//                  -> L = Pr(r) / (v - input)
+//     v <  output: impossible         -> L = 0
+//   output < input: impossible under Algorithm 1 -> L = 0 for all v.
+//
+// Multiplying likelihoods across rounds and normalizing against a uniform
+// prior over the public domain yields the adversary's exact posterior over
+// the victim's value.  The exposure metrics quantify how far that
+// posterior moved from the prior.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/schedule.hpp"
+#include "protocol/trace.hpp"
+
+namespace privtopk::privacy {
+
+/// Posterior over a node's value, discretized into equal-width bins over
+/// the public domain (binning keeps 10^4..10^9-sized domains tractable).
+class ValuePosterior {
+ public:
+  /// Uniform prior over `domain` with `bins` buckets (bins >= 1).
+  ValuePosterior(Domain domain, std::size_t bins = 100);
+
+  /// Multiplies in the likelihood of one observed (input, output, round)
+  /// step of the max protocol, with Pr(r) taken from `schedule`.
+  void observeMaxStep(Value input, Value output, Round round,
+                      const protocol::RandomizationSchedule& schedule);
+
+  /// Posterior probability mass of the bin containing `v`.
+  [[nodiscard]] double massAt(Value v) const;
+
+  /// Posterior probability of the hypothesis v ∈ [lo, hi] (bin-resolution).
+  [[nodiscard]] double massIn(Value lo, Value hi) const;
+
+  /// Shannon entropy in bits (log2), max = log2(bins) for the prior.
+  [[nodiscard]] double entropyBits() const;
+
+  /// Exposure in [0, 1]: 1 - H(posterior)/H(prior).  0 = learned nothing,
+  /// 1 = value pinned to one bin.
+  [[nodiscard]] double exposure() const;
+
+  /// KL divergence from the uniform prior, in bits.
+  [[nodiscard]] double klFromPriorBits() const;
+
+  /// The bin index with the highest posterior mass.
+  [[nodiscard]] std::size_t mapBin() const;
+  [[nodiscard]] std::size_t binCount() const { return mass_.size(); }
+  [[nodiscard]] Value binLow(std::size_t bin) const;
+  [[nodiscard]] Value binHigh(std::size_t bin) const;
+
+ private:
+  [[nodiscard]] std::size_t binOf(Value v) const;
+  void renormalize();
+
+  Domain domain_;
+  std::vector<double> mass_;
+};
+
+/// Batch analysis: replays a k = 1 execution trace through the colluding
+/// adversary for every node and returns each node's final exposure.
+/// Requires trace.k == 1 (the configuration §4.3 analyzes).
+[[nodiscard]] std::vector<double> distributionExposureByNode(
+    const protocol::ExecutionTrace& trace,
+    const protocol::RandomizationSchedule& schedule, std::size_t bins = 100);
+
+/// Convenience: mean exposure over nodes.
+[[nodiscard]] double averageDistributionExposure(
+    const protocol::ExecutionTrace& trace,
+    const protocol::RandomizationSchedule& schedule, std::size_t bins = 100);
+
+}  // namespace privtopk::privacy

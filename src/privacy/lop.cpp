@@ -1,0 +1,100 @@
+#include "privacy/lop.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privtopk::privacy {
+
+LoPAccumulator::LoPAccumulator(std::size_t nodes, Round maxRounds,
+                               Grouping grouping)
+    : nodes_(nodes), maxRounds_(maxRounds), grouping_(grouping),
+      sums_(nodes * maxRounds, 0.0), counts_(nodes * maxRounds, 0) {
+  if (nodes == 0 || maxRounds == 0) {
+    throw ConfigError("LoPAccumulator: nodes and rounds must be > 0");
+  }
+}
+
+void LoPAccumulator::addTrial(const protocol::ExecutionTrace& trace) {
+  if (trace.nodeCount != nodes_) {
+    throw ConfigError("LoPAccumulator: node count mismatch");
+  }
+  const double n = static_cast<double>(nodes_);
+
+  for (const auto& step : trace.steps) {
+    if (step.round > maxRounds_) continue;
+    const std::size_t axis = (grouping_ == Grouping::ByNodeId)
+                                 ? static_cast<std::size_t>(step.node)
+                                 : step.position;
+    if (axis >= nodes_) continue;  // a repaired ring can shrink positions
+
+    const TopKVector& localVec = trace.localVectors[step.node];
+    const double matched = static_cast<double>(
+        multisetIntersectionSize(step.output, localVec));
+    const double baseline = static_cast<double>(multisetIntersectionSize(
+                                step.output, trace.result)) /
+                            n;
+    // Normalize by the number of items the node participates with (<= k),
+    // per the paper's "average LoP for all the data items used by a node".
+    const double items =
+        std::max<double>(1.0, static_cast<double>(localVec.size()));
+    const double sample = (matched - baseline) / items;
+
+    const std::size_t cell = axis * maxRounds_ + (step.round - 1);
+    sums_[cell] += sample;
+    ++counts_[cell];
+  }
+  ++trials_;
+}
+
+double LoPAccumulator::cellMean(std::size_t node, std::size_t round) const {
+  const std::size_t cell = node * maxRounds_ + round;
+  if (counts_[cell] == 0) return 0.0;
+  return sums_[cell] / static_cast<double>(counts_[cell]);
+}
+
+std::vector<double> LoPAccumulator::perRoundAverage() const {
+  std::vector<double> out(maxRounds_, 0.0);
+  for (std::size_t r = 0; r < maxRounds_; ++r) {
+    double sum = 0.0;
+    for (std::size_t node = 0; node < nodes_; ++node) {
+      sum += cellMean(node, r);
+    }
+    out[r] = sum / static_cast<double>(nodes_);
+  }
+  return out;
+}
+
+std::vector<double> LoPAccumulator::perNodePeak() const {
+  std::vector<double> out(nodes_, 0.0);
+  for (std::size_t node = 0; node < nodes_; ++node) {
+    double peak = 0.0;
+    for (std::size_t r = 0; r < maxRounds_; ++r) {
+      peak = std::max(peak, cellMean(node, r));
+    }
+    out[node] = peak;
+  }
+  return out;
+}
+
+double LoPAccumulator::averageLoP() const {
+  const std::vector<double> peaks = perNodePeak();
+  double sum = 0.0;
+  for (double p : peaks) sum += p;
+  return sum / static_cast<double>(peaks.size());
+}
+
+double LoPAccumulator::worstLoP() const {
+  const std::vector<double> peaks = perNodePeak();
+  return *std::max_element(peaks.begin(), peaks.end());
+}
+
+LoPAccumulator accumulateLoP(const std::vector<protocol::ExecutionTrace>& traces,
+                             std::size_t nodes, Round maxRounds,
+                             Grouping grouping) {
+  LoPAccumulator acc(nodes, maxRounds, grouping);
+  for (const auto& trace : traces) acc.addTrial(trace);
+  return acc;
+}
+
+}  // namespace privtopk::privacy

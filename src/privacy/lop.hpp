@@ -1,0 +1,88 @@
+// Loss-of-Privacy (LoP) measurement over execution traces (paper §2.3,
+// Eq. 1: LoP = P(C|R,IR) - P(C|R)).
+//
+// The semi-honest adversary is the successor: after node i emits G_i(r),
+// the successor claims node i holds each value it observes.  Per data item
+// the claim's truth is an indicator; averaging indicators over Monte-Carlo
+// trials estimates P(C|R,IR).  The baseline P(C|R) follows the paper's
+// approximation: a value in the final top-k could belong to any of the n
+// nodes (probability 1/n); a value outside it is unguessable over a large
+// domain (probability ~0).
+//
+// Per-trial sample for node i at round r (multiset semantics; |V_i| is the
+// number of items the node participates with, <= k):
+//     sample = ( |G_i(r) ∩ V_i|  -  |G_i(r) ∩ TopK| / n ) / |V_i|
+// For k = 1 this reduces exactly to the paper's max-protocol analysis:
+// indicator(v_i = g_i(r)) - indicator(g_i(r) = vmax)/n.
+//
+// Aggregation follows §5.3: a node's LoP is its PEAK per-round mean across
+// trials; the system average/worst are the mean/max over nodes.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/trace.hpp"
+
+namespace privtopk::privacy {
+
+/// Multiset intersection (shared with the precision metric); re-exported
+/// from common/types.hpp for existing callers.
+using ::privtopk::multisetIntersectionSize;
+
+/// How trials are attributed to the "node" axis.
+enum class Grouping {
+  /// Group by node id.  Use when the ring mapping / starting node is
+  /// randomized per trial (probabilistic and anonymous-naive protocols):
+  /// the adversary cannot tell positions apart, so each node's estimate
+  /// pools across positions.
+  ByNodeId,
+  /// Group by ring position.  Use for the fixed-start naive protocol where
+  /// the adversary knows exactly how far from the starting node its
+  /// predecessor sits (the paper's worst case is position 1, the starter).
+  ByRingPosition,
+};
+
+/// Accumulates per-(node, round) LoP samples across trials.
+class LoPAccumulator {
+ public:
+  LoPAccumulator(std::size_t nodes, Round maxRounds, Grouping grouping);
+
+  /// Adds one trial's trace.  The trace's result is taken as the final
+  /// top-k R of the baseline term.
+  void addTrial(const protocol::ExecutionTrace& trace);
+
+  /// Mean over nodes of the per-round LoP estimate (Figure 7 series).
+  [[nodiscard]] std::vector<double> perRoundAverage() const;
+
+  /// Per-node LoP = peak over rounds of the per-round estimate.
+  [[nodiscard]] std::vector<double> perNodePeak() const;
+
+  /// System average LoP: mean over nodes of the peak (Figures 8/10/12).
+  [[nodiscard]] double averageLoP() const;
+
+  /// Worst-case LoP: max over nodes of the peak (Figures 10(b)/12(b)).
+  [[nodiscard]] double worstLoP() const;
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+
+ private:
+  [[nodiscard]] double cellMean(std::size_t node, std::size_t round) const;
+
+  std::size_t nodes_;
+  Round maxRounds_;
+  Grouping grouping_;
+  std::size_t trials_ = 0;
+  // sums_[node * maxRounds + (round-1)], counts_ likewise.
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+};
+
+/// One-call helper: runs `addTrial` over a batch of traces.
+[[nodiscard]] LoPAccumulator accumulateLoP(
+    const std::vector<protocol::ExecutionTrace>& traces, std::size_t nodes,
+    Round maxRounds, Grouping grouping);
+
+}  // namespace privtopk::privacy

@@ -1,0 +1,32 @@
+#include "privacy/spectrum.hpp"
+
+#include "common/error.hpp"
+
+namespace privtopk::privacy {
+
+std::string toString(PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::ProvablyExposed: return "provably-exposed";
+    case PrivacyLevel::PossibleInnocence: return "possible-innocence";
+    case PrivacyLevel::ProbableInnocence: return "probable-innocence";
+    case PrivacyLevel::BeyondSuspicion: return "beyond-suspicion";
+    case PrivacyLevel::AbsolutePrivacy: return "absolute-privacy";
+  }
+  return "?";
+}
+
+PrivacyLevel classifyExposure(double probability, std::size_t n,
+                              double tolerance) {
+  if (n == 0) throw ConfigError("classifyExposure: n must be > 0");
+  if (probability < -tolerance || probability > 1.0 + tolerance) {
+    throw ConfigError("classifyExposure: probability outside [0, 1]");
+  }
+  const double oneOverN = 1.0 / static_cast<double>(n);
+  if (probability >= 1.0 - tolerance) return PrivacyLevel::ProvablyExposed;
+  if (probability <= tolerance) return PrivacyLevel::AbsolutePrivacy;
+  if (probability <= oneOverN) return PrivacyLevel::BeyondSuspicion;
+  if (probability <= 0.5) return PrivacyLevel::ProbableInnocence;
+  return PrivacyLevel::PossibleInnocence;
+}
+
+}  // namespace privtopk::privacy

@@ -1,0 +1,32 @@
+// The probabilistic privacy spectrum (Reiter & Rubin's Crowds scale, which
+// the paper reviews in §2.3 before proposing LoP): classifies how exposed
+// a claim leaves a node given the probability the claim is true.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace privtopk::privacy {
+
+enum class PrivacyLevel {
+  /// P(C) = 1: the adversary can prove the claim.
+  ProvablyExposed,
+  /// P(C) > 1/2: the claim is more likely true than not.
+  PossibleInnocence,
+  /// 1/n < P(C) <= 1/2: the claim is less likely to be true.
+  ProbableInnocence,
+  /// P(C) <= 1/n: no more likely than any other node (m-anonymity).
+  BeyondSuspicion,
+  /// P(C) = 0: the adversary can rule the claim out entirely.
+  AbsolutePrivacy,
+};
+
+[[nodiscard]] std::string toString(PrivacyLevel level);
+
+/// Classifies a claim probability on the spectrum for a system of n nodes.
+/// `tolerance` absorbs Monte-Carlo noise at the 0 and 1 endpoints.
+[[nodiscard]] PrivacyLevel classifyExposure(double probability, std::size_t n,
+                                            double tolerance = 1e-9);
+
+}  // namespace privtopk::privacy

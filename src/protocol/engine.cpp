@@ -1,0 +1,154 @@
+#include "protocol/engine.hpp"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace privtopk::protocol {
+
+DistributedParticipant::DistributedParticipant(ProtocolNode node,
+                                               net::Transport& transport,
+                                               DistributedConfig config)
+    : node_(std::move(node)), transport_(transport), config_(std::move(config)) {
+  config_.params.validate();
+  if (config_.ringOrder.size() < 3) {
+    throw ConfigError("DistributedParticipant: ring needs >= 3 nodes");
+  }
+  if (std::find(config_.ringOrder.begin(), config_.ringOrder.end(),
+                node_.id()) == config_.ringOrder.end()) {
+    throw ConfigError("DistributedParticipant: node not on the ring");
+  }
+}
+
+bool DistributedParticipant::isStart() const {
+  return config_.ringOrder.front() == node_.id();
+}
+
+void DistributedParticipant::sendOnRing(const Bytes& payload) {
+  const auto it = std::find(config_.ringOrder.begin(), config_.ringOrder.end(),
+                            node_.id());
+  const std::size_t self =
+      static_cast<std::size_t>(std::distance(config_.ringOrder.begin(), it));
+  const std::size_t n = config_.ringOrder.size();
+  for (std::size_t hop = 1; hop < n; ++hop) {
+    const NodeId target = config_.ringOrder[(self + hop) % n];
+    if (dead_.contains(target)) continue;
+    try {
+      transport_.send(node_.id(), target, payload);
+      return;
+    } catch (const TransportError& e) {
+      PRIVTOPK_LOG_WARN("node ", node_.id(), ": successor ", target,
+                        " unreachable (", e.what(), "); repairing ring");
+      dead_.insert(target);
+    }
+  }
+  throw TransportError("sendOnRing: every other participant is unreachable");
+}
+
+net::Message DistributedParticipant::awaitMessage() {
+  const auto env = transport_.receive(node_.id(), config_.receiveTimeout);
+  if (!env) {
+    throw TransportError("DistributedParticipant: receive timed out");
+  }
+  return net::decodeMessage(env->payload);
+}
+
+TopKVector DistributedParticipant::run() {
+  return isStart() ? runAsStart() : runAsFollower();
+}
+
+TopKVector DistributedParticipant::runAsStart() {
+  const Round rounds = (config_.kind == ProtocolKind::Probabilistic)
+                           ? config_.params.effectiveRounds()
+                           : 1;
+  TopKVector global(config_.params.k, config_.params.domain.min);
+
+  for (Round r = 1; r <= rounds; ++r) {
+    global = node_.onToken(r, global);
+    sendOnRing(net::encodeMessage(net::RoundToken{config_.queryId, r, global}));
+    // Wait for the token to circle back (it becomes next round's input).
+    const net::Message msg = awaitMessage();
+    const auto* token = std::get_if<net::RoundToken>(&msg);
+    if (token == nullptr || token->queryId != config_.queryId ||
+        token->round != r) {
+      throw ProtocolError("start node: unexpected message mid-round");
+    }
+    global = token->vector;
+  }
+
+  // Termination: announce the final result around the ring (§3.3).
+  sendOnRing(net::encodeMessage(net::ResultAnnouncement{config_.queryId, global}));
+  const net::Message msg = awaitMessage();
+  const auto* announce = std::get_if<net::ResultAnnouncement>(&msg);
+  if (announce == nullptr || announce->queryId != config_.queryId) {
+    throw ProtocolError("start node: expected the result announcement back");
+  }
+  return global;
+}
+
+TopKVector DistributedParticipant::runAsFollower() {
+  while (true) {
+    const net::Message msg = awaitMessage();
+    if (const auto* token = std::get_if<net::RoundToken>(&msg)) {
+      if (token->queryId != config_.queryId) {
+        throw ProtocolError("follower: token for an unknown query");
+      }
+      const TopKVector output = node_.onToken(token->round, token->vector);
+      sendOnRing(net::encodeMessage(
+          net::RoundToken{config_.queryId, token->round, output}));
+    } else if (const auto* announce =
+                   std::get_if<net::ResultAnnouncement>(&msg)) {
+      if (announce->queryId != config_.queryId) {
+        throw ProtocolError("follower: announcement for an unknown query");
+      }
+      // Forward once; the announcement dies when it reaches the start node.
+      sendOnRing(net::encodeMessage(*announce));
+      return announce->result;
+    } else {
+      throw ProtocolError("follower: unexpected message type");
+    }
+  }
+}
+
+TopKVector runDistributedQuery(const std::vector<TopKVector>& localTopK,
+                               net::Transport& transport,
+                               DistributedConfig config, Rng& rng) {
+  const std::size_t n = localTopK.size();
+  if (config.ringOrder.size() != n) {
+    throw ConfigError("runDistributedQuery: ring order size mismatch");
+  }
+
+  std::vector<std::future<TopKVector>> futures;
+  futures.reserve(n);
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rngs.push_back(rng.fork(i));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(std::async(std::launch::async, [&, i] {
+      ProtocolNode node(static_cast<NodeId>(i), localTopK[i],
+                        makeLocalAlgorithm(config.kind, config.params,
+                                           rngs[i]));
+      DistributedParticipant participant(std::move(node), transport, config);
+      return participant.run();
+    }));
+  }
+
+  TopKVector result;
+  bool first = true;
+  for (auto& f : futures) {
+    TopKVector r = f.get();
+    if (first) {
+      result = std::move(r);
+      first = false;
+    } else if (r != result) {
+      throw ProtocolError("runDistributedQuery: nodes disagree on the result");
+    }
+  }
+  return result;
+}
+
+}  // namespace privtopk::protocol

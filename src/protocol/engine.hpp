@@ -1,0 +1,81 @@
+// Distributed protocol engine: runs one participant of the ring protocol
+// over a net::Transport (in-process queues or real TCP sockets).
+//
+// Deployment model: the participants agree out-of-band on the query id,
+// parameters, ring order and starting node (in practice the initiating
+// organization distributes a signed query descriptor).  Each participant
+// then constructs a DistributedParticipant and calls run(), which blocks
+// until the final result is known.  The starting node drives the rounds
+// and emits the final ResultAnnouncement that circles the ring once.
+//
+// Failure handling (paper SS3.2: "the ring can be reconstructed ... simply
+// by connecting the predecessor and successor of the failed node"): sends
+// are repair-aware.  When the transport reports the successor unreachable,
+// the sender marks it dead and retries the next node in ring order - the
+// dead node's data simply never joins.  A node that dies while HOLDING the
+// token loses it; the waiting participants then time out and the query
+// must be re-issued (a fail-stop limit the event simulator also models).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "protocol/node.hpp"
+#include "protocol/params.hpp"
+
+namespace privtopk::protocol {
+
+struct DistributedConfig {
+  std::uint64_t queryId = 1;
+  ProtocolParams params;
+  ProtocolKind kind = ProtocolKind::Probabilistic;
+  /// Agreed ring order; ringOrder[0] is the starting node.
+  std::vector<NodeId> ringOrder;
+  /// How long receive() waits before concluding the ring is dead.
+  std::chrono::milliseconds receiveTimeout{10'000};
+};
+
+class DistributedParticipant {
+ public:
+  /// `node` holds this participant's id and private local top-k.
+  DistributedParticipant(ProtocolNode node, net::Transport& transport,
+                         DistributedConfig config);
+
+  /// Blocks until the query completes; returns the final top-k.  Throws
+  /// TransportError on timeout and ProtocolError on malformed traffic.
+  [[nodiscard]] TopKVector run();
+
+  /// Peers discovered dead so far (skipped by repair-aware sends).
+  [[nodiscard]] const std::set<NodeId>& deadPeers() const { return dead_; }
+
+ private:
+  [[nodiscard]] bool isStart() const;
+  [[nodiscard]] TopKVector runAsStart();
+  [[nodiscard]] TopKVector runAsFollower();
+  [[nodiscard]] net::Message awaitMessage();
+
+  /// Sends to the first LIVE successor on the ring, marking unreachable
+  /// peers dead (paper SS3.2 repair).  Throws TransportError when every
+  /// other participant is unreachable.
+  void sendOnRing(const Bytes& payload);
+
+  ProtocolNode node_;
+  net::Transport& transport_;
+  DistributedConfig config_;
+  std::set<NodeId> dead_;
+};
+
+/// Convenience multi-threaded harness: runs all n participants of a query
+/// on one transport (one thread each) and returns the result every node
+/// agreed on.  Used by integration tests and the quickstart example; real
+/// deployments run one DistributedParticipant per process instead.
+[[nodiscard]] TopKVector runDistributedQuery(
+    const std::vector<TopKVector>& localTopK, net::Transport& transport,
+    DistributedConfig config, Rng& rng);
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,120 @@
+#include "protocol/group.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace privtopk::protocol {
+
+GroupedRunResult runGrouped(const std::vector<std::vector<Value>>& localValues,
+                            const ProtocolParams& params, std::size_t groupSize,
+                            Rng& rng) {
+  params.validate();
+  if (groupSize < 3) {
+    throw ConfigError("runGrouped: groups need at least 3 members");
+  }
+  const std::size_t n = localValues.size();
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+
+  const std::size_t groupCount = n / groupSize;
+  if (groupCount < 3) {
+    // Too few groups for a delegate ring; run flat.
+    RunResult flat = runner.run(localValues, rng);
+    return GroupedRunResult{flat.result, flat.totalMessages,
+                            flat.totalMessages, 1};
+  }
+
+  // Random partition into groupCount groups (remainder spread round-robin).
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+
+  GroupedRunResult out;
+  out.groups = groupCount;
+  std::size_t longestGroupRun = 0;
+  std::vector<std::vector<Value>> delegateInputs;
+  delegateInputs.reserve(groupCount);
+
+  for (std::size_t g = 0; g < groupCount; ++g) {
+    std::vector<std::vector<Value>> members;
+    for (std::size_t idx = g; idx < n; idx += groupCount) {
+      members.push_back(localValues[perm[idx]]);
+    }
+    RunResult groupRun = runner.run(members, rng);
+    out.totalMessages += groupRun.totalMessages;
+    longestGroupRun = std::max(longestGroupRun, groupRun.totalMessages);
+    // The group's delegate carries the group top-k into the second level.
+    delegateInputs.push_back(groupRun.result);
+  }
+
+  RunResult finalRun = runner.run(delegateInputs, rng);
+  out.totalMessages += finalRun.totalMessages;
+  out.criticalPathMessages = longestGroupRun + finalRun.totalMessages;
+  out.result = finalRun.result;
+  return out;
+}
+
+GroupedSimulatedResult runGroupedSimulated(
+    const std::vector<std::vector<Value>>& localValues,
+    const ProtocolParams& params, std::size_t groupSize,
+    const sim::LatencyModel* latency, Rng& rng) {
+  params.validate();
+  if (groupSize < 3) {
+    throw ConfigError("runGroupedSimulated: groups need at least 3 members");
+  }
+  const std::size_t n = localValues.size();
+
+  SimulatedRunConfig simCfg;
+  simCfg.params = params;
+  simCfg.latency = latency;
+
+  GroupedSimulatedResult out;
+  // Flat reference on the same data.
+  {
+    Rng flatRng = rng.fork(0xF1A7);
+    const SimulatedRunResult flat =
+        runSimulatedQuery(localValues, simCfg, flatRng);
+    out.flatCompletionTime = flat.completionTime;
+  }
+
+  const std::size_t groupCount = n / groupSize;
+  if (groupCount < 3) {
+    Rng flatRng = rng.fork(0x0F2A);
+    const SimulatedRunResult flat =
+        runSimulatedQuery(localValues, simCfg, flatRng);
+    out.result = flat.result;
+    out.completionTime = flat.completionTime;
+    out.groups = 1;
+    return out;
+  }
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+
+  out.groups = groupCount;
+  sim::SimTime slowestGroup = 0.0;
+  std::vector<std::vector<Value>> delegateInputs;
+  delegateInputs.reserve(groupCount);
+  for (std::size_t g = 0; g < groupCount; ++g) {
+    std::vector<std::vector<Value>> members;
+    for (std::size_t idx = g; idx < n; idx += groupCount) {
+      members.push_back(localValues[perm[idx]]);
+    }
+    Rng groupRng = rng.fork(g + 1);
+    const SimulatedRunResult groupRun =
+        runSimulatedQuery(members, simCfg, groupRng);
+    slowestGroup = std::max(slowestGroup, groupRun.completionTime);
+    delegateInputs.push_back(groupRun.result);
+  }
+
+  Rng delegateRng = rng.fork(0xDE1E);
+  const SimulatedRunResult finalRun =
+      runSimulatedQuery(delegateInputs, simCfg, delegateRng);
+  out.result = finalRun.result;
+  out.completionTime = slowestGroup + finalRun.completionTime;
+  return out;
+}
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,63 @@
+// Group-parallel execution (paper §4.2): "break the set of n nodes into a
+// number of small groups and have each group compute their group maximum
+// value in parallel and then compute the global maximum value at
+// designated nodes, which could be randomly selected from each small
+// group."
+//
+// Generalized to top-k: each group runs the full probabilistic protocol on
+// its members' values; a randomly chosen delegate per group then joins a
+// second-level ring carrying its group's top-k vector as its local input.
+// Because every round costs O(ring size) messages but the round count is
+// independent of n (§4.2), grouping trades a second protocol phase for
+// much smaller rings.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/runner.hpp"
+#include "protocol/sim_engine.hpp"
+
+namespace privtopk::protocol {
+
+struct GroupedRunResult {
+  TopKVector result;
+  /// Ring messages across all group-level runs plus the delegate run.
+  std::size_t totalMessages = 0;
+  /// Messages on the longest group-phase run plus the delegate run - the
+  /// critical path when groups execute in parallel.
+  std::size_t criticalPathMessages = 0;
+  std::size_t groups = 0;
+};
+
+/// Runs the grouped protocol.  `groupSize` must be >= 3 (each group ring
+/// needs three nodes); the last group absorbs the remainder when n is not
+/// divisible.  The delegate phase requires at least 3 groups; with fewer,
+/// the call falls back to one flat run and reports groups = 1.
+[[nodiscard]] GroupedRunResult runGrouped(
+    const std::vector<std::vector<Value>>& localValues,
+    const ProtocolParams& params, std::size_t groupSize, Rng& rng);
+
+struct GroupedSimulatedResult {
+  TopKVector result;
+  /// Virtual completion time with all groups executing in parallel:
+  /// max over groups + the delegate phase.
+  sim::SimTime completionTime = 0.0;
+  /// Virtual completion time of the flat single-ring run on the same data
+  /// and latency model, for comparison.
+  sim::SimTime flatCompletionTime = 0.0;
+  std::size_t groups = 0;
+};
+
+/// The §4.2 claim measured in virtual time: runs every group through the
+/// event simulator under `latency` (nullptr = 1 ms fixed), takes the max
+/// group time (parallel phase), adds the delegate-ring time, and runs the
+/// flat protocol for reference.  Falls back to groups = 1 like runGrouped.
+[[nodiscard]] GroupedSimulatedResult runGroupedSimulated(
+    const std::vector<std::vector<Value>>& localValues,
+    const ProtocolParams& params, std::size_t groupSize,
+    const sim::LatencyModel* latency, Rng& rng);
+
+}  // namespace privtopk::protocol

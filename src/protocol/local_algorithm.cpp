@@ -1,0 +1,173 @@
+#include "protocol/local_algorithm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privtopk::protocol {
+
+TopKVector mergeTopK(const TopKVector& incoming, const TopKVector& local,
+                     std::size_t k) {
+  TopKVector merged;
+  merged.reserve(k);
+  // Both inputs are sorted descending: a k-bounded two-way merge.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (merged.size() < k && (i < incoming.size() || j < local.size())) {
+    if (j >= local.size() ||
+        (i < incoming.size() && incoming[i] >= local[j])) {
+      merged.push_back(incoming[i++]);
+    } else {
+      merged.push_back(local[j++]);
+    }
+  }
+  return merged;
+}
+
+TopKVector multisetDifference(const TopKVector& a, const TopKVector& b) {
+  TopKVector out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size()) {
+    if (j >= b.size() || a[i] > b[j]) {
+      out.push_back(a[i++]);
+    } else if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else {  // a[i] < b[j]: skip the b element with no counterpart
+      ++j;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 - max selection
+// ---------------------------------------------------------------------------
+
+RandomizedMaxAlgorithm::RandomizedMaxAlgorithm(
+    std::shared_ptr<const RandomizationSchedule> schedule, Rng rng,
+    Domain domain)
+    : schedule_(std::move(schedule)), rng_(rng), domain_(domain),
+      value_(domain.min) {
+  if (!schedule_) throw ConfigError("RandomizedMaxAlgorithm: null schedule");
+}
+
+void RandomizedMaxAlgorithm::reset(TopKVector localTopK) {
+  // A node with no rows participates with the domain minimum, which it can
+  // never be forced to expose (the g >= v branch always passes it on).
+  value_ = localTopK.empty() ? domain_.min : localTopK.front();
+  if (!domain_.contains(value_)) {
+    throw ConfigError("RandomizedMaxAlgorithm: local value outside domain");
+  }
+}
+
+TopKVector RandomizedMaxAlgorithm::step(const TopKVector& incoming, Round r) {
+  if (incoming.size() != 1) {
+    throw ProtocolError("RandomizedMaxAlgorithm: expected a 1-vector");
+  }
+  const Value g = incoming.front();
+
+  // Case 1: the global value already dominates; pass it on unchanged - the
+  // node exposes nothing.
+  if (g >= value_) return {g};
+
+  // Case 2: with probability Pr(r) return a uniform random value from
+  // [g, value), otherwise insert the real value.
+  const double pr = schedule_->probability(r);
+  if (rng_.bernoulli(pr)) {
+    return {rng_.uniformIntHalfOpen(g, value_)};  // range non-empty: g < value
+  }
+  return {value_};
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 - general top-k selection
+// ---------------------------------------------------------------------------
+
+RandomizedTopKAlgorithm::RandomizedTopKAlgorithm(
+    std::size_t k, std::shared_ptr<const RandomizationSchedule> schedule,
+    Rng rng, Domain domain, Value delta)
+    : k_(k), schedule_(std::move(schedule)), rng_(rng), domain_(domain),
+      delta_(delta) {
+  if (k_ == 0) throw ConfigError("RandomizedTopKAlgorithm: k must be >= 1");
+  if (!schedule_) throw ConfigError("RandomizedTopKAlgorithm: null schedule");
+  if (delta_ < 1) throw ConfigError("RandomizedTopKAlgorithm: delta >= 1");
+}
+
+void RandomizedTopKAlgorithm::reset(TopKVector localTopK) {
+  if (localTopK.size() > k_) {
+    throw ConfigError("RandomizedTopKAlgorithm: local vector larger than k");
+  }
+  if (!std::is_sorted(localTopK.begin(), localTopK.end(), std::greater<>())) {
+    throw ConfigError("RandomizedTopKAlgorithm: local vector not sorted");
+  }
+  for (Value v : localTopK) {
+    if (!domain_.contains(v)) {
+      throw ConfigError("RandomizedTopKAlgorithm: local value outside domain");
+    }
+  }
+  local_ = std::move(localTopK);
+  inserted_ = false;
+}
+
+TopKVector RandomizedTopKAlgorithm::step(const TopKVector& incoming, Round r) {
+  if (incoming.size() != k_) {
+    throw ProtocolError("RandomizedTopKAlgorithm: expected a k-vector");
+  }
+
+  // G'_i(r) = topk(G_{i-1}(r) ∪ V_i) and V'_i = G'_i(r) - G_{i-1}(r).
+  //
+  // Union semantics: before the node has inserted, none of its physical
+  // items are in the global vector, so the union is a plain multiset sum
+  // (a local value equal to a value already in G is a distinct physical
+  // item and counts twice).  AFTER insertion its items are presumed
+  // present, so only copies missing from G may be (re-)contributed -
+  // max-multiplicity union - which restores values displaced by a later
+  // node's randomized tail without ever double-counting its own data
+  // (DESIGN.md interpretation notes).
+  const TopKVector candidate =
+      inserted_ ? multisetDifference(local_, incoming) : local_;
+  const TopKVector real = mergeTopK(incoming, candidate, k_);
+  const TopKVector contributed = multisetDifference(real, incoming);
+  const std::size_t m = contributed.size();
+
+  // Case 1: nothing of ours in the current top-k; pass the vector on.
+  if (m == 0) return incoming;
+
+  // Once the real values have been inserted the node stops randomizing
+  // ("a node only does this once") and deterministically re-merges.
+  if (inserted_) return real;
+
+  const double pr = schedule_->probability(r);
+  if (!rng_.bernoulli(pr)) {
+    inserted_ = true;
+    return real;
+  }
+
+  // Randomization branch: keep the first k-m incoming values and fill the
+  // tail with m random values from
+  //   [ min(G'[k] - delta, G_{i-1}[k-m+1]),  G'[k] )          (1-based)
+  // clamped to the domain so integer draws stay legal.
+  const Value upper = real[k_ - 1];
+  Value lower = std::min(upper - delta_, incoming[k_ - m]);
+  lower = std::max(lower, domain_.min);
+
+  TopKVector out(incoming.begin(),
+                 incoming.begin() + static_cast<std::ptrdiff_t>(k_ - m));
+  if (lower >= upper) {
+    // Degenerate range: G'[k] is at the domain floor (possible when the
+    // node's contribution still leaves domain-min padding in the vector).
+    // Emit domain-min placeholders - trivially replaced later.
+    out.insert(out.end(), m, domain_.min);
+  } else {
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      out.push_back(rng_.uniformIntHalfOpen(lower, upper));
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(k_ - m), out.end(),
+              std::greater<>());
+  }
+  return out;
+}
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,151 @@
+#include "protocol/malicious.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "protocol/node.hpp"
+#include "protocol/runner.hpp"
+#include "sim/ring.hpp"
+
+namespace privtopk::protocol {
+
+const char* toString(MaliciousBehavior behavior) {
+  switch (behavior) {
+    case MaliciousBehavior::Honest: return "honest";
+    case MaliciousBehavior::SpoofInflate: return "spoof-inflate";
+    case MaliciousBehavior::HideValues: return "hide-values";
+    case MaliciousBehavior::Suppress: return "suppress";
+    case MaliciousBehavior::Deflate: return "deflate";
+  }
+  return "?";
+}
+
+namespace {
+
+MaliciousBehavior behaviorOf(const MaliciousRunSpec& spec, NodeId node) {
+  const auto it = spec.behaviors.find(node);
+  return it == spec.behaviors.end() ? MaliciousBehavior::Honest : it->second;
+}
+
+std::size_t spoofLimit(const MaliciousRunSpec& spec) {
+  return std::max<std::size_t>(1, spec.spoofCount);
+}
+
+/// Local top-k initialization, possibly distorted by the behavior.
+TopKVector initialVector(const std::vector<Value>& values,
+                         const MaliciousRunSpec& spec,
+                         MaliciousBehavior behavior, Rng& rng) {
+  const std::size_t k = spec.params.k;
+  const Domain& domain = spec.params.domain;
+
+  TopKVector v;
+  switch (behavior) {
+    case MaliciousBehavior::HideValues:
+      return {};  // enters with an empty dataset
+    case MaliciousBehavior::SpoofInflate: {
+      // Fabricated near-maximum values plus enough real ones to fill k.
+      for (std::size_t i = 0; i < std::min(spoofLimit(spec), k); ++i) {
+        const Value lo = domain.max - std::max<Value>(1, domain.size() / 100);
+        v.push_back(rng.uniformInt(std::max(domain.min, lo), domain.max));
+      }
+      TopKVector real = values;
+      std::sort(real.begin(), real.end(), std::greater<>());
+      for (Value rv : real) {
+        if (v.size() >= k) break;
+        v.push_back(rv);
+      }
+      std::sort(v.begin(), v.end(), std::greater<>());
+      return v;
+    }
+    default: {
+      v = values;
+      const std::size_t take = std::min(k, v.size());
+      std::partial_sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(take),
+                        v.end(), std::greater<>());
+      v.resize(take);
+      return v;
+    }
+  }
+}
+
+}  // namespace
+
+MaliciousRunResult runWithAdversaries(
+    const std::vector<std::vector<Value>>& localValues,
+    const MaliciousRunSpec& spec, Rng& rng) {
+  spec.params.validate();
+  const std::size_t n = localValues.size();
+  if (n < 3) throw ConfigError("runWithAdversaries: need n >= 3 nodes");
+
+  // Build nodes; misbehaving initialization happens here.
+  std::vector<std::unique_ptr<ProtocolNode>> nodes;
+  std::vector<MaliciousBehavior> behaviors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    behaviors[i] = behaviorOf(spec, static_cast<NodeId>(i));
+    TopKVector local =
+        initialVector(localValues[i], spec, behaviors[i], rng);
+    nodes.push_back(std::make_unique<ProtocolNode>(
+        static_cast<NodeId>(i), std::move(local),
+        makeLocalAlgorithm(ProtocolKind::Probabilistic, spec.params, rng)));
+  }
+
+  sim::RingTopology ring = sim::RingTopology::random(n, rng);
+  const Round rounds = spec.params.effectiveRounds();
+
+  TopKVector global(spec.params.k, spec.params.domain.min);
+  for (Round r = 1; r <= rounds; ++r) {
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const NodeId id = ring.at(pos);
+      switch (behaviors[id]) {
+        case MaliciousBehavior::Suppress:
+          break;  // forwards `global` unchanged
+        case MaliciousBehavior::Deflate:
+          global.assign(spec.params.k, spec.params.domain.min);
+          break;
+        default:
+          global = nodes[id]->onToken(r, global);
+          break;
+      }
+    }
+  }
+
+  MaliciousRunResult result;
+  result.published = global;
+
+  // Ground truth over honest nodes' REAL data (hiders/suppressors excluded
+  // because their data never legitimately entered).
+  std::vector<Value> honestPool;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (behaviors[i] == MaliciousBehavior::Honest) {
+      honestPool.insert(honestPool.end(), localValues[i].begin(),
+                        localValues[i].end());
+    }
+  }
+  const std::size_t take = std::min(spec.params.k, honestPool.size());
+  std::partial_sort(honestPool.begin(),
+                    honestPool.begin() + static_cast<std::ptrdiff_t>(take),
+                    honestPool.end(), std::greater<>());
+  honestPool.resize(take);
+  result.honestTruth = honestPool;
+
+  result.honestPrecision =
+      static_cast<double>(multisetIntersectionSize(
+          result.published, result.honestTruth)) /
+      static_cast<double>(spec.params.k);
+
+  // Fabrications: published values no honest node holds.
+  std::vector<Value> allHonest;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (behaviors[i] == MaliciousBehavior::Honest) {
+      allHonest.insert(allHonest.end(), localValues[i].begin(),
+                       localValues[i].end());
+    }
+  }
+  const std::size_t genuine =
+      multisetIntersectionSize(result.published, allHonest);
+  result.fabricatedFraction =
+      1.0 - static_cast<double>(genuine) / static_cast<double>(spec.params.k);
+  return result;
+}
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,74 @@
+// Malicious-model experiments (paper §2.1 / §7: "we plan to relax the
+// semi-honest model assumption and address the situations where
+// adversaries may not follow the protocol correctly").
+//
+// The paper names two concrete attacks under the malicious model:
+//   * spoofing - "an adversary sends a spoofed dataset", modeled here as
+//     input inflation (claiming values it does not hold) which pollutes
+//     the published result;
+//   * hiding  - "deliberately hides all or part of its dataset", which
+//     silently removes true values from the result.
+// We add two protocol-level deviations a broken/hostile node could make:
+//   * suppression - always forward the incoming vector unchanged (never
+//     contribute), equivalent to hiding everything;
+//   * deflation   - replace the outgoing vector with the domain minimum,
+//     a vandalism attack on liveness of the value (bounded by
+//     monotonicity at honest nodes, so it only delays convergence).
+//
+// The harness runs a mixed fleet (honest + misbehaving nodes) and scores
+// the damage: result precision vs ground truth over honest data and the
+// fraction of fabricated values in the published answer.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/params.hpp"
+
+namespace privtopk::protocol {
+
+enum class MaliciousBehavior {
+  Honest,
+  /// Participates with fabricated values drawn near the domain maximum.
+  SpoofInflate,
+  /// Enters the protocol with an empty dataset (hides everything).
+  HideValues,
+  /// Follows initialization but always forwards the vector unchanged.
+  Suppress,
+  /// Emits k copies of the domain minimum every step (vandalism).
+  Deflate,
+};
+
+[[nodiscard]] const char* toString(MaliciousBehavior behavior);
+
+struct MaliciousRunSpec {
+  ProtocolParams params;
+  /// behaviors[node] - defaults to Honest for unlisted nodes.
+  std::map<NodeId, MaliciousBehavior> behaviors;
+  /// How many fabricated values a SpoofInflate node injects (<= k).
+  std::size_t spoofCount = 1;
+};
+
+struct MaliciousRunResult {
+  TopKVector published;
+  /// Top-k over honest nodes' real data only (the "clean" ground truth).
+  TopKVector honestTruth;
+  /// |published ∩ honestTruth| / k.
+  double honestPrecision = 0.0;
+  /// Fraction of published values that are fabrications (spoofed values or
+  /// surviving randomization noise), i.e. values held by no honest node.
+  double fabricatedFraction = 0.0;
+};
+
+/// Runs one query over `localValues` with the given behavior assignment.
+/// Malicious nodes still cannot break ring delivery (fail-stop transport
+/// faults are the sim engine's domain); they only deviate in WHAT they
+/// send.
+[[nodiscard]] MaliciousRunResult runWithAdversaries(
+    const std::vector<std::vector<Value>>& localValues,
+    const MaliciousRunSpec& spec, Rng& rng);
+
+}  // namespace privtopk::protocol

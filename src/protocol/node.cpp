@@ -1,0 +1,28 @@
+#include "protocol/node.hpp"
+
+namespace privtopk::protocol {
+
+std::unique_ptr<LocalAlgorithm> makeLocalAlgorithm(ProtocolKind kind,
+                                                   const ProtocolParams& params,
+                                                   Rng& rng) {
+  params.validate();
+  switch (kind) {
+    case ProtocolKind::Probabilistic: {
+      auto schedule =
+          std::make_shared<const ExponentialSchedule>(params.p0, params.d);
+      if (params.k == 1) {
+        return std::make_unique<RandomizedMaxAlgorithm>(
+            std::move(schedule), rng.fork(0x5a17), params.domain);
+      }
+      return std::make_unique<RandomizedTopKAlgorithm>(
+          params.k, std::move(schedule), rng.fork(0x5a17), params.domain,
+          params.delta);
+    }
+    case ProtocolKind::Naive:
+    case ProtocolKind::AnonymousNaive:
+      return std::make_unique<NaiveAlgorithm>(params.k);
+  }
+  throw ConfigError("makeLocalAlgorithm: unknown protocol kind");
+}
+
+}  // namespace privtopk::protocol

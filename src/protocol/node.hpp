@@ -1,0 +1,48 @@
+// ProtocolNode: one participant = a node id + its private local top-k +
+// the local computation algorithm.  Used by every execution engine
+// (synchronous runner, event-driven simulation, distributed transport).
+
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/types.hpp"
+#include "protocol/local_algorithm.hpp"
+#include "protocol/params.hpp"
+
+namespace privtopk::protocol {
+
+class ProtocolNode {
+ public:
+  /// Takes ownership of `algorithm`; `localTopK` is the node's private
+  /// input (sorted descending, at most k values).
+  ProtocolNode(NodeId id, TopKVector localTopK,
+               std::unique_ptr<LocalAlgorithm> algorithm)
+      : id_(id), local_(std::move(localTopK)), algorithm_(std::move(algorithm)) {
+    algorithm_->reset(local_);
+  }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const TopKVector& localVector() const { return local_; }
+
+  /// Processes the incoming token for round `r`.
+  [[nodiscard]] TopKVector onToken(Round r, const TopKVector& incoming) {
+    return algorithm_->step(incoming, r);
+  }
+
+  /// Restarts the node for a fresh query over the same local data.
+  void restart() { algorithm_->reset(local_); }
+
+ private:
+  NodeId id_;
+  TopKVector local_;
+  std::unique_ptr<LocalAlgorithm> algorithm_;
+};
+
+/// Builds the local-algorithm instance a ProtocolKind requires.  `rng` is
+/// forked so each node owns an independent stream.
+[[nodiscard]] std::unique_ptr<LocalAlgorithm> makeLocalAlgorithm(
+    ProtocolKind kind, const ProtocolParams& params, Rng& rng);
+
+}  // namespace privtopk::protocol

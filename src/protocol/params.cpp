@@ -1,0 +1,50 @@
+#include "protocol/params.hpp"
+
+#include "analysis/bounds.hpp"
+#include "common/error.hpp"
+
+namespace privtopk::protocol {
+
+const char* toString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::Probabilistic: return "probabilistic";
+    case ProtocolKind::Naive: return "naive";
+    case ProtocolKind::AnonymousNaive: return "anonymous-naive";
+  }
+  return "?";
+}
+
+void ProtocolParams::validate() const {
+  if (k == 0) throw ConfigError("ProtocolParams: k must be >= 1");
+  if (p0 < 0.0 || p0 > 1.0) {
+    throw ConfigError("ProtocolParams: p0 must be in [0, 1]");
+  }
+  if (d < 0.0 || d > 1.0) {
+    throw ConfigError("ProtocolParams: d must be in [0, 1]");
+  }
+  if (delta < 1) {
+    throw ConfigError("ProtocolParams: delta must be >= 1 on integer domains");
+  }
+  if (domain.min > domain.max) {
+    throw ConfigError("ProtocolParams: empty domain");
+  }
+  if (rounds && *rounds < 1) {
+    throw ConfigError("ProtocolParams: rounds must be >= 1");
+  }
+  if (!rounds && (epsilon <= 0.0 || epsilon >= 1.0)) {
+    throw ConfigError("ProtocolParams: epsilon must be in (0, 1)");
+  }
+  if (!rounds && d >= 1.0 && p0 > epsilon) {
+    throw ConfigError(
+        "ProtocolParams: rounds bound diverges for d = 1; set rounds "
+        "explicitly");
+  }
+}
+
+Round ProtocolParams::effectiveRounds() const {
+  validate();
+  if (rounds) return *rounds;
+  return analysis::minRounds(p0, d, epsilon);
+}
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,65 @@
+// Protocol configuration (the paper's Table 1 parameters plus engineering
+// knobs) and the protocol variants under study.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace privtopk::protocol {
+
+/// Which protocol runs on the ring.
+enum class ProtocolKind {
+  /// The paper's contribution: randomized local algorithm, random ring
+  /// mapping and starting node, multiple rounds (§3.3/§3.4).
+  Probabilistic,
+  /// One-round deterministic merge with a FIXED starting node and identity
+  /// ring (§3.1 baseline).
+  Naive,
+  /// The naive protocol with a random ring/starting node ("anonymous naive"
+  /// in §5.3).
+  AnonymousNaive,
+};
+
+[[nodiscard]] const char* toString(ProtocolKind kind);
+
+struct ProtocolParams {
+  /// Number of results to select (k = 1 is the max query).
+  std::size_t k = 1;
+
+  /// Initial randomization probability p0 (Eq. 2).
+  double p0 = 1.0;
+
+  /// Dampening factor d (Eq. 2).  The paper's default pick after the
+  /// Figure 9 tradeoff study is (p0, d) = (1, 1/2).
+  double d = 0.5;
+
+  /// Minimum width of the random range in Algorithm 2's randomization
+  /// branch (the paper's delta); must be >= 1 on an integer domain.
+  Value delta = 1;
+
+  /// Publicly known value domain.
+  Domain domain = kPaperDomain;
+
+  /// Explicit round budget.  When unset, the engine derives the paper's
+  /// r_min from `epsilon` via Eq. 4 (probabilistic protocol only; the naive
+  /// variants always run exactly one round).
+  std::optional<Round> rounds;
+
+  /// Precision target 1 - epsilon used when `rounds` is unset.
+  double epsilon = 0.001;
+
+  /// Re-randomize the ring mapping at every round (§4.3 collusion
+  /// hardening).  The classic protocol keeps one mapping for all rounds.
+  bool remapEachRound = false;
+
+  /// Throws ConfigError when any field is out of range.
+  void validate() const;
+
+  /// The round budget this configuration implies (>= 1).
+  [[nodiscard]] Round effectiveRounds() const;
+};
+
+}  // namespace privtopk::protocol

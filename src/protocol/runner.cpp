@@ -1,0 +1,138 @@
+#include "protocol/runner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "protocol/node.hpp"
+#include "sim/ring.hpp"
+
+namespace privtopk::protocol {
+
+namespace {
+
+/// Local initialization (§3.4): sort and keep the k largest values.
+TopKVector localTopK(const std::vector<Value>& values, std::size_t k) {
+  TopKVector v = values;
+  const std::size_t take = std::min(k, v.size());
+  std::partial_sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(take),
+                    v.end(), std::greater<>());
+  v.resize(take);
+  return v;
+}
+
+}  // namespace
+
+RingQueryRunner::RingQueryRunner(ProtocolParams params, ProtocolKind kind)
+    : params_(std::move(params)), kind_(kind) {
+  params_.validate();
+}
+
+RunResult RingQueryRunner::run(
+    const std::vector<std::vector<Value>>& localValues, Rng& rng) const {
+  const std::size_t n = localValues.size();
+  if (n < 3) {
+    throw ConfigError("RingQueryRunner: the protocol requires n >= 3 nodes");
+  }
+
+  // --- Initialization module (§3.2) ---
+  std::vector<ProtocolNode> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (Value v : localValues[i]) {
+      if (!params_.domain.contains(v)) {
+        throw ConfigError("RingQueryRunner: value outside the public domain");
+      }
+    }
+    nodes.emplace_back(static_cast<NodeId>(i),
+                       localTopK(localValues[i], params_.k),
+                       makeLocalAlgorithm(kind_, params_, rng));
+  }
+
+  // Ring mapping + starting node.  The fixed-start naive baseline uses the
+  // identity ring starting at node 0; the other variants randomize both
+  // (a random permutation makes position 0 a uniformly random starter).
+  const bool fixedStart = (kind_ == ProtocolKind::Naive);
+  sim::RingTopology ring = fixedStart ? sim::RingTopology::identity(n)
+                                      : sim::RingTopology::random(n, rng);
+
+  const Round rounds =
+      (kind_ == ProtocolKind::Probabilistic) ? params_.effectiveRounds() : 1;
+
+  RunResult out;
+  out.rounds = rounds;
+  out.trace.nodeCount = n;
+  out.trace.k = params_.k;
+  out.trace.rounds = rounds;
+  out.trace.initialOrder = ring.order();
+  out.trace.localVectors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.trace.localVectors[i] = nodes[i].localVector();
+  }
+
+  // Initial global vector: k copies of the domain minimum (§3.4).
+  TopKVector global(params_.k, params_.domain.min);
+
+  // --- Rounds of token passing ---
+  for (Round r = 1; r <= rounds; ++r) {
+    if (params_.remapEachRound && r > 1 && kind_ == ProtocolKind::Probabilistic) {
+      ring = sim::RingTopology::random(n, rng);
+      out.trace.steps.reserve(out.trace.steps.size() + n);
+    }
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const NodeId nodeId = ring.at(pos);
+      TopKVector output = nodes[nodeId].onToken(r, global);
+      out.trace.steps.push_back(TraceStep{r, pos, nodeId, global, output});
+      global = std::move(output);
+      ++out.tokenMessages;  // token handed to the successor
+    }
+  }
+
+  out.result = global;
+  out.trace.result = global;
+  // Result dissemination: one final pass around the ring (§3.3 "in the
+  // termination round all nodes simply pass on the final result").
+  out.totalMessages = out.tokenMessages + n;
+  return out;
+}
+
+RunResult RingQueryRunner::runBottomK(
+    const std::vector<std::vector<Value>>& localValues, Rng& rng) const {
+  // Mirror v -> min + max - v turns bottom-k into top-k on the same domain.
+  const Value lo = params_.domain.min;
+  const Value hi = params_.domain.max;
+  std::vector<std::vector<Value>> mirrored(localValues.size());
+  for (std::size_t i = 0; i < localValues.size(); ++i) {
+    mirrored[i].reserve(localValues[i].size());
+    for (Value v : localValues[i]) mirrored[i].push_back(lo + hi - v);
+  }
+  RunResult res = run(mirrored, rng);
+  for (Value& v : res.result) v = lo + hi - v;
+  // res.result was descending in mirrored space => ascending after
+  // mirroring back, which is the natural order for bottom-k.
+  for (auto& step : res.trace.steps) {
+    for (Value& v : step.input) v = lo + hi - v;
+    for (Value& v : step.output) v = lo + hi - v;
+  }
+  for (auto& local : res.trace.localVectors) {
+    for (Value& v : local) v = lo + hi - v;
+  }
+  res.trace.result = res.result;
+  return res;
+}
+
+TopKVector queryTopK(const std::vector<std::vector<Value>>& localValues,
+                     std::size_t k, Rng& rng,
+                     const ProtocolParams* paramsOverride) {
+  ProtocolParams params;
+  if (paramsOverride) params = *paramsOverride;
+  params.k = k;
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+  return runner.run(localValues, rng).result;
+}
+
+Value queryMax(const std::vector<std::vector<Value>>& localValues, Rng& rng,
+               const ProtocolParams* paramsOverride) {
+  return queryTopK(localValues, 1, rng, paramsOverride).front();
+}
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,70 @@
+// Synchronous in-memory protocol execution - the fast path used by the
+// Monte-Carlo experiment harnesses (no transports or threads; one run of
+// n=4, r=15 takes microseconds).
+//
+// The runner implements the full protocol structure of §3.2-§3.4:
+// initialization (local sort + local top-k, random ring mapping, random
+// starting node, initial global vector at the domain minimum), multiple
+// rounds of token passing with the configured local algorithm, and
+// termination after the round budget.  Every intermediate value is
+// recorded in an ExecutionTrace for the privacy evaluator.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "protocol/params.hpp"
+#include "protocol/trace.hpp"
+
+namespace privtopk::protocol {
+
+struct RunResult {
+  TopKVector result;
+  ExecutionTrace trace;
+  Round rounds = 0;
+  /// Ring messages carrying round tokens (rounds * n), excluding the final
+  /// result dissemination pass (+n, reported separately).
+  std::size_t tokenMessages = 0;
+  std::size_t totalMessages = 0;
+};
+
+class RingQueryRunner {
+ public:
+  RingQueryRunner(ProtocolParams params, ProtocolKind kind);
+
+  /// Runs one query.  `localValues[i]` is node i's raw value set (the
+  /// runner performs the local sort/top-k initialization step).  `rng`
+  /// drives ring mapping, starting-node selection and the randomized
+  /// algorithms; reuse one Rng across trials for independent randomness.
+  [[nodiscard]] RunResult run(const std::vector<std::vector<Value>>& localValues,
+                              Rng& rng) const;
+
+  /// Bottom-k variant: finds the k SMALLEST values by running the protocol
+  /// on mirrored values (v -> min+max-v), mirroring back.  Used by the kNN
+  /// extension where small distances win.
+  [[nodiscard]] RunResult runBottomK(
+      const std::vector<std::vector<Value>>& localValues, Rng& rng) const;
+
+  [[nodiscard]] const ProtocolParams& params() const { return params_; }
+  [[nodiscard]] ProtocolKind kind() const { return kind_; }
+
+ private:
+  ProtocolParams params_;
+  ProtocolKind kind_;
+};
+
+/// Convenience single-call API: top-k of `localValues` with the
+/// probabilistic protocol and paper-default parameters.
+[[nodiscard]] TopKVector queryTopK(
+    const std::vector<std::vector<Value>>& localValues, std::size_t k,
+    Rng& rng, const ProtocolParams* paramsOverride = nullptr);
+
+/// Convenience max query (k = 1).
+[[nodiscard]] Value queryMax(const std::vector<std::vector<Value>>& localValues,
+                             Rng& rng,
+                             const ProtocolParams* paramsOverride = nullptr);
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,98 @@
+// Randomization-probability schedules.
+//
+// The paper uses the exponentially dampened schedule Pr(r) = p0 * d^(r-1)
+// (Eq. 2) and notes in future work that "it is possible to design other
+// forms of randomization probability".  The schedule is therefore a
+// pluggable strategy: the protocol only requires that it eventually decay
+// to (near) zero so the correct result is produced.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace privtopk::protocol {
+
+class RandomizationSchedule {
+ public:
+  virtual ~RandomizationSchedule() = default;
+
+  /// Randomization probability for round r (1-based); in [0, 1].
+  [[nodiscard]] virtual double probability(Round r) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Eq. 2: p0 * d^(r-1).
+class ExponentialSchedule final : public RandomizationSchedule {
+ public:
+  ExponentialSchedule(double p0, double d) : p0_(p0), d_(d) {
+    if (p0 < 0.0 || p0 > 1.0 || d < 0.0 || d > 1.0) {
+      throw ConfigError("ExponentialSchedule: p0 and d must be in [0, 1]");
+    }
+  }
+  [[nodiscard]] double probability(Round r) const override {
+    if (r < 1) throw ConfigError("ExponentialSchedule: rounds are 1-based");
+    return p0_ * std::pow(d_, static_cast<double>(r - 1));
+  }
+  [[nodiscard]] std::string name() const override { return "exponential"; }
+  [[nodiscard]] double p0() const { return p0_; }
+  [[nodiscard]] double d() const { return d_; }
+
+ private:
+  double p0_;
+  double d_;
+};
+
+/// Linear decay: max(0, p0 - step*(r-1)).  An alternative schedule for the
+/// ablation study; reaches exactly zero after ceil(p0/step) rounds.
+class LinearSchedule final : public RandomizationSchedule {
+ public:
+  LinearSchedule(double p0, double step) : p0_(p0), step_(step) {
+    if (p0 < 0.0 || p0 > 1.0 || step <= 0.0) {
+      throw ConfigError("LinearSchedule: need p0 in [0,1], step > 0");
+    }
+  }
+  [[nodiscard]] double probability(Round r) const override {
+    if (r < 1) throw ConfigError("LinearSchedule: rounds are 1-based");
+    return std::max(0.0, p0_ - step_ * static_cast<double>(r - 1));
+  }
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+ private:
+  double p0_;
+  double step_;
+};
+
+/// Hard cutoff: probability p0 for the first `window` rounds, then 0.
+/// Models "randomize early, be exact late" for the ablation benches.
+class StepSchedule final : public RandomizationSchedule {
+ public:
+  StepSchedule(double p0, Round window) : p0_(p0), window_(window) {
+    if (p0 < 0.0 || p0 > 1.0) throw ConfigError("StepSchedule: p0 in [0,1]");
+  }
+  [[nodiscard]] double probability(Round r) const override {
+    if (r < 1) throw ConfigError("StepSchedule: rounds are 1-based");
+    return r <= window_ ? p0_ : 0.0;
+  }
+  [[nodiscard]] std::string name() const override { return "step"; }
+
+ private:
+  double p0_;
+  Round window_;
+};
+
+/// Always zero - reduces the probabilistic protocol to the naive
+/// deterministic one (the paper notes this equivalence in §3.3).
+class ZeroSchedule final : public RandomizationSchedule {
+ public:
+  [[nodiscard]] double probability(Round) const override { return 0.0; }
+  [[nodiscard]] std::string name() const override { return "zero"; }
+};
+
+}  // namespace privtopk::protocol

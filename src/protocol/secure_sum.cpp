@@ -1,0 +1,47 @@
+#include "protocol/secure_sum.hpp"
+
+#include "common/error.hpp"
+
+namespace privtopk::protocol {
+
+SecureSumResult secureSum(
+    const std::vector<std::vector<std::int64_t>>& perNodeCounters, Rng& rng) {
+  const std::size_t n = perNodeCounters.size();
+  if (n < 3) throw ConfigError("secureSum: need n >= 3 nodes");
+  const std::size_t counters = perNodeCounters.front().size();
+  for (const auto& row : perNodeCounters) {
+    if (row.size() != counters) {
+      throw ConfigError("secureSum: counter count mismatch");
+    }
+  }
+
+  SecureSumResult out;
+  std::vector<std::uint64_t> masks(counters);
+  for (auto& m : masks) m = rng.next();
+
+  // Starting node: mask + its own addends.
+  std::vector<std::uint64_t> token(counters);
+  for (std::size_t c = 0; c < counters; ++c) {
+    token[c] = masks[c] + static_cast<std::uint64_t>(perNodeCounters[0][c]);
+  }
+  out.intermediates.push_back(token);
+  ++out.messages;
+
+  // Every other node adds its addends as the token passes.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t c = 0; c < counters; ++c) {
+      token[c] += static_cast<std::uint64_t>(perNodeCounters[i][c]);
+    }
+    out.intermediates.push_back(token);
+    ++out.messages;
+  }
+
+  // Back at the starting node: strip the mask.
+  out.totals.resize(counters);
+  for (std::size_t c = 0; c < counters; ++c) {
+    out.totals[c] = static_cast<std::int64_t>(token[c] - masks[c]);
+  }
+  return out;
+}
+
+}  // namespace privtopk::protocol

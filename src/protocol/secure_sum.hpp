@@ -1,0 +1,35 @@
+// Decentralized secure sum on the ring (classic additive masking, under
+// the same semi-honest model as the top-k protocol).
+//
+// The starting node adds a uniformly random mask to each counter before
+// sending; every node adds its private addends as the token passes;
+// arithmetic is mod 2^64, so each intermediate value every adversary sees
+// is uniformly distributed and reveals nothing about any prefix sum.  When
+// the token returns, the starting node removes the mask and announces the
+// exact totals.  The kNN extension uses this for private label voting.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace privtopk::protocol {
+
+struct SecureSumResult {
+  /// Exact totals per counter.
+  std::vector<std::int64_t> totals;
+  /// Every intermediate token (for tests: each should look uniform).
+  std::vector<std::vector<std::uint64_t>> intermediates;
+  std::size_t messages = 0;
+};
+
+/// Sums `perNodeCounters[i][c]` over nodes i for each counter c.  All nodes
+/// must supply the same counter count; requires n >= 3 (with fewer nodes a
+/// neighbour pair could reconstruct the remaining party's input trivially).
+[[nodiscard]] SecureSumResult secureSum(
+    const std::vector<std::vector<std::int64_t>>& perNodeCounters, Rng& rng);
+
+}  // namespace privtopk::protocol

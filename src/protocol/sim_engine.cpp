@@ -1,0 +1,157 @@
+#include "protocol/sim_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "protocol/node.hpp"
+
+namespace privtopk::protocol {
+
+namespace {
+
+/// Mutable state shared by the event handlers of one simulated run.
+struct SimState {
+  sim::EventSimulator simulator;
+  sim::RingTopology ring = sim::RingTopology::identity(1);
+  std::vector<std::unique_ptr<ProtocolNode>> nodes;
+  const sim::LatencyModel* latency = nullptr;
+  const sim::FailurePlan* failures = nullptr;
+  Rng* rng = nullptr;
+
+  NodeId controller = 0;  // starting node; drives rounds and termination
+  Round rounds = 1;
+  bool remapEachRound = false;
+  SimulatedRunResult out;
+  bool done = false;
+
+  void deliver(NodeId target, Round round, TopKVector vec);
+  void processAndForward(NodeId node, Round round, const TopKVector& vec);
+};
+
+void SimState::processAndForward(NodeId node, Round round,
+                                 const TopKVector& vec) {
+  TopKVector output = nodes[node]->onToken(round, vec);
+  out.trace.steps.push_back(
+      TraceStep{round, ring.positionOf(node), node, vec, output});
+  const NodeId succ = ring.successor(node);
+  ++out.messages;
+  const sim::SimTime delay = latency->sample(*rng);
+  simulator.scheduleAfter(delay, [this, succ, round,
+                                  moved = std::move(output)]() mutable {
+    deliver(succ, round, std::move(moved));
+  });
+}
+
+void SimState::deliver(NodeId target, Round round, TopKVector vec) {
+  if (done) return;
+
+  // Fail-stop repair: the sender detects the dead successor and re-routes
+  // to the next node, splicing the failed one out (§3.2).
+  if (failures->isFailed(target, simulator.now())) {
+    const NodeId next = ring.successor(target);
+    ring.removeNode(target);
+    out.failedNodes.push_back(target);
+    if (target == controller) controller = next;
+    ++out.messages;  // the re-send
+    const sim::SimTime delay = latency->sample(*rng);
+    simulator.scheduleAfter(delay,
+                            [this, next, round, moved = std::move(vec)]() mutable {
+                              deliver(next, round, std::move(moved));
+                            });
+    return;
+  }
+
+  // A token arriving at the controller closes the round it carries.
+  if (target == controller) {
+    if (round >= rounds) {
+      out.result = vec;
+      out.trace.result = vec;
+      out.completionTime = simulator.now();
+      out.messages += ring.size();  // final dissemination pass
+      done = true;
+      return;
+    }
+    if (remapEachRound) {
+      // §4.3 hardening: fresh random mapping over the LIVE nodes, rotated
+      // so the controller keeps position 0 (it still drives the rounds).
+      std::vector<NodeId> alive = ring.order();
+      rng->shuffle(alive);
+      const auto it = std::find(alive.begin(), alive.end(), controller);
+      std::rotate(alive.begin(), it, alive.end());
+      ring = sim::RingTopology(std::move(alive));
+    }
+    processAndForward(controller, round + 1, vec);
+    return;
+  }
+  processAndForward(target, round, vec);
+}
+
+}  // namespace
+
+SimulatedRunResult runSimulatedQuery(
+    const std::vector<std::vector<Value>>& localValues,
+    const SimulatedRunConfig& config, Rng& rng) {
+  config.params.validate();
+  const std::size_t n = localValues.size();
+  if (n < 3) throw ConfigError("runSimulatedQuery: need n >= 3 nodes");
+
+  const sim::FixedLatency defaultLatency(1.0);
+  SimState state;
+  state.latency = config.latency ? config.latency : &defaultLatency;
+  state.failures = &config.failures;
+  state.rng = &rng;
+  state.remapEachRound = config.params.remapEachRound &&
+                         config.kind == ProtocolKind::Probabilistic;
+  state.rounds = (config.kind == ProtocolKind::Probabilistic)
+                     ? config.params.effectiveRounds()
+                     : 1;
+
+  state.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TopKVector local = localValues[i];
+    const std::size_t take = std::min(config.params.k, local.size());
+    std::partial_sort(local.begin(),
+                      local.begin() + static_cast<std::ptrdiff_t>(take),
+                      local.end(), std::greater<>());
+    local.resize(take);
+    state.nodes.push_back(std::make_unique<ProtocolNode>(
+        static_cast<NodeId>(i), std::move(local),
+        makeLocalAlgorithm(config.kind, config.params, rng)));
+  }
+
+  state.ring = (config.kind == ProtocolKind::Naive)
+                   ? sim::RingTopology::identity(n)
+                   : sim::RingTopology::random(n, rng);
+  state.controller = state.ring.order().front();
+
+  state.out.trace.nodeCount = n;
+  state.out.trace.k = config.params.k;
+  state.out.trace.rounds = state.rounds;
+  state.out.trace.initialOrder = state.ring.order();
+  state.out.trace.localVectors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.out.trace.localVectors[i] = state.nodes[i]->localVector();
+  }
+
+  // Kickoff: the first LIVE node in ring order becomes the controller and
+  // processes round 1 at virtual time zero.
+  TopKVector initial(config.params.k, config.params.domain.min);
+  state.simulator.scheduleAt(0.0, [&state, initial] {
+    while (state.failures->isFailed(state.controller, 0.0)) {
+      const NodeId next = state.ring.successor(state.controller);
+      state.ring.removeNode(state.controller);
+      state.out.failedNodes.push_back(state.controller);
+      state.controller = next;
+    }
+    state.processAndForward(state.controller, 1, initial);
+  });
+  state.simulator.run();
+
+  if (!state.done) {
+    throw Error("runSimulatedQuery: simulation drained without terminating");
+  }
+  return std::move(state.out);
+}
+
+}  // namespace privtopk::protocol

@@ -1,0 +1,52 @@
+// Event-driven simulated deployment: the protocol over a virtual network
+// with per-link latencies and fail-stop node crashes.
+//
+// This engine answers the questions the synchronous runner cannot: how
+// long does a query take on a WAN (virtual time), and does the protocol
+// still terminate correctly when nodes crash mid-query and the ring is
+// repaired by connecting the failed node's predecessor and successor
+// (§3.2)?  Semantics on failure: a crashed node's values are lost (it can
+// no longer participate), so the result is the top-k over the values of
+// nodes that stayed alive plus whatever the crashed node already
+// contributed - matching a real deployment.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protocol/params.hpp"
+#include "protocol/trace.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/failure.hpp"
+#include "sim/ring.hpp"
+
+namespace privtopk::protocol {
+
+struct SimulatedRunResult {
+  TopKVector result;
+  ExecutionTrace trace;
+  /// Virtual milliseconds from query start to the starting node holding
+  /// the final result (excludes the dissemination pass).
+  sim::SimTime completionTime = 0.0;
+  std::size_t messages = 0;
+  /// Nodes that crashed during the run.
+  std::vector<NodeId> failedNodes;
+};
+
+struct SimulatedRunConfig {
+  ProtocolParams params;
+  ProtocolKind kind = ProtocolKind::Probabilistic;
+  /// Per-link latency model; defaults to 1ms fixed when null.
+  const sim::LatencyModel* latency = nullptr;
+  /// Fail-stop plan; empty = no failures.
+  sim::FailurePlan failures;
+};
+
+/// Runs one simulated query over `localValues` (per-node raw values).
+[[nodiscard]] SimulatedRunResult runSimulatedQuery(
+    const std::vector<std::vector<Value>>& localValues,
+    const SimulatedRunConfig& config, Rng& rng);
+
+}  // namespace privtopk::protocol

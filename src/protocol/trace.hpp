@@ -1,0 +1,48 @@
+// Execution traces: everything an observer could see during a protocol
+// run, recorded for the privacy analysis.
+//
+// A step is one local-algorithm invocation: node `node`, sitting at ring
+// position `position` in round `round`, received `input` and emitted
+// `output` (which its successor observes).  The trace also keeps each
+// node's private local vector so the privacy evaluator can score
+// adversarial claims against ground truth - the evaluator is the only
+// component allowed to look at both sides.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace privtopk::protocol {
+
+struct TraceStep {
+  Round round = 1;
+  std::size_t position = 0;  // ring position within the round's mapping
+  NodeId node = 0;
+  TopKVector input;
+  TopKVector output;
+};
+
+struct ExecutionTrace {
+  /// Steps in execution order.
+  std::vector<TraceStep> steps;
+
+  /// The final query answer (sorted descending, k entries).
+  TopKVector result;
+
+  /// localVectors[node] = that node's private local top-k input.
+  std::vector<TopKVector> localVectors;
+
+  /// Ring order of round 1 (order[0] is the starting node).  With
+  /// per-round remapping later rounds use different orders; consult
+  /// TraceStep::position per step.
+  std::vector<NodeId> initialOrder;
+
+  std::size_t nodeCount = 0;
+  std::size_t k = 1;
+  Round rounds = 0;
+};
+
+}  // namespace privtopk::protocol

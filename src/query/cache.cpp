@@ -1,0 +1,31 @@
+#include "query/cache.hpp"
+
+namespace privtopk::query {
+
+std::string CachedFederation::keyFor(const QueryDescriptor& descriptor,
+                                     std::uint64_t dataEpoch) {
+  QueryDescriptor normalized = descriptor;
+  normalized.queryId = 0;
+  const Bytes encoded = normalized.encode();
+  std::string key(encoded.begin(), encoded.end());
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<char>(dataEpoch >> (8 * i)));
+  }
+  return key;
+}
+
+QueryOutcome CachedFederation::execute(const QueryDescriptor& descriptor,
+                                       Rng& rng, std::uint64_t dataEpoch) {
+  const std::string key = keyFor(descriptor, dataEpoch);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  QueryOutcome outcome = federation_->execute(descriptor, rng);
+  cache_.emplace(key, outcome);
+  return outcome;
+}
+
+}  // namespace privtopk::query

@@ -1,0 +1,54 @@
+// Query-result cache: the mitigation for repeated-query privacy erosion.
+//
+// bench_ext_multiquery shows that re-running the same query over static
+// data lets a multi-round Bayesian adversary keep sharpening its posterior
+// - the protocol's guarantees are per-execution and do not compose.
+// CachedFederation answers byte-identical repeated descriptors (modulo the
+// query id, which is a transport-level nonce) from cache: same answer,
+// ZERO additional protocol executions, zero additional leakage.
+//
+// The cache must be invalidated when any party's data changes; parties in
+// a real deployment would version their datasets, so the cache key
+// includes a caller-supplied data epoch.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "query/federation.hpp"
+
+namespace privtopk::query {
+
+class CachedFederation {
+ public:
+  explicit CachedFederation(const Federation& federation)
+      : federation_(&federation) {}
+
+  /// Executes through the cache.  `dataEpoch` identifies the federation's
+  /// data version; bump it whenever any party's data changes.
+  [[nodiscard]] QueryOutcome execute(const QueryDescriptor& descriptor,
+                                     Rng& rng, std::uint64_t dataEpoch = 0);
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+
+  /// Drops every cached entry.
+  void clear() { cache_.clear(); }
+
+ private:
+  /// Cache key: the canonical descriptor encoding with the queryId field
+  /// zeroed (two queries differing only in their nonce are "the same
+  /// question") plus the data epoch.
+  [[nodiscard]] static std::string keyFor(const QueryDescriptor& descriptor,
+                                          std::uint64_t dataEpoch);
+
+  const Federation* federation_;
+  std::map<std::string, QueryOutcome> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace privtopk::query

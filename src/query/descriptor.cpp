@@ -1,0 +1,109 @@
+#include "query/descriptor.hpp"
+
+#include "common/error.hpp"
+
+namespace privtopk::query {
+
+const char* toString(QueryType type) {
+  switch (type) {
+    case QueryType::TopK: return "topk";
+    case QueryType::BottomK: return "bottomk";
+    case QueryType::Max: return "max";
+    case QueryType::Min: return "min";
+    case QueryType::Sum: return "sum";
+    case QueryType::Count: return "count";
+    case QueryType::Average: return "average";
+  }
+  return "?";
+}
+
+std::size_t QueryDescriptor::effectiveK() const {
+  if (type == QueryType::Max || type == QueryType::Min) return 1;
+  if (type == QueryType::Average) return 2;  // {sum, count}
+  if (isAggregate()) return 1;
+  return params.k;
+}
+
+bool QueryDescriptor::isAggregate() const {
+  return type == QueryType::Sum || type == QueryType::Count ||
+         type == QueryType::Average;
+}
+
+bool QueryDescriptor::isBottom() const {
+  return type == QueryType::BottomK || type == QueryType::Min;
+}
+
+void QueryDescriptor::validate() const {
+  if (tableName.empty()) throw ConfigError("QueryDescriptor: empty table");
+  if (attribute.empty()) throw ConfigError("QueryDescriptor: empty attribute");
+  protocol::ProtocolParams effective = params;
+  effective.k = effectiveK();
+  effective.validate();
+}
+
+Bytes QueryDescriptor::encode() const {
+  validate();
+  ByteWriter w;
+  w.writeU64(queryId);
+  w.writeU8(static_cast<std::uint8_t>(type));
+  w.writeU8(static_cast<std::uint8_t>(kind));
+  w.writeString(tableName);
+  w.writeString(attribute);
+  w.writeVarint(params.k);
+  w.writeF64(params.p0);
+  w.writeF64(params.d);
+  w.writeI64(params.delta);
+  w.writeI64(params.domain.min);
+  w.writeI64(params.domain.max);
+  w.writeU8(params.rounds.has_value() ? 1 : 0);
+  w.writeU32(params.rounds.value_or(0));
+  w.writeF64(params.epsilon);
+  w.writeU8(params.remapEachRound ? 1 : 0);
+  filter.encodeTo(w);
+  return w.take();
+}
+
+QueryDescriptor QueryDescriptor::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  QueryDescriptor d;
+  d.queryId = r.readU64();
+  const std::uint8_t rawType = r.readU8();
+  if (rawType > static_cast<std::uint8_t>(QueryType::Average)) {
+    throw ProtocolError("QueryDescriptor: unknown query type");
+  }
+  d.type = static_cast<QueryType>(rawType);
+  const std::uint8_t rawKind = r.readU8();
+  if (rawKind > 2) throw ProtocolError("QueryDescriptor: unknown protocol kind");
+  d.kind = static_cast<protocol::ProtocolKind>(rawKind);
+  d.tableName = r.readString();
+  d.attribute = r.readString();
+  d.params.k = r.readVarint();
+  d.params.p0 = r.readF64();
+  d.params.d = r.readF64();
+  d.params.delta = r.readI64();
+  d.params.domain.min = r.readI64();
+  d.params.domain.max = r.readI64();
+  const bool hasRounds = r.readU8() != 0;
+  const Round rounds = r.readU32();
+  if (hasRounds) d.params.rounds = rounds;
+  d.params.epsilon = r.readF64();
+  d.params.remapEachRound = r.readU8() != 0;
+  d.filter = Filter::decodeFrom(r);
+  if (!r.atEnd()) throw ProtocolError("QueryDescriptor: trailing bytes");
+  d.validate();
+  return d;
+}
+
+bool operator==(const QueryDescriptor& a, const QueryDescriptor& b) {
+  return a.queryId == b.queryId && a.type == b.type && a.kind == b.kind &&
+         a.tableName == b.tableName && a.attribute == b.attribute &&
+         a.params.k == b.params.k && a.params.p0 == b.params.p0 &&
+         a.params.d == b.params.d && a.params.delta == b.params.delta &&
+         a.params.domain == b.params.domain &&
+         a.params.rounds == b.params.rounds &&
+         a.params.epsilon == b.params.epsilon &&
+         a.params.remapEachRound == b.params.remapEachRound &&
+         a.filter == b.filter;
+}
+
+}  // namespace privtopk::query

@@ -1,0 +1,68 @@
+// Query descriptors: the out-of-band agreement that precedes a protocol
+// run.  In a deployment the initiating organization distributes one
+// descriptor to every participant (the paper assumes schemas and
+// parameters are agreed in advance, §3.2); participants validate it
+// against their schema and then join the ring.  The descriptor carries a
+// canonical binary encoding so it can be signed/transported.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serialization.hpp"
+#include "common/types.hpp"
+#include "protocol/params.hpp"
+#include "query/filter.hpp"
+
+namespace privtopk::query {
+
+/// What the federation computes.  TopK/BottomK/Max/Min run the paper's
+/// ring protocol; Sum/Count/Average run the decentralized secure sum
+/// (additive masking) over per-party aggregates - the "total sales"
+/// statistic the paper's introduction motivates alongside top-k.
+enum class QueryType : std::uint8_t {
+  TopK = 0,    ///< k largest values (descending)
+  BottomK = 1, ///< k smallest values (ascending; runs on mirrored values)
+  Max = 2,     ///< TopK with k = 1
+  Min = 3,     ///< BottomK with k = 1
+  Sum = 4,     ///< total of the attribute across all parties
+  Count = 5,   ///< total row count across all parties
+  Average = 6, ///< returns {sum, count}; divide for the mean
+};
+
+[[nodiscard]] const char* toString(QueryType type);
+
+struct QueryDescriptor {
+  std::uint64_t queryId = 0;
+  QueryType type = QueryType::TopK;
+  protocol::ProtocolKind kind = protocol::ProtocolKind::Probabilistic;
+  std::string tableName = "data";
+  std::string attribute = "value";
+  protocol::ProtocolParams params;  ///< params.k is the query's k
+
+  /// Row selection every party applies locally before extracting its
+  /// input ("sales in a given category or time period", paper §2.1).
+  Filter filter;
+
+  /// The k actually selected (1 for Max/Min regardless of params.k).
+  [[nodiscard]] std::size_t effectiveK() const;
+
+  /// True for BottomK/Min (protocol runs on mirrored values).
+  [[nodiscard]] bool isBottom() const;
+
+  /// True for Sum/Count/Average (runs the secure-sum protocol instead of
+  /// the ring top-k protocol).
+  [[nodiscard]] bool isAggregate() const;
+
+  /// Throws ConfigError on inconsistent fields.
+  void validate() const;
+
+  /// Canonical binary encoding (stable across platforms).
+  [[nodiscard]] Bytes encode() const;
+  static QueryDescriptor decode(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const QueryDescriptor& a, const QueryDescriptor& b);
+};
+
+}  // namespace privtopk::query

@@ -1,0 +1,134 @@
+#include "query/federation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "protocol/secure_sum.hpp"
+
+namespace privtopk::query {
+
+namespace {
+
+Value mirror(const Domain& domain, Value v) {
+  return domain.min + domain.max - v;
+}
+
+}  // namespace
+
+void LocalParty::validateSchema(const QueryDescriptor& descriptor) const {
+  descriptor.validate();
+  if (!db_->hasTable(descriptor.tableName)) {
+    throw SchemaError("LocalParty: no table '" + descriptor.tableName + "'");
+  }
+  const data::Table& table = db_->table(descriptor.tableName);
+  // intColumn throws a precise SchemaError for missing/mistyped attribute.
+  (void)table.intColumn(descriptor.attribute);
+  descriptor.filter.validateAgainst(table.schema());
+}
+
+TopKVector LocalParty::localInput(const QueryDescriptor& descriptor) const {
+  validateSchema(descriptor);
+  const std::size_t k = descriptor.effectiveK();
+  const Domain& domain = descriptor.params.domain;
+
+  const data::RowPredicate predicate = descriptor.filter.predicate();
+  TopKVector values =
+      descriptor.isBottom()
+          ? db_->localBottomK(descriptor.tableName, descriptor.attribute, k,
+                              predicate)
+          : db_->localTopK(descriptor.tableName, descriptor.attribute, k,
+                           predicate);
+  for (Value v : values) {
+    if (!domain.contains(v)) {
+      throw ConfigError("LocalParty: value outside the public domain");
+    }
+  }
+  if (descriptor.isBottom()) {
+    // Mirror into max-space; localBottomK is ascending, so the mirrored
+    // vector is descending, as the protocol expects.
+    for (Value& v : values) v = mirror(domain, v);
+  }
+  return values;
+}
+
+std::vector<std::int64_t> LocalParty::localAggregate(
+    const QueryDescriptor& descriptor) const {
+  validateSchema(descriptor);
+  if (!descriptor.isAggregate()) {
+    throw ConfigError("LocalParty::localAggregate: not an aggregate query");
+  }
+  const data::Table& table = db_->table(descriptor.tableName);
+  const auto& column = table.intColumn(descriptor.attribute);
+  const data::RowPredicate predicate = descriptor.filter.predicate();
+  std::int64_t sum = 0;
+  std::int64_t rows = 0;
+  for (std::size_t row = 0; row < column.size(); ++row) {
+    if (predicate && !predicate(table, row)) continue;
+    sum += column[row];
+    ++rows;
+  }
+  switch (descriptor.type) {
+    case QueryType::Sum: return {sum};
+    case QueryType::Count: return {rows};
+    case QueryType::Average: return {sum, rows};
+    default: throw ConfigError("localAggregate: unreachable");
+  }
+}
+
+TopKVector presentResult(const QueryDescriptor& descriptor,
+                         TopKVector protocolResult) {
+  if (!descriptor.isBottom()) return protocolResult;
+  const Domain& domain = descriptor.params.domain;
+  for (Value& v : protocolResult) v = mirror(domain, v);
+  // Descending mirrored values become ascending originals - already the
+  // natural order for bottom-k.
+  return protocolResult;
+}
+
+Federation::Federation(const std::vector<data::PrivateDatabase>& parties)
+    : parties_(&parties) {
+  if (parties.size() < 3) {
+    throw ConfigError("Federation: the protocol requires >= 3 parties");
+  }
+}
+
+QueryOutcome Federation::execute(const QueryDescriptor& descriptor,
+                                 Rng& rng) const {
+  descriptor.validate();
+
+  if (descriptor.isAggregate()) {
+    // Statistics queries run the decentralized secure sum over per-party
+    // aggregates (one masked pass, exact totals, uniform intermediates).
+    std::vector<std::vector<std::int64_t>> counters;
+    counters.reserve(parties_->size());
+    for (const auto& db : *parties_) {
+      counters.push_back(LocalParty(db).localAggregate(descriptor));
+    }
+    const protocol::SecureSumResult sum = protocol::secureSum(counters, rng);
+    QueryOutcome outcome;
+    outcome.values = sum.totals;
+    outcome.rounds = 1;
+    outcome.messages = sum.messages;
+    return outcome;
+  }
+
+  std::vector<std::vector<Value>> inputs;
+  inputs.reserve(parties_->size());
+  for (const auto& db : *parties_) {
+    inputs.push_back(LocalParty(db).localInput(descriptor));
+  }
+
+  protocol::ProtocolParams params = descriptor.params;
+  params.k = descriptor.effectiveK();
+  const protocol::RingQueryRunner runner(params, descriptor.kind);
+  protocol::RunResult run = runner.run(inputs, rng);
+
+  QueryOutcome outcome;
+  outcome.values = presentResult(descriptor, run.result);
+  outcome.rounds = run.rounds;
+  outcome.messages = run.totalMessages;
+  outcome.trace = std::move(run.trace);
+  return outcome;
+}
+
+}  // namespace privtopk::query

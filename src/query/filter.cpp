@@ -1,0 +1,169 @@
+#include "query/filter.hpp"
+
+#include <charconv>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+
+namespace privtopk::query {
+
+const char* toString(FilterOp op) {
+  switch (op) {
+    case FilterOp::Eq: return "==";
+    case FilterOp::Ne: return "!=";
+    case FilterOp::Lt: return "<";
+    case FilterOp::Le: return "<=";
+    case FilterOp::Gt: return ">";
+    case FilterOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+bool applyOp(FilterOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case FilterOp::Eq: return lhs == rhs;
+    case FilterOp::Ne: return lhs != rhs;
+    case FilterOp::Lt: return lhs < rhs;
+    case FilterOp::Le: return lhs <= rhs;
+    case FilterOp::Gt: return lhs > rhs;
+    case FilterOp::Ge: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+Filter::Filter(std::vector<FilterClause> clauses)
+    : clauses_(std::move(clauses)) {}
+
+void Filter::validateAgainst(const data::Schema& schema) const {
+  for (const auto& clause : clauses_) {
+    const std::size_t idx = schema.indexOf(clause.column);  // throws if absent
+    const data::ColumnType type = schema.column(idx).type;
+    const bool intLiteral = std::holds_alternative<Value>(clause.literal);
+    switch (type) {
+      case data::ColumnType::Int:
+        if (!intLiteral) {
+          throw ConfigError("Filter: column '" + clause.column +
+                            "' is int but the literal is text");
+        }
+        break;
+      case data::ColumnType::Text:
+        if (intLiteral) {
+          throw ConfigError("Filter: column '" + clause.column +
+                            "' is text but the literal is int");
+        }
+        if (clause.op != FilterOp::Eq && clause.op != FilterOp::Ne) {
+          throw ConfigError("Filter: text column '" + clause.column +
+                            "' supports only == and !=");
+        }
+        break;
+      case data::ColumnType::Real:
+        throw ConfigError("Filter: real columns are not filterable "
+                          "(column '" + clause.column + "')");
+    }
+  }
+}
+
+data::RowPredicate Filter::predicate() const {
+  if (clauses_.empty()) return {};
+  // Copy the clauses into the closure; tables are consulted per row.
+  const std::vector<FilterClause> clauses = clauses_;
+  return [clauses](const data::Table& table, std::size_t row) {
+    for (const auto& clause : clauses) {
+      if (const auto* value = std::get_if<Value>(&clause.literal)) {
+        const Value cell = table.intColumn(clause.column)[row];
+        if (!applyOp(clause.op, cell, *value)) return false;
+      } else {
+        const std::string& want = std::get<std::string>(clause.literal);
+        const std::string& cell = table.textColumn(clause.column)[row];
+        if (!applyOp(clause.op, cell, want)) return false;
+      }
+    }
+    return true;
+  };
+}
+
+void Filter::encodeTo(ByteWriter& w) const {
+  w.writeVarint(clauses_.size());
+  for (const auto& clause : clauses_) {
+    w.writeString(clause.column);
+    w.writeU8(static_cast<std::uint8_t>(clause.op));
+    if (const auto* value = std::get_if<Value>(&clause.literal)) {
+      w.writeU8(0);
+      w.writeI64(*value);
+    } else {
+      w.writeU8(1);
+      w.writeString(std::get<std::string>(clause.literal));
+    }
+  }
+}
+
+Filter Filter::decodeFrom(ByteReader& r) {
+  const std::uint64_t count = r.readVarint();
+  if (count > 1024) throw ProtocolError("Filter: too many clauses");
+  std::vector<FilterClause> clauses;
+  clauses.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FilterClause clause;
+    clause.column = r.readString();
+    const std::uint8_t rawOp = r.readU8();
+    if (rawOp > static_cast<std::uint8_t>(FilterOp::Ge)) {
+      throw ProtocolError("Filter: unknown operator");
+    }
+    clause.op = static_cast<FilterOp>(rawOp);
+    const std::uint8_t literalKind = r.readU8();
+    if (literalKind == 0) {
+      clause.literal = r.readI64();
+    } else if (literalKind == 1) {
+      clause.literal = r.readString();
+    } else {
+      throw ProtocolError("Filter: unknown literal kind");
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return Filter(std::move(clauses));
+}
+
+Filter Filter::parse(const std::string& text) {
+  if (text.empty()) return Filter();
+  std::vector<FilterClause> clauses;
+  for (const std::string& part : splitString(text, ',')) {
+    // Longest-match operator scan.
+    static constexpr std::pair<const char*, FilterOp> kOps[] = {
+        {"==", FilterOp::Eq}, {"!=", FilterOp::Ne}, {"<=", FilterOp::Le},
+        {">=", FilterOp::Ge}, {"<", FilterOp::Lt},  {">", FilterOp::Gt},
+        {"=", FilterOp::Eq},
+    };
+    FilterClause clause;
+    std::string rhs;
+    bool matched = false;
+    for (const auto& [symbol, op] : kOps) {
+      const std::size_t pos = part.find(symbol);
+      if (pos == std::string::npos || pos == 0) continue;
+      clause.column = part.substr(0, pos);
+      clause.op = op;
+      rhs = part.substr(pos + std::string(symbol).size());
+      matched = true;
+      break;
+    }
+    if (!matched || rhs.empty()) {
+      throw ConfigError("Filter::parse: cannot parse clause '" + part + "'");
+    }
+    Value value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(rhs.data(), rhs.data() + rhs.size(), value);
+    if (ec == std::errc() && ptr == rhs.data() + rhs.size()) {
+      clause.literal = value;
+    } else {
+      clause.literal = rhs;
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return Filter(std::move(clauses));
+}
+
+}  // namespace privtopk::query

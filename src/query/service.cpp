@@ -1,0 +1,317 @@
+#include "query/service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "query/federation.hpp"
+
+namespace privtopk::query {
+
+using namespace std::chrono_literals;
+
+NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
+                         net::Transport& transport, std::uint64_t seed,
+                         std::chrono::milliseconds staleAfter)
+    : self_(self), db_(&db), transport_(&transport), rng_(seed),
+      staleAfter_(staleAfter) {}
+
+NodeService::~NodeService() { stop(); }
+
+void NodeService::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  worker_ = std::thread([this] { workerLoop(); });
+}
+
+void NodeService::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (worker_.joinable()) worker_.join();
+}
+
+void NodeService::workerLoop() {
+  while (running_.load()) {
+    const auto envelope = transport_->receive(self_, 50ms);
+    purgeStale();
+    if (!envelope) continue;
+    try {
+      dispatch(*envelope);
+    } catch (const Error& e) {
+      // Hostile or stale traffic must not take the service down.
+      PRIVTOPK_LOG_WARN("service ", self_, ": dropped message from ",
+                        envelope->from, ": ", e.what());
+    }
+  }
+}
+
+void NodeService::purgeStale() {
+  const auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(mutex_);
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (now - it->second.registeredAt < staleAfter_) {
+      ++it;
+      continue;
+    }
+    PRIVTOPK_LOG_WARN("service ", self_, ": garbage-collecting stale query ",
+                      it->first);
+    if (it->second.initiator) {
+      it->second.promise.set_exception(std::make_exception_ptr(
+          TransportError("query timed out waiting for the ring")));
+    }
+    it = active_.erase(it);
+  }
+}
+
+void NodeService::dispatch(const net::Envelope& envelope) {
+  const net::Message message = net::decodeMessage(envelope.payload);
+  std::scoped_lock lock(mutex_);
+  if (const auto* announce = std::get_if<net::QueryAnnounce>(&message)) {
+    onAnnounce(*announce);
+  } else if (const auto* token = std::get_if<net::RoundToken>(&message)) {
+    onRoundToken(*token);
+  } else if (const auto* sum = std::get_if<net::SumToken>(&message)) {
+    onSumToken(*sum);
+  } else if (const auto* result =
+                 std::get_if<net::ResultAnnouncement>(&message)) {
+    onResult(*result);
+  } else {
+    PRIVTOPK_LOG_WARN("service ", self_, ": ignoring ring-repair control");
+  }
+}
+
+NodeId NodeService::successorFor(const QueryState& state) const {
+  const auto it =
+      std::find(state.ringOrder.begin(), state.ringOrder.end(), self_);
+  const std::size_t pos =
+      static_cast<std::size_t>(std::distance(state.ringOrder.begin(), it));
+  return state.ringOrder[(pos + 1) % state.ringOrder.size()];
+}
+
+void NodeService::send(const QueryState& state, const net::Message& message) {
+  try {
+    transport_->send(self_, successorFor(state), net::encodeMessage(message));
+  } catch (const TransportError& e) {
+    // The token is lost; the query stalls and the stale-query GC reclaims
+    // it (failing the initiator's future).  The service itself stays up.
+    PRIVTOPK_LOG_WARN("service ", self_, ": send to ", successorFor(state),
+                      " failed: ", e.what());
+  }
+}
+
+std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
+                                              std::vector<NodeId> ringOrder) {
+  descriptor.validate();
+  if (ringOrder.size() < 3) {
+    throw ConfigError("NodeService::initiate: ring needs >= 3 nodes");
+  }
+  if (ringOrder.front() != self_) {
+    throw ConfigError("NodeService::initiate: initiator must be first on "
+                      "the ring");
+  }
+
+  std::scoped_lock lock(mutex_);
+  if (active_.contains(descriptor.queryId) ||
+      completed_.contains(descriptor.queryId)) {
+    throw ConfigError("NodeService::initiate: duplicate query id");
+  }
+
+  QueryState state;
+  state.descriptor = descriptor;
+  state.ringOrder = ringOrder;
+  state.initiator = true;
+  state.registeredAt = std::chrono::steady_clock::now();
+
+  const LocalParty party(*db_);
+  if (descriptor.isAggregate()) {
+    state.addends = party.localAggregate(descriptor);
+    state.masks.resize(state.addends.size());
+    for (auto& m : state.masks) m = rng_.next();
+  } else {
+    state.rounds = descriptor.kind == protocol::ProtocolKind::Probabilistic
+                       ? [&] {
+                           auto p = descriptor.params;
+                           p.k = descriptor.effectiveK();
+                           return p.effectiveRounds();
+                         }()
+                       : 1;
+    auto params = descriptor.params;
+    params.k = descriptor.effectiveK();
+    state.node = std::make_unique<protocol::ProtocolNode>(
+        self_, party.localInput(descriptor),
+        protocol::makeLocalAlgorithm(descriptor.kind, params, rng_));
+  }
+
+  std::future<TopKVector> future = state.promise.get_future();
+  const auto [it, inserted] =
+      active_.emplace(descriptor.queryId, std::move(state));
+  (void)inserted;
+  QueryState& registered = it->second;
+
+  // Announce first (FIFO links deliver it ahead of the round token on
+  // every hop), then start the protocol immediately.
+  send(registered, net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
+                                      registered.ringOrder});
+  beginRounds(registered);
+  return future;
+}
+
+void NodeService::beginRounds(QueryState& state) {
+  const auto& descriptor = state.descriptor;
+  if (descriptor.isAggregate()) {
+    std::vector<std::int64_t> sums(state.addends.size());
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      sums[i] = static_cast<std::int64_t>(
+          state.masks[i] + static_cast<std::uint64_t>(state.addends[i]));
+    }
+    send(state, net::SumToken{descriptor.queryId, 1, std::move(sums)});
+    return;
+  }
+  auto params = descriptor.params;
+  params.k = descriptor.effectiveK();
+  TopKVector initial(params.k, params.domain.min);
+  const TopKVector out = state.node->onToken(1, initial);
+  send(state, net::RoundToken{descriptor.queryId, 1, out});
+}
+
+void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
+  if (active_.contains(announce.queryId) ||
+      completed_.contains(announce.queryId)) {
+    return;  // our own announce circled back, or a duplicate
+  }
+  const QueryDescriptor descriptor =
+      QueryDescriptor::decode(announce.descriptor);
+  if (descriptor.queryId != announce.queryId) {
+    throw ProtocolError("QueryAnnounce: inner/outer query id mismatch");
+  }
+  if (std::find(announce.ringOrder.begin(), announce.ringOrder.end(), self_) ==
+      announce.ringOrder.end()) {
+    throw ProtocolError("QueryAnnounce: this node is not on the ring");
+  }
+
+  QueryState state;
+  state.descriptor = descriptor;
+  state.ringOrder = announce.ringOrder;
+  state.registeredAt = std::chrono::steady_clock::now();
+
+  const LocalParty party(*db_);
+  if (descriptor.isAggregate()) {
+    state.addends = party.localAggregate(descriptor);
+  } else {
+    auto params = descriptor.params;
+    params.k = descriptor.effectiveK();
+    state.node = std::make_unique<protocol::ProtocolNode>(
+        self_, party.localInput(descriptor),
+        protocol::makeLocalAlgorithm(descriptor.kind, params, rng_));
+  }
+
+  const auto [it, inserted] =
+      active_.emplace(announce.queryId, std::move(state));
+  (void)inserted;
+  send(it->second, announce);  // keep the announce circling
+}
+
+void NodeService::onRoundToken(const net::RoundToken& token) {
+  const auto it = active_.find(token.queryId);
+  if (it == active_.end()) {
+    PRIVTOPK_LOG_WARN("service ", self_, ": token for unknown query ",
+                      token.queryId);
+    return;
+  }
+  QueryState& state = it->second;
+
+  if (state.initiator) {
+    // The token circled back: close the round.
+    if (token.round >= state.rounds) {
+      send(state,
+           net::ResultAnnouncement{token.queryId, token.vector});
+      complete(token.queryId, state, token.vector);
+      return;
+    }
+    const TopKVector out = state.node->onToken(token.round + 1, token.vector);
+    send(state, net::RoundToken{token.queryId, token.round + 1, out});
+    return;
+  }
+  const TopKVector out = state.node->onToken(token.round, token.vector);
+  send(state, net::RoundToken{token.queryId, token.round, out});
+}
+
+void NodeService::onSumToken(const net::SumToken& token) {
+  const auto it = active_.find(token.queryId);
+  if (it == active_.end()) {
+    PRIVTOPK_LOG_WARN("service ", self_, ": sum token for unknown query ",
+                      token.queryId);
+    return;
+  }
+  QueryState& state = it->second;
+  if (token.sums.size() != state.addends.size()) {
+    throw ProtocolError("SumToken: counter count mismatch");
+  }
+
+  if (state.initiator) {
+    // Unmask and publish.
+    TopKVector totals(token.sums.size());
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      totals[i] = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(token.sums[i]) - state.masks[i]);
+    }
+    send(state, net::ResultAnnouncement{token.queryId, totals});
+    complete(token.queryId, state, std::move(totals));
+    return;
+  }
+  // Add our addends mod 2^64 and pass along.
+  std::vector<std::int64_t> sums = token.sums;
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    sums[i] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(sums[i]) +
+        static_cast<std::uint64_t>(state.addends[i]));
+  }
+  send(state, net::SumToken{token.queryId, token.round, std::move(sums)});
+}
+
+void NodeService::onResult(const net::ResultAnnouncement& result) {
+  const auto it = active_.find(result.queryId);
+  if (it == active_.end()) {
+    // Already completed here (initiator's own announce returning, or a
+    // duplicate): stop the circulation.
+    return;
+  }
+  QueryState& state = it->second;
+  send(state, result);  // forward once before completing
+  complete(result.queryId, state, result.result);
+}
+
+void NodeService::complete(std::uint64_t queryId, QueryState& state,
+                           TopKVector result) {
+  TopKVector presented = presentResult(state.descriptor, std::move(result));
+  if (state.initiator) {
+    state.promise.set_value(presented);
+  }
+  completed_[queryId] = std::move(presented);
+  active_.erase(queryId);
+  completedCv_.notify_all();
+}
+
+std::optional<TopKVector> NodeService::resultOf(std::uint64_t queryId) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = completed_.find(queryId);
+  if (it == completed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TopKVector> NodeService::waitFor(
+    std::uint64_t queryId, std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(mutex_);
+  const bool done = completedCv_.wait_for(lock, timeout, [&] {
+    return completed_.contains(queryId);
+  });
+  if (!done) return std::nullopt;
+  return completed_.at(queryId);
+}
+
+std::size_t NodeService::activeQueries() const {
+  std::scoped_lock lock(mutex_);
+  return active_.size();
+}
+
+}  // namespace privtopk::query

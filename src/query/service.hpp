@@ -1,0 +1,137 @@
+// NodeService: a long-running participant daemon.
+//
+// The blocking protocol::DistributedParticipant serves exactly one query.
+// A real organization instead runs one service bound to its private
+// database and its transport endpoint; the service
+//
+//   * answers QueryAnnounce messages by building the protocol state for
+//     the announced query from the LOCAL database (schema-validated) and
+//     forwarding the announce around the ring;
+//   * demultiplexes RoundToken / SumToken / ResultAnnouncement traffic by
+//     query id, so any number of queries - with any mix of initiators -
+//     can be in flight concurrently over one transport;
+//   * runs top-k/bottom-k/max/min queries through the paper's randomized
+//     ring protocol and sum/count/average queries through the masked
+//     secure-sum pass;
+//   * exposes initiate() returning a future, and resultOf() for queries
+//     this node merely participated in.
+//
+// Ordering assumption: links are FIFO per sender (both InProcTransport and
+// TcpTransport guarantee this), so a query's announce always arrives
+// before its first round token.  Malformed or unknown traffic is logged
+// and dropped - a hostile peer cannot take the service down.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/database.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "protocol/node.hpp"
+#include "query/descriptor.hpp"
+
+namespace privtopk::query {
+
+class NodeService {
+ public:
+  /// Binds the service to this node's id, private database and transport
+  /// endpoint.  `seed` drives all of this node's protocol randomness.
+  /// `staleAfter` bounds how long an in-flight query may sit without
+  /// completing before it is garbage-collected (a peer crash mid-token
+  /// would otherwise leak state forever); initiators of a collected query
+  /// see their future fail with TransportError.
+  NodeService(NodeId self, const data::PrivateDatabase& db,
+              net::Transport& transport, std::uint64_t seed,
+              std::chrono::milliseconds staleAfter =
+                  std::chrono::milliseconds(60'000));
+  ~NodeService();
+
+  NodeService(const NodeService&) = delete;
+  NodeService& operator=(const NodeService&) = delete;
+
+  /// Starts the worker thread.  Idempotent.
+  void start();
+
+  /// Stops the worker thread (does not shut the transport down).
+  void stop();
+
+  /// Initiates `descriptor` with this node as the starting node.
+  /// `ringOrder` must contain this node first and every participant once.
+  /// Returns a future resolving to the result in the query's natural
+  /// presentation order.
+  [[nodiscard]] std::future<TopKVector> initiate(QueryDescriptor descriptor,
+                                                 std::vector<NodeId> ringOrder);
+
+  /// The recorded result of a completed query (also available for queries
+  /// this node did not initiate).
+  [[nodiscard]] std::optional<TopKVector> resultOf(std::uint64_t queryId) const;
+
+  /// Blocks until `queryId` completes or `timeout` elapses; returns the
+  /// result, or nullopt on timeout.
+  [[nodiscard]] std::optional<TopKVector> waitFor(
+      std::uint64_t queryId, std::chrono::milliseconds timeout) const;
+
+  /// Number of queries currently in flight (registered, not completed).
+  [[nodiscard]] std::size_t activeQueries() const;
+
+ private:
+  /// Per-query participant state.
+  struct QueryState {
+    QueryDescriptor descriptor;
+    std::vector<NodeId> ringOrder;
+    bool initiator = false;
+    Round rounds = 1;
+
+    // Top-k path.
+    std::unique_ptr<protocol::ProtocolNode> node;
+
+    // Aggregate path (initiator keeps the masks).
+    std::vector<std::uint64_t> masks;
+    std::vector<std::int64_t> addends;
+
+    // Initiator bookkeeping.
+    std::promise<TopKVector> promise;
+    bool announced = false;  // our own announce came back; rounds started
+
+    std::chrono::steady_clock::time_point registeredAt;
+  };
+
+  void workerLoop();
+  void purgeStale();
+  void dispatch(const net::Envelope& envelope);
+  void onAnnounce(const net::QueryAnnounce& announce);
+  void onRoundToken(const net::RoundToken& token);
+  void onSumToken(const net::SumToken& token);
+  void onResult(const net::ResultAnnouncement& result);
+
+  [[nodiscard]] NodeId successorFor(const QueryState& state) const;
+  void send(const QueryState& state, const net::Message& message);
+  void beginRounds(QueryState& state);
+  void complete(std::uint64_t queryId, QueryState& state, TopKVector result);
+
+  NodeId self_;
+  const data::PrivateDatabase* db_;
+  net::Transport* transport_;
+  Rng rng_;
+  std::chrono::milliseconds staleAfter_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable completedCv_;
+  std::map<std::uint64_t, QueryState> active_;
+  std::map<std::uint64_t, TopKVector> completed_;
+
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace privtopk::query

@@ -1,0 +1,34 @@
+#include "sim/event_sim.hpp"
+
+namespace privtopk::sim {
+
+void EventSimulator::scheduleAt(SimTime when, Handler handler) {
+  if (when < now_) {
+    throw Error("EventSimulator: cannot schedule into the past");
+  }
+  queue_.push(Event{when, nextSeq_++, std::move(handler)});
+}
+
+bool EventSimulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the handler must be moved out
+  // before pop, so copy the metadata and steal the handler via const_cast
+  // ... avoided: copy the handler instead (cheap relative to event work).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++processed_;
+  ev.handler();
+  return true;
+}
+
+void EventSimulator::run(std::uint64_t maxEvents) {
+  std::uint64_t steps = 0;
+  while (step()) {
+    if (++steps >= maxEvents) {
+      throw Error("EventSimulator: event budget exhausted (runaway schedule?)");
+    }
+  }
+}
+
+}  // namespace privtopk::sim

@@ -1,0 +1,44 @@
+// Failure injection for simulated protocol runs.
+//
+// A FailurePlan declares when each node crashes (fail-stop).  The simulated
+// engine consults the plan before delivering a token: a token arriving at a
+// failed node is re-routed to the next live successor, modelling the
+// paper's repair rule of connecting the failed node's predecessor and
+// successor.
+
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/types.hpp"
+#include "sim/event_sim.hpp"
+
+namespace privtopk::sim {
+
+class FailurePlan {
+ public:
+  /// Schedules `node` to crash at virtual time `when` (ms).
+  void crashAt(NodeId node, SimTime when) { crashes_[node] = when; }
+
+  /// True when `node` is down at time `t`.
+  [[nodiscard]] bool isFailed(NodeId node, SimTime t) const {
+    const auto it = crashes_.find(node);
+    return it != crashes_.end() && t >= it->second;
+  }
+
+  /// Crash time for `node`, if scheduled.
+  [[nodiscard]] std::optional<SimTime> crashTime(NodeId node) const {
+    const auto it = crashes_.find(node);
+    if (it == crashes_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool empty() const { return crashes_.empty(); }
+  [[nodiscard]] std::size_t count() const { return crashes_.size(); }
+
+ private:
+  std::map<NodeId, SimTime> crashes_;
+};
+
+}  // namespace privtopk::sim

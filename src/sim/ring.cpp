@@ -1,0 +1,62 @@
+#include "sim/ring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace privtopk::sim {
+
+RingTopology RingTopology::identity(std::size_t n) {
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return RingTopology(std::move(order));
+}
+
+RingTopology RingTopology::random(std::size_t n, Rng& rng) {
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  return RingTopology(std::move(order));
+}
+
+RingTopology::RingTopology(std::vector<NodeId> order)
+    : order_(std::move(order)) {
+  if (order_.empty()) throw Error("RingTopology: empty ring");
+  std::vector<NodeId> sorted = order_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw Error("RingTopology: duplicate node on ring");
+  }
+}
+
+std::size_t RingTopology::positionOf(NodeId node) const {
+  const auto it = std::find(order_.begin(), order_.end(), node);
+  if (it == order_.end()) {
+    throw Error("RingTopology: node " + std::to_string(node) +
+                " not on ring");
+  }
+  return static_cast<std::size_t>(std::distance(order_.begin(), it));
+}
+
+bool RingTopology::contains(NodeId node) const {
+  return std::find(order_.begin(), order_.end(), node) != order_.end();
+}
+
+NodeId RingTopology::successor(NodeId node) const {
+  const std::size_t pos = positionOf(node);
+  return order_[(pos + 1) % order_.size()];
+}
+
+NodeId RingTopology::predecessor(NodeId node) const {
+  const std::size_t pos = positionOf(node);
+  return order_[(pos + order_.size() - 1) % order_.size()];
+}
+
+void RingTopology::removeNode(NodeId node) {
+  if (order_.size() <= 1) {
+    throw Error("RingTopology: cannot remove the last node");
+  }
+  const std::size_t pos = positionOf(node);
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+}  // namespace privtopk::sim

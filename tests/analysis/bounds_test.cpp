@@ -1,0 +1,170 @@
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privtopk::analysis {
+namespace {
+
+TEST(RandomizationProbability, EquationTwo) {
+  EXPECT_DOUBLE_EQ(randomizationProbability(1.0, 0.5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(randomizationProbability(1.0, 0.5, 4), 0.125);
+  EXPECT_DOUBLE_EQ(randomizationProbability(0.5, 0.25, 2), 0.125);
+  EXPECT_THROW((void)randomizationProbability(2.0, 0.5, 1), ConfigError);
+  EXPECT_THROW((void)randomizationProbability(1.0, 0.5, 0), ConfigError);
+}
+
+TEST(PrecisionBound, EquationThreeValues) {
+  // 1 - p0^r * d^(r(r-1)/2)
+  EXPECT_DOUBLE_EQ(precisionBound(1.0, 0.5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(precisionBound(1.0, 0.5, 2), 0.5);
+  EXPECT_NEAR(precisionBound(1.0, 0.5, 3), 1.0 - 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(precisionBound(0.5, 0.5, 2), 1.0 - 0.125, 1e-12);
+}
+
+TEST(PrecisionBound, MonotoneInRounds) {
+  for (double p0 : {0.25, 0.5, 1.0}) {
+    for (double d : {0.125, 0.5, 0.75}) {
+      double prev = -1;
+      for (Round r = 1; r <= 15; ++r) {
+        const double b = precisionBound(p0, d, r);
+        EXPECT_GE(b, prev) << "p0=" << p0 << " d=" << d << " r=" << r;
+        EXPECT_GE(b, 0.0);
+        EXPECT_LE(b, 1.0);
+        prev = b;
+      }
+      EXPECT_GT(precisionBound(p0, d, 20), 0.999999);
+    }
+  }
+}
+
+TEST(PrecisionBound, SmallerParamsConvergeFaster) {
+  // Figure 3 trends: smaller p0 (fixed d) and smaller d (fixed p0) give
+  // higher precision at the same round.
+  for (Round r = 2; r <= 6; ++r) {
+    EXPECT_GE(precisionBound(0.25, 0.5, r), precisionBound(1.0, 0.5, r));
+    EXPECT_GE(precisionBound(1.0, 0.125, r), precisionBound(1.0, 0.5, r));
+  }
+}
+
+TEST(PrecisionBound, NoUnderflowForHugeRounds) {
+  EXPECT_DOUBLE_EQ(precisionBound(1.0, 0.5, 10000), 1.0);
+}
+
+TEST(MinRounds, MatchesHandComputedValues) {
+  // p0=1, d=1/2: need (1/2)^(r(r-1)/2) <= eps.
+  EXPECT_EQ(minRounds(1.0, 0.5, 0.001), 5u);   // r(r-1) >= 19.93 -> r=5
+  EXPECT_EQ(minRounds(1.0, 0.5, 0.1), 4u);     // r(r-1) >= 6.64 -> r=4
+  EXPECT_EQ(minRounds(1.0, 0.25, 0.001), 4u);  // r(r-1) >= 9.97 -> r=4
+  EXPECT_EQ(minRounds(0.5, 0.5, 0.001), 5u);   // r(r-1) >= 17.93 -> r=5
+}
+
+TEST(MinRounds, EdgeCases) {
+  EXPECT_EQ(minRounds(0.0005, 0.5, 0.001), 1u);  // p0 already below eps
+  EXPECT_EQ(minRounds(1.0, 0.0, 0.001), 2u);     // d = 0 kills round 2 on
+  EXPECT_THROW((void)minRounds(1.0, 1.0, 0.001), ConfigError);
+  EXPECT_THROW((void)minRounds(1.0, 0.5, 0.0), ConfigError);
+  EXPECT_THROW((void)minRounds(1.0, 0.5, 1.0), ConfigError);
+}
+
+TEST(MinRounds, SufficiencyAgainstEqThree) {
+  // The returned round count must actually achieve the precision target.
+  for (double p0 : {0.25, 0.75, 1.0}) {
+    for (double d : {0.125, 0.5, 0.875}) {
+      for (double eps : {0.1, 0.01, 1e-6}) {
+        const Round r = minRounds(p0, d, eps);
+        EXPECT_GE(precisionBound(p0, d, r), 1.0 - eps - 1e-12)
+            << "p0=" << p0 << " d=" << d << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(MinRounds, ScalesWithSqrtLogEpsilon) {
+  // §4.2: r_min = O(sqrt(log 1/eps)); quadrupling the exponent roughly
+  // doubles the rounds.
+  const Round r1 = minRounds(1.0, 0.5, 1e-4);
+  const Round r2 = minRounds(1.0, 0.5, 1e-16);
+  EXPECT_LE(r2, 2 * r1 + 1);
+  EXPECT_GT(r2, r1);
+}
+
+TEST(MinRoundsTight, NeverLargerThanRelaxedBound) {
+  for (double p0 : {0.25, 0.5, 1.0}) {
+    for (double d : {0.125, 0.5}) {
+      for (double eps : {0.1, 0.001}) {
+        EXPECT_LE(minRoundsTight(p0, d, eps), minRounds(p0, d, eps));
+      }
+    }
+  }
+  // With p0 < 1 and d = 1 the tight bound still converges.
+  EXPECT_EQ(minRoundsTight(0.5, 1.0, 0.1),
+            static_cast<Round>(std::ceil(std::log(0.1) / std::log(0.5))));
+  EXPECT_THROW((void)minRoundsTight(1.0, 1.0, 0.1), ConfigError);
+}
+
+TEST(NaiveLoP, BoundAndExactForm) {
+  // Eq. 5: average LoP > ln(n)/n; the exact §4.3 expression (H_n - 1)/n
+  // dominates the bound.
+  for (std::size_t n : {2u, 4u, 10u, 100u}) {
+    EXPECT_GT(naiveAverageLoP(n), naiveLoPBound(n) - 1.0 / n);
+    EXPECT_GT(naiveAverageLoP(n), 0.0);
+  }
+  EXPECT_NEAR(naiveAverageLoP(4), (1.0 + 0.5 + 1.0 / 3 + 0.25 - 1.0) / 4,
+              1e-12);
+  EXPECT_NEAR(naiveLoPBound(10), std::log(10.0) / 10.0, 1e-12);
+  EXPECT_THROW((void)naiveLoPBound(0), ConfigError);
+}
+
+TEST(NaiveLoP, DecreasesWithN) {
+  // (H_n - 1)/n peaks around n = 3-4, then falls off.
+  double prev = 1.0;
+  for (std::size_t n = 4; n <= 1024; n *= 2) {
+    const double lop = naiveAverageLoP(n);
+    EXPECT_LT(lop, prev);
+    prev = lop;
+  }
+}
+
+TEST(ExpectedLoPTerm, EquationSixShape) {
+  // (1/2^(r-1)) * (1 - p0 d^(r-1)).
+  EXPECT_DOUBLE_EQ(expectedLoPTerm(1.0, 0.5, 1), 0.0);   // 1 - p0 = 0
+  EXPECT_DOUBLE_EQ(expectedLoPTerm(1.0, 0.5, 2), 0.25);  // (1/2)(1 - 1/2)
+  EXPECT_DOUBLE_EQ(expectedLoPTerm(0.5, 0.5, 1), 0.5);   // peak in round 1
+  EXPECT_NEAR(expectedLoPTerm(1.0, 0.5, 3), 0.25 * 0.75, 1e-12);
+}
+
+TEST(ProbabilisticLoPBound, LargerP0LowersPeak) {
+  // Figure 5(a): the peak loss decreases as p0 grows.
+  const double peak25 = probabilisticLoPBound(0.25, 0.5, 10);
+  const double peak50 = probabilisticLoPBound(0.5, 0.5, 10);
+  const double peak100 = probabilisticLoPBound(1.0, 0.5, 10);
+  EXPECT_GT(peak25, peak50);
+  EXPECT_GT(peak50, peak100);
+}
+
+TEST(ProbabilisticLoPBound, LargerDLowersPeakSlightly) {
+  // Figure 5(b): larger d gives a (slightly) lower peak with p0 = 1.
+  const double d14 = probabilisticLoPBound(1.0, 0.25, 10);
+  const double d12 = probabilisticLoPBound(1.0, 0.5, 10);
+  const double d34 = probabilisticLoPBound(1.0, 0.75, 10);
+  EXPECT_GE(d14, d12);
+  EXPECT_GE(d12, d34);
+}
+
+TEST(ProbabilisticLoPBound, FarBelowNaiveForDefaults) {
+  // The headline claim: probabilistic (1, 1/2) beats naive for small n.
+  EXPECT_LT(probabilisticLoPBound(1.0, 0.5, 20), naiveAverageLoP(4));
+}
+
+TEST(ProbabilisticLoPBound, PeakWithP0OneIsRoundTwo) {
+  // With p0 = 1 the round-1 term vanishes; the peak sits at round 2.
+  const double bound = probabilisticLoPBound(1.0, 0.5, 20);
+  EXPECT_DOUBLE_EQ(bound, expectedLoPTerm(1.0, 0.5, 2));
+}
+
+}  // namespace
+}  // namespace privtopk::analysis

@@ -1,0 +1,66 @@
+#include "analysis/param_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace privtopk::analysis {
+namespace {
+
+const std::vector<double> kP0s = {0.25, 0.5, 0.75, 1.0};
+const std::vector<double> kDs = {0.125, 0.25, 0.5, 0.75};
+
+TEST(SweepParameters, FullGridEvaluated) {
+  const auto sweep = sweepParameters(kP0s, kDs, 0.001);
+  EXPECT_EQ(sweep.size(), kP0s.size() * kDs.size());
+  for (const auto& pt : sweep) {
+    EXPECT_GE(pt.lopBound, 0.0);
+    EXPECT_LE(pt.lopBound, 1.0);
+    EXPECT_GE(pt.rounds, 1u);
+  }
+}
+
+TEST(SweepParameters, DivergentPairsSkipped) {
+  const auto sweep = sweepParameters({1.0}, {1.0, 0.5}, 0.001);
+  EXPECT_EQ(sweep.size(), 1u);  // (1.0, 1.0) diverges
+  EXPECT_DOUBLE_EQ(sweep[0].d, 0.5);
+}
+
+TEST(SweepParameters, P0DominatesPrivacyDDominatesCost) {
+  // The paper's Figure 9 conclusion.
+  const auto sweep = sweepParameters(kP0s, kDs, 0.001);
+  auto find = [&](double p0, double d) {
+    for (const auto& pt : sweep) {
+      if (pt.p0 == p0 && pt.d == d) return pt;
+    }
+    throw std::logic_error("missing point");
+  };
+  // Raising p0 with d fixed lowers LoP.
+  EXPECT_GT(find(0.25, 0.5).lopBound, find(1.0, 0.5).lopBound);
+  // Raising d with p0 fixed raises cost.
+  EXPECT_GT(find(1.0, 0.75).rounds, find(1.0, 0.125).rounds);
+}
+
+TEST(SelectKnee, PicksPaperDefaultRegion) {
+  const auto sweep = sweepParameters(kP0s, kDs, 0.001);
+  const TradeoffPoint knee = selectKnee(sweep);
+  // The paper picks (1, 1/2); our normalized-distance criterion must land
+  // on a high-p0 point with moderate d.
+  EXPECT_GE(knee.p0, 0.75);
+  EXPECT_GE(knee.d, 0.25);
+  EXPECT_LE(knee.d, 0.75);
+}
+
+TEST(SelectKnee, EmptySweepRejected) {
+  EXPECT_THROW((void)selectKnee({}), ConfigError);
+}
+
+TEST(SelectKnee, SingletonSweep) {
+  const auto sweep = sweepParameters({0.5}, {0.5}, 0.01);
+  const TradeoffPoint knee = selectKnee(sweep);
+  EXPECT_DOUBLE_EQ(knee.p0, 0.5);
+  EXPECT_DOUBLE_EQ(knee.d, 0.5);
+}
+
+}  // namespace
+}  // namespace privtopk::analysis

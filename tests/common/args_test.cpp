@@ -1,0 +1,92 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace privtopk {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv,
+                const std::set<std::string>& flags) {
+  std::vector<const char*> args = {"prog"};
+  args.insert(args.end(), argv.begin(), argv.end());
+  return ArgParser(static_cast<int>(args.size()), args.data(), flags);
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  const auto args = parse({"--k", "5", "--name", "hello"}, {"k", "name"});
+  EXPECT_EQ(args.getInt("k", 0), 5);
+  EXPECT_EQ(args.getString("name"), "hello");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  const auto args = parse({"--k=7", "--ratio=0.25"}, {"k", "ratio"});
+  EXPECT_EQ(args.getInt("k", 0), 7);
+  EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0), 0.25);
+}
+
+TEST(ArgParser, BooleanFlags) {
+  const auto args = parse({"--encrypt"}, {"encrypt", "verbose"});
+  EXPECT_TRUE(args.getBool("encrypt"));
+  EXPECT_FALSE(args.getBool("verbose"));
+  EXPECT_TRUE(args.has("encrypt"));
+  EXPECT_FALSE(args.has("verbose"));
+}
+
+TEST(ArgParser, FallbacksWhenAbsent) {
+  const auto args = parse({}, {"k", "name", "ratio"});
+  EXPECT_EQ(args.getInt("k", 42), 42);
+  EXPECT_EQ(args.getString("name", "def"), "def");
+  EXPECT_DOUBLE_EQ(args.getDouble("ratio", 1.5), 1.5);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = parse({"query", "--k", "3", "extra"}, {"k"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"query", "extra"}));
+}
+
+TEST(ArgParser, ListValues) {
+  const auto args = parse({"--csv", "a.csv,b.csv,c.csv"}, {"csv", "other"});
+  EXPECT_EQ(args.getList("csv"),
+            (std::vector<std::string>{"a.csv", "b.csv", "c.csv"}));
+  EXPECT_TRUE(args.getList("other").empty());
+}
+
+TEST(ArgParser, NegativeNumbersAsValues) {
+  const auto args = parse({"--min=-100"}, {"min"});
+  EXPECT_EQ(args.getInt("min", 0), -100);
+}
+
+TEST(ArgParser, UnknownFlagRejected) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"k"}), ConfigError);
+}
+
+TEST(ArgParser, DuplicateFlagRejected) {
+  EXPECT_THROW(parse({"--k", "1", "--k", "2"}, {"k"}), ConfigError);
+}
+
+TEST(ArgParser, TypeErrorsRejected) {
+  const auto args =
+      parse({"--k", "abc", "--ratio", "x.y", "--flag"}, {"k", "ratio", "flag"});
+  EXPECT_THROW((void)args.getInt("k", 0), ConfigError);
+  EXPECT_THROW((void)args.getDouble("ratio", 0), ConfigError);
+  EXPECT_THROW((void)args.getString("flag"), ConfigError);  // bare boolean
+}
+
+TEST(ArgParser, BoolFollowedByFlagNotConsumed) {
+  const auto args = parse({"--verbose", "--k", "3"}, {"verbose", "k"});
+  EXPECT_TRUE(args.getBool("verbose"));
+  EXPECT_EQ(args.getInt("k", 0), 3);
+}
+
+TEST(SplitString, Basics) {
+  EXPECT_EQ(splitString("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitString("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(splitString("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(splitString("host:9000", ':'),
+            (std::vector<std::string>{"host", "9000"}));
+}
+
+}  // namespace
+}  // namespace privtopk

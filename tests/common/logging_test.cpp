@@ -1,0 +1,92 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace privtopk {
+namespace {
+
+/// RAII guard restoring global logger state after each test.
+class LogGuard {
+ public:
+  LogGuard() : level_(logLevel()) {}
+  ~LogGuard() {
+    setLogLevel(level_);
+    setLogSink(nullptr);
+  }
+
+ private:
+  LogLevel level_;
+};
+
+TEST(Logging, RespectsLevelThreshold) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Warn);
+
+  PRIVTOPK_LOG_DEBUG("hidden");
+  PRIVTOPK_LOG_INFO("also hidden");
+  PRIVTOPK_LOG_WARN("visible warning");
+  PRIVTOPK_LOG_ERROR("visible error");
+
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST(Logging, FormatsMultipleArguments) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Trace);
+
+  PRIVTOPK_LOG_INFO("node ", 7, " processed round ", 3, " value=", 2.5);
+  EXPECT_NE(sink.str().find("node 7 processed round 3 value=2.5"),
+            std::string::npos);
+}
+
+TEST(Logging, LevelPrefixesPresent) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Trace);
+
+  PRIVTOPK_LOG_TRACE("t");
+  PRIVTOPK_LOG_ERROR("e");
+  EXPECT_NE(sink.str().find("[TRACE]"), std::string::npos);
+  EXPECT_NE(sink.str().find("[ERROR]"), std::string::npos);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Off);
+
+  PRIVTOPK_LOG_ERROR("should not appear");
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logging, NullSinkRestoresDefault) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogSink(nullptr);  // back to std::clog
+  setLogLevel(LogLevel::Off);
+  PRIVTOPK_LOG_ERROR("never rendered anyway");
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logging, LevelRoundTrip) {
+  LogGuard guard;
+  setLogLevel(LogLevel::Debug);
+  EXPECT_EQ(logLevel(), LogLevel::Debug);
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+}
+
+}  // namespace
+}  // namespace privtopk

@@ -1,0 +1,149 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace privtopk {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.fork(1);
+  // The child stream must differ from the parent's continuation.
+  Rng parentCopy = parent;
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next() == parentCopy.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForksWithDistinctTagsDiffer) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, UniformIntRespectsClosedBounds) {
+  Rng rng(99);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const Value v = rng.uniformInt(5, 8);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 8);
+    sawLo |= (v == 5);
+    sawHi |= (v == 8);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformIntHalfOpenNeverHitsUpper) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const Value v = rng.uniformIntHalfOpen(10, 12);
+    EXPECT_GE(v, 10);
+    EXPECT_LT(v, 12);
+  }
+}
+
+TEST(Rng, UniformIntHalfOpenSingletonRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniformIntHalfOpen(3, 4), 3);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyApproximatesP) {
+  Rng rng(6);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  const double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleMovesElements) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  int fixed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (v[static_cast<size_t>(i)] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10);  // expected ~1 fixed point
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Splitmix64, KnownRelations) {
+  // Fixed point checks: deterministic and distinct outputs.
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+}
+
+}  // namespace
+}  // namespace privtopk

@@ -1,0 +1,82 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+
+namespace privtopk {
+namespace {
+
+TEST(Domain, SizeAndContains) {
+  constexpr Domain d{1, 10000};
+  EXPECT_EQ(d.size(), 10000u);
+  EXPECT_TRUE(d.contains(1));
+  EXPECT_TRUE(d.contains(10000));
+  EXPECT_FALSE(d.contains(0));
+  EXPECT_FALSE(d.contains(10001));
+}
+
+TEST(Domain, SingletonDomain) {
+  constexpr Domain d{5, 5};
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.contains(5));
+}
+
+TEST(Domain, NegativeRange) {
+  constexpr Domain d{-100, 100};
+  EXPECT_EQ(d.size(), 201u);
+  EXPECT_TRUE(d.contains(-100));
+  EXPECT_TRUE(d.contains(0));
+}
+
+TEST(Domain, InvalidThrows) {
+  EXPECT_THROW(Domain(10, 1), std::invalid_argument);
+}
+
+TEST(Domain, PaperDomainMatchesSection5) {
+  EXPECT_EQ(kPaperDomain.min, 1);
+  EXPECT_EQ(kPaperDomain.max, 10000);
+}
+
+TEST(ToString, RendersVector) {
+  EXPECT_EQ(toString(TopKVector{3, 2, 1}), "[3, 2, 1]");
+  EXPECT_EQ(toString(TopKVector{}), "[]");
+  EXPECT_EQ(toString(TopKVector{42}), "[42]");
+}
+
+TEST(MathUtil, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(harmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonicNumber(2), 1.5);
+  EXPECT_NEAR(harmonicNumber(4), 25.0 / 12.0, 1e-12);
+  // H_n > ln n (the inequality Eq. 5 relies on).
+  for (std::size_t n : {2u, 10u, 100u, 1000u}) {
+    EXPECT_GT(harmonicNumber(n), std::log(static_cast<double>(n)));
+  }
+}
+
+TEST(MathUtil, ErrorTermLogMatchesDirectComputation) {
+  // p0^r * d^(r(r-1)/2) for small r computed directly.
+  const double p0 = 0.75;
+  const double d = 0.5;
+  for (int r = 1; r <= 6; ++r) {
+    const double direct =
+        std::pow(p0, r) * std::pow(d, r * (r - 1) / 2.0);
+    EXPECT_NEAR(std::exp(errorTermLog(p0, d, r)), direct, 1e-12);
+  }
+}
+
+TEST(MathUtil, ErrorTermLogZeroCases) {
+  EXPECT_EQ(std::exp(errorTermLog(0.0, 0.5, 3)), 0.0);
+  EXPECT_EQ(std::exp(errorTermLog(0.5, 0.0, 3)), 0.0);
+  // d = 0 at r = 1: no dampening applied yet, term = p0.
+  EXPECT_NEAR(std::exp(errorTermLog(0.5, 0.0, 1)), 0.5, 1e-12);
+}
+
+TEST(MathUtil, ClampDouble) {
+  EXPECT_EQ(clampDouble(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clampDouble(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clampDouble(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace privtopk

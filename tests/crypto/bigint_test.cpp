@@ -1,0 +1,185 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace privtopk::crypto {
+namespace {
+
+// Vectors generated with Python integers (see DESIGN.md tooling note).
+constexpr const char* kA =
+    "393eb13b9046685257bdd640fb06671ad11c80317fa3b1799d";
+constexpr const char* kB = "2f6719ad3c2d6d1a3d1fa7bc8960a923b8c1e9";
+
+TEST(BigUInt, HexRoundTrip) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  EXPECT_EQ(a.toHex(), kA);
+  EXPECT_EQ(BigUInt(0).toHex(), "0");
+  EXPECT_EQ(BigUInt(0xdeadbeef).toHex(), "deadbeef");
+}
+
+TEST(BigUInt, HexIgnoresWhitespaceRejectsJunk) {
+  EXPECT_EQ(BigUInt::fromHex("de ad\nbe ef").toHex(), "deadbeef");
+  EXPECT_THROW((void)BigUInt::fromHex("xyz"), CryptoError);
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  const auto bytes = a.toBytes();
+  EXPECT_EQ(BigUInt::fromBytes(bytes).toHex(), kA);
+  // Fixed-width padding.
+  const auto wide = a.toBytes(64);
+  EXPECT_EQ(wide.size(), 64u);
+  EXPECT_EQ(BigUInt::fromBytes(wide).toHex(), kA);
+}
+
+TEST(BigUInt, ZeroProperties) {
+  const BigUInt zero;
+  EXPECT_TRUE(zero.isZero());
+  EXPECT_FALSE(zero.isOdd());
+  EXPECT_EQ(zero.bitLength(), 0u);
+  EXPECT_EQ(zero.toBytes().size(), 1u);
+  EXPECT_EQ(zero.toBytes()[0], 0);
+}
+
+TEST(BigUInt, BitLengthAndBitAccess) {
+  const BigUInt x(0b1011);
+  EXPECT_EQ(x.bitLength(), 4u);
+  EXPECT_TRUE(x.bit(0));
+  EXPECT_TRUE(x.bit(1));
+  EXPECT_FALSE(x.bit(2));
+  EXPECT_TRUE(x.bit(3));
+  EXPECT_FALSE(x.bit(64));
+  const BigUInt big = BigUInt(1).shiftLeft(130);
+  EXPECT_EQ(big.bitLength(), 131u);
+  EXPECT_TRUE(big.bit(130));
+}
+
+TEST(BigUInt, Comparisons) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  const BigUInt b = BigUInt::fromHex(kB);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(a > b);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(b <= a);
+  EXPECT_TRUE(BigUInt(0) < BigUInt(1));
+}
+
+TEST(BigUInt, AddKnownVector) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  const BigUInt b = BigUInt::fromHex(kB);
+  EXPECT_EQ(a.add(b).toHex(),
+            "393eb13b904697b9716b126e6820a43a78d9099228c76a3b86");
+}
+
+TEST(BigUInt, SubKnownVector) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  const BigUInt b = BigUInt::fromHex(kB);
+  EXPECT_EQ(a.sub(b).toHex(),
+            "393eb13b904638eb3e109a138dec29fb295ff6d0d67ff8b7b4");
+  EXPECT_TRUE(a.sub(a).isZero());
+  EXPECT_THROW((void)b.sub(a), CryptoError);
+}
+
+TEST(BigUInt, AddCarryPropagation) {
+  const BigUInt allOnes = BigUInt::fromHex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(allOnes.add(BigUInt(1)).toHex(),
+            "100000000000000000000000000000000");
+}
+
+TEST(BigUInt, MulKnownVector) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  const BigUInt b = BigUInt::fromHex(kB);
+  EXPECT_EQ(a.mul(b).toHex(),
+            "a9990811a9569c723c9ef90f2044da92668a86ff9818f653c077d8382a6c255b"
+            "bdfe4119be65b69a90f0ce5");
+  EXPECT_TRUE(a.mul(BigUInt(0)).isZero());
+  EXPECT_EQ(a.mul(BigUInt(1)).toHex(), kA);
+}
+
+TEST(BigUInt, Shifts) {
+  const BigUInt x(0xff);
+  EXPECT_EQ(x.shiftLeft(4).toHex(), "ff0");
+  EXPECT_EQ(x.shiftLeft(64).toHex(), "ff0000000000000000");
+  EXPECT_EQ(x.shiftLeft(68).shiftRight(68).toHex(), "ff");
+  EXPECT_TRUE(x.shiftRight(8).isZero());
+  EXPECT_EQ(x.shiftRight(0).toHex(), "ff");
+}
+
+TEST(BigUInt, DivmodKnownVector) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  const BigUInt b = BigUInt::fromHex(kB);
+  const auto [q, r] = a.divmod(b);
+  EXPECT_EQ(q.toHex(), "135272348ab6a");
+  EXPECT_EQ(r.toHex(), "1eb9158c88ba2f46543b085651aa20b228c23");
+  // q*b + r == a
+  EXPECT_EQ(q.mul(b).add(r), a);
+  EXPECT_TRUE(r < b);
+}
+
+TEST(BigUInt, DivmodEdgeCases) {
+  const BigUInt a = BigUInt::fromHex(kA);
+  EXPECT_THROW((void)a.divmod(BigUInt(0)), CryptoError);
+  const auto [q1, r1] = a.divmod(a);
+  EXPECT_EQ(q1.toHex(), "1");
+  EXPECT_TRUE(r1.isZero());
+  const auto [q2, r2] = BigUInt(5).divmod(a);
+  EXPECT_TRUE(q2.isZero());
+  EXPECT_EQ(r2.toHex(), "5");
+}
+
+TEST(Montgomery, ModexpKnownVector) {
+  const BigUInt m = BigUInt::fromHex(
+      "97fc695a07a0ca6e0822e8f36c031199972a846916419f828b9d2434e465e151");
+  const BigUInt base = BigUInt::fromHex(
+      "b74d0fb132e706298fadc1a606cb0fb39a1de644815ef6d13b8faa1837f8a88b");
+  const BigUInt exp = BigUInt::fromHex(
+      "4737819096da1dac72ff5d2a386ecbe06b65a6a48b8148f6b38a088ca65ed389");
+  EXPECT_EQ(modexp(base, exp, m).toHex(),
+            "376525e10e523133490c20ecbd281c4e63eac66c0cc02ae63e5ecb72e5991e10");
+}
+
+TEST(Montgomery, ModmulKnownVector) {
+  const BigUInt m = BigUInt::fromHex(
+      "97fc695a07a0ca6e0822e8f36c031199972a846916419f828b9d2434e465e151");
+  const Montgomery ctx(m);
+  const BigUInt a = BigUInt::fromHex(kA);
+  const BigUInt b = BigUInt::fromHex(kB);
+  EXPECT_EQ(ctx.modmul(a, b).toHex(),
+            "265e7e690ec5b60fa37567022bd930785cd84cd361c208e4c12941696fab862a");
+  // Agreement with schoolbook mul + mod.
+  EXPECT_EQ(ctx.modmul(a, b), a.mul(b).mod(m));
+}
+
+TEST(Montgomery, SmallModexpCases) {
+  const BigUInt m(19);
+  EXPECT_EQ(modexp(BigUInt(5), BigUInt(117), m).toHex(),
+            BigUInt(static_cast<std::uint64_t>(
+                        [] {
+                          std::uint64_t r = 1;
+                          for (int i = 0; i < 117; ++i) r = r * 5 % 19;
+                          return r;
+                        }()))
+                .toHex());
+  EXPECT_EQ(modexp(BigUInt(7), BigUInt(0), m).toHex(), "1");
+  EXPECT_EQ(modexp(BigUInt(0), BigUInt(5), m).toHex(), "0");
+  EXPECT_EQ(modexp(BigUInt(1), BigUInt(12345), m).toHex(), "1");
+}
+
+TEST(Montgomery, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p not dividing a.
+  const BigUInt p(1000000007);
+  for (std::uint64_t a : {2ull, 3ull, 999999999ull}) {
+    EXPECT_EQ(modexp(BigUInt(a), BigUInt(1000000006), p).toHex(), "1");
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigUInt(100)), CryptoError);
+  EXPECT_THROW(Montgomery(BigUInt(1)), CryptoError);
+}
+
+}  // namespace
+}  // namespace privtopk::crypto

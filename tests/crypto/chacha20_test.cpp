@@ -1,0 +1,116 @@
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "crypto/sha256.hpp"  // toHex
+
+namespace privtopk::crypto {
+namespace {
+
+ChaChaKey sequentialKey() {
+  ChaChaKey key;
+  std::iota(key.begin(), key.end(), std::uint8_t{0});
+  return key;
+}
+
+TEST(ChaCha20, Rfc8439BlockFunctionVector) {
+  // RFC 8439 §2.3.2.
+  const ChaChaKey key = sequentialKey();
+  const ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                             0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const auto block = chacha20Block(key, nonce, 1);
+  EXPECT_EQ(toHex(block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439SunscreenEncryption) {
+  // RFC 8439 §2.4.2.
+  const ChaChaKey key = sequentialKey();
+  const ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                             0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+  chacha20XorInPlace(key, nonce, 1, data);
+  EXPECT_EQ(toHex(data),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const ChaChaKey key = sequentialKey();
+  const ChaChaNonce nonce = makeNonce(7, 99);
+  std::vector<std::uint8_t> data(1000);
+  std::iota(data.begin(), data.end(), std::uint8_t{0});
+  const auto original = data;
+  chacha20XorInPlace(key, nonce, 0, data);
+  EXPECT_NE(data, original);
+  chacha20XorInPlace(key, nonce, 0, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, EmptyInputIsNoop) {
+  const ChaChaKey key{};
+  std::vector<std::uint8_t> empty;
+  chacha20XorInPlace(key, makeNonce(0, 0), 0, empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ChaCha20, NonBlockAlignedLengths) {
+  const ChaChaKey key = sequentialKey();
+  const ChaChaNonce nonce = makeNonce(1, 1);
+  for (std::size_t len : {1u, 63u, 64u, 65u, 127u, 129u}) {
+    std::vector<std::uint8_t> data(len, 0x42);
+    const auto out = chacha20Xor(key, nonce, 0, data);
+    ASSERT_EQ(out.size(), len);
+    auto back = out;
+    chacha20XorInPlace(key, nonce, 0, back);
+    EXPECT_EQ(back, data) << "length " << len;
+  }
+}
+
+TEST(ChaCha20, CounterContinuity) {
+  // Encrypting 128 bytes starting at counter 0 equals encrypting two
+  // 64-byte halves at counters 0 and 1.
+  const ChaChaKey key = sequentialKey();
+  const ChaChaNonce nonce = makeNonce(2, 3);
+  std::vector<std::uint8_t> data(128, 0xab);
+  const auto whole = chacha20Xor(key, nonce, 0, data);
+
+  std::vector<std::uint8_t> first(data.begin(), data.begin() + 64);
+  std::vector<std::uint8_t> second(data.begin() + 64, data.end());
+  const auto h1 = chacha20Xor(key, nonce, 0, first);
+  const auto h2 = chacha20Xor(key, nonce, 1, second);
+  std::vector<std::uint8_t> stitched = h1;
+  stitched.insert(stitched.end(), h2.begin(), h2.end());
+  EXPECT_EQ(whole, stitched);
+}
+
+TEST(ChaCha20, DistinctNoncesDistinctStreams) {
+  const ChaChaKey key = sequentialKey();
+  std::vector<std::uint8_t> zeros(64, 0);
+  const auto s1 = chacha20Xor(key, makeNonce(1, 1), 0, zeros);
+  const auto s2 = chacha20Xor(key, makeNonce(1, 2), 0, zeros);
+  const auto s3 = chacha20Xor(key, makeNonce(2, 1), 0, zeros);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_NE(s2, s3);
+}
+
+TEST(MakeNonce, LayoutIsChannelThenSequence) {
+  const ChaChaNonce n = makeNonce(0x01020304, 0x1112131415161718ULL);
+  EXPECT_EQ(n[0], 0x04);  // channel id little-endian
+  EXPECT_EQ(n[3], 0x01);
+  EXPECT_EQ(n[4], 0x18);  // sequence little-endian
+  EXPECT_EQ(n[11], 0x11);
+}
+
+}  // namespace
+}  // namespace privtopk::crypto

@@ -1,0 +1,101 @@
+#include "crypto/dh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace privtopk::crypto {
+namespace {
+
+TEST(DhGroup, NamedGroupsWellFormed) {
+  for (const DhGroup* g :
+       {&DhGroup::test512(), &DhGroup::modp1536(), &DhGroup::modp2048()}) {
+    EXPECT_TRUE(g->p.isOdd());
+    EXPECT_EQ(g->g.toHex(), "2");
+    EXPECT_FALSE(g->name.empty());
+  }
+  EXPECT_EQ(DhGroup::test512().p.bitLength(), 512u);
+  EXPECT_EQ(DhGroup::modp1536().p.bitLength(), 1536u);
+  EXPECT_EQ(DhGroup::modp2048().p.bitLength(), 2048u);
+}
+
+TEST(DhGroup, Rfc3526PrimesHaveKnownEdges) {
+  // Both MODP primes start and end with 64 one-bits (their defining form).
+  for (const DhGroup* g : {&DhGroup::modp1536(), &DhGroup::modp2048()}) {
+    const std::string hex = g->p.toHex();
+    EXPECT_EQ(hex.substr(0, 16), "ffffffffffffffff") << g->name;
+    EXPECT_EQ(hex.substr(hex.size() - 16), "ffffffffffffffff") << g->name;
+  }
+}
+
+TEST(Dh, KeyAgreement) {
+  const DhGroup& group = DhGroup::test512();
+  Rng rngA(1);
+  Rng rngB(2);
+  const DhKeyPair alice = dhGenerate(group, rngA);
+  const DhKeyPair bob = dhGenerate(group, rngB);
+  EXPECT_NE(alice.publicKey, bob.publicKey);
+
+  const auto sharedA = dhSharedSecret(group, alice.privateKey, bob.publicKey);
+  const auto sharedB = dhSharedSecret(group, bob.privateKey, alice.publicKey);
+  EXPECT_EQ(sharedA, sharedB);
+  EXPECT_EQ(sharedA.size(), group.p.bitLength() / 8);
+}
+
+TEST(Dh, KeyAgreementOn1536Group) {
+  const DhGroup& group = DhGroup::modp1536();
+  Rng rngA(3);
+  Rng rngB(4);
+  const DhKeyPair alice = dhGenerate(group, rngA);
+  const DhKeyPair bob = dhGenerate(group, rngB);
+  EXPECT_EQ(dhSharedSecret(group, alice.privateKey, bob.publicKey),
+            dhSharedSecret(group, bob.privateKey, alice.publicKey));
+}
+
+TEST(Dh, DistinctSeedsDistinctKeys) {
+  const DhGroup& group = DhGroup::test512();
+  Rng r1(10);
+  Rng r2(11);
+  EXPECT_NE(dhGenerate(group, r1).publicKey,
+            dhGenerate(group, r2).publicKey);
+}
+
+TEST(Dh, PublicKeyInRange) {
+  const DhGroup& group = DhGroup::test512();
+  Rng rng(42);
+  for (int i = 0; i < 5; ++i) {
+    const DhKeyPair kp = dhGenerate(group, rng);
+    EXPECT_FALSE(kp.publicKey.isZero());
+    EXPECT_TRUE(kp.publicKey < group.p);
+  }
+}
+
+TEST(Dh, RejectsDegeneratePeerKeys) {
+  const DhGroup& group = DhGroup::test512();
+  Rng rng(5);
+  const DhKeyPair kp = dhGenerate(group, rng);
+  EXPECT_THROW((void)dhSharedSecret(group, kp.privateKey, BigUInt(0)),
+               CryptoError);
+  EXPECT_THROW((void)dhSharedSecret(group, kp.privateKey, BigUInt(1)),
+               CryptoError);
+  EXPECT_THROW(
+      (void)dhSharedSecret(group, kp.privateKey, group.p.sub(BigUInt(1))),
+      CryptoError);
+  EXPECT_THROW((void)dhSharedSecret(group, kp.privateKey, group.p),
+               CryptoError);
+}
+
+TEST(Dh, SharedSecretConsistentWithModexp) {
+  const DhGroup& group = DhGroup::test512();
+  Rng rngA(6);
+  Rng rngB(7);
+  const DhKeyPair alice = dhGenerate(group, rngA);
+  const DhKeyPair bob = dhGenerate(group, rngB);
+  const BigUInt expected =
+      modexp(bob.publicKey, alice.privateKey, group.p);
+  EXPECT_EQ(dhSharedSecret(group, alice.privateKey, bob.publicKey),
+            expected.toBytes(group.p.bitLength() / 8));
+}
+
+}  // namespace
+}  // namespace privtopk::crypto

@@ -1,0 +1,110 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace privtopk::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytesOf(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// RFC 4231 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmacSha256(key, bytesOf("Hi There"));
+  EXPECT_EQ(toHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac =
+      hmacSha256(bytesOf("Jefe"), bytesOf("what do ya want for nothing?"));
+  EXPECT_EQ(toHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  const auto mac = hmacSha256(key, data);
+  EXPECT_EQ(toHex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto mac =
+      hmacSha256(key, bytesOf("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"));
+  EXPECT_EQ(toHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+  const auto m1 = hmacSha256(bytesOf("key1"), bytesOf("msg"));
+  const auto m2 = hmacSha256(bytesOf("key2"), bytesOf("msg"));
+  EXPECT_NE(toHex(m1), toHex(m2));
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {1, 2, 3};
+  const std::vector<std::uint8_t> c = {1, 2, 4};
+  const std::vector<std::uint8_t> shorter = {1, 2};
+  EXPECT_TRUE(constantTimeEqual(a, b));
+  EXPECT_FALSE(constantTimeEqual(a, c));
+  EXPECT_FALSE(constantTimeEqual(a, shorter));
+  EXPECT_TRUE(constantTimeEqual({}, {}));
+}
+
+TEST(HkdfSha256, DeterministicAndLengthExact) {
+  const auto ikm = bytesOf("input key material");
+  const auto salt = bytesOf("salt");
+  const auto k1 = hkdfSha256(ikm, salt, "info", 42);
+  const auto k2 = hkdfSha256(ikm, salt, "info", 42);
+  EXPECT_EQ(k1.size(), 42u);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(HkdfSha256, Rfc5869Case1) {
+  const std::vector<std::uint8_t> ikm(22, 0x0b);
+  std::vector<std::uint8_t> salt;
+  for (int i = 0; i <= 0x0c; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  const std::string info = {'\xf0', '\xf1', '\xf2', '\xf3', '\xf4',
+                            '\xf5', '\xf6', '\xf7', '\xf8', '\xf9'};
+  const auto okm = hkdfSha256(ikm, salt, info, 42);
+  EXPECT_EQ(toHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfSha256, DistinctInfoDistinctKeys) {
+  const auto ikm = bytesOf("shared secret");
+  const auto a = hkdfSha256(ikm, {}, "client->server", 32);
+  const auto b = hkdfSha256(ikm, {}, "server->client", 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(HkdfSha256, MultiBlockExpansion) {
+  // 100 bytes needs 4 HMAC blocks; prefix property must hold.
+  const auto ikm = bytesOf("ikm");
+  const auto long1 = hkdfSha256(ikm, {}, "x", 100);
+  const auto short1 = hkdfSha256(ikm, {}, "x", 32);
+  ASSERT_EQ(long1.size(), 100u);
+  EXPECT_TRUE(std::equal(short1.begin(), short1.end(), long1.begin()));
+}
+
+TEST(HkdfSha256, RejectsAbsurdLength) {
+  EXPECT_THROW((void)hkdfSha256(bytesOf("x"), {}, "", 255 * 32 + 1),
+               CryptoError);
+}
+
+}  // namespace
+}  // namespace privtopk::crypto

@@ -1,0 +1,132 @@
+// Parameterized property sweeps for the crypto substrate.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/secure_channel.hpp"
+#include "crypto/sha256.hpp"
+
+namespace privtopk::crypto {
+namespace {
+
+class SizeSweep : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, Sha256DeterministicAndSensitive) {
+  const std::size_t size = GetParam();
+  Rng rng(size + 1);
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+
+  const Sha256Digest d1 = sha256(data);
+  EXPECT_EQ(sha256(data), d1);
+  if (!data.empty()) {
+    data[size / 2] ^= 0x01;
+    EXPECT_NE(sha256(data), d1);  // avalanche on a single bit flip
+  }
+}
+
+TEST_P(SizeSweep, ChaChaRoundTripAndKeySensitivity) {
+  const std::size_t size = GetParam();
+  Rng rng(size + 2);
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+
+  ChaChaKey k1{};
+  ChaChaKey k2{};
+  k2[0] = 1;
+  const ChaChaNonce nonce = makeNonce(5, 6);
+  const auto c1 = chacha20Xor(k1, nonce, 0, data);
+  auto back = c1;
+  chacha20XorInPlace(k1, nonce, 0, back);
+  EXPECT_EQ(back, data);
+  if (size > 0) {
+    EXPECT_NE(chacha20Xor(k2, nonce, 0, data), c1);
+  }
+}
+
+TEST_P(SizeSweep, SecureSessionRoundTrip) {
+  const std::size_t size = GetParam();
+  Rng rngA(size + 3);
+  Rng rngB(size + 4);
+  SecureHandshake alice(SecureHandshake::Role::Initiator, DhGroup::test512(),
+                        rngA);
+  SecureHandshake bob(SecureHandshake::Role::Responder, DhGroup::test512(),
+                      rngB);
+  auto tx = alice.deriveSession(bob.localHello());
+  auto rx = bob.deriveSession(alice.localHello());
+
+  Rng rng(size + 5);
+  std::vector<std::uint8_t> payload(size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+  EXPECT_EQ(rx.open(tx.seal(payload)), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         testing::Values(0, 1, 31, 32, 33, 55, 56, 63, 64, 65,
+                                         127, 128, 1000, 4096));
+
+class BigIntSweep : public testing::TestWithParam<int> {};
+
+TEST_P(BigIntSweep, RingAxiomsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto randomBig = [&rng](std::size_t maxLimbs) {
+    std::vector<std::uint8_t> bytes(8 * (1 + rng.index(maxLimbs)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    return BigUInt::fromBytes(bytes);
+  };
+
+  const BigUInt a = randomBig(4);
+  const BigUInt b = randomBig(4);
+  const BigUInt c = randomBig(2);
+
+  // Commutativity / associativity samples.
+  EXPECT_EQ(a.add(b), b.add(a));
+  EXPECT_EQ(a.mul(b), b.mul(a));
+  EXPECT_EQ(a.add(b).add(c), a.add(b.add(c)));
+  EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+  // Distributivity.
+  EXPECT_EQ(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+  // Sub inverts add.
+  EXPECT_EQ(a.add(b).sub(b), a);
+  // Shifts are scaling by powers of two.
+  EXPECT_EQ(a.shiftLeft(17), a.mul(BigUInt(1u << 17)));
+  EXPECT_EQ(a.shiftLeft(13).shiftRight(13), a);
+  // Division identity.
+  if (!b.isZero()) {
+    const auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q.mul(b).add(r), a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+TEST_P(BigIntSweep, MontgomeryAgreesWithSchoolbook) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  // Random odd modulus with 2-4 limbs.
+  std::vector<std::uint8_t> mbytes(8 * (2 + rng.index(3)));
+  for (auto& b : mbytes) b = static_cast<std::uint8_t>(rng.next());
+  mbytes.back() |= 1;   // odd
+  mbytes.front() |= 1;  // non-degenerate size
+  const BigUInt m = BigUInt::fromBytes(mbytes);
+  const Montgomery ctx(m);
+
+  std::vector<std::uint8_t> abytes(16);
+  std::vector<std::uint8_t> bbytes(16);
+  for (auto& x : abytes) x = static_cast<std::uint8_t>(rng.next());
+  for (auto& x : bbytes) x = static_cast<std::uint8_t>(rng.next());
+  const BigUInt a = BigUInt::fromBytes(abytes);
+  const BigUInt b = BigUInt::fromBytes(bbytes);
+
+  EXPECT_EQ(ctx.modmul(a, b), a.mul(b).mod(m));
+  // modexp consistency: a^2 == a*a (mod m), a^3 == a*a*a (mod m).
+  const BigUInt a2 = ctx.modexp(a, BigUInt(2));
+  EXPECT_EQ(a2, ctx.modmul(a, a));
+  EXPECT_EQ(ctx.modexp(a, BigUInt(3)), ctx.modmul(a2, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntSweep, testing::Range(1, 21));
+
+}  // namespace
+}  // namespace privtopk::crypto

@@ -1,0 +1,89 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace privtopk::crypto {
+namespace {
+
+std::string digestHex(std::string_view s) {
+  const Sha256Digest d = sha256(s);
+  return toHex(d);
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digestHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digestHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digestHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(toHex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, across "
+      "block boundaries of the compression function.";
+  const Sha256Digest oneShot = sha256(msg);
+  // Feed in awkward chunk sizes (1, 7, 64, remainder).
+  for (std::size_t chunk : {1u, 7u, 63u, 64u, 65u}) {
+    Sha256 h;
+    std::size_t pos = 0;
+    while (pos < msg.size()) {
+      const std::size_t take = std::min(chunk, msg.size() - pos);
+      h.update(std::string_view(msg).substr(pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.finish(), oneShot) << "chunk size " << chunk;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes hit every padding branch.
+  const std::vector<std::size_t> lengths = {55, 56, 63, 64, 65, 119, 120};
+  for (std::size_t len : lengths) {
+    const std::string msg(len, 'x');
+    const Sha256Digest incremental = [&] {
+      Sha256 h;
+      h.update(msg);
+      return h.finish();
+    }();
+    EXPECT_EQ(incremental, sha256(msg)) << "length " << len;
+    // Differ from a message one byte shorter.
+    EXPECT_NE(sha256(msg), sha256(std::string(len - 1, 'x')));
+  }
+}
+
+TEST(Sha256, ResetReusesHasher) {
+  Sha256 h;
+  h.update("garbage state");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(toHex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(ToHex, RendersBytes) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x0f, 0xf0, 0xff};
+  EXPECT_EQ(toHex(bytes), "000ff0ff");
+}
+
+}  // namespace
+}  // namespace privtopk::crypto

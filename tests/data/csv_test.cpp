@@ -1,0 +1,98 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace privtopk::data {
+namespace {
+
+Schema schema() {
+  return Schema({{"name", ColumnType::Text},
+                 {"score", ColumnType::Int},
+                 {"weight", ColumnType::Real}});
+}
+
+TEST(Csv, LoadBasic) {
+  std::istringstream in("name,score,weight\nalice,10,0.5\nbob,-3,1.25\n");
+  const Table t = loadCsv(in, schema());
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_EQ(t.textColumn("name"), (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_EQ(t.intColumn("score"), (std::vector<Value>{10, -3}));
+  EXPECT_DOUBLE_EQ(t.realColumn("weight")[1], 1.25);
+}
+
+TEST(Csv, HeaderMayReorderColumns) {
+  std::istringstream in("score,weight,name\n5,2.0,zoe\n");
+  const Table t = loadCsv(in, schema());
+  EXPECT_EQ(t.textColumn("name")[0], "zoe");
+  EXPECT_EQ(t.intColumn("score")[0], 5);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes) {
+  std::istringstream in(
+      "name,score,weight\n\"smith, john\",1,1.0\n\"say \"\"hi\"\"\",2,2.0\n");
+  const Table t = loadCsv(in, schema());
+  EXPECT_EQ(t.textColumn("name")[0], "smith, john");
+  EXPECT_EQ(t.textColumn("name")[1], "say \"hi\"");
+}
+
+TEST(Csv, QuotedNewline) {
+  std::istringstream in("name,score,weight\n\"two\nlines\",1,1.0\n");
+  const Table t = loadCsv(in, schema());
+  EXPECT_EQ(t.textColumn("name")[0], "two\nlines");
+}
+
+TEST(Csv, CrLfLineEndings) {
+  std::istringstream in("name,score,weight\r\nalice,10,0.5\r\n");
+  const Table t = loadCsv(in, schema());
+  EXPECT_EQ(t.rowCount(), 1u);
+  EXPECT_EQ(t.intColumn("score")[0], 10);
+}
+
+TEST(Csv, MissingFinalNewlineOk) {
+  std::istringstream in("name,score,weight\nalice,10,0.5");
+  const Table t = loadCsv(in, schema());
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(Csv, ErrorsOnBadData) {
+  {
+    std::istringstream in("name,score,weight\nalice,notanint,0.5\n");
+    EXPECT_THROW((void)loadCsv(in, schema()), SchemaError);
+  }
+  {
+    std::istringstream in("name,score,weight\nalice,1\n");
+    EXPECT_THROW((void)loadCsv(in, schema()), SchemaError);
+  }
+  {
+    std::istringstream in("wrong,header\n");
+    EXPECT_THROW((void)loadCsv(in, schema()), SchemaError);
+  }
+  {
+    std::istringstream in("");
+    EXPECT_THROW((void)loadCsv(in, schema()), SchemaError);
+  }
+}
+
+TEST(Csv, SaveLoadRoundTrip) {
+  Table t(schema());
+  t.appendRow({Cell{std::string("has,comma")}, Cell{Value{42}}, Cell{1.5}});
+  t.appendRow({Cell{std::string("has\"quote")}, Cell{Value{-7}}, Cell{0.0}});
+
+  std::ostringstream out;
+  saveCsv(out, t);
+  std::istringstream in(out.str());
+  const Table back = loadCsv(in, schema());
+  EXPECT_EQ(back.rowCount(), 2u);
+  EXPECT_EQ(back.textColumn("name")[0], "has,comma");
+  EXPECT_EQ(back.textColumn("name")[1], "has\"quote");
+  EXPECT_EQ(back.intColumn("score"), t.intColumn("score"));
+}
+
+TEST(Csv, FileMissingThrows) {
+  EXPECT_THROW((void)loadCsvFile("/nonexistent/path.csv", schema()), Error);
+}
+
+}  // namespace
+}  // namespace privtopk::data

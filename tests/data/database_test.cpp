@@ -1,0 +1,78 @@
+#include "data/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace privtopk::data {
+namespace {
+
+PrivateDatabase makeDb() {
+  PrivateDatabase db("acme");
+  Table t(Schema({{"region", ColumnType::Text}, {"revenue", ColumnType::Int}}));
+  t.appendRow({Cell{std::string("east")}, Cell{Value{500}}});
+  t.appendRow({Cell{std::string("west")}, Cell{Value{900}}});
+  t.appendRow({Cell{std::string("east")}, Cell{Value{300}}});
+  t.appendRow({Cell{std::string("west")}, Cell{Value{900}}});
+  t.appendRow({Cell{std::string("north")}, Cell{Value{120}}});
+  db.addTable("sales", std::move(t));
+  return db;
+}
+
+TEST(PrivateDatabase, TableManagement) {
+  PrivateDatabase db = makeDb();
+  EXPECT_EQ(db.ownerName(), "acme");
+  EXPECT_TRUE(db.hasTable("sales"));
+  EXPECT_FALSE(db.hasTable("hr"));
+  EXPECT_EQ(db.tableNames(), (std::vector<std::string>{"sales"}));
+  EXPECT_THROW((void)db.table("hr"), SchemaError);
+  Table dup(Schema({{"x", ColumnType::Int}}));
+  EXPECT_THROW(db.addTable("sales", std::move(dup)), SchemaError);
+}
+
+TEST(PrivateDatabase, LocalTopKSortedWithDuplicates) {
+  PrivateDatabase db = makeDb();
+  EXPECT_EQ(db.localTopK("sales", "revenue", 3),
+            (TopKVector{900, 900, 500}));
+}
+
+TEST(PrivateDatabase, LocalTopKFewerRowsThanK) {
+  PrivateDatabase db = makeDb();
+  EXPECT_EQ(db.localTopK("sales", "revenue", 10),
+            (TopKVector{900, 900, 500, 300, 120}));
+}
+
+TEST(PrivateDatabase, LocalBottomK) {
+  PrivateDatabase db = makeDb();
+  EXPECT_EQ(db.localBottomK("sales", "revenue", 2), (TopKVector{120, 300}));
+}
+
+TEST(PrivateDatabase, MaxMin) {
+  PrivateDatabase db = makeDb();
+  EXPECT_EQ(db.localMax("sales", "revenue"), 900);
+  EXPECT_EQ(db.localMin("sales", "revenue"), 120);
+}
+
+TEST(PrivateDatabase, PredicateFiltersRows) {
+  PrivateDatabase db = makeDb();
+  const RowPredicate eastOnly = [](const Table& t, std::size_t row) {
+    return t.textColumn("region")[row] == "east";
+  };
+  EXPECT_EQ(db.localTopK("sales", "revenue", 5, eastOnly),
+            (TopKVector{500, 300}));
+  EXPECT_EQ(db.localMax("sales", "revenue", eastOnly), 500);
+}
+
+TEST(PrivateDatabase, PredicateExcludingAllRowsYieldsEmpty) {
+  PrivateDatabase db = makeDb();
+  const RowPredicate none = [](const Table&, std::size_t) { return false; };
+  EXPECT_TRUE(db.localTopK("sales", "revenue", 3, none).empty());
+  EXPECT_EQ(db.localMax("sales", "revenue", none), std::nullopt);
+}
+
+TEST(PrivateDatabase, UnknownAttributeThrows) {
+  PrivateDatabase db = makeDb();
+  EXPECT_THROW((void)db.localTopK("sales", "profit", 3), SchemaError);
+  EXPECT_THROW((void)db.localTopK("sales", "region", 3), SchemaError);
+}
+
+}  // namespace
+}  // namespace privtopk::data

@@ -1,0 +1,112 @@
+#include "data/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace privtopk::data {
+namespace {
+
+TEST(UniformDistribution, StaysInDomainAndCoversIt) {
+  const Domain d{1, 10};
+  UniformDistribution dist(d);
+  Rng rng(1);
+  std::map<Value, int> counts;
+  for (int i = 0; i < 5000; ++i) {
+    const Value v = dist.sample(rng);
+    ASSERT_TRUE(d.contains(v));
+    ++counts[v];
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  // Roughly uniform: each value ~500 +- 150.
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 350) << "value " << v;
+    EXPECT_LT(c, 650) << "value " << v;
+  }
+}
+
+TEST(UniformDistribution, PaperDomainDefault) {
+  UniformDistribution dist;
+  EXPECT_EQ(dist.domain(), kPaperDomain);
+  EXPECT_EQ(dist.name(), "uniform");
+}
+
+TEST(NormalDistribution, DefaultsCenterOnDomainMidpoint) {
+  NormalDistribution dist(Domain{1, 10000});
+  Rng rng(2);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Value v = dist.sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10000);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 5000.5, 60.0);
+}
+
+TEST(NormalDistribution, ClampsToDomain) {
+  // Tiny domain with huge sigma: samples must still be legal.
+  NormalDistribution dist(Domain{1, 3}, 2.0, 100.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Value v = dist.sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(NormalDistribution, RejectsBadSigma) {
+  EXPECT_THROW(NormalDistribution(Domain{1, 10}, 5.0, 0.0), ConfigError);
+}
+
+TEST(ZipfDistribution, LowRanksDominate) {
+  ZipfDistribution dist(Domain{1, 100}, 1.0);
+  Rng rng(4);
+  std::map<Value, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[dist.sample(rng)];
+  // Rank 1 (value 1) must be the most frequent and ~ twice rank 2.
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.5);
+}
+
+TEST(ZipfDistribution, StaysInDomain) {
+  const Domain d{50, 150};
+  ZipfDistribution dist(d, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(d.contains(dist.sample(rng)));
+  }
+}
+
+TEST(ZipfDistribution, RejectsBadExponentAndHugeDomain) {
+  EXPECT_THROW(ZipfDistribution(Domain{1, 10}, 0.0), ConfigError);
+  EXPECT_THROW(ZipfDistribution(Domain{1, 1 << 25}, 1.0), ConfigError);
+}
+
+TEST(MakeDistribution, FactoryByName) {
+  EXPECT_EQ(makeDistribution("uniform")->name(), "uniform");
+  EXPECT_EQ(makeDistribution("normal")->name(), "normal");
+  EXPECT_EQ(makeDistribution("zipf")->name(), "zipf");
+  EXPECT_THROW((void)makeDistribution("cauchy"), ConfigError);
+}
+
+TEST(ValueDistribution, SampleManyCount) {
+  UniformDistribution dist(Domain{1, 100});
+  Rng rng(6);
+  EXPECT_EQ(dist.sampleMany(rng, 37).size(), 37u);
+  EXPECT_TRUE(dist.sampleMany(rng, 0).empty());
+}
+
+TEST(ValueDistribution, DeterministicGivenSeed) {
+  UniformDistribution dist;
+  Rng a(77);
+  Rng b(77);
+  EXPECT_EQ(dist.sampleMany(a, 50), dist.sampleMany(b, 50));
+}
+
+}  // namespace
+}  // namespace privtopk::data

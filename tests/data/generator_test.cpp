@@ -1,0 +1,77 @@
+#include "data/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace privtopk::data {
+namespace {
+
+TEST(GenerateFleet, ShapeAndDomain) {
+  FleetSpec spec;
+  spec.nodes = 5;
+  spec.rowsPerNode = 20;
+  Rng rng(1);
+  const auto fleet = generateFleet(spec, rng);
+  ASSERT_EQ(fleet.size(), 5u);
+  for (const auto& db : fleet) {
+    const auto& col = db.table("sales").intColumn("revenue");
+    EXPECT_EQ(col.size(), 20u);
+    for (Value v : col) EXPECT_TRUE(spec.domain.contains(v));
+  }
+  EXPECT_EQ(fleet[0].ownerName(), "org-0");
+  EXPECT_EQ(fleet[4].ownerName(), "org-4");
+}
+
+TEST(GenerateFleet, DeterministicGivenSeed) {
+  FleetSpec spec;
+  Rng a(9);
+  Rng b(9);
+  const auto f1 = generateFleet(spec, a);
+  const auto f2 = generateFleet(spec, b);
+  EXPECT_EQ(f1[0].table("sales").intColumn("revenue"),
+            f2[0].table("sales").intColumn("revenue"));
+}
+
+TEST(GenerateFleet, RejectsEmptyFleet) {
+  FleetSpec spec;
+  spec.nodes = 0;
+  Rng rng(1);
+  EXPECT_THROW((void)generateFleet(spec, rng), ConfigError);
+}
+
+TEST(FleetValues, ExtractsPerNodeColumns) {
+  FleetSpec spec;
+  spec.nodes = 4;
+  spec.rowsPerNode = 3;
+  Rng rng(2);
+  const auto fleet = generateFleet(spec, rng);
+  const auto values = fleetValues(fleet, "sales", "revenue");
+  ASSERT_EQ(values.size(), 4u);
+  for (const auto& v : values) EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(values[2], fleet[2].table("sales").intColumn("revenue"));
+}
+
+TEST(GenerateValueSets, FastPathMatchesShape) {
+  UniformDistribution dist(Domain{1, 100});
+  Rng rng(3);
+  const auto sets = generateValueSets(6, 10, dist, rng);
+  ASSERT_EQ(sets.size(), 6u);
+  for (const auto& s : sets) EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(TrueTopK, AcrossNodesWithDuplicates) {
+  const std::vector<std::vector<Value>> sets = {
+      {10, 50}, {50, 20}, {5, 50, 49}};
+  EXPECT_EQ(trueTopK(sets, 4), (TopKVector{50, 50, 50, 49}));
+  EXPECT_EQ(trueTopK(sets, 1), (TopKVector{50}));
+}
+
+TEST(TrueTopK, FewerValuesThanK) {
+  const std::vector<std::vector<Value>> sets = {{3}, {1}};
+  EXPECT_EQ(trueTopK(sets, 10), (TopKVector{3, 1}));
+  EXPECT_TRUE(trueTopK({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace privtopk::data

@@ -1,0 +1,78 @@
+#include "data/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace privtopk::data {
+namespace {
+
+Schema salesSchema() {
+  return Schema({{"id", ColumnType::Text},
+                 {"revenue", ColumnType::Int},
+                 {"margin", ColumnType::Real}});
+}
+
+TEST(Schema, IndexAndLookup) {
+  const Schema s = salesSchema();
+  EXPECT_EQ(s.columnCount(), 3u);
+  EXPECT_EQ(s.indexOf("revenue"), 1u);
+  EXPECT_TRUE(s.has("margin"));
+  EXPECT_FALSE(s.has("missing"));
+  EXPECT_THROW((void)s.indexOf("missing"), SchemaError);
+}
+
+TEST(Schema, RejectsDuplicateColumns) {
+  EXPECT_THROW(Schema({{"a", ColumnType::Int}, {"a", ColumnType::Real}}),
+               SchemaError);
+}
+
+TEST(Table, AppendAndReadBack) {
+  Table t(salesSchema());
+  t.appendRow({Cell{std::string("r1")}, Cell{Value{100}}, Cell{0.4}});
+  t.appendRow({Cell{std::string("r2")}, Cell{Value{250}}, Cell{0.2}});
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_EQ(t.intColumn("revenue"), (std::vector<Value>{100, 250}));
+  EXPECT_EQ(t.textColumn("id"), (std::vector<std::string>{"r1", "r2"}));
+  EXPECT_DOUBLE_EQ(t.realColumn("margin")[1], 0.2);
+}
+
+TEST(Table, CellAccess) {
+  Table t(salesSchema());
+  t.appendRow({Cell{std::string("x")}, Cell{Value{7}}, Cell{1.5}});
+  EXPECT_EQ(std::get<Value>(t.at(0, 1)), 7);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "x");
+  EXPECT_THROW((void)t.at(1, 0), SchemaError);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t(salesSchema());
+  EXPECT_THROW(t.appendRow({Cell{Value{1}}}), SchemaError);
+  EXPECT_EQ(t.rowCount(), 0u);
+}
+
+TEST(Table, RejectsWrongTypesWithoutPartialWrites) {
+  Table t(salesSchema());
+  // Bad type in the LAST column: no column may be modified.
+  EXPECT_THROW(t.appendRow({Cell{std::string("r")}, Cell{Value{1}},
+                            Cell{std::string("oops")}}),
+               SchemaError);
+  EXPECT_EQ(t.rowCount(), 0u);
+  EXPECT_TRUE(t.intColumn("revenue").empty());
+  EXPECT_TRUE(t.textColumn("id").empty());
+}
+
+TEST(Table, TypedAccessorMismatchThrows) {
+  Table t(salesSchema());
+  EXPECT_THROW((void)t.intColumn("id"), SchemaError);
+  EXPECT_THROW((void)t.realColumn("revenue"), SchemaError);
+  EXPECT_THROW((void)t.textColumn("margin"), SchemaError);
+  EXPECT_THROW((void)t.intColumn("nope"), SchemaError);
+}
+
+TEST(ColumnType, Names) {
+  EXPECT_EQ(toString(ColumnType::Int), "int");
+  EXPECT_EQ(toString(ColumnType::Real), "real");
+  EXPECT_EQ(toString(ColumnType::Text), "text");
+}
+
+}  // namespace
+}  // namespace privtopk::data

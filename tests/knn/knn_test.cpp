@@ -1,0 +1,138 @@
+#include "knn/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace privtopk::knn {
+namespace {
+
+/// Two well-separated Gaussian blobs split across `parties` parties.
+std::vector<std::vector<LabeledPoint>> twoBlobData(std::size_t parties,
+                                                   std::size_t perParty,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<LabeledPoint>> data(parties);
+  for (std::size_t p = 0; p < parties; ++p) {
+    for (std::size_t i = 0; i < perParty; ++i) {
+      const int label = static_cast<int>(rng.bernoulli(0.5));
+      const double cx = label == 0 ? 0.0 : 10.0;
+      const double cy = label == 0 ? 0.0 : 10.0;
+      data[p].push_back(LabeledPoint{
+          {cx + rng.normal(0, 1.0), cy + rng.normal(0, 1.0)}, label});
+    }
+  }
+  return data;
+}
+
+KnnConfig exactConfig(std::size_t k) {
+  KnnConfig cfg;
+  cfg.k = k;
+  cfg.protocolParams.rounds = 12;
+  return cfg;
+}
+
+TEST(PrivateKnn, ClassifiesObviousPoints) {
+  PrivateKnnClassifier clf(twoBlobData(4, 30, 1), 2, exactConfig(5));
+  Rng rng(2);
+  EXPECT_EQ(clf.classify({0.0, 0.0}, rng).label, 0);
+  EXPECT_EQ(clf.classify({10.0, 10.0}, rng).label, 1);
+}
+
+TEST(PrivateKnn, MatchesCentralizedReference) {
+  PrivateKnnClassifier clf(twoBlobData(5, 20, 3), 2, exactConfig(7));
+  Rng rng(4);
+  Rng queryRng(5);
+  int agreements = 0;
+  const int queries = 30;
+  for (int q = 0; q < queries; ++q) {
+    const std::vector<double> query = {queryRng.uniform01() * 12 - 1,
+                                       queryRng.uniform01() * 12 - 1};
+    const int priv = clf.classify(query, rng).label;
+    const int central = clf.classifyCentralized(query);
+    if (priv == central) ++agreements;
+  }
+  // Same radius and counting rule => identical decisions (protocol exact
+  // with these parameters).
+  EXPECT_EQ(agreements, queries);
+}
+
+TEST(PrivateKnn, NeighbourDistancesAreSortedAndTight) {
+  PrivateKnnClassifier clf(twoBlobData(4, 15, 6), 2, exactConfig(4));
+  Rng rng(7);
+  const KnnResult res = clf.classify({5.0, 5.0}, rng);
+  ASSERT_EQ(res.neighbourDistances.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(res.neighbourDistances.begin(),
+                             res.neighbourDistances.end()));
+  EXPECT_GE(res.neighbourDistances.front(), 0);
+}
+
+TEST(PrivateKnn, VotesSumAtLeastK) {
+  // Every point within the kth distance votes; ties can push the total
+  // above k but never below.
+  PrivateKnnClassifier clf(twoBlobData(4, 25, 8), 2, exactConfig(9));
+  Rng rng(9);
+  const KnnResult res = clf.classify({0.0, 0.0}, rng);
+  std::int64_t total = 0;
+  for (auto v : res.votes) total += v;
+  EXPECT_GE(total, 9);
+}
+
+TEST(PrivateKnn, HighAccuracyOnSeparableData) {
+  PrivateKnnClassifier clf(twoBlobData(4, 40, 10), 2, exactConfig(5));
+  Rng rng(11);
+  Rng testRng(12);
+  int correct = 0;
+  const int queries = 40;
+  for (int q = 0; q < queries; ++q) {
+    const int label = static_cast<int>(testRng.bernoulli(0.5));
+    const double cx = label == 0 ? 0.0 : 10.0;
+    const std::vector<double> query = {cx + testRng.normal(0, 1.0),
+                                       cx + testRng.normal(0, 1.0)};
+    if (clf.classify(query, rng).label == label) ++correct;
+  }
+  EXPECT_GE(correct, queries * 9 / 10);
+}
+
+TEST(PrivateKnn, ThreeClasses) {
+  Rng rng(13);
+  std::vector<std::vector<LabeledPoint>> data(3);
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (int i = 0; i < 20; ++i) {
+      const int label = i % 3;
+      const double c = label * 20.0;
+      data[p].push_back(
+          LabeledPoint{{c + rng.normal(0, 1.0)}, label});
+    }
+  }
+  PrivateKnnClassifier clf(std::move(data), 3, exactConfig(5));
+  Rng queryRng(14);
+  EXPECT_EQ(clf.classify({0.0}, queryRng).label, 0);
+  EXPECT_EQ(clf.classify({20.0}, queryRng).label, 1);
+  EXPECT_EQ(clf.classify({40.0}, queryRng).label, 2);
+}
+
+TEST(PrivateKnn, ConstructionValidation) {
+  auto data = twoBlobData(4, 10, 15);
+  EXPECT_THROW(PrivateKnnClassifier({data[0], data[1]}, 2), ConfigError);
+  EXPECT_THROW(PrivateKnnClassifier(data, 1), ConfigError);
+  KnnConfig bad = exactConfig(0);
+  EXPECT_THROW(PrivateKnnClassifier(data, 2, bad), ConfigError);
+  KnnConfig hugeK = exactConfig(1000);
+  EXPECT_THROW(PrivateKnnClassifier(data, 2, hugeK), ConfigError);
+
+  auto mislabeled = twoBlobData(3, 5, 16);
+  mislabeled[0][0].label = 7;
+  EXPECT_THROW(PrivateKnnClassifier(mislabeled, 2), ConfigError);
+}
+
+TEST(PrivateKnn, DimensionMismatchRejected) {
+  PrivateKnnClassifier clf(twoBlobData(3, 10, 17), 2, exactConfig(3));
+  Rng rng(18);
+  EXPECT_THROW((void)clf.classify({1.0, 2.0, 3.0}, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace privtopk::knn

@@ -1,0 +1,123 @@
+// Robustness "fuzzing" of every wire decoder: random byte soup, random
+// mutations of valid encodings, truncations, and extensions must either
+// decode cleanly or throw a typed Error - never crash, hang, or allocate
+// absurdly.  Deterministic seeds keep failures reproducible.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "query/descriptor.hpp"
+
+namespace privtopk {
+namespace {
+
+Bytes randomBytes(Rng& rng, std::size_t maxLen) {
+  Bytes out(rng.index(maxLen + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+template <typename DecodeFn>
+void expectNoCrash(const Bytes& input, DecodeFn&& decode) {
+  try {
+    decode(input);
+  } catch (const Error&) {
+    // typed rejection is the expected failure mode
+  } catch (const std::exception& e) {
+    FAIL() << "non-library exception: " << e.what();
+  }
+}
+
+TEST(FuzzDecode, MessageDecoderSurvivesRandomBytes) {
+  Rng rng(0xF00D);
+  for (int i = 0; i < 5000; ++i) {
+    expectNoCrash(randomBytes(rng, 64),
+                  [](const Bytes& b) { (void)net::decodeMessage(b); });
+  }
+}
+
+TEST(FuzzDecode, MessageDecoderSurvivesMutatedValidEncodings) {
+  Rng rng(0xF00E);
+  const Bytes valid = net::encodeMessage(
+      net::RoundToken{42, 7, {9999, 5000, 1, -3, 10000}});
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.index(4));
+    for (int m = 0; m < mutations; ++m) {
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    expectNoCrash(mutated,
+                  [](const Bytes& b) { (void)net::decodeMessage(b); });
+  }
+}
+
+TEST(FuzzDecode, MessageDecoderSurvivesTruncations) {
+  const Bytes valid = net::encodeMessage(
+      net::ResultAnnouncement{7, {100, 50, 25, 12, 6}});
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    Bytes truncated(valid.begin(),
+                    valid.begin() + static_cast<std::ptrdiff_t>(len));
+    expectNoCrash(truncated,
+                  [](const Bytes& b) { (void)net::decodeMessage(b); });
+  }
+}
+
+TEST(FuzzDecode, MessageDecoderSurvivesExtensions) {
+  Rng rng(0xF010);
+  const Bytes valid = net::encodeMessage(net::RingRepair{1, 2, 3});
+  for (int i = 0; i < 200; ++i) {
+    Bytes extended = valid;
+    const Bytes junk = randomBytes(rng, 16);
+    extended.insert(extended.end(), junk.begin(), junk.end());
+    expectNoCrash(extended,
+                  [](const Bytes& b) { (void)net::decodeMessage(b); });
+  }
+}
+
+TEST(FuzzDecode, QueryDescriptorSurvivesRandomBytes) {
+  Rng rng(0xF011);
+  for (int i = 0; i < 5000; ++i) {
+    expectNoCrash(randomBytes(rng, 128), [](const Bytes& b) {
+      (void)query::QueryDescriptor::decode(b);
+    });
+  }
+}
+
+TEST(FuzzDecode, QueryDescriptorSurvivesMutations) {
+  Rng rng(0xF012);
+  query::QueryDescriptor d;
+  d.queryId = 5;
+  d.params.k = 3;
+  d.params.rounds = 7;
+  const Bytes valid = d.encode();
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = valid;
+    mutated[rng.index(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.index(8));
+    expectNoCrash(mutated, [](const Bytes& b) {
+      (void)query::QueryDescriptor::decode(b);
+    });
+  }
+}
+
+TEST(FuzzDecode, RoundTripSurvivesAdversarialVectors) {
+  // Decoded-then-reencoded valid messages must be stable (idempotent
+  // canonical encoding).
+  const std::vector<net::Message> messages = {
+      net::RoundToken{0, 1, {}},
+      net::RoundToken{~0ull, ~0u, {INT64_MAX, INT64_MIN, 0}},
+      net::ResultAnnouncement{1, TopKVector(100, 7)},
+      net::RingRepair{9, 4294967295u, 0},
+      net::SumToken{3, 2, {INT64_MIN, -1, INT64_MAX}},
+  };
+  for (const auto& msg : messages) {
+    const Bytes once = net::encodeMessage(msg);
+    const Bytes twice = net::encodeMessage(net::decodeMessage(once));
+    EXPECT_EQ(once, twice);
+  }
+}
+
+}  // namespace
+}  // namespace privtopk

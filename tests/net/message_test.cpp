@@ -1,0 +1,71 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace privtopk::net {
+namespace {
+
+TEST(Message, RoundTokenRoundTrip) {
+  const RoundToken token{42, 3, {9999, 8888, 1}};
+  const Bytes encoded = encodeMessage(token);
+  const Message decoded = decodeMessage(encoded);
+  ASSERT_TRUE(std::holds_alternative<RoundToken>(decoded));
+  EXPECT_EQ(std::get<RoundToken>(decoded), token);
+}
+
+TEST(Message, EmptyVectorToken) {
+  const RoundToken token{1, 1, {}};
+  const Message decoded = decodeMessage(encodeMessage(token));
+  EXPECT_EQ(std::get<RoundToken>(decoded), token);
+}
+
+TEST(Message, ResultAnnouncementRoundTrip) {
+  const ResultAnnouncement result{7, {100, 50}};
+  const Message decoded = decodeMessage(encodeMessage(result));
+  ASSERT_TRUE(std::holds_alternative<ResultAnnouncement>(decoded));
+  EXPECT_EQ(std::get<ResultAnnouncement>(decoded), result);
+}
+
+TEST(Message, RingRepairRoundTrip) {
+  const RingRepair repair{9, 3, 5};
+  const Message decoded = decodeMessage(encodeMessage(repair));
+  ASSERT_TRUE(std::holds_alternative<RingRepair>(decoded));
+  EXPECT_EQ(std::get<RingRepair>(decoded), repair);
+}
+
+TEST(Message, SumTokenRoundTrip) {
+  const SumToken sum{11, 2, {-5, 0, 123456789}};
+  const Message decoded = decodeMessage(encodeMessage(sum));
+  ASSERT_TRUE(std::holds_alternative<SumToken>(decoded));
+  EXPECT_EQ(std::get<SumToken>(decoded), sum);
+}
+
+TEST(Message, NegativeValuesSurvive) {
+  const RoundToken token{1, 1, {-10000, -1}};
+  const Message decoded = decodeMessage(encodeMessage(token));
+  EXPECT_EQ(std::get<RoundToken>(decoded).vector, (TopKVector{-10000, -1}));
+}
+
+TEST(Message, UnknownTagRejected) {
+  Bytes bogus = {0x7f, 0x00};
+  EXPECT_THROW((void)decodeMessage(bogus), ProtocolError);
+}
+
+TEST(Message, TruncatedPayloadRejected) {
+  Bytes encoded = encodeMessage(RoundToken{42, 3, {1, 2, 3}});
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW((void)decodeMessage(encoded), ProtocolError);
+}
+
+TEST(Message, TrailingGarbageRejected) {
+  Bytes encoded = encodeMessage(RoundToken{42, 3, {1}});
+  encoded.push_back(0xee);
+  EXPECT_THROW((void)decodeMessage(encoded), ProtocolError);
+}
+
+TEST(Message, EmptyInputRejected) {
+  EXPECT_THROW((void)decodeMessage(Bytes{}), ProtocolError);
+}
+
+}  // namespace
+}  // namespace privtopk::net

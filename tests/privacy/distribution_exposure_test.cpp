@@ -1,0 +1,175 @@
+#include "privacy/distribution_exposure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::privacy {
+namespace {
+
+using protocol::ExponentialSchedule;
+using protocol::ZeroSchedule;
+
+TEST(ValuePosterior, StartsUniform) {
+  ValuePosterior p(Domain{1, 1000}, 10);
+  EXPECT_EQ(p.binCount(), 10u);
+  EXPECT_NEAR(p.massAt(1), 0.1, 1e-12);
+  EXPECT_NEAR(p.massAt(1000), 0.1, 1e-12);
+  EXPECT_NEAR(p.entropyBits(), std::log2(10.0), 1e-9);
+  EXPECT_NEAR(p.exposure(), 0.0, 1e-9);
+  EXPECT_NEAR(p.klFromPriorBits(), 0.0, 1e-9);
+}
+
+TEST(ValuePosterior, BinsCappedByDomainSize) {
+  ValuePosterior p(Domain{1, 5}, 100);
+  EXPECT_EQ(p.binCount(), 5u);
+}
+
+TEST(ValuePosterior, DeterministicRaisePinsValue) {
+  // Pr = 0: a raise to `out` proves v == out.
+  ValuePosterior p(Domain{1, 1000}, 100);
+  ZeroSchedule zero;
+  p.observeMaxStep(50, 777, 1, zero);
+  EXPECT_NEAR(p.massAt(777), 1.0, 1e-9);
+  EXPECT_NEAR(p.exposure(), 1.0, 1e-9);
+  EXPECT_EQ(p.binLow(p.mapBin()) <= 777 && 777 <= p.binHigh(p.mapBin()), true);
+}
+
+TEST(ValuePosterior, DeterministicPassProvesUpperBound) {
+  // Pr = 0: a pass proves v <= input (range exposure, §2.2 class 2).
+  ValuePosterior p(Domain{1, 1000}, 100);
+  ZeroSchedule zero;
+  p.observeMaxStep(500, 500, 1, zero);
+  EXPECT_NEAR(p.massIn(1, 500), 1.0, 1e-9);
+  EXPECT_NEAR(p.massIn(501, 1000), 0.0, 1e-9);
+  // Exposure is partial: halved support = 1 bit of ~6.64.
+  EXPECT_GT(p.exposure(), 0.10);
+  EXPECT_LT(p.exposure(), 0.35);
+}
+
+TEST(ValuePosterior, RandomizedRaiseLeavesUncertainty) {
+  // Pr = 1 (round 1 of the paper's default): a raise proves only v > out.
+  ValuePosterior p(Domain{1, 1000}, 100);
+  ExponentialSchedule sched(1.0, 0.5);
+  p.observeMaxStep(50, 300, 1, sched);
+  // The insert hypothesis has zero weight (1 - Pr = 0)...
+  EXPECT_LT(p.massIn(1, 299), 1e-9);
+  // ...and everything above 300 stays plausible.
+  EXPECT_NEAR(p.massIn(301, 1000), 1.0, 1e-6);
+  EXPECT_LT(p.exposure(), 0.5);
+}
+
+TEST(ValuePosterior, MixedRoundRaiseSplitsMass) {
+  // Pr = 1/2 (round 2): insert and randomize are equally likely a priori,
+  // so the `out` bin carries substantial but not certain mass.
+  ValuePosterior p(Domain{1, 1000}, 100);
+  ExponentialSchedule sched(1.0, 0.5);
+  p.observeMaxStep(50, 300, 2, sched);
+  const double atOut = p.massAt(300);
+  EXPECT_GT(atOut, 0.3);
+  EXPECT_LT(atOut, 0.999);
+  EXPECT_GT(p.massIn(301, 1000), 0.0);
+}
+
+TEST(ValuePosterior, AccumulatesOverRounds) {
+  // Round 1 (Pr=1) raise to 300, round 2 (Pr=1/2) raise to 800: v > 300
+  // from round 1; round 2 concentrates on 800 and above.
+  ValuePosterior p(Domain{1, 1000}, 100);
+  ExponentialSchedule sched(1.0, 0.5);
+  p.observeMaxStep(50, 300, 1, sched);
+  const double exposureAfter1 = p.exposure();
+  p.observeMaxStep(300, 800, 2, sched);
+  EXPECT_GT(p.exposure(), exposureAfter1);
+  // v in [1, 790] is impossible (bins below the one containing 800).
+  EXPECT_LT(p.massIn(1, 790), 1e-9);
+  // The insert hypothesis carries substantial mass at Pr = 1/2.
+  EXPECT_GT(p.massAt(800), 0.3);
+  EXPECT_GT(p.massAt(800) + p.massIn(801, 1000), 0.99);
+}
+
+TEST(ValuePosterior, RejectsImpossibleObservation) {
+  ValuePosterior p(Domain{1, 1000}, 10);
+  ZeroSchedule zero;
+  EXPECT_THROW(p.observeMaxStep(500, 400, 1, zero), Error);
+}
+
+TEST(ValuePosterior, SingleBinDomainAlwaysPinned) {
+  ValuePosterior p(Domain{7, 7}, 10);
+  EXPECT_EQ(p.binCount(), 1u);
+  EXPECT_NEAR(p.exposure(), 1.0, 1e-12);
+}
+
+TEST(DistributionExposure, ProbabilisticBelowNaive) {
+  // The multi-round Bayesian adversary learns far less from the
+  // probabilistic protocol than from the naive one.
+  data::UniformDistribution dist;
+  Rng dataRng(1);
+  Rng rng(2);
+  protocol::ProtocolParams params;
+  params.rounds = 8;
+
+  const ExponentialSchedule probSched(1.0, 0.5);
+  const ZeroSchedule naiveSched;
+
+  double probExposure = 0.0;
+  double naiveExposure = 0.0;
+  const int trials = 100;
+  const protocol::RingQueryRunner prob(params,
+                                       protocol::ProtocolKind::Probabilistic);
+  protocol::ProtocolParams naiveParams;
+  const protocol::RingQueryRunner naive(naiveParams,
+                                        protocol::ProtocolKind::Naive);
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    probExposure +=
+        averageDistributionExposure(prob.run(values, rng).trace, probSched);
+    naiveExposure +=
+        averageDistributionExposure(naive.run(values, rng).trace, naiveSched);
+  }
+  probExposure /= trials;
+  naiveExposure /= trials;
+  EXPECT_LT(probExposure, naiveExposure);
+  EXPECT_GT(naiveExposure, 0.3);  // naive: ~half the nodes fully pinned
+}
+
+TEST(DistributionExposure, RequiresMaxTraces) {
+  protocol::ExecutionTrace trace;
+  trace.k = 3;
+  const ExponentialSchedule sched(1.0, 0.5);
+  EXPECT_THROW((void)distributionExposureByNode(trace, sched), ConfigError);
+}
+
+TEST(DistributionExposure, MoreRoundsMoreExposureUnderCollusion) {
+  // Aggregating more rounds can only (weakly) increase what the colluders
+  // know - the §7 research question made measurable.
+  data::UniformDistribution dist;
+  Rng dataRng(3);
+  Rng rng(4);
+  const ExponentialSchedule sched(1.0, 0.5);
+
+  protocol::ProtocolParams shortParams;
+  shortParams.rounds = 2;
+  protocol::ProtocolParams longParams;
+  longParams.rounds = 8;
+  const protocol::RingQueryRunner shortRun(
+      shortParams, protocol::ProtocolKind::Probabilistic);
+  const protocol::RingQueryRunner longRun(
+      longParams, protocol::ProtocolKind::Probabilistic);
+
+  double shortExp = 0.0;
+  double longExp = 0.0;
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    shortExp +=
+        averageDistributionExposure(shortRun.run(values, rng).trace, sched);
+    longExp +=
+        averageDistributionExposure(longRun.run(values, rng).trace, sched);
+  }
+  EXPECT_GE(longExp / trials, shortExp / trials - 0.02);
+}
+
+}  // namespace
+}  // namespace privtopk::privacy

@@ -1,0 +1,143 @@
+#include "privacy/lop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "common/math_util.hpp"
+#include "common/error.hpp"
+#include "data/generator.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::privacy {
+namespace {
+
+using protocol::ProtocolKind;
+using protocol::ProtocolParams;
+using protocol::RingQueryRunner;
+
+TEST(MultisetIntersection, CountsWithMultiplicity) {
+  EXPECT_EQ(multisetIntersectionSize({5, 5, 3}, {5, 3, 3}), 2u);
+  EXPECT_EQ(multisetIntersectionSize({1, 2, 3}, {4, 5, 6}), 0u);
+  EXPECT_EQ(multisetIntersectionSize({7, 7, 7}, {7, 7, 7}), 3u);
+  EXPECT_EQ(multisetIntersectionSize({}, {1}), 0u);
+  // Order-insensitive.
+  EXPECT_EQ(multisetIntersectionSize({3, 1, 2}, {2, 3, 9}), 2u);
+}
+
+/// Runs `trials` queries and accumulates LoP.
+LoPAccumulator measure(ProtocolKind kind, std::size_t n, std::size_t k,
+                       Round rounds, int trials, std::uint64_t seed,
+                       Grouping grouping, std::size_t rowsPerNode = 0) {
+  ProtocolParams params;
+  params.k = k;
+  params.rounds = rounds;
+  const RingQueryRunner runner(params, kind);
+  data::UniformDistribution dist;
+  Rng dataRng(seed);
+  Rng rng(seed + 1);
+  LoPAccumulator acc(n, rounds, grouping);
+  const std::size_t rows = rowsPerNode == 0 ? std::max<std::size_t>(k, 1) : rowsPerNode;
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(n, rows, dist, dataRng);
+    acc.addTrial(runner.run(values, rng).trace);
+  }
+  return acc;
+}
+
+TEST(LoPAccumulator, NaiveFixedStartWorstCaseIsStartingNode) {
+  const auto acc = measure(ProtocolKind::Naive, 4, 1, 1, 400, 1,
+                           Grouping::ByRingPosition);
+  const auto peaks = acc.perNodePeak();
+  // Position 0 (the starter) always reveals its value: LoP ~ 1 - 1/n * P(max).
+  EXPECT_GT(peaks[0], 0.85);
+  // Positions further along the ring leak progressively less (paper: 1/i).
+  EXPECT_GT(peaks[0], peaks[1]);
+  EXPECT_GT(peaks[1], peaks[3]);
+  EXPECT_NEAR(acc.worstLoP(), peaks[0], 1e-12);
+}
+
+TEST(LoPAccumulator, NaiveAverageNearHarmonicFormula) {
+  const std::size_t n = 8;
+  const auto acc = measure(ProtocolKind::Naive, n, 1, 1, 600, 2,
+                           Grouping::ByRingPosition);
+  // Paper SS4.3: node i leaks 1/i, minus 1/n when the passed value is
+  // already the public max.  The exact expectation is H_n/n - (n+1)/(2n^2),
+  // lower-bounded by the paper's (H_n - 1)/n (Eq. 5 precursor).
+  const double hn = harmonicNumber(n);
+  const double exact = hn / static_cast<double>(n) -
+                       static_cast<double>(n + 1) /
+                           (2.0 * static_cast<double>(n * n));
+  EXPECT_NEAR(acc.averageLoP(), exact, 0.05);
+  EXPECT_GT(acc.averageLoP() + 0.02, analysis::naiveAverageLoP(n));
+}
+
+TEST(LoPAccumulator, AnonymousNaiveSameAverageNoWorstCase) {
+  const std::size_t n = 6;
+  const auto naive = measure(ProtocolKind::Naive, n, 1, 1, 800, 3,
+                             Grouping::ByRingPosition);
+  const auto anon = measure(ProtocolKind::AnonymousNaive, n, 1, 1, 800, 4,
+                            Grouping::ByNodeId);
+  // Figure 10(a): averages match.
+  EXPECT_NEAR(anon.averageLoP(), naive.averageLoP(), 0.07);
+  // Figure 10(b): the anonymous protocol has no catastrophic worst node.
+  EXPECT_GT(naive.worstLoP(), 0.85);
+  EXPECT_LT(anon.worstLoP(), 0.55);
+}
+
+TEST(LoPAccumulator, ProbabilisticFarBelowNaive) {
+  const std::size_t n = 4;
+  const auto prob = measure(ProtocolKind::Probabilistic, n, 1, 8, 600, 5,
+                            Grouping::ByNodeId);
+  const auto naive = measure(ProtocolKind::Naive, n, 1, 1, 600, 6,
+                             Grouping::ByRingPosition);
+  EXPECT_LT(prob.averageLoP(), naive.averageLoP() / 2);
+  EXPECT_LT(prob.worstLoP(), naive.worstLoP() / 2);
+}
+
+TEST(LoPAccumulator, ProbabilisticRoundProfileMatchesPaper) {
+  // Figure 7 with p0 = 1: zero LoP in round 1, peak in round 2, decay after.
+  const auto acc = measure(ProtocolKind::Probabilistic, 4, 1, 8, 1000, 7,
+                           Grouping::ByNodeId);
+  const auto perRound = acc.perRoundAverage();
+  ASSERT_EQ(perRound.size(), 8u);
+  EXPECT_NEAR(perRound[0], 0.0, 0.02);        // round 1: all randomized
+  EXPECT_GT(perRound[1], perRound[0] + 0.02);  // peak at round 2
+  EXPECT_GT(perRound[1], perRound[4]);         // decays
+  EXPECT_GT(perRound[1], perRound[7]);
+}
+
+TEST(LoPAccumulator, LoPDecreasesWithNodeCount) {
+  // Figure 8 trend.
+  const auto small = measure(ProtocolKind::Probabilistic, 4, 1, 8, 500, 8,
+                             Grouping::ByNodeId);
+  const auto large = measure(ProtocolKind::Probabilistic, 24, 1, 8, 500, 9,
+                             Grouping::ByNodeId);
+  EXPECT_GT(small.averageLoP(), large.averageLoP());
+}
+
+TEST(LoPAccumulator, TopKLoPGrowsWithK) {
+  // Figure 12 trend: larger k exposes more per node.
+  const auto k1 = measure(ProtocolKind::Probabilistic, 4, 1, 8, 400, 10,
+                          Grouping::ByNodeId);
+  const auto k8 = measure(ProtocolKind::Probabilistic, 4, 8, 8, 400, 11,
+                          Grouping::ByNodeId);
+  EXPECT_GT(k8.averageLoP(), k1.averageLoP());
+}
+
+TEST(LoPAccumulator, ValidatesInputs) {
+  EXPECT_THROW(LoPAccumulator(0, 5, Grouping::ByNodeId), ConfigError);
+  EXPECT_THROW(LoPAccumulator(4, 0, Grouping::ByNodeId), ConfigError);
+  LoPAccumulator acc(4, 5, Grouping::ByNodeId);
+  protocol::ExecutionTrace trace;
+  trace.nodeCount = 3;  // mismatch
+  EXPECT_THROW(acc.addTrial(trace), ConfigError);
+}
+
+TEST(LoPAccumulator, TrialsCounted) {
+  const auto acc = measure(ProtocolKind::Naive, 4, 1, 1, 25, 12,
+                           Grouping::ByRingPosition);
+  EXPECT_EQ(acc.trials(), 25u);
+}
+
+}  // namespace
+}  // namespace privtopk::privacy

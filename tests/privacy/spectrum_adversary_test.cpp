@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+#include "privacy/adversary.hpp"
+#include "privacy/spectrum.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::privacy {
+namespace {
+
+using protocol::ProtocolKind;
+using protocol::ProtocolParams;
+using protocol::RingQueryRunner;
+
+// ---------------------------------------------------------------------------
+// Privacy spectrum
+// ---------------------------------------------------------------------------
+
+TEST(PrivacySpectrum, ClassifiesAllBands) {
+  const std::size_t n = 10;
+  EXPECT_EQ(classifyExposure(1.0, n), PrivacyLevel::ProvablyExposed);
+  EXPECT_EQ(classifyExposure(0.75, n), PrivacyLevel::PossibleInnocence);
+  EXPECT_EQ(classifyExposure(0.4, n), PrivacyLevel::ProbableInnocence);
+  EXPECT_EQ(classifyExposure(0.1, n), PrivacyLevel::BeyondSuspicion);
+  EXPECT_EQ(classifyExposure(0.0, n), PrivacyLevel::AbsolutePrivacy);
+}
+
+TEST(PrivacySpectrum, BoundariesAndTolerance) {
+  const std::size_t n = 4;
+  EXPECT_EQ(classifyExposure(0.25, n), PrivacyLevel::BeyondSuspicion);  // 1/n
+  EXPECT_EQ(classifyExposure(0.26, n), PrivacyLevel::ProbableInnocence);
+  EXPECT_EQ(classifyExposure(0.5, n), PrivacyLevel::ProbableInnocence);
+  EXPECT_EQ(classifyExposure(0.51, n), PrivacyLevel::PossibleInnocence);
+  // Monte-Carlo noise near the endpoints.
+  EXPECT_EQ(classifyExposure(1.0 - 1e-12, n), PrivacyLevel::ProvablyExposed);
+  EXPECT_EQ(classifyExposure(1e-12, n), PrivacyLevel::AbsolutePrivacy);
+}
+
+TEST(PrivacySpectrum, Validation) {
+  EXPECT_THROW((void)classifyExposure(0.5, 0), ConfigError);
+  EXPECT_THROW((void)classifyExposure(1.5, 4), ConfigError);
+  EXPECT_THROW((void)classifyExposure(-0.5, 4), ConfigError);
+}
+
+TEST(PrivacySpectrum, Names) {
+  EXPECT_EQ(toString(PrivacyLevel::ProvablyExposed), "provably-exposed");
+  EXPECT_EQ(toString(PrivacyLevel::BeyondSuspicion), "beyond-suspicion");
+}
+
+// ---------------------------------------------------------------------------
+// Collusion analysis (§4.3)
+// ---------------------------------------------------------------------------
+
+TEST(CollusionAnalyzer, MatchesOneMinusPrPrediction) {
+  // §4.3: P(v_i = g_i(r) | g_{i-1} < g_i) = 1 - Pr(r).  With p0 = 1, d = 1/2
+  // the colluders learn nothing in round 1 and ~1/2 in round 2.
+  ProtocolParams params;
+  params.rounds = 6;
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(1);
+  Rng rng(2);
+  CollusionAnalyzer analyzer(6);
+  for (int t = 0; t < 2000; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    analyzer.addTrial(runner.run(values, rng).trace);
+  }
+  const auto& rounds = analyzer.perRound();
+  ASSERT_EQ(rounds.size(), 6u);
+  EXPECT_NEAR(rounds[0].conditionalExposure(), 0.0, 0.03);   // 1 - Pr(1) = 0
+  EXPECT_NEAR(rounds[1].conditionalExposure(), 0.5, 0.06);   // 1 - Pr(2)
+  EXPECT_NEAR(rounds[2].conditionalExposure(), 0.75, 0.06);  // 1 - Pr(3)
+  EXPECT_GT(rounds[3].conditionalExposure(), 0.8);
+}
+
+TEST(CollusionAnalyzer, NaiveProtocolFullyExposedToColluders) {
+  ProtocolParams params;
+  const RingQueryRunner runner(params, ProtocolKind::Naive);
+  data::UniformDistribution dist;
+  Rng dataRng(3);
+  Rng rng(4);
+  CollusionAnalyzer analyzer(1);
+  for (int t = 0; t < 200; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    analyzer.addTrial(runner.run(values, rng).trace);
+  }
+  // Whenever a naive node raises the value, that value IS its own.
+  EXPECT_DOUBLE_EQ(analyzer.perRound()[0].conditionalExposure(), 1.0);
+  EXPECT_DOUBLE_EQ(analyzer.peakConditionalExposure(), 1.0);
+}
+
+TEST(CollusionAnalyzer, RejectsZeroRounds) {
+  EXPECT_THROW(CollusionAnalyzer(0), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Group (m-anonymity) exposure
+// ---------------------------------------------------------------------------
+
+TEST(GroupExposure, EntityExposureGrowsWithGroupSize) {
+  // m-anonymity view (§2.2): pooling more nodes into one entity can only
+  // make a "some group member holds a" claim easier to satisfy, so the
+  // entity's average exposure is (weakly) monotone in group size.
+  ProtocolParams params;
+  params.rounds = 8;
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(5);
+  Rng rng(6);
+  double solo = 0;
+  double pair = 0;
+  double trio = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    const auto trace = runner.run(values, rng).trace;
+    solo += groupExposure(trace, {0});
+    pair += groupExposure(trace, {0, 1});
+    trio += groupExposure(trace, {0, 1, 2});
+  }
+  solo /= trials;
+  pair /= trials;
+  trio /= trials;
+  EXPECT_GE(pair, solo - 0.02);
+  EXPECT_GE(trio, pair - 0.02);
+  EXPECT_LE(trio, 1.0);
+}
+
+TEST(GroupExposure, SingletonEqualsNodeView) {
+  ProtocolParams params;
+  const RingQueryRunner runner(params, ProtocolKind::Naive);
+  Rng rng(7);
+  const std::vector<std::vector<Value>> values = {{9000}, {100}, {200}};
+  const auto trace = runner.run(values, rng).trace;
+  // Node 0 starts (fixed ring) and reveals its value at once.
+  const double solo = groupExposure(trace, {0});
+  EXPECT_GT(solo, 0.6);
+}
+
+TEST(GroupExposure, EmptyGroupRejected) {
+  protocol::ExecutionTrace trace;
+  EXPECT_THROW((void)groupExposure(trace, {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace privtopk::privacy

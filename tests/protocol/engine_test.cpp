@@ -1,0 +1,162 @@
+// Unit tests for the distributed engine: configuration validation, hostile
+// message handling, and the §3.2 sender-side ring repair.
+
+#include "protocol/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <numeric>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+using namespace std::chrono_literals;
+
+ProtocolNode makeNode(NodeId id, TopKVector local, const DistributedConfig& cfg,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  return ProtocolNode(id, std::move(local),
+                      makeLocalAlgorithm(cfg.kind, cfg.params, rng));
+}
+
+DistributedConfig config(std::vector<NodeId> ring, std::size_t k = 1) {
+  DistributedConfig cfg;
+  cfg.queryId = 9;
+  cfg.params.k = k;
+  cfg.params.rounds = 6;
+  cfg.ringOrder = std::move(ring);
+  cfg.receiveTimeout = 2000ms;
+  return cfg;
+}
+
+TEST(DistributedParticipant, ValidatesConfiguration) {
+  net::InProcTransport transport(4);
+  DistributedConfig tiny = config({0, 1});
+  EXPECT_THROW(DistributedParticipant(makeNode(0, {5}, tiny, 1), transport,
+                                      tiny),
+               ConfigError);
+
+  DistributedConfig notOnRing = config({1, 2, 3});
+  EXPECT_THROW(DistributedParticipant(makeNode(0, {5}, notOnRing, 2),
+                                      transport, notOnRing),
+               ConfigError);
+
+  DistributedConfig badParams = config({0, 1, 2});
+  badParams.params.p0 = 7.0;
+  EXPECT_THROW(DistributedParticipant(makeNode(0, {5}, badParams, 3),
+                                      transport, badParams),
+               ConfigError);
+}
+
+TEST(DistributedParticipant, FollowerRejectsForeignQueryId) {
+  net::InProcTransport transport(3);
+  DistributedConfig cfg = config({0, 1, 2});
+  DistributedParticipant follower(makeNode(1, {5}, cfg, 4), transport, cfg);
+
+  transport.send(0, 1,
+                 net::encodeMessage(net::RoundToken{/*queryId=*/999, 1, {3}}));
+  EXPECT_THROW((void)follower.run(), ProtocolError);
+}
+
+TEST(DistributedParticipant, FollowerRejectsMalformedPayload) {
+  net::InProcTransport transport(3);
+  DistributedConfig cfg = config({0, 1, 2});
+  DistributedParticipant follower(makeNode(1, {5}, cfg, 5), transport, cfg);
+
+  transport.send(0, 1, Bytes{0xde, 0xad, 0xbe, 0xef});
+  EXPECT_THROW((void)follower.run(), ProtocolError);
+}
+
+TEST(DistributedParticipant, FollowerRejectsUnexpectedMessageType) {
+  net::InProcTransport transport(3);
+  DistributedConfig cfg = config({0, 1, 2});
+  DistributedParticipant follower(makeNode(1, {5}, cfg, 6), transport, cfg);
+
+  transport.send(0, 1, net::encodeMessage(net::RingRepair{cfg.queryId, 2, 0}));
+  EXPECT_THROW((void)follower.run(), ProtocolError);
+}
+
+TEST(DistributedParticipant, TimesOutWithoutTraffic) {
+  net::InProcTransport transport(3);
+  DistributedConfig cfg = config({0, 1, 2});
+  cfg.receiveTimeout = 50ms;
+  DistributedParticipant follower(makeNode(1, {5}, cfg, 7), transport, cfg);
+  EXPECT_THROW((void)follower.run(), TransportError);
+}
+
+TEST(DistributedParticipant, RingRepairSkipsUnreachablePeer) {
+  // Node 9 is on the agreed ring but has no mailbox: every send to it
+  // throws, so senders splice it out (§3.2) and the live trio completes.
+  net::InProcTransport transport(3);  // mailboxes for 0..2 only
+  DistributedConfig cfg = config({0, 9, 1, 2});
+
+  std::vector<std::future<TopKVector>> futures;
+  std::vector<TopKVector> locals = {{30}, {40}, {20}};
+  for (NodeId id : {NodeId{0}, NodeId{1}, NodeId{2}}) {
+    futures.push_back(std::async(std::launch::async, [&, id] {
+      DistributedParticipant participant(
+          makeNode(id, locals[id], cfg, 100 + id), transport, cfg);
+      return participant.run();
+    }));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get(), (TopKVector{40}));
+  }
+}
+
+TEST(DistributedParticipant, RepairOverRealTcp) {
+  // Four peers in the address book; peer 3's listener never starts.  The
+  // remaining three complete the query after the sender-side repair.
+  std::vector<net::TcpPeer> peers;
+  {
+    std::vector<std::unique_ptr<net::TcpTransport>> probes;
+    for (NodeId id = 0; id < 4; ++id) {
+      probes.push_back(std::make_unique<net::TcpTransport>(
+          0, std::vector<net::TcpPeer>{{0, "127.0.0.1", 0}}));
+      peers.push_back(net::TcpPeer{id, "127.0.0.1", probes.back()->listenPort()});
+    }
+    for (auto& p : probes) p->shutdown();
+  }
+
+  net::TcpOptions options;
+  options.connectTimeout = std::chrono::milliseconds(300);
+
+  DistributedConfig cfg = config({0, 1, 3, 2});  // dead node mid-ring
+  cfg.receiveTimeout = 5000ms;
+
+  std::vector<std::unique_ptr<net::TcpTransport>> transports;
+  for (NodeId id : {NodeId{0}, NodeId{1}, NodeId{2}}) {
+    transports.push_back(std::make_unique<net::TcpTransport>(id, peers,
+                                                             options));
+  }
+
+  const std::vector<TopKVector> locals = {{310}, {940}, {250}};
+  std::vector<std::future<TopKVector>> futures;
+  for (std::size_t i = 0; i < 3; ++i) {
+    futures.push_back(std::async(std::launch::async, [&, i] {
+      DistributedParticipant participant(
+          makeNode(static_cast<NodeId>(i), locals[i], cfg, 200 + i),
+          *transports[i], cfg);
+      return participant.run();
+    }));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get(), (TopKVector{940}));
+  }
+  for (auto& t : transports) t->shutdown();
+}
+
+TEST(RunDistributedQuery, RejectsRingSizeMismatch) {
+  net::InProcTransport transport(3);
+  DistributedConfig cfg = config({0, 1, 2});
+  Rng rng(1);
+  EXPECT_THROW((void)runDistributedQuery({{1}, {2}}, transport, cfg, rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

@@ -1,0 +1,116 @@
+#include "protocol/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+ProtocolParams exactParams(std::size_t k) {
+  ProtocolParams p;
+  p.k = k;
+  p.rounds = 15;
+  return p;
+}
+
+TEST(RunGrouped, MatchesFlatTruth) {
+  data::UniformDistribution dist;
+  Rng dataRng(1);
+  const auto values = data::generateValueSets(24, 10, dist, dataRng);
+  Rng rng(2);
+  const GroupedRunResult res = runGrouped(values, exactParams(3), 4, rng);
+  EXPECT_EQ(res.result, data::trueTopK(values, 3));
+  EXPECT_EQ(res.groups, 6u);
+}
+
+TEST(RunGrouped, MaxQueryAcrossGroups) {
+  data::UniformDistribution dist;
+  Rng dataRng(3);
+  const auto values = data::generateValueSets(30, 5, dist, dataRng);
+  Rng rng(4);
+  const GroupedRunResult res = runGrouped(values, exactParams(1), 5, rng);
+  EXPECT_EQ(res.result, data::trueTopK(values, 1));
+}
+
+TEST(RunGrouped, FallsBackToFlatWhenTooFewGroups) {
+  data::UniformDistribution dist;
+  Rng dataRng(5);
+  const auto values = data::generateValueSets(6, 5, dist, dataRng);
+  Rng rng(6);
+  // 6 nodes / groupSize 3 = 2 groups < 3: flat fallback.
+  const GroupedRunResult res = runGrouped(values, exactParams(2), 3, rng);
+  EXPECT_EQ(res.groups, 1u);
+  EXPECT_EQ(res.result, data::trueTopK(values, 2));
+}
+
+TEST(RunGrouped, CriticalPathShorterThanFlatForLargeRings) {
+  data::UniformDistribution dist;
+  Rng dataRng(7);
+  const auto values = data::generateValueSets(64, 5, dist, dataRng);
+  Rng rng(8);
+  const ProtocolParams params = exactParams(1);
+  const GroupedRunResult grouped = runGrouped(values, params, 8, rng);
+
+  Rng rng2(9);
+  const RingQueryRunner flat(params, ProtocolKind::Probabilistic);
+  const RunResult flatRes = flat.run(values, rng2);
+
+  EXPECT_EQ(grouped.result, flatRes.result);
+  // Grouped critical path (one group of 8 + delegate ring of 8) must beat
+  // one flat 64-node ring by a wide margin.
+  EXPECT_LT(grouped.criticalPathMessages, flatRes.totalMessages / 2);
+}
+
+TEST(RunGroupedSimulated, ParallelTimeBeatsFlat) {
+  data::UniformDistribution dist;
+  Rng dataRng(20);
+  const auto values = data::generateValueSets(64, 5, dist, dataRng);
+  Rng rng(21);
+  const sim::FixedLatency latency(2.0);
+  const GroupedSimulatedResult res =
+      runGroupedSimulated(values, exactParams(1), 8, &latency, rng);
+  EXPECT_EQ(res.result, data::trueTopK(values, 1));
+  EXPECT_EQ(res.groups, 8u);
+  // 8 parallel rings of 8 + one delegate ring of 8 vs a flat ring of 64.
+  EXPECT_LT(res.completionTime, res.flatCompletionTime / 2);
+}
+
+TEST(RunGroupedSimulated, FallsBackToFlat) {
+  data::UniformDistribution dist;
+  Rng dataRng(22);
+  const auto values = data::generateValueSets(6, 5, dist, dataRng);
+  Rng rng(23);
+  const GroupedSimulatedResult res =
+      runGroupedSimulated(values, exactParams(2), 3, nullptr, rng);
+  EXPECT_EQ(res.groups, 1u);
+  EXPECT_EQ(res.result, data::trueTopK(values, 2));
+}
+
+TEST(RunGroupedSimulated, RejectsTinyGroups) {
+  Rng rng(24);
+  EXPECT_THROW((void)runGroupedSimulated({{1}, {2}, {3}}, exactParams(1), 2,
+                                         nullptr, rng),
+               ConfigError);
+}
+
+TEST(RunGrouped, RejectsTinyGroups) {
+  Rng rng(10);
+  EXPECT_THROW((void)runGrouped({{1}, {2}, {3}}, exactParams(1), 2, rng),
+               ConfigError);
+}
+
+TEST(RunGrouped, ManyTrialsAlwaysExact) {
+  data::UniformDistribution dist;
+  Rng dataRng(11);
+  Rng rng(12);
+  for (int t = 0; t < 10; ++t) {
+    const auto values = data::generateValueSets(20, 8, dist, dataRng);
+    const GroupedRunResult res = runGrouped(values, exactParams(4), 4, rng);
+    EXPECT_EQ(res.result, data::trueTopK(values, 4)) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

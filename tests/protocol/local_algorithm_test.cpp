@@ -1,0 +1,274 @@
+#include "protocol/local_algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+const Domain kDomain{1, 10000};
+
+std::shared_ptr<const RandomizationSchedule> always() {
+  return std::make_shared<ExponentialSchedule>(1.0, 1.0);  // Pr == 1 forever
+}
+
+std::shared_ptr<const RandomizationSchedule> never() {
+  return std::make_shared<ZeroSchedule>();
+}
+
+std::shared_ptr<const RandomizationSchedule> paperDefault() {
+  return std::make_shared<ExponentialSchedule>(1.0, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// mergeTopK / multisetDifference
+// ---------------------------------------------------------------------------
+
+TEST(MergeTopK, BasicDescendingMerge) {
+  EXPECT_EQ(mergeTopK({50, 30, 10}, {40, 20}, 3), (TopKVector{50, 40, 30}));
+}
+
+TEST(MergeTopK, DuplicatesSurviveAsMultiset) {
+  EXPECT_EQ(mergeTopK({50, 50}, {50}, 3), (TopKVector{50, 50, 50}));
+}
+
+TEST(MergeTopK, ShortInputs) {
+  EXPECT_EQ(mergeTopK({}, {7, 3}, 2), (TopKVector{7, 3}));
+  EXPECT_EQ(mergeTopK({9}, {}, 2), (TopKVector{9}));
+  EXPECT_TRUE(mergeTopK({}, {}, 4).empty());
+}
+
+TEST(MergeTopK, TruncatesToK) {
+  EXPECT_EQ(mergeTopK({9, 8, 7}, {6, 5}, 2), (TopKVector{9, 8}));
+}
+
+TEST(MultisetDifference, RespectsMultiplicity) {
+  EXPECT_EQ(multisetDifference({50, 50, 30}, {50, 30}), (TopKVector{50}));
+  EXPECT_EQ(multisetDifference({50, 30}, {50, 50, 30}), (TopKVector{}));
+  EXPECT_EQ(multisetDifference({9, 7, 5}, {8, 6}), (TopKVector{9, 7, 5}));
+  EXPECT_TRUE(multisetDifference({}, {1, 2}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (max)
+// ---------------------------------------------------------------------------
+
+TEST(RandomizedMax, PassesOnWhenGlobalDominates) {
+  RandomizedMaxAlgorithm algo(paperDefault(), Rng(1), kDomain);
+  algo.reset({100});
+  // g > v: always pass through, never randomize.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(algo.step({200}, 1), (TopKVector{200}));
+  }
+  // g == v: also a pass (no exposure).
+  EXPECT_EQ(algo.step({100}, 1), (TopKVector{100}));
+}
+
+TEST(RandomizedMax, AlwaysRandomizesAtProbabilityOne) {
+  RandomizedMaxAlgorithm algo(always(), Rng(2), kDomain);
+  algo.reset({500});
+  for (int i = 0; i < 200; ++i) {
+    const TopKVector out = algo.step({100}, 1);
+    ASSERT_EQ(out.size(), 1u);
+    // Random value in [g, v): never the node's own value, never below g.
+    EXPECT_GE(out[0], 100);
+    EXPECT_LT(out[0], 500);
+  }
+}
+
+TEST(RandomizedMax, NeverRandomizesAtProbabilityZero) {
+  RandomizedMaxAlgorithm algo(never(), Rng(3), kDomain);
+  algo.reset({500});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(algo.step({100}, 1), (TopKVector{500}));
+  }
+}
+
+TEST(RandomizedMax, AdjacentValuesDegenerateRange) {
+  // v = g+1: the only legal random value is g itself.
+  RandomizedMaxAlgorithm algo(always(), Rng(4), kDomain);
+  algo.reset({101});
+  EXPECT_EQ(algo.step({100}, 1), (TopKVector{100}));
+}
+
+TEST(RandomizedMax, EmptyLocalActsAsDomainMin) {
+  RandomizedMaxAlgorithm algo(paperDefault(), Rng(5), kDomain);
+  algo.reset({});
+  EXPECT_EQ(algo.step({7}, 1), (TopKVector{7}));
+}
+
+TEST(RandomizedMax, RandomizationDecaysWithRounds) {
+  // At round 20 with (1, 1/2), Pr ~ 2e-6: the real value comes out.
+  RandomizedMaxAlgorithm algo(paperDefault(), Rng(6), kDomain);
+  algo.reset({500});
+  EXPECT_EQ(algo.step({100}, 20), (TopKVector{500}));
+}
+
+TEST(RandomizedMax, RejectsWrongVectorWidth) {
+  RandomizedMaxAlgorithm algo(paperDefault(), Rng(7), kDomain);
+  algo.reset({500});
+  EXPECT_THROW((void)algo.step({1, 2}, 1), ProtocolError);
+  EXPECT_THROW((void)algo.step({}, 1), ProtocolError);
+}
+
+TEST(RandomizedMax, RejectsValueOutsideDomain) {
+  RandomizedMaxAlgorithm algo(paperDefault(), Rng(8), kDomain);
+  EXPECT_THROW(algo.reset({999999}), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 (top-k)
+// ---------------------------------------------------------------------------
+
+TEST(RandomizedTopK, PassThroughWhenNothingContributes) {
+  RandomizedTopKAlgorithm algo(3, paperDefault(), Rng(1), kDomain);
+  algo.reset({50, 40, 30});
+  const TopKVector incoming = {100, 90, 80};
+  EXPECT_EQ(algo.step(incoming, 1), incoming);
+  EXPECT_FALSE(algo.hasInserted());
+}
+
+TEST(RandomizedTopK, InsertsRealValuesAtProbabilityZero) {
+  RandomizedTopKAlgorithm algo(3, never(), Rng(2), kDomain);
+  algo.reset({95, 85, 10});
+  EXPECT_EQ(algo.step({100, 90, 80}, 1), (TopKVector{100, 95, 90}));
+  EXPECT_TRUE(algo.hasInserted());
+}
+
+TEST(RandomizedTopK, RandomTailRespectsPaperRange) {
+  // m = 1 case: incoming {100,90,80}, local {95,85}: real = {100,95,90},
+  // so one value contributes and the tail range is
+  // [min(real[k]-delta, incoming[k-m+1]), real[k]) = [min(89, 80), 90)
+  // = [80, 90) (1-based indices as in the paper).
+  RandomizedTopKAlgorithm algo(3, always(), Rng(3), kDomain, /*delta=*/1);
+  algo.reset({95, 85});
+  for (int i = 0; i < 100; ++i) {
+    const TopKVector out = algo.step({100, 90, 80}, 1);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 100);  // head copied from incoming
+    EXPECT_EQ(out[1], 90);
+    EXPECT_GE(out[2], 80);
+    EXPECT_LT(out[2], 90);
+  }
+  EXPECT_FALSE(algo.hasInserted());
+}
+
+TEST(RandomizedTopK, FullReplacementWhenAllValuesContribute) {
+  // m = k extreme case from the paper: random values span
+  // [incoming[0], real[k-1]) = [10, 70).
+  RandomizedTopKAlgorithm algo(3, always(), Rng(4), kDomain);
+  algo.reset({90, 80, 70});
+  const TopKVector out = algo.step({10, 5, 1}, 1);
+  ASSERT_EQ(out.size(), 3u);
+  for (Value v : out) {
+    EXPECT_GE(v, 10);
+    EXPECT_LT(v, 70);
+  }
+  // Sorted descending.
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), std::greater<>()));
+}
+
+TEST(RandomizedTopK, OutputSortedAndMonotone) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    RandomizedTopKAlgorithm algo(4, paperDefault(), rng.fork(trial), kDomain);
+    Rng data(1000 + trial);
+    TopKVector local;
+    for (int i = 0; i < 4; ++i) local.push_back(data.uniformInt(1, 10000));
+    std::sort(local.begin(), local.end(), std::greater<>());
+    algo.reset(local);
+
+    TopKVector incoming;
+    for (int i = 0; i < 4; ++i) incoming.push_back(data.uniformInt(1, 10000));
+    std::sort(incoming.begin(), incoming.end(), std::greater<>());
+
+    const TopKVector out = algo.step(incoming, 1);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), std::greater<>()));
+    // Monotone except the documented delta dip on tail entries.
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(out[i], incoming[i] - 1) << "slot " << i;
+    }
+    // Soundness: never exceeds the true merged top-k.
+    const TopKVector real = mergeTopK(incoming, local, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_LE(out[i], real[i]) << "slot " << i;
+    }
+  }
+}
+
+TEST(RandomizedTopK, InsertOnlyOnceThenDeterministicRestore) {
+  RandomizedTopKAlgorithm algo(2, never(), Rng(6), kDomain);
+  algo.reset({60, 50});
+  EXPECT_EQ(algo.step({10, 5}, 1), (TopKVector{60, 50}));
+  EXPECT_TRUE(algo.hasInserted());
+  // Its values displaced by someone's larger (randomized) values: the node
+  // re-merges only the missing copies - no duplication of its own data.
+  EXPECT_EQ(algo.step({70, 55}, 2), (TopKVector{70, 60}));
+  // Vector already contains its values: pure pass-through.
+  EXPECT_EQ(algo.step({70, 60}, 3), (TopKVector{70, 60}));
+}
+
+TEST(RandomizedTopK, NoSelfDuplicationAfterInsert) {
+  RandomizedTopKAlgorithm algo(3, never(), Rng(7), kDomain);
+  algo.reset({60, 50, 40});
+  EXPECT_EQ(algo.step({1, 1, 1}, 1), (TopKVector{60, 50, 40}));
+  // Incoming already holds exactly its values: output must not become
+  // {60, 60, 50} by double-counting.
+  EXPECT_EQ(algo.step({60, 50, 40}, 2), (TopKVector{60, 50, 40}));
+}
+
+TEST(RandomizedTopK, PreInsertDuplicateOfForeignValueCounts) {
+  // Another node already contributed 60; this node's own physical 60 is a
+  // distinct item and pushes the vector to {60, 60, 50}.
+  RandomizedTopKAlgorithm algo(3, never(), Rng(8), kDomain);
+  algo.reset({60, 10, 5});
+  EXPECT_EQ(algo.step({60, 50, 40}, 1), (TopKVector{60, 60, 50}));
+}
+
+TEST(RandomizedTopK, DegenerateRangeEmitsDomainMinPlaceholders) {
+  // Vector still holds domain-min padding: real[k-1] == domain.min makes
+  // the random range empty; placeholders keep the protocol sound.
+  RandomizedTopKAlgorithm algo(3, always(), Rng(9), kDomain);
+  algo.reset({5});
+  const TopKVector out = algo.step({1, 1, 1}, 1);  // domain.min padding
+  ASSERT_EQ(out.size(), 3u);
+  for (Value v : out) EXPECT_GE(v, kDomain.min);
+  for (Value v : out) EXPECT_LT(v, 5);
+}
+
+TEST(RandomizedTopK, RejectsBadInputs) {
+  RandomizedTopKAlgorithm algo(3, paperDefault(), Rng(10), kDomain);
+  EXPECT_THROW(algo.reset({1, 2, 3, 4}), ConfigError);   // larger than k
+  EXPECT_THROW(algo.reset({1, 2, 3}), ConfigError);      // not descending
+  EXPECT_THROW(algo.reset({999999, 5, 1}), ConfigError); // out of domain
+  algo.reset({5, 3, 1});
+  EXPECT_THROW((void)algo.step({9, 8}, 1), ProtocolError);  // wrong width
+}
+
+TEST(RandomizedTopK, EquivalentToMaxWhenKIsOne) {
+  // With Pr = 0, both algorithms are deterministic and must agree.
+  RandomizedTopKAlgorithm topk(1, never(), Rng(11), kDomain);
+  RandomizedMaxAlgorithm maxAlgo(never(), Rng(12), kDomain);
+  topk.reset({500});
+  maxAlgo.reset({500});
+  for (Value g : {1, 400, 500, 600}) {
+    EXPECT_EQ(topk.step({g}, 1), maxAlgo.step({g}, 1)) << "g = " << g;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Naive baseline
+// ---------------------------------------------------------------------------
+
+TEST(NaiveAlgorithm, AlwaysMerges) {
+  NaiveAlgorithm algo(2);
+  algo.reset({70, 20});
+  EXPECT_EQ(algo.step({80, 10}, 1), (TopKVector{80, 70}));
+  EXPECT_EQ(algo.step({90, 85}, 1), (TopKVector{90, 85}));
+  EXPECT_EQ(algo.name(), "naive");
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

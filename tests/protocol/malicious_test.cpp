@@ -1,0 +1,139 @@
+#include "protocol/malicious.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+MaliciousRunSpec baseSpec(std::size_t k = 1) {
+  MaliciousRunSpec spec;
+  spec.params.k = k;
+  spec.params.rounds = 12;  // effectively exact
+  return spec;
+}
+
+std::vector<std::vector<Value>> sampleValues(std::size_t n, std::size_t rows,
+                                             std::uint64_t seed) {
+  data::UniformDistribution dist;
+  Rng rng(seed);
+  return data::generateValueSets(n, rows, dist, rng);
+}
+
+TEST(Malicious, AllHonestMatchesPlainProtocol) {
+  const auto values = sampleValues(5, 10, 1);
+  Rng rng(2);
+  const auto res = runWithAdversaries(values, baseSpec(3), rng);
+  EXPECT_EQ(res.published, data::trueTopK(values, 3));
+  EXPECT_DOUBLE_EQ(res.honestPrecision, 1.0);
+  EXPECT_DOUBLE_EQ(res.fabricatedFraction, 0.0);
+}
+
+TEST(Malicious, SpoofInflatePollutesResult) {
+  // One spoofing node pushes a fabricated near-max value into the answer.
+  const std::vector<std::vector<Value>> values = {
+      {500}, {600}, {700}, {800}};
+  MaliciousRunSpec spec = baseSpec(1);
+  spec.behaviors[1] = MaliciousBehavior::SpoofInflate;
+  Rng rng(3);
+  const auto res = runWithAdversaries(values, spec, rng);
+  // The spoofed value (near 10000) beats every honest value.
+  EXPECT_GT(res.published.front(), 800);
+  EXPECT_DOUBLE_EQ(res.honestPrecision, 0.0);
+  EXPECT_DOUBLE_EQ(res.fabricatedFraction, 1.0);
+  EXPECT_EQ(res.honestTruth.front(), 800);
+}
+
+TEST(Malicious, HidingRemovesValuesSilently) {
+  // The hider owns the true max; the published result misses it but is
+  // internally consistent (no fabrication).
+  const std::vector<std::vector<Value>> values = {
+      {500}, {9999}, {700}, {800}};
+  MaliciousRunSpec spec = baseSpec(1);
+  spec.behaviors[1] = MaliciousBehavior::HideValues;
+  Rng rng(4);
+  const auto res = runWithAdversaries(values, spec, rng);
+  EXPECT_EQ(res.published.front(), 800);  // honest max
+  EXPECT_DOUBLE_EQ(res.honestPrecision, 1.0);
+  EXPECT_DOUBLE_EQ(res.fabricatedFraction, 0.0);
+}
+
+TEST(Malicious, SuppressorBehavesLikeHiding) {
+  const std::vector<std::vector<Value>> values = {
+      {500}, {9999}, {700}, {800}};
+  MaliciousRunSpec spec = baseSpec(1);
+  spec.behaviors[1] = MaliciousBehavior::Suppress;
+  Rng rng(5);
+  const auto res = runWithAdversaries(values, spec, rng);
+  EXPECT_EQ(res.published.front(), 800);
+  EXPECT_DOUBLE_EQ(res.honestPrecision, 1.0);
+}
+
+TEST(Malicious, DeflatePartiallyHealedByHonestRestores) {
+  // A vandal resets the vector every pass; honest nodes that already
+  // inserted re-merge their values (the restore-merge).  The final answer
+  // therefore equals the max over honest nodes placed AFTER the vandal on
+  // the ring - correct whenever the honest max-holder lands there
+  // (probability ~1/2 under random mapping), never fabricated.
+  const auto values = sampleValues(6, 5, 6);
+  MaliciousRunSpec spec = baseSpec(1);
+  spec.behaviors[2] = MaliciousBehavior::Deflate;
+  int correct = 0;
+  const int trials = 60;
+  Rng rng(7);
+  for (int t = 0; t < trials; ++t) {
+    const auto res = runWithAdversaries(values, spec, rng);
+    if (res.published.front() == res.honestTruth.front()) ++correct;
+    // The vandal can suppress but never fabricate: the published value is
+    // an honest node's value or the domain minimum.
+    EXPECT_LE(res.published.front(), res.honestTruth.front());
+  }
+  EXPECT_GE(correct, trials / 4);
+  EXPECT_LE(correct, trials - trials / 10);
+}
+
+TEST(Malicious, MultipleAdversaries) {
+  const std::vector<std::vector<Value>> values = {
+      {100}, {200}, {300}, {400}, {9000}};
+  MaliciousRunSpec spec = baseSpec(1);
+  spec.behaviors[0] = MaliciousBehavior::SpoofInflate;
+  spec.behaviors[4] = MaliciousBehavior::HideValues;
+  Rng rng(8);
+  const auto res = runWithAdversaries(values, spec, rng);
+  // Honest truth excludes both adversaries: max(200,300,400) = 400.
+  EXPECT_EQ(res.honestTruth.front(), 400);
+  // The spoof still wins the published answer.
+  EXPECT_GT(res.published.front(), 9000 - 200);
+  EXPECT_DOUBLE_EQ(res.fabricatedFraction, 1.0);
+}
+
+TEST(Malicious, SpoofCountControlsPollutionDepth) {
+  const auto values = sampleValues(4, 10, 9);
+  MaliciousRunSpec spec = baseSpec(4);
+  spec.behaviors[0] = MaliciousBehavior::SpoofInflate;
+  spec.spoofCount = 3;
+  Rng rng(10);
+  const auto res = runWithAdversaries(values, spec, rng);
+  // With uniform data well below the domain ceiling, all 3 fabrications
+  // land in the top-4.
+  EXPECT_GE(res.fabricatedFraction, 3.0 / 4.0 - 1e-9);
+}
+
+TEST(Malicious, NeedsThreeNodes) {
+  Rng rng(11);
+  EXPECT_THROW((void)runWithAdversaries({{1}, {2}}, baseSpec(), rng),
+               ConfigError);
+}
+
+TEST(Malicious, BehaviorNames) {
+  EXPECT_STREQ(toString(MaliciousBehavior::Honest), "honest");
+  EXPECT_STREQ(toString(MaliciousBehavior::SpoofInflate), "spoof-inflate");
+  EXPECT_STREQ(toString(MaliciousBehavior::HideValues), "hide-values");
+  EXPECT_STREQ(toString(MaliciousBehavior::Suppress), "suppress");
+  EXPECT_STREQ(toString(MaliciousBehavior::Deflate), "deflate");
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

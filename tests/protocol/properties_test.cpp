@@ -1,0 +1,181 @@
+// Parameterized property sweeps over (p0, d, n, k): the protocol's core
+// invariants must hold for every parameter combination, not just the
+// defaults.  These are the "property-based" tests of the suite: each
+// combination runs many seeded trials and checks structural invariants of
+// the execution rather than specific outputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "analysis/bounds.hpp"
+#include "data/generator.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+struct SweepCase {
+  double p0;
+  double d;
+  std::size_t n;
+  std::size_t k;
+};
+
+std::string caseName(const testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  return "p0_" + std::to_string(static_cast<int>(c.p0 * 100)) + "_d_" +
+         std::to_string(static_cast<int>(c.d * 100)) + "_n_" +
+         std::to_string(c.n) + "_k_" + std::to_string(c.k);
+}
+
+class ProtocolSweep : public testing::TestWithParam<SweepCase> {
+ protected:
+  static constexpr int kTrials = 25;
+
+  ProtocolParams makeParams(Round rounds) const {
+    const SweepCase& c = GetParam();
+    ProtocolParams p;
+    p.k = c.k;
+    p.p0 = c.p0;
+    p.d = c.d;
+    p.rounds = rounds;
+    return p;
+  }
+};
+
+TEST_P(ProtocolSweep, ConvergesToTruthWithGenerousRounds) {
+  const SweepCase& c = GetParam();
+  // d < 1 or p0 < 1 guarantee decay; 25 rounds drive the error term below
+  // 2^-60 for every swept combination.
+  const RingQueryRunner runner(makeParams(25), ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(1000 + static_cast<std::uint64_t>(c.n * 131 + c.k));
+  Rng rng(2000 + static_cast<std::uint64_t>(c.p0 * 100 + c.d * 10));
+  for (int t = 0; t < kTrials; ++t) {
+    const auto values = data::generateValueSets(c.n, 10, dist, dataRng);
+    EXPECT_EQ(runner.run(values, rng).result, data::trueTopK(values, c.k));
+  }
+}
+
+TEST_P(ProtocolSweep, EveryStepOutputSortedDescending) {
+  const SweepCase& c = GetParam();
+  const RingQueryRunner runner(makeParams(8), ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(31 * c.n + c.k);
+  Rng rng(c.n + 7 * c.k);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto values = data::generateValueSets(c.n, 5, dist, dataRng);
+    const RunResult res = runner.run(values, rng);
+    for (const auto& step : res.trace.steps) {
+      EXPECT_TRUE(std::is_sorted(step.output.begin(), step.output.end(),
+                                 std::greater<>()))
+          << "round " << step.round;
+      EXPECT_EQ(step.output.size(), c.k);
+    }
+  }
+}
+
+TEST_P(ProtocolSweep, MonotoneUpToDeltaAndSound) {
+  const SweepCase& c = GetParam();
+  const RingQueryRunner runner(makeParams(8), ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(97 * c.n + c.k);
+  Rng rng(13 * c.n + c.k);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto values = data::generateValueSets(c.n, 8, dist, dataRng);
+    const TopKVector truth = data::trueTopK(values, c.k);
+    const RunResult res = runner.run(values, rng);
+    for (const auto& step : res.trace.steps) {
+      for (std::size_t slot = 0; slot < c.k; ++slot) {
+        EXPECT_GE(step.output[slot], step.input[slot] - 1);
+        if (slot < truth.size()) {
+          EXPECT_LE(step.output[slot], truth[slot]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ProtocolSweep, PrecisionBeatsAnalyticBound) {
+  // Eq. 3 lower-bounds the probability that the protocol is exact after r
+  // rounds; the measured precision must respect it (within Monte-Carlo
+  // slack).  Uses k = 1 (the bound is derived for max).
+  const SweepCase& c = GetParam();
+  if (c.k != 1) GTEST_SKIP() << "Eq. 3 is the max-protocol bound";
+  const Round rounds = 4;
+  const double bound = analysis::precisionBound(c.p0, c.d, rounds);
+  const RingQueryRunner runner(makeParams(rounds), ProtocolKind::Probabilistic);
+
+  data::UniformDistribution dist;
+  Rng dataRng(7 * c.n);
+  Rng rng(11 * c.n);
+  const int trials = 300;
+  int exact = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(c.n, 5, dist, dataRng);
+    if (runner.run(values, rng).result == data::trueTopK(values, 1)) ++exact;
+  }
+  const double precision = static_cast<double>(exact) / trials;
+  // 3-sigma Monte-Carlo slack on a Bernoulli estimate.
+  const double slack = 3.0 * std::sqrt(bound * (1 - bound) / trials) + 0.01;
+  EXPECT_GE(precision, bound - slack)
+      << "bound " << bound << " precision " << precision;
+}
+
+TEST_P(ProtocolSweep, ResultIsPermutationInvariant) {
+  // The multiset answer must not depend on which node holds which values.
+  const SweepCase& c = GetParam();
+  const RingQueryRunner runner(makeParams(25), ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(3 * c.n + c.k);
+  auto values = data::generateValueSets(c.n, 6, dist, dataRng);
+  Rng rng(1);
+  const TopKVector before = runner.run(values, rng).result;
+  std::rotate(values.begin(), values.begin() + 1, values.end());
+  Rng rng2(2);
+  EXPECT_EQ(runner.run(values, rng2).result, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, ProtocolSweep,
+    testing::Values(
+        SweepCase{1.0, 0.5, 4, 1}, SweepCase{1.0, 0.5, 4, 4},
+        SweepCase{0.5, 0.5, 4, 1}, SweepCase{0.25, 0.5, 6, 2},
+        SweepCase{1.0, 0.25, 8, 1}, SweepCase{1.0, 0.25, 5, 8},
+        SweepCase{0.75, 0.75, 10, 1}, SweepCase{0.75, 0.75, 3, 3},
+        SweepCase{0.0, 0.5, 4, 2},   // p0 = 0: reduces to the naive merge
+        SweepCase{1.0, 0.0, 6, 4},   // d = 0: random round then exact
+        SweepCase{1.0, 0.5, 32, 2},  // larger ring
+        SweepCase{1.0, 0.5, 3, 16}   // k larger than typical row counts
+        ),
+    caseName);
+
+// Naive protocols must be exact in one round for every shape.
+class NaiveSweep
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(NaiveSweep, ExactForAllShapes) {
+  const auto [n, k] = GetParam();
+  ProtocolParams p;
+  p.k = k;
+  data::UniformDistribution dist;
+  Rng dataRng(n * 1000 + k);
+  Rng rng(n + k);
+  for (ProtocolKind kind : {ProtocolKind::Naive, ProtocolKind::AnonymousNaive}) {
+    const RingQueryRunner runner(p, kind);
+    for (int t = 0; t < 10; ++t) {
+      const auto values = data::generateValueSets(n, 7, dist, dataRng);
+      EXPECT_EQ(runner.run(values, rng).result, data::trueTopK(values, k))
+          << toString(kind) << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, NaiveSweep,
+                         testing::Combine(testing::Values(3, 4, 8, 16),
+                                          testing::Values(1, 2, 5)));
+
+}  // namespace
+}  // namespace privtopk::protocol

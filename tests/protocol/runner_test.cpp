@@ -1,0 +1,214 @@
+#include "protocol/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+/// Parameters that make the probabilistic protocol exact for all practical
+/// purposes (error probability < 2^-60).
+ProtocolParams exactParams(std::size_t k = 1) {
+  ProtocolParams p;
+  p.k = k;
+  p.rounds = 12;  // p0=1, d=1/2: failure prob = 2^-66
+  return p;
+}
+
+TEST(RingQueryRunner, MaxMatchesTruth) {
+  const std::vector<std::vector<Value>> values = {
+      {30, 12}, {10, 4}, {40, 22}, {20, 19}};
+  Rng rng(1);
+  const RingQueryRunner runner(exactParams(), ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  EXPECT_EQ(res.result, (TopKVector{40}));
+}
+
+TEST(RingQueryRunner, TopKMatchesTruthWithDuplicates) {
+  const std::vector<std::vector<Value>> values = {
+      {100, 90, 90}, {95, 90}, {100, 10, 5}};
+  Rng rng(2);
+  const RingQueryRunner runner(exactParams(4), ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  EXPECT_EQ(res.result, (TopKVector{100, 100, 95, 90}));
+}
+
+TEST(RingQueryRunner, NaiveIsExactInOneRound) {
+  const std::vector<std::vector<Value>> values = {
+      {5, 2}, {9, 1}, {7, 6}, {3, 8}};
+  Rng rng(3);
+  const RingQueryRunner runner(exactParams(3), ProtocolKind::Naive);
+  const RunResult res = runner.run(values, rng);
+  EXPECT_EQ(res.rounds, 1u);
+  EXPECT_EQ(res.result, (TopKVector{9, 8, 7}));
+  // Fixed start: position i is node i.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(res.trace.initialOrder[i], static_cast<NodeId>(i));
+  }
+}
+
+TEST(RingQueryRunner, AnonymousNaiveIsExactWithRandomRing) {
+  const std::vector<std::vector<Value>> values = {{5}, {9}, {7}, {3}, {11}};
+  Rng rng(4);
+  const RingQueryRunner runner(exactParams(2), ProtocolKind::AnonymousNaive);
+  const RunResult res = runner.run(values, rng);
+  EXPECT_EQ(res.result, (TopKVector{11, 9}));
+}
+
+TEST(RingQueryRunner, AnonymousNaiveRandomizesStartingNode) {
+  const std::vector<std::vector<Value>> values = {{5}, {9}, {7}};
+  const RingQueryRunner runner(exactParams(), ProtocolKind::AnonymousNaive);
+  Rng rng(5);
+  std::set<NodeId> starters;
+  for (int i = 0; i < 50; ++i) {
+    starters.insert(runner.run(values, rng).trace.initialOrder.front());
+  }
+  EXPECT_EQ(starters.size(), 3u);
+}
+
+TEST(RingQueryRunner, RequiresThreeNodes) {
+  Rng rng(6);
+  const RingQueryRunner runner(exactParams(), ProtocolKind::Probabilistic);
+  EXPECT_THROW((void)runner.run({{1}, {2}}, rng), ConfigError);
+}
+
+TEST(RingQueryRunner, RejectsValuesOutsideDomain) {
+  Rng rng(7);
+  const RingQueryRunner runner(exactParams(), ProtocolKind::Probabilistic);
+  EXPECT_THROW((void)runner.run({{1}, {2}, {999999}}, rng), ConfigError);
+}
+
+TEST(RingQueryRunner, MessageAccounting) {
+  const std::vector<std::vector<Value>> values = {{1}, {2}, {3}, {4}};
+  Rng rng(8);
+  ProtocolParams p = exactParams();
+  p.rounds = 6;
+  const RingQueryRunner runner(p, ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  EXPECT_EQ(res.rounds, 6u);
+  EXPECT_EQ(res.tokenMessages, 6u * 4u);
+  EXPECT_EQ(res.totalMessages, 6u * 4u + 4u);
+}
+
+TEST(RingQueryRunner, TraceIsCompleteAndConsistent) {
+  const std::vector<std::vector<Value>> values = {{10, 3}, {20, 4}, {30, 5}};
+  Rng rng(9);
+  const RingQueryRunner runner(exactParams(2), ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  const auto& trace = res.trace;
+  EXPECT_EQ(trace.nodeCount, 3u);
+  EXPECT_EQ(trace.k, 2u);
+  EXPECT_EQ(trace.steps.size(), static_cast<std::size_t>(res.rounds) * 3u);
+  EXPECT_EQ(trace.result, res.result);
+  // Consecutive steps chain: output of one step is input of the next.
+  for (std::size_t i = 1; i < trace.steps.size(); ++i) {
+    EXPECT_EQ(trace.steps[i].input, trace.steps[i - 1].output) << "step " << i;
+  }
+  // Local vectors are the per-node top-2.
+  EXPECT_EQ(trace.localVectors[0], (TopKVector{10, 3}));
+  EXPECT_EQ(trace.localVectors[2], (TopKVector{30, 5}));
+}
+
+TEST(RingQueryRunner, GlobalVectorMonotoneUpToDelta) {
+  Rng dataRng(10);
+  data::UniformDistribution dist;
+  const auto values = data::generateValueSets(6, 20, dist, dataRng);
+  Rng rng(11);
+  const RingQueryRunner runner(exactParams(4), ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  for (const auto& step : res.trace.steps) {
+    for (std::size_t slot = 0; slot < 4; ++slot) {
+      EXPECT_GE(step.output[slot], step.input[slot] - 1)
+          << "round " << step.round << " node " << step.node;
+    }
+  }
+}
+
+TEST(RingQueryRunner, NoOutputEverExceedsTrueTopK) {
+  Rng dataRng(12);
+  data::UniformDistribution dist;
+  const auto values = data::generateValueSets(5, 15, dist, dataRng);
+  const TopKVector truth = data::trueTopK(values, 3);
+  Rng rng(13);
+  const RingQueryRunner runner(exactParams(3), ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  for (const auto& step : res.trace.steps) {
+    for (std::size_t slot = 0; slot < 3; ++slot) {
+      EXPECT_LE(step.output[slot], truth[slot]);
+    }
+  }
+}
+
+TEST(RingQueryRunner, FewerValuesThanKPadsWithDomainMin) {
+  const std::vector<std::vector<Value>> values = {{100}, {50}, {75}};
+  Rng rng(14);
+  const RingQueryRunner runner(exactParams(5), ProtocolKind::Probabilistic);
+  const RunResult res = runner.run(values, rng);
+  EXPECT_EQ(res.result,
+            (TopKVector{100, 75, 50, kPaperDomain.min, kPaperDomain.min}));
+}
+
+TEST(RingQueryRunner, RemapEachRoundStillCorrect) {
+  ProtocolParams p = exactParams(2);
+  p.remapEachRound = true;
+  const RingQueryRunner runner(p, ProtocolKind::Probabilistic);
+  Rng dataRng(15);
+  data::UniformDistribution dist;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto values = data::generateValueSets(5, 10, dist, dataRng);
+    Rng rng(100 + trial);
+    EXPECT_EQ(runner.run(values, rng).result, data::trueTopK(values, 2));
+  }
+}
+
+TEST(RingQueryRunner, BottomKFindsSmallest) {
+  const std::vector<std::vector<Value>> values = {
+      {30, 12}, {10, 4}, {40, 22}, {20, 19}};
+  Rng rng(16);
+  const RingQueryRunner runner(exactParams(3), ProtocolKind::Probabilistic);
+  const RunResult res = runner.runBottomK(values, rng);
+  EXPECT_EQ(res.result, (TopKVector{4, 10, 12}));  // ascending
+}
+
+TEST(QueryConvenienceApis, TopKAndMax) {
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {40}, {20}};
+  Rng rng(17);
+  ProtocolParams p = ProtocolParams{};
+  p.rounds = 12;
+  EXPECT_EQ(queryMax(values, rng, &p), 40);
+  Rng rng2(18);
+  EXPECT_EQ(queryTopK(values, 2, rng2, &p), (TopKVector{40, 30}));
+}
+
+TEST(RingQueryRunner, ProbabilisticPrecisionImprovesWithRounds) {
+  // Empirical check of the Figure 6 trend: precision at r=1 well below
+  // precision at r=6 (p0 = 1 means round 1 is pure noise).
+  data::UniformDistribution dist;
+  int correct1 = 0;
+  int correct6 = 0;
+  const int trials = 200;
+  Rng dataRng(19);
+  Rng rng(20);
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    const Value truth = data::trueTopK(values, 1)[0];
+    ProtocolParams p1;
+    p1.rounds = 1;
+    ProtocolParams p6;
+    p6.rounds = 6;
+    const RingQueryRunner r1(p1, ProtocolKind::Probabilistic);
+    const RingQueryRunner r6(p6, ProtocolKind::Probabilistic);
+    if (r1.run(values, rng).result[0] == truth) ++correct1;
+    if (r6.run(values, rng).result[0] == truth) ++correct6;
+  }
+  EXPECT_LT(correct1, trials / 4);       // round 1 with p0=1: all randomized
+  EXPECT_GT(correct6, trials * 95 / 100);  // bound: >= 1 - 2^-15
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "protocol/params.hpp"
+#include "protocol/schedule.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+TEST(ExponentialSchedule, MatchesEquationTwo) {
+  const ExponentialSchedule s(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(s.probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.probability(2), 0.5);
+  EXPECT_DOUBLE_EQ(s.probability(3), 0.25);
+  EXPECT_DOUBLE_EQ(s.probability(11), 1.0 / 1024.0);
+}
+
+TEST(ExponentialSchedule, P0Scaling) {
+  const ExponentialSchedule s(0.25, 0.5);
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(s.probability(2), 0.125);
+}
+
+TEST(ExponentialSchedule, DegenerateParams) {
+  const ExponentialSchedule zero(0.0, 0.5);
+  EXPECT_DOUBLE_EQ(zero.probability(1), 0.0);
+  const ExponentialSchedule constant(0.7, 1.0);
+  EXPECT_DOUBLE_EQ(constant.probability(100), 0.7);
+  const ExponentialSchedule drop(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(drop.probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(drop.probability(2), 0.0);
+}
+
+TEST(ExponentialSchedule, Validation) {
+  EXPECT_THROW(ExponentialSchedule(-0.1, 0.5), ConfigError);
+  EXPECT_THROW(ExponentialSchedule(1.1, 0.5), ConfigError);
+  EXPECT_THROW(ExponentialSchedule(0.5, 1.5), ConfigError);
+  const ExponentialSchedule ok(0.5, 0.5);
+  EXPECT_THROW((void)ok.probability(0), ConfigError);
+}
+
+TEST(LinearSchedule, DecaysToZero) {
+  const LinearSchedule s(1.0, 0.25);
+  EXPECT_DOUBLE_EQ(s.probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.probability(3), 0.5);
+  EXPECT_DOUBLE_EQ(s.probability(5), 0.0);
+  EXPECT_DOUBLE_EQ(s.probability(50), 0.0);
+}
+
+TEST(StepSchedule, HardCutoff) {
+  const StepSchedule s(0.8, 3);
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.8);
+  EXPECT_DOUBLE_EQ(s.probability(3), 0.8);
+  EXPECT_DOUBLE_EQ(s.probability(4), 0.0);
+}
+
+TEST(ZeroSchedule, AlwaysZero) {
+  const ZeroSchedule s;
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.probability(999), 0.0);
+}
+
+TEST(ProtocolParams, DefaultsAreValidPaperDefaults) {
+  const ProtocolParams p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.k, 1u);
+  EXPECT_DOUBLE_EQ(p.p0, 1.0);
+  EXPECT_DOUBLE_EQ(p.d, 0.5);
+  EXPECT_EQ(p.domain, kPaperDomain);
+}
+
+TEST(ProtocolParams, ValidationRejectsBadFields) {
+  ProtocolParams p;
+  p.k = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ProtocolParams{};
+  p.p0 = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ProtocolParams{};
+  p.d = -0.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ProtocolParams{};
+  p.delta = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ProtocolParams{};
+  p.epsilon = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ProtocolParams{};
+  p.rounds = 0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProtocolParams, DivergentRoundBoundRejected) {
+  ProtocolParams p;
+  p.d = 1.0;  // never dampens
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.rounds = 10;  // explicit budget makes it legal
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProtocolParams, EffectiveRoundsExplicitWins) {
+  ProtocolParams p;
+  p.rounds = 7;
+  EXPECT_EQ(p.effectiveRounds(), 7u);
+}
+
+TEST(ProtocolParams, EffectiveRoundsFromEpsilon) {
+  ProtocolParams p;  // p0=1, d=1/2, eps=0.001
+  // Need (1/2)^(r(r-1)/2) <= 1e-3: r(r-1)/2 >= 9.97 -> r = 5.
+  EXPECT_EQ(p.effectiveRounds(), 5u);
+}
+
+TEST(ProtocolKind, Names) {
+  EXPECT_STREQ(toString(ProtocolKind::Probabilistic), "probabilistic");
+  EXPECT_STREQ(toString(ProtocolKind::Naive), "naive");
+  EXPECT_STREQ(toString(ProtocolKind::AnonymousNaive), "anonymous-naive");
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

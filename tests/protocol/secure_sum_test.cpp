@@ -1,0 +1,79 @@
+#include "protocol/secure_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+TEST(SecureSum, ExactTotals) {
+  const std::vector<std::vector<std::int64_t>> counters = {
+      {1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  Rng rng(1);
+  const SecureSumResult res = secureSum(counters, rng);
+  EXPECT_EQ(res.totals, (std::vector<std::int64_t>{10, 100}));
+  EXPECT_EQ(res.messages, 4u);
+}
+
+TEST(SecureSum, HandlesNegativesAndZeros) {
+  const std::vector<std::vector<std::int64_t>> counters = {
+      {-5, 0}, {3, 0}, {-1, 0}};
+  Rng rng(2);
+  EXPECT_EQ(secureSum(counters, rng).totals,
+            (std::vector<std::int64_t>{-3, 0}));
+}
+
+TEST(SecureSum, SingleCounterManyNodes) {
+  std::vector<std::vector<std::int64_t>> counters;
+  std::int64_t expected = 0;
+  for (int i = 1; i <= 50; ++i) {
+    counters.push_back({i});
+    expected += i;
+  }
+  Rng rng(3);
+  EXPECT_EQ(secureSum(counters, rng).totals.front(), expected);
+}
+
+TEST(SecureSum, RequiresThreeNodes) {
+  Rng rng(4);
+  EXPECT_THROW((void)secureSum({{1}, {2}}, rng), ConfigError);
+}
+
+TEST(SecureSum, RejectsRaggedCounters) {
+  Rng rng(5);
+  EXPECT_THROW((void)secureSum({{1, 2}, {3}, {4, 5}}, rng), ConfigError);
+}
+
+TEST(SecureSum, IntermediatesDoNotRevealPrefixSums) {
+  // Every intermediate token is masked: with a random 64-bit mask, the
+  // probability any intermediate equals the true running prefix sum is
+  // negligible.  We check no intermediate leaks the first node's counter.
+  const std::vector<std::vector<std::int64_t>> counters = {
+      {1234}, {5678}, {9012}};
+  Rng rng(6);
+  const SecureSumResult res = secureSum(counters, rng);
+  ASSERT_EQ(res.intermediates.size(), 3u);
+  EXPECT_NE(res.intermediates[0][0], 1234u);
+  EXPECT_NE(res.intermediates[1][0], static_cast<std::uint64_t>(1234 + 5678));
+}
+
+TEST(SecureSum, IntermediatesLookUniformAcrossRuns) {
+  // The same inputs under different masks give different intermediates.
+  const std::vector<std::vector<std::int64_t>> counters = {{7}, {8}, {9}};
+  Rng rng1(7);
+  Rng rng2(8);
+  EXPECT_NE(secureSum(counters, rng1).intermediates[0],
+            secureSum(counters, rng2).intermediates[0]);
+}
+
+TEST(SecureSum, WraparoundSafeForLargeValues) {
+  const std::int64_t big = (std::int64_t{1} << 62);
+  const std::vector<std::vector<std::int64_t>> counters = {
+      {big}, {big}, {-big}};
+  Rng rng(9);
+  EXPECT_EQ(secureSum(counters, rng).totals.front(), big);
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

@@ -1,0 +1,182 @@
+#include "protocol/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+SimulatedRunConfig exactConfig(std::size_t k = 1) {
+  SimulatedRunConfig cfg;
+  cfg.params.k = k;
+  cfg.params.rounds = 12;
+  return cfg;
+}
+
+TEST(SimulatedRun, CorrectWithoutFailures) {
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {40}, {20}};
+  Rng rng(1);
+  const SimulatedRunResult res = runSimulatedQuery(values, exactConfig(), rng);
+  EXPECT_EQ(res.result, (TopKVector{40}));
+  EXPECT_TRUE(res.failedNodes.empty());
+  EXPECT_GT(res.completionTime, 0.0);
+}
+
+TEST(SimulatedRun, VirtualTimeScalesWithLatency) {
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {40}, {20}};
+  const sim::FixedLatency slow(10.0);
+  const sim::FixedLatency fast(1.0);
+
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.latency = &fast;
+  Rng rng1(2);
+  const auto fastRun = runSimulatedQuery(values, cfg, rng1);
+
+  cfg.latency = &slow;
+  Rng rng2(2);
+  const auto slowRun = runSimulatedQuery(values, cfg, rng2);
+
+  EXPECT_EQ(fastRun.result, slowRun.result);
+  EXPECT_NEAR(slowRun.completionTime, fastRun.completionTime * 10.0, 1e-6);
+}
+
+TEST(SimulatedRun, CompletionTimeMatchesHopCount) {
+  // With 1ms fixed latency, r rounds over n nodes need r*n hops; the last
+  // hop of the last round ends the query.
+  const std::vector<std::vector<Value>> values = {{1}, {2}, {3}, {4}};
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.params.rounds = 5;
+  Rng rng(3);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  EXPECT_DOUBLE_EQ(res.completionTime, 5.0 * 4.0);
+}
+
+TEST(SimulatedRun, TopKWithRandomLatency) {
+  data::UniformDistribution dist;
+  Rng dataRng(4);
+  const auto values = data::generateValueSets(6, 10, dist, dataRng);
+  const sim::ExponentialLatency wan(5.0, 20.0);
+  SimulatedRunConfig cfg = exactConfig(3);
+  cfg.latency = &wan;
+  Rng rng(5);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  EXPECT_EQ(res.result, data::trueTopK(values, 3));
+}
+
+TEST(SimulatedRun, SurvivesNodeFailureWithRingRepair) {
+  // Node 2 crashes immediately: its value never enters; result must be the
+  // top over the survivors.
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {9999}, {20}};
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.failures.crashAt(2, 0.0);
+  Rng rng(6);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  EXPECT_EQ(res.result, (TopKVector{30}));
+  ASSERT_EQ(res.failedNodes.size(), 1u);
+  EXPECT_EQ(res.failedNodes[0], 2u);
+}
+
+TEST(SimulatedRun, LateFailureAfterContributionKeepsValue) {
+  // Node 2 crashes late, long after the exact protocol has captured its
+  // value; the result still contains it.
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {9999}, {20}};
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.params.p0 = 0.0;  // deterministic: value enters in round 1
+  cfg.params.rounds = 8;
+  cfg.failures.crashAt(2, 4.5);  // after the first full round (4 hops @1ms)
+  Rng rng(7);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  EXPECT_EQ(res.result, (TopKVector{9999}));
+  EXPECT_EQ(res.failedNodes.size(), 1u);
+}
+
+TEST(SimulatedRun, MultipleFailures) {
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {40}, {20}, {35}};
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.failures.crashAt(2, 0.0);
+  cfg.failures.crashAt(4, 0.0);
+  Rng rng(8);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  EXPECT_EQ(res.result, (TopKVector{30}));
+  EXPECT_EQ(res.failedNodes.size(), 2u);
+}
+
+TEST(SimulatedRun, ControllerFailurePromotesSuccessor) {
+  // Whichever node starts, crash it mid-run; the protocol must still
+  // terminate and produce the top value among survivors.
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {40}, {20}};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SimulatedRunConfig cfg = exactConfig();
+    cfg.params.p0 = 0.0;  // keep result deterministic among survivors
+    cfg.params.rounds = 6;
+    for (NodeId node = 0; node < 4; ++node) {
+      cfg.failures = sim::FailurePlan{};
+      cfg.failures.crashAt(node, 6.0);  // mid second round
+      Rng rng(100 + seed);
+      const auto res = runSimulatedQuery(values, cfg, rng);
+      // With p0 = 0 every surviving value was merged in round 1, so even a
+      // crashed max-holder's value survives in the vector.
+      EXPECT_EQ(res.result, (TopKVector{40}));
+    }
+  }
+}
+
+TEST(SimulatedRun, MessageCountAccounting) {
+  const std::vector<std::vector<Value>> values = {{1}, {2}, {3}};
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.params.rounds = 4;
+  Rng rng(9);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  // 4 rounds * 3 hops + final dissemination (ring size).
+  EXPECT_EQ(res.messages, 4u * 3u + 3u);
+}
+
+TEST(SimulatedRun, TraceMatchesSynchronousSemantics) {
+  data::UniformDistribution dist;
+  Rng dataRng(10);
+  const auto values = data::generateValueSets(4, 5, dist, dataRng);
+  Rng rng(11);
+  const auto res = runSimulatedQuery(values, exactConfig(2), rng);
+  // Steps chain exactly like the synchronous runner's trace.
+  for (std::size_t i = 1; i < res.trace.steps.size(); ++i) {
+    EXPECT_EQ(res.trace.steps[i].input, res.trace.steps[i - 1].output);
+  }
+  EXPECT_EQ(res.trace.result, res.result);
+}
+
+TEST(SimulatedRun, RemapEachRoundStillCorrect) {
+  data::UniformDistribution dist;
+  Rng dataRng(20);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto values = data::generateValueSets(5, 6, dist, dataRng);
+    SimulatedRunConfig cfg = exactConfig(2);
+    cfg.params.remapEachRound = true;
+    Rng rng(300 + static_cast<std::uint64_t>(trial));
+    const auto res = runSimulatedQuery(values, cfg, rng);
+    EXPECT_EQ(res.result, data::trueTopK(values, 2)) << "trial " << trial;
+  }
+}
+
+TEST(SimulatedRun, RemapWithFailuresStillTerminates) {
+  const std::vector<std::vector<Value>> values = {{30}, {10}, {40}, {20}, {25}};
+  SimulatedRunConfig cfg = exactConfig();
+  cfg.params.remapEachRound = true;
+  cfg.failures.crashAt(1, 7.0);
+  Rng rng(21);
+  const auto res = runSimulatedQuery(values, cfg, rng);
+  EXPECT_EQ(res.result, (TopKVector{40}));
+  EXPECT_EQ(res.failedNodes.size(), 1u);
+}
+
+TEST(SimulatedRun, NeedsThreeNodes) {
+  Rng rng(12);
+  EXPECT_THROW((void)runSimulatedQuery({{1}, {2}}, exactConfig(), rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace privtopk::protocol

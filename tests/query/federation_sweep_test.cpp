@@ -1,0 +1,108 @@
+// Parameterized sweep: every query type under every protocol kind must be
+// exact (with an effectively-exact round budget), correctly presented and
+// consistently accounted.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "data/generator.hpp"
+#include "query/federation.hpp"
+
+namespace privtopk::query {
+namespace {
+
+using SweepParam = std::tuple<QueryType, protocol::ProtocolKind>;
+
+std::string sweepName(const testing::TestParamInfo<SweepParam>& info) {
+  const auto [type, kind] = info.param;
+  std::string name = std::string(toString(type)) + "_" +
+                     protocol::toString(kind);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+class FederationSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(FederationSweep, ExactAndWellFormed) {
+  const auto [type, kind] = GetParam();
+
+  data::FleetSpec spec;
+  spec.nodes = 5;
+  spec.rowsPerNode = 9;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng dataRng(static_cast<std::uint64_t>(type) * 31 +
+              static_cast<std::uint64_t>(kind));
+  const auto fleet = data::generateFleet(spec, dataRng);
+  const auto raw = data::fleetValues(fleet, "sales", "revenue");
+
+  QueryDescriptor d;
+  d.queryId = 1;
+  d.type = type;
+  d.kind = kind;
+  d.tableName = "sales";
+  d.attribute = "revenue";
+  d.params.k = 3;
+  d.params.rounds = 14;
+
+  const Federation federation(fleet);
+  Rng rng(7);
+  const QueryOutcome outcome = federation.execute(d, rng);
+
+  // Expected answer per type.
+  std::vector<Value> all;
+  for (const auto& v : raw) all.insert(all.end(), v.begin(), v.end());
+  std::int64_t sum = 0;
+  for (Value v : all) sum += v;
+
+  switch (type) {
+    case QueryType::TopK:
+      EXPECT_EQ(outcome.values, data::trueTopK(raw, 3));
+      break;
+    case QueryType::Max:
+      EXPECT_EQ(outcome.values, data::trueTopK(raw, 1));
+      break;
+    case QueryType::BottomK: {
+      std::sort(all.begin(), all.end());
+      all.resize(3);
+      EXPECT_EQ(outcome.values, all);
+      break;
+    }
+    case QueryType::Min: {
+      EXPECT_EQ(outcome.values,
+                (TopKVector{*std::min_element(all.begin(), all.end())}));
+      break;
+    }
+    case QueryType::Sum:
+      EXPECT_EQ(outcome.values, (TopKVector{sum}));
+      break;
+    case QueryType::Count:
+      EXPECT_EQ(outcome.values, (TopKVector{45}));
+      break;
+    case QueryType::Average:
+      EXPECT_EQ(outcome.values, (TopKVector{sum, 45}));
+      break;
+  }
+
+  // Accounting invariants.
+  EXPECT_GE(outcome.messages, fleet.size());
+  EXPECT_GE(outcome.rounds, 1u);
+  // The descriptor must round-trip with this exact configuration.
+  EXPECT_EQ(QueryDescriptor::decode(d.encode()), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesByProtocols, FederationSweep,
+    testing::Combine(testing::Values(QueryType::TopK, QueryType::BottomK,
+                                     QueryType::Max, QueryType::Min,
+                                     QueryType::Sum, QueryType::Count,
+                                     QueryType::Average),
+                     testing::Values(protocol::ProtocolKind::Probabilistic,
+                                     protocol::ProtocolKind::Naive,
+                                     protocol::ProtocolKind::AnonymousNaive)),
+    sweepName);
+
+}  // namespace
+}  // namespace privtopk::query

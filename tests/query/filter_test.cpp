@@ -1,0 +1,174 @@
+#include "query/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "query/federation.hpp"
+
+namespace privtopk::query {
+namespace {
+
+data::PrivateDatabase storeDb() {
+  data::PrivateDatabase db("store");
+  data::Table t(data::Schema({{"region", data::ColumnType::Text},
+                              {"year", data::ColumnType::Int},
+                              {"revenue", data::ColumnType::Int}}));
+  using data::Cell;
+  t.appendRow({Cell{std::string("east")}, Cell{Value{2024}}, Cell{Value{500}}});
+  t.appendRow({Cell{std::string("east")}, Cell{Value{2025}}, Cell{Value{900}}});
+  t.appendRow({Cell{std::string("west")}, Cell{Value{2024}}, Cell{Value{700}}});
+  t.appendRow({Cell{std::string("west")}, Cell{Value{2025}}, Cell{Value{400}}});
+  t.appendRow({Cell{std::string("north")}, Cell{Value{2025}}, Cell{Value{800}}});
+  db.addTable("sales", std::move(t));
+  return db;
+}
+
+data::Schema storeSchema() {
+  return data::Schema({{"region", data::ColumnType::Text},
+                       {"year", data::ColumnType::Int},
+                       {"revenue", data::ColumnType::Int}});
+}
+
+TEST(Filter, EmptyMatchesEverything) {
+  const Filter f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.predicate());  // empty RowPredicate == no filtering
+}
+
+TEST(Filter, TextEqualityClause) {
+  const data::PrivateDatabase db = storeDb();
+  const Filter f({{"region", FilterOp::Eq, std::string("east")}});
+  EXPECT_EQ(db.localTopK("sales", "revenue", 5, f.predicate()),
+            (TopKVector{900, 500}));
+}
+
+TEST(Filter, IntRangeClause) {
+  const data::PrivateDatabase db = storeDb();
+  const Filter f({{"year", FilterOp::Ge, Value{2025}}});
+  EXPECT_EQ(db.localTopK("sales", "revenue", 5, f.predicate()),
+            (TopKVector{900, 800, 400}));
+}
+
+TEST(Filter, ConjunctionAndsClauses) {
+  const data::PrivateDatabase db = storeDb();
+  const Filter f({{"year", FilterOp::Eq, Value{2025}},
+                  {"region", FilterOp::Ne, std::string("east")}});
+  EXPECT_EQ(db.localTopK("sales", "revenue", 5, f.predicate()),
+            (TopKVector{800, 400}));
+}
+
+TEST(Filter, AllOperatorsOnInts) {
+  const data::PrivateDatabase db = storeDb();
+  auto count = [&db](FilterOp op, Value literal) {
+    const Filter f({{"revenue", op, literal}});
+    return db.localTopK("sales", "revenue", 10, f.predicate()).size();
+  };
+  EXPECT_EQ(count(FilterOp::Eq, 700), 1u);
+  EXPECT_EQ(count(FilterOp::Ne, 700), 4u);
+  EXPECT_EQ(count(FilterOp::Lt, 700), 2u);
+  EXPECT_EQ(count(FilterOp::Le, 700), 3u);
+  EXPECT_EQ(count(FilterOp::Gt, 700), 2u);
+  EXPECT_EQ(count(FilterOp::Ge, 700), 3u);
+}
+
+TEST(Filter, ValidationAgainstSchema) {
+  const data::Schema schema = storeSchema();
+  Filter ok({{"year", FilterOp::Lt, Value{2025}},
+             {"region", FilterOp::Eq, std::string("east")}});
+  EXPECT_NO_THROW(ok.validateAgainst(schema));
+
+  Filter missing({{"nope", FilterOp::Eq, Value{1}}});
+  EXPECT_THROW(missing.validateAgainst(schema), SchemaError);
+
+  Filter typeMismatch({{"year", FilterOp::Eq, std::string("2025")}});
+  EXPECT_THROW(typeMismatch.validateAgainst(schema), ConfigError);
+
+  Filter textRange({{"region", FilterOp::Lt, std::string("m")}});
+  EXPECT_THROW(textRange.validateAgainst(schema), ConfigError);
+}
+
+TEST(Filter, SerializationRoundTrip) {
+  const Filter f({{"year", FilterOp::Ge, Value{2024}},
+                  {"region", FilterOp::Ne, std::string("west")}});
+  ByteWriter w;
+  f.encodeTo(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(Filter::decodeFrom(r), f);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Filter, ParseCliSyntax) {
+  const Filter f = Filter::parse("region=east,year>=2025,revenue!=0");
+  ASSERT_EQ(f.clauses().size(), 3u);
+  EXPECT_EQ(f.clauses()[0].column, "region");
+  EXPECT_EQ(f.clauses()[0].op, FilterOp::Eq);
+  EXPECT_EQ(std::get<std::string>(f.clauses()[0].literal), "east");
+  EXPECT_EQ(f.clauses()[1].op, FilterOp::Ge);
+  EXPECT_EQ(std::get<Value>(f.clauses()[1].literal), 2025);
+  EXPECT_EQ(f.clauses()[2].op, FilterOp::Ne);
+  EXPECT_TRUE(Filter::parse("").empty());
+  EXPECT_THROW((void)Filter::parse("justacolumn"), ConfigError);
+  EXPECT_THROW((void)Filter::parse("col="), ConfigError);
+}
+
+TEST(Filter, DescriptorCarriesFilter) {
+  QueryDescriptor d;
+  d.queryId = 3;
+  d.tableName = "sales";
+  d.attribute = "revenue";
+  d.params.k = 2;
+  d.params.rounds = 10;
+  d.filter = Filter({{"year", FilterOp::Eq, Value{2025}}});
+  const QueryDescriptor back = QueryDescriptor::decode(d.encode());
+  EXPECT_EQ(back, d);
+  EXPECT_EQ(back.filter.clauses().size(), 1u);
+}
+
+TEST(Filter, FederatedFilteredTopK) {
+  // Three parties with the same schema; the filtered consortium query must
+  // only see 2025 rows.
+  std::vector<data::PrivateDatabase> parties;
+  parties.push_back(storeDb());
+  {
+    data::PrivateDatabase db("b");
+    data::Table t(storeSchema());
+    using data::Cell;
+    t.appendRow(
+        {Cell{std::string("east")}, Cell{Value{2025}}, Cell{Value{950}}});
+    t.appendRow(
+        {Cell{std::string("east")}, Cell{Value{2024}}, Cell{Value{990}}});
+    db.addTable("sales", std::move(t));
+    parties.push_back(std::move(db));
+  }
+  {
+    data::PrivateDatabase db("c");
+    data::Table t(storeSchema());
+    using data::Cell;
+    t.appendRow(
+        {Cell{std::string("west")}, Cell{Value{2025}}, Cell{Value{100}}});
+    db.addTable("sales", std::move(t));
+    parties.push_back(std::move(db));
+  }
+
+  QueryDescriptor d;
+  d.queryId = 4;
+  d.tableName = "sales";
+  d.attribute = "revenue";
+  d.params.k = 3;
+  d.params.rounds = 12;
+  d.filter = Filter({{"year", FilterOp::Eq, Value{2025}}});
+
+  const Federation federation(parties);
+  Rng rng(5);
+  // 2025 rows: 900, 400, 800 (party a), 950 (b), 100 (c).
+  EXPECT_EQ(federation.execute(d, rng).values, (TopKVector{950, 900, 800}));
+
+  // The same query filtered by Sum.
+  d.type = QueryType::Sum;
+  Rng rng2(6);
+  EXPECT_EQ(federation.execute(d, rng2).values,
+            (TopKVector{900 + 400 + 800 + 950 + 100}));
+}
+
+}  // namespace
+}  // namespace privtopk::query

@@ -1,0 +1,79 @@
+#include "sim/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace privtopk::sim {
+namespace {
+
+TEST(RingTopology, IdentityOrder) {
+  const RingTopology ring = RingTopology::identity(4);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.order(), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.successor(0), 1u);
+  EXPECT_EQ(ring.successor(3), 0u);  // wraps
+  EXPECT_EQ(ring.predecessor(0), 3u);
+  EXPECT_EQ(ring.predecessor(2), 1u);
+}
+
+TEST(RingTopology, RandomIsPermutation) {
+  Rng rng(1);
+  const RingTopology ring = RingTopology::random(10, rng);
+  std::set<NodeId> seen(ring.order().begin(), ring.order().end());
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RingTopology, RandomShufflesAcrossDraws) {
+  Rng rng(2);
+  const RingTopology a = RingTopology::random(16, rng);
+  const RingTopology b = RingTopology::random(16, rng);
+  EXPECT_NE(a.order(), b.order());
+}
+
+TEST(RingTopology, SuccessorPredecessorInverse) {
+  Rng rng(3);
+  const RingTopology ring = RingTopology::random(7, rng);
+  for (NodeId node = 0; node < 7; ++node) {
+    EXPECT_EQ(ring.predecessor(ring.successor(node)), node);
+    EXPECT_EQ(ring.successor(ring.predecessor(node)), node);
+  }
+}
+
+TEST(RingTopology, PositionOfAndAt) {
+  const RingTopology ring({2, 0, 1});
+  EXPECT_EQ(ring.positionOf(2), 0u);
+  EXPECT_EQ(ring.positionOf(1), 2u);
+  EXPECT_EQ(ring.at(0), 2u);
+  EXPECT_EQ(ring.at(3), 2u);  // wraps
+  EXPECT_TRUE(ring.contains(1));
+  EXPECT_FALSE(ring.contains(9));
+  EXPECT_THROW((void)ring.positionOf(9), Error);
+}
+
+TEST(RingTopology, RemoveNodeSplicesNeighbours) {
+  RingTopology ring({0, 1, 2, 3});
+  ring.removeNode(2);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.successor(1), 3u);  // predecessor and successor connected
+  EXPECT_EQ(ring.predecessor(3), 1u);
+  EXPECT_FALSE(ring.contains(2));
+}
+
+TEST(RingTopology, RemoveDownToOneThenRefuse) {
+  RingTopology ring({0, 1});
+  ring.removeNode(0);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.successor(1), 1u);  // self-loop
+  EXPECT_THROW(ring.removeNode(1), Error);
+}
+
+TEST(RingTopology, ConstructionValidation) {
+  EXPECT_THROW(RingTopology({}), Error);
+  EXPECT_THROW(RingTopology({1, 2, 1}), Error);
+}
+
+}  // namespace
+}  // namespace privtopk::sim

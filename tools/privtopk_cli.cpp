@@ -1,0 +1,379 @@
+// privtopk command-line tool.
+//
+// Subcommands:
+//   analyze   - print the paper's analytic bounds for given parameters
+//   generate  - write synthetic per-party CSV datasets
+//   query     - run a federated query across local CSV files (simulation)
+//   node      - run ONE distributed participant over TCP (deployment)
+//
+// Examples:
+//   privtopk analyze --p0 1 --d 0.5 --epsilon 0.001
+//   privtopk generate --parties 4 --rows 100 --dist zipf --out /tmp/party
+//   privtopk query --csv /tmp/party0.csv,/tmp/party1.csv,/tmp/party2.csv
+//       --schema id:text,value:int --table data --attribute value
+//       --type topk --k 3
+//   privtopk node --self 0 --peers 127.0.0.1:9100,127.0.0.1:9101,...
+//       --ring 0,1,2 --csv /tmp/party0.csv --schema id:text,value:int
+//       --attribute value --k 3 --encrypt
+// (multi-flag invocations continue on one shell line or with backslashes)
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/optimal_schedule.hpp"
+#include "common/args.hpp"
+#include "data/csv.hpp"
+#include "data/generator.hpp"
+#include "net/tcp.hpp"
+#include "protocol/engine.hpp"
+#include "query/federation.hpp"
+#include "query/filter.hpp"
+#include "privacy/adversary.hpp"
+#include "privacy/anonymity.hpp"
+#include "privacy/distribution_exposure.hpp"
+#include "privacy/lop.hpp"
+#include "protocol/trace_io.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: privtopk "
+               "<analyze|generate|query|node|record-traces|analyze-traces> "
+               "[flags]\n"
+               "run with a subcommand and no flags for its flag list\n");
+  return 2;
+}
+
+data::Schema parseSchema(const std::string& spec) {
+  std::vector<data::ColumnSpec> columns;
+  for (const std::string& part : splitString(spec, ',')) {
+    const auto pieces = splitString(part, ':');
+    if (pieces.size() != 2) {
+      throw ConfigError("schema entry '" + part + "' is not name:type");
+    }
+    data::ColumnType type;
+    if (pieces[1] == "int") {
+      type = data::ColumnType::Int;
+    } else if (pieces[1] == "real") {
+      type = data::ColumnType::Real;
+    } else if (pieces[1] == "text") {
+      type = data::ColumnType::Text;
+    } else {
+      throw ConfigError("unknown column type '" + pieces[1] + "'");
+    }
+    columns.push_back({pieces[0], type});
+  }
+  return data::Schema(columns);
+}
+
+query::QueryDescriptor descriptorFromArgs(const ArgParser& args) {
+  query::QueryDescriptor d;
+  d.queryId = static_cast<std::uint64_t>(args.getInt("query-id", 1));
+  d.tableName = args.getString("table", "data");
+  d.attribute = args.getString("attribute", "value");
+  d.params.k = static_cast<std::size_t>(args.getInt("k", 1));
+  d.params.p0 = args.getDouble("p0", 1.0);
+  d.params.d = args.getDouble("d", 0.5);
+  d.params.epsilon = args.getDouble("epsilon", 0.001);
+  d.params.domain = Domain{args.getInt("domain-min", 1),
+                           args.getInt("domain-max", 10000)};
+  if (args.has("rounds")) {
+    d.params.rounds = static_cast<Round>(args.getInt("rounds", 5));
+  }
+
+  const std::string type = args.getString("type", "topk");
+  if (type == "topk") d.type = query::QueryType::TopK;
+  else if (type == "bottomk") d.type = query::QueryType::BottomK;
+  else if (type == "max") d.type = query::QueryType::Max;
+  else if (type == "min") d.type = query::QueryType::Min;
+  else if (type == "sum") d.type = query::QueryType::Sum;
+  else if (type == "count") d.type = query::QueryType::Count;
+  else if (type == "average") d.type = query::QueryType::Average;
+  else throw ConfigError("unknown query type '" + type + "'");
+
+  const std::string protocol = args.getString("protocol", "probabilistic");
+  if (protocol == "probabilistic") {
+    d.kind = protocol::ProtocolKind::Probabilistic;
+  } else if (protocol == "naive") {
+    d.kind = protocol::ProtocolKind::Naive;
+  } else if (protocol == "anonymous-naive") {
+    d.kind = protocol::ProtocolKind::AnonymousNaive;
+  } else {
+    throw ConfigError("unknown protocol '" + protocol + "'");
+  }
+  return d;
+}
+
+int cmdAnalyze(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv,
+                       {"p0", "d", "epsilon", "n", "rounds"});
+  const double p0 = args.getDouble("p0", 1.0);
+  const double d = args.getDouble("d", 0.5);
+  const double epsilon = args.getDouble("epsilon", 0.001);
+  const auto n = static_cast<std::size_t>(args.getInt("n", 4));
+
+  const Round rmin = analysis::minRounds(p0, d, epsilon);
+  std::printf("parameters: p0 = %g, d = %g, epsilon = %g, n = %zu\n\n", p0, d,
+              epsilon, n);
+  std::printf("rounds for precision >= %g:  %u   (tight bound: %u)\n",
+              1.0 - epsilon, rmin, analysis::minRoundsTight(p0, d, epsilon));
+  std::printf("expected peak LoP bound (Eq. 6):  %.4f\n",
+              analysis::probabilisticLoPBound(p0, d, rmin + 8));
+  std::printf("naive-protocol average LoP at n=%zu:  %.4f  "
+              "(paper Eq. 5 reference ln(n)/n = %.4f)\n\n",
+              n, analysis::naiveAverageLoP(n), analysis::naiveLoPBound(n));
+
+  std::printf("%-8s %-14s %-14s\n", "round", "Pr(r)", "precision bound");
+  for (Round r = 1; r <= rmin + 2; ++r) {
+    std::printf("%-8u %-14.6f %-14.6f\n", r,
+                analysis::randomizationProbability(p0, d, r),
+                analysis::precisionBound(p0, d, r));
+  }
+
+  const auto optimal = analysis::optimalSchedule(std::max<Round>(rmin, 2),
+                                                 epsilon);
+  std::printf("\noptimal schedule for the same budget (peak LoP bound "
+              "%.4f):\n  ",
+              optimal.peakLoPBound);
+  for (double q : optimal.probabilities) std::printf("%.4f ", q);
+  std::printf("\n");
+  return 0;
+}
+
+int cmdGenerate(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv,
+                       {"parties", "rows", "dist", "out", "seed",
+                        "domain-min", "domain-max", "attribute"});
+  data::FleetSpec spec;
+  spec.nodes = static_cast<std::size_t>(args.getInt("parties", 4));
+  spec.rowsPerNode = static_cast<std::size_t>(args.getInt("rows", 100));
+  spec.distribution = args.getString("dist", "uniform");
+  spec.domain = Domain{args.getInt("domain-min", 1),
+                       args.getInt("domain-max", 10000)};
+  spec.tableName = "data";
+  spec.attribute = args.getString("attribute", "value");
+  const std::string prefix = args.getString("out", "party");
+
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+  const auto fleet = data::generateFleet(spec, rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const std::string path = prefix + std::to_string(i) + ".csv";
+    data::saveCsvFile(path, fleet[i].table(spec.tableName));
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), spec.rowsPerNode);
+  }
+  return 0;
+}
+
+int cmdQuery(int argc, const char* const* argv) {
+  const ArgParser args(
+      argc, argv,
+      {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
+       "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
+       "query-id", "verbose", "filter"});
+  const auto files = args.getList("csv");
+  if (files.size() < 3) {
+    throw ConfigError("--csv needs at least 3 comma-separated files "
+                      "(the protocol requires n >= 3)");
+  }
+  const data::Schema schema =
+      parseSchema(args.getString("schema", "id:text,value:int"));
+  query::QueryDescriptor descriptor = descriptorFromArgs(args);
+  descriptor.filter = query::Filter::parse(args.getString("filter", ""));
+
+  std::vector<data::PrivateDatabase> parties;
+  for (const auto& file : files) {
+    data::PrivateDatabase db(file);
+    db.addTable(descriptor.tableName, data::loadCsvFile(file, schema));
+    parties.push_back(std::move(db));
+  }
+
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+  const query::Federation federation(parties);
+  const query::QueryOutcome outcome = federation.execute(descriptor, rng);
+
+  std::printf("%s(%zu) over %zu parties: %s\n", toString(descriptor.type),
+              descriptor.effectiveK(), parties.size(),
+              toString(outcome.values).c_str());
+  std::printf("protocol: %s, rounds: %u, ring messages: %zu\n",
+              toString(descriptor.kind), outcome.rounds, outcome.messages);
+  if (args.getBool("verbose")) {
+    for (const auto& step : outcome.trace.steps) {
+      std::printf("  r%u pos%zu node%u -> %s\n", step.round, step.position,
+                  step.node, toString(step.output).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmdNode(int argc, const char* const* argv) {
+  const ArgParser args(
+      argc, argv,
+      {"self", "peers", "ring", "csv", "schema", "table", "attribute", "type",
+       "k", "p0", "d", "epsilon", "rounds", "seed", "domain-min",
+       "domain-max", "query-id", "encrypt", "timeout-ms"});
+  const auto self = static_cast<NodeId>(args.getInt("self", 0));
+  const query::QueryDescriptor descriptor = descriptorFromArgs(args);
+
+  // Address book: index in --peers is the node id.
+  std::vector<net::TcpPeer> peers;
+  NodeId id = 0;
+  for (const std::string& hostPort : args.getList("peers")) {
+    const auto parts = splitString(hostPort, ':');
+    if (parts.size() != 2) {
+      throw ConfigError("peer '" + hostPort + "' is not host:port");
+    }
+    peers.push_back(net::TcpPeer{
+        id++, parts[0],
+        static_cast<std::uint16_t>(std::stoi(parts[1]))});
+  }
+
+  protocol::DistributedConfig cfg;
+  cfg.queryId = descriptor.queryId;
+  cfg.params = descriptor.params;
+  cfg.params.k = descriptor.effectiveK();
+  cfg.kind = descriptor.kind;
+  cfg.receiveTimeout =
+      std::chrono::milliseconds(args.getInt("timeout-ms", 30000));
+  for (const std::string& node : args.getList("ring")) {
+    cfg.ringOrder.push_back(static_cast<NodeId>(std::stoul(node)));
+  }
+
+  const data::Schema schema =
+      parseSchema(args.getString("schema", "id:text,value:int"));
+  data::PrivateDatabase db("self");
+  db.addTable(descriptor.tableName,
+              data::loadCsvFile(args.getString("csv"), schema));
+  const TopKVector local = query::LocalParty(db).localInput(descriptor);
+
+  net::TcpOptions tcpOptions;
+  tcpOptions.encrypt = args.getBool("encrypt");
+  tcpOptions.keySeed = descriptor.queryId ^ 0x9e3779b97f4a7c15ULL;
+  net::TcpTransport transport(self, peers, tcpOptions);
+
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)) + self);
+  protocol::ProtocolNode node(
+      self, local, protocol::makeLocalAlgorithm(cfg.kind, cfg.params, rng));
+  protocol::DistributedParticipant participant(std::move(node), transport,
+                                               cfg);
+  std::printf("node %u joined ring, waiting for the protocol...\n", self);
+  const TopKVector protocolResult = participant.run();
+  const TopKVector result = query::presentResult(descriptor, protocolResult);
+  std::printf("result: %s\n", toString(result).c_str());
+  transport.shutdown();
+  return 0;
+}
+
+int cmdRecordTraces(int argc, const char* const* argv) {
+  const ArgParser args(
+      argc, argv,
+      {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
+       "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
+       "query-id", "filter", "trials", "out"});
+  const auto files = args.getList("csv");
+  if (files.size() < 3) {
+    throw ConfigError("--csv needs at least 3 comma-separated files");
+  }
+  const data::Schema schema =
+      parseSchema(args.getString("schema", "id:text,value:int"));
+  query::QueryDescriptor descriptor = descriptorFromArgs(args);
+  descriptor.filter = query::Filter::parse(args.getString("filter", ""));
+  if (descriptor.isAggregate()) {
+    throw ConfigError("record-traces: aggregate queries have no ring trace");
+  }
+
+  std::vector<data::PrivateDatabase> parties;
+  for (const auto& file : files) {
+    data::PrivateDatabase db(file);
+    db.addTable(descriptor.tableName, data::loadCsvFile(file, schema));
+    parties.push_back(std::move(db));
+  }
+  const query::Federation federation(parties);
+
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+  const int trials = static_cast<int>(args.getInt("trials", 100));
+  std::vector<protocol::ExecutionTrace> traces;
+  traces.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    traces.push_back(federation.execute(descriptor, rng).trace);
+  }
+  const std::string out = args.getString("out", "query.traces");
+  protocol::saveTraceArchive(out, traces);
+  std::printf("recorded %d traces of %s(%zu) over %zu parties -> %s\n",
+              trials, toString(descriptor.type), descriptor.effectiveK(),
+              parties.size(), out.c_str());
+  return 0;
+}
+
+int cmdAnalyzeTraces(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv, {"file", "bins", "p0", "d"});
+  const auto traces =
+      protocol::loadTraceArchive(args.getString("file", "query.traces"));
+  if (traces.empty()) throw ConfigError("analyze-traces: empty archive");
+  const auto& first = traces.front();
+  std::printf("archive: %zu traces, n = %zu, k = %zu, %u rounds\n\n",
+              traces.size(), first.nodeCount, first.k, first.rounds);
+
+  privacy::LoPAccumulator lop(first.nodeCount, first.rounds,
+                              privacy::Grouping::ByNodeId);
+  privacy::CollusionAnalyzer collusion(first.rounds);
+  for (const auto& trace : traces) {
+    lop.addTrial(trace);
+    collusion.addTrial(trace);
+  }
+
+  std::printf("Loss of Privacy (Eq. 1, peak over rounds):\n");
+  std::printf("  average over nodes: %.4f\n", lop.averageLoP());
+  std::printf("  worst node:         %.4f\n\n", lop.worstLoP());
+
+  std::printf("%-8s %-14s %-22s\n", "round", "avg LoP", "collusion P(own|changed)");
+  const auto perRound = lop.perRoundAverage();
+  const auto& perRoundCollusion = collusion.perRound();
+  for (std::size_t r = 0; r < perRound.size(); ++r) {
+    std::printf("%-8zu %-14.4f %-22.4f\n", r + 1, perRound[r],
+                perRoundCollusion[r].conditionalExposure());
+  }
+
+  if (first.k == 1) {
+    privacy::AttributionAnalyzer attribution;
+    const protocol::ExponentialSchedule schedule(args.getDouble("p0", 1.0),
+                                                 args.getDouble("d", 0.5));
+    double exposure = 0.0;
+    for (const auto& trace : traces) {
+      attribution.addTrial(trace);
+      exposure += privacy::averageDistributionExposure(
+          trace, schedule,
+          static_cast<std::size_t>(args.getInt("bins", 100)));
+    }
+    std::printf("\nmax-query extras:\n");
+    std::printf("  mean emission round:          %.2f\n",
+                attribution.stats().meanEmissionRound);
+    std::printf("  mean owner-set size:          %.2f\n",
+                attribution.stats().meanOwnerSetSize);
+    std::printf("  Bayesian exposure (colluders): %.4f\n",
+                exposure / static_cast<double>(traces.size()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "analyze") return cmdAnalyze(argc - 1, argv + 1);
+    if (command == "generate") return cmdGenerate(argc - 1, argv + 1);
+    if (command == "query") return cmdQuery(argc - 1, argv + 1);
+    if (command == "node") return cmdNode(argc - 1, argv + 1);
+    if (command == "record-traces") return cmdRecordTraces(argc - 1, argv + 1);
+    if (command == "analyze-traces") return cmdAnalyzeTraces(argc - 1, argv + 1);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
