@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "support/bench_json.hpp"
+
 #include "data/generator.hpp"
 #include "protocol/local_algorithm.hpp"
 #include "protocol/group.hpp"
@@ -34,11 +36,17 @@ void BM_MaxQuery_VsNodes(benchmark::State& state) {
   const protocol::RingQueryRunner runner(params(1),
                                          protocol::ProtocolKind::Probabilistic);
   Rng rng(2);
+  protocol::RunResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run(values, rng).result);
+    last = runner.run(values, rng);
+    benchmark::DoNotOptimize(last.result);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n) * 5);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["k"] = 1;
+  state.counters["rounds"] = static_cast<double>(last.rounds);
+  state.counters["messages"] = static_cast<double>(last.totalMessages);
 }
 BENCHMARK(BM_MaxQuery_VsNodes)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
@@ -50,9 +58,15 @@ void BM_TopKQuery_VsK(benchmark::State& state) {
   const protocol::RingQueryRunner runner(params(k),
                                          protocol::ProtocolKind::Probabilistic);
   Rng rng(4);
+  protocol::RunResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run(values, rng).result);
+    last = runner.run(values, rng);
+    benchmark::DoNotOptimize(last.result);
   }
+  state.counters["n"] = 8;
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["rounds"] = static_cast<double>(last.rounds);
+  state.counters["messages"] = static_cast<double>(last.totalMessages);
 }
 BENCHMARK(BM_TopKQuery_VsK)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
@@ -63,9 +77,15 @@ void BM_NaiveQuery(benchmark::State& state) {
   const protocol::RingQueryRunner runner(params(4),
                                          protocol::ProtocolKind::Naive);
   Rng rng(6);
+  protocol::RunResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run(values, rng).result);
+    last = runner.run(values, rng);
+    benchmark::DoNotOptimize(last.result);
   }
+  state.counters["n"] = 16;
+  state.counters["k"] = 4;
+  state.counters["rounds"] = static_cast<double>(last.rounds);
+  state.counters["messages"] = static_cast<double>(last.totalMessages);
 }
 BENCHMARK(BM_NaiveQuery);
 
@@ -125,4 +145,7 @@ BENCHMARK(BM_LocalTopKStep)->Arg(1)->Arg(16)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return privtopk::benchsupport::runBenchmarksWithJson(argc, argv,
+                                                       "BENCH_protocol.json");
+}

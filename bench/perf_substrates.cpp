@@ -7,6 +7,8 @@
 
 #include <numeric>
 
+#include "support/bench_json.hpp"
+
 #include "crypto/chacha20.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/hmac.hpp"
@@ -103,6 +105,9 @@ void BM_MessageCodec(benchmark::State& state) {
     benchmark::DoNotOptimize(
         net::decodeMessage(net::encodeMessage(token)));
   }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["bytes"] =
+      static_cast<double>(net::encodeMessage(token).size());
 }
 BENCHMARK(BM_MessageCodec)->Arg(1)->Arg(16)->Arg(256);
 
@@ -114,9 +119,14 @@ void BM_InProcRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(
         transport.receive(1, std::chrono::milliseconds(100)));
   }
+  state.counters["messages"] = static_cast<double>(transport.messagesSent());
+  state.counters["bytes"] = static_cast<double>(transport.bytesSent());
 }
 BENCHMARK(BM_InProcRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return privtopk::benchsupport::runBenchmarksWithJson(
+      argc, argv, "BENCH_substrates.json");
+}

@@ -1,0 +1,91 @@
+#include "support/bench_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace privtopk::benchsupport {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string formatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+JsonExportReporter::JsonExportReporter(std::string path)
+    : path_(std::move(path)) {}
+
+void JsonExportReporter::ReportRuns(const std::vector<Run>& runs) {
+  for (const Run& run : runs) {
+    if (run.error_occurred) continue;
+    // Aggregates (mean/median/stddev of repetitions) would double-count
+    // the underlying runs; export the per-iteration rows only.
+    if (run.run_type != Run::RT_Iteration) continue;
+    Entry entry;
+    entry.name = run.benchmark_name();
+    entry.iterations = static_cast<std::int64_t>(run.iterations);
+    const double iterations =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    entry.realTimeNs = run.real_accumulated_time * 1e9 / iterations;
+    entry.cpuTimeNs = run.cpu_accumulated_time * 1e9 / iterations;
+    for (const auto& [name, counter] : run.counters) {
+      entry.counters.emplace_back(name, counter.value);
+    }
+    entries_.push_back(std::move(entry));
+  }
+  ConsoleReporter::ReportRuns(runs);
+}
+
+void JsonExportReporter::Finalize() {
+  ConsoleReporter::Finalize();
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot write '%s'\n", path_.c_str());
+    return;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out << "  {\"name\": \"" << jsonEscape(e.name) << "\", "
+        << "\"iterations\": " << e.iterations << ", "
+        << "\"real_time_ns\": " << formatDouble(e.realTimeNs) << ", "
+        << "\"cpu_time_ns\": " << formatDouble(e.cpuTimeNs);
+    for (const auto& [name, value] : e.counters) {
+      out << ", \"" << jsonEscape(name) << "\": " << formatDouble(value);
+    }
+    out << "}";
+    if (i + 1 < entries_.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+}
+
+int runBenchmarksWithJson(int argc, char** argv,
+                          const std::string& jsonPath) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter(jsonPath);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace privtopk::benchsupport

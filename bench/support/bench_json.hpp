@@ -1,0 +1,48 @@
+// JSON export for the google-benchmark microbenchmarks.
+//
+// google-benchmark's own --benchmark_out plumbing varies across the
+// library versions shipped by distributions, so the perf harnesses use a
+// console reporter subclass that additionally collects every finished run
+// and writes a stable JSON array (name, iterations, wall/cpu time per
+// iteration, user counters such as n/k/rounds/messages/bytes) to a fixed
+// path.  CI uploads these files as artifacts for cross-commit comparison.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace privtopk::benchsupport {
+
+/// ConsoleReporter that mirrors every per-iteration run into a JSON file.
+/// The file is written in Finalize(), i.e. after the last benchmark.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(std::string path);
+
+  void ReportRuns(const std::vector<Run>& runs) override;
+  void Finalize() override;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::int64_t iterations = 0;
+    double realTimeNs = 0.0;  // wall time per iteration
+    double cpuTimeNs = 0.0;   // cpu time per iteration
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs every registered
+/// benchmark with the usual console output and writes the JSON export to
+/// `jsonPath`.  Returns the process exit code.
+int runBenchmarksWithJson(int argc, char** argv, const std::string& jsonPath);
+
+}  // namespace privtopk::benchsupport

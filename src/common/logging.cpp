@@ -1,5 +1,9 @@
 #include "common/logging.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
 namespace privtopk {
 namespace detail {
 
@@ -16,6 +20,27 @@ std::mutex& logMutex() {
 std::ostream*& logSink() {
   static std::ostream* sink = &std::clog;
   return sink;
+}
+
+bool& logTimestampsFlag() {
+  static bool enabled = false;
+  return enabled;
+}
+
+std::string isoTimestampNow() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis));
+  return buffer;
 }
 
 const char* levelName(LogLevel level) {
@@ -40,5 +65,9 @@ void setLogSink(std::ostream* sink) {
   std::scoped_lock lock(detail::logMutex());
   detail::logSink() = (sink != nullptr) ? sink : &std::clog;
 }
+
+void setLogTimestamps(bool enabled) { detail::logTimestampsFlag() = enabled; }
+
+bool logTimestamps() { return detail::logTimestampsFlag(); }
 
 }  // namespace privtopk

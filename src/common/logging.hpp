@@ -4,12 +4,21 @@
 // raise verbosity.  The logger is process-global and thread-safe; log lines
 // are assembled in a local stream and written with a single mutex-guarded
 // call so concurrent transports do not interleave characters.
+//
+// Two opt-in refinements, both off by default so the historical
+// "[LEVEL] message" format is unchanged:
+//   * setLogTimestamps(true) prefixes every line with an ISO-8601 UTC
+//     wall-clock timestamp (millisecond precision);
+//   * the PRIVTOPK_LOG_*_C macros tag a line with a component name,
+//     rendered as "[LEVEL] [component] message", so multi-layer runs
+//     (net / protocol / query / crypto) can be filtered by origin.
 
 #pragma once
 
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace privtopk {
@@ -20,7 +29,10 @@ namespace detail {
 LogLevel& globalLogLevel();
 std::mutex& logMutex();
 std::ostream*& logSink();
+bool& logTimestampsFlag();
 const char* levelName(LogLevel level);
+/// "2026-08-07T12:34:56.789Z" for the current wall-clock instant.
+std::string isoTimestampNow();
 }  // namespace detail
 
 /// Sets the global minimum level (default Warn).
@@ -31,12 +43,20 @@ void setLogLevel(LogLevel level);
 /// default sink.
 void setLogSink(std::ostream* sink);
 
-/// Writes one formatted log line if `level` is enabled.
+/// Enables/disables the ISO-8601 UTC timestamp prefix (default off).
+void setLogTimestamps(bool enabled);
+[[nodiscard]] bool logTimestamps();
+
+/// Writes one formatted log line if `level` is enabled.  `component` is
+/// empty for the untagged macros.
 template <typename... Args>
-void logLine(LogLevel level, Args&&... args) {
+void logLineTagged(LogLevel level, std::string_view component,
+                   Args&&... args) {
   if (level < detail::globalLogLevel()) return;
   std::ostringstream os;
+  if (detail::logTimestampsFlag()) os << detail::isoTimestampNow() << ' ';
   os << '[' << detail::levelName(level) << "] ";
+  if (!component.empty()) os << '[' << component << "] ";
   (os << ... << std::forward<Args>(args));
   os << '\n';
   const std::string line = os.str();
@@ -45,10 +65,23 @@ void logLine(LogLevel level, Args&&... args) {
   (*sink) << line;
 }
 
+template <typename... Args>
+void logLine(LogLevel level, Args&&... args) {
+  logLineTagged(level, std::string_view{}, std::forward<Args>(args)...);
+}
+
 #define PRIVTOPK_LOG_TRACE(...) ::privtopk::logLine(::privtopk::LogLevel::Trace, __VA_ARGS__)
 #define PRIVTOPK_LOG_DEBUG(...) ::privtopk::logLine(::privtopk::LogLevel::Debug, __VA_ARGS__)
 #define PRIVTOPK_LOG_INFO(...) ::privtopk::logLine(::privtopk::LogLevel::Info, __VA_ARGS__)
 #define PRIVTOPK_LOG_WARN(...) ::privtopk::logLine(::privtopk::LogLevel::Warn, __VA_ARGS__)
 #define PRIVTOPK_LOG_ERROR(...) ::privtopk::logLine(::privtopk::LogLevel::Error, __VA_ARGS__)
+
+// Component-tagged variants: PRIVTOPK_LOG_WARN_C("net", "lost ", n, " msgs")
+// renders as "[WARN ] [net] lost 3 msgs".
+#define PRIVTOPK_LOG_TRACE_C(component, ...) ::privtopk::logLineTagged(::privtopk::LogLevel::Trace, component, __VA_ARGS__)
+#define PRIVTOPK_LOG_DEBUG_C(component, ...) ::privtopk::logLineTagged(::privtopk::LogLevel::Debug, component, __VA_ARGS__)
+#define PRIVTOPK_LOG_INFO_C(component, ...) ::privtopk::logLineTagged(::privtopk::LogLevel::Info, component, __VA_ARGS__)
+#define PRIVTOPK_LOG_WARN_C(component, ...) ::privtopk::logLineTagged(::privtopk::LogLevel::Warn, component, __VA_ARGS__)
+#define PRIVTOPK_LOG_ERROR_C(component, ...) ::privtopk::logLineTagged(::privtopk::LogLevel::Error, component, __VA_ARGS__)
 
 }  // namespace privtopk

@@ -2,12 +2,29 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace privtopk::crypto {
 
 namespace {
 
 constexpr std::size_t kSeqLen = 8;
 constexpr std::size_t kMacLen = 32;
+
+// Cached once per process; every seal/open is then one relaxed RMW each.
+struct ChannelMetrics {
+  obs::Counter& handshakes = obs::counter("privtopk.crypto.handshakes");
+  obs::Counter& recordsSealed = obs::counter("privtopk.crypto.records_sealed");
+  obs::Counter& bytesSealed = obs::counter("privtopk.crypto.bytes_sealed");
+  obs::Counter& recordsOpened = obs::counter("privtopk.crypto.records_opened");
+  obs::Counter& bytesOpened = obs::counter("privtopk.crypto.bytes_opened");
+  obs::Counter& openFailures = obs::counter("privtopk.crypto.open_failures");
+};
+
+ChannelMetrics& channelMetrics() {
+  static ChannelMetrics metrics;
+  return metrics;
+}
 
 void putSeq(std::uint64_t seq, std::uint8_t* out) {
   for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(seq >> (8 * i));
@@ -39,12 +56,15 @@ std::vector<std::uint8_t> SecureSession::seal(
       keys_.txMacKey,
       std::span<const std::uint8_t>(record.data(), kSeqLen + plaintext.size()));
   std::memcpy(record.data() + kSeqLen + plaintext.size(), mac.data(), kMacLen);
+  channelMetrics().recordsSealed.inc();
+  channelMetrics().bytesSealed.inc(plaintext.size());
   return record;
 }
 
 std::vector<std::uint8_t> SecureSession::open(
     std::span<const std::uint8_t> record) {
   if (record.size() < kSeqLen + kMacLen) {
+    channelMetrics().openFailures.inc();
     throw CryptoError("SecureSession::open: record truncated");
   }
   const std::size_t ctLen = record.size() - kSeqLen - kMacLen;
@@ -56,11 +76,13 @@ std::vector<std::uint8_t> SecureSession::open(
           expected,
           std::span<const std::uint8_t>(record.data() + kSeqLen + ctLen,
                                         kMacLen))) {
+    channelMetrics().openFailures.inc();
     throw CryptoError("SecureSession::open: MAC verification failed");
   }
 
   const std::uint64_t seq = getSeq(record.data());
   if (seq != rxSeq_) {
+    channelMetrics().openFailures.inc();
     throw CryptoError("SecureSession::open: unexpected sequence number");
   }
   ++rxSeq_;
@@ -69,6 +91,8 @@ std::vector<std::uint8_t> SecureSession::open(
                                       record.begin() + kSeqLen +
                                           static_cast<long>(ctLen));
   chacha20XorInPlace(keys_.rxKey, makeNonce(channelId_, seq), 0, plaintext);
+  channelMetrics().recordsOpened.inc();
+  channelMetrics().bytesOpened.inc(plaintext.size());
   return plaintext;
 }
 
@@ -79,6 +103,7 @@ SecureHandshake::SecureHandshake(Role role, const DhGroup& group, Rng& rng)
 
 SecureSession SecureHandshake::deriveSession(
     std::span<const std::uint8_t> peerHello, std::uint32_t channelId) const {
+  channelMetrics().handshakes.inc();
   const BigUInt peerPublic = BigUInt::fromBytes(peerHello);
   const std::vector<std::uint8_t> secret =
       dhSharedSecret(group_, keyPair_.privateKey, peerPublic);

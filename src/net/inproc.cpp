@@ -2,19 +2,44 @@
 
 namespace privtopk::net {
 
+namespace {
+const obs::Labels kInProcLabels{{"transport", "inproc"}};
+}  // namespace
+
 InProcTransport::InProcTransport(std::size_t nodeCount)
-    : mailboxes_(nodeCount) {}
+    : mailboxes_(nodeCount),
+      metricMessagesSent_(
+          obs::counter("privtopk.transport.messages_sent", kInProcLabels)),
+      metricBytesSent_(
+          obs::counter("privtopk.transport.bytes_sent", kInProcLabels)),
+      metricMessagesReceived_(
+          obs::counter("privtopk.transport.messages_received", kInProcLabels)),
+      metricBytesReceived_(
+          obs::counter("privtopk.transport.bytes_received", kInProcLabels)),
+      metricSendErrors_(
+          obs::counter("privtopk.transport.send_errors", kInProcLabels)),
+      metricReceiveTimeouts_(
+          obs::counter("privtopk.transport.receive_timeouts", kInProcLabels)),
+      metricQueueDepth_(
+          obs::gauge("privtopk.transport.queue_depth", kInProcLabels)) {}
 
 void InProcTransport::send(NodeId from, NodeId to, const Bytes& payload) {
   std::unique_lock lock(mutex_);
-  if (shutdown_) throw TransportError("InProcTransport: shut down");
+  if (shutdown_) {
+    metricSendErrors_.inc();
+    throw TransportError("InProcTransport: shut down");
+  }
   if (to >= mailboxes_.size()) {
+    metricSendErrors_.inc();
     throw TransportError("InProcTransport: unknown destination " +
                          std::to_string(to));
   }
   mailboxes_[to].queue.push_back(Envelope{from, to, payload});
   ++messagesSent_;
   bytesSent_ += payload.size();
+  metricMessagesSent_.inc();
+  metricBytesSent_.inc(payload.size());
+  metricQueueDepth_.add(1);
   cv_.notify_all();
 }
 
@@ -29,9 +54,15 @@ std::optional<Envelope> InProcTransport::receive(
   const bool ready = cv_.wait_for(lock, timeout, [&] {
     return shutdown_ || !box.queue.empty();
   });
-  if (!ready || box.queue.empty()) return std::nullopt;
+  if (!ready || box.queue.empty()) {
+    metricReceiveTimeouts_.inc();
+    return std::nullopt;
+  }
   Envelope env = std::move(box.queue.front());
   box.queue.pop_front();
+  metricQueueDepth_.sub(1);
+  metricMessagesReceived_.inc();
+  metricBytesReceived_.inc(env.payload.size());
   return env;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace privtopk::net {
 
@@ -42,6 +43,15 @@ class InProcTransport final : public Transport {
   bool shutdown_ = false;
   std::size_t messagesSent_ = 0;
   std::size_t bytesSent_ = 0;
+
+  // Cached global-metric cells (registration is cold; inc is lock-free).
+  obs::Counter& metricMessagesSent_;
+  obs::Counter& metricBytesSent_;
+  obs::Counter& metricMessagesReceived_;
+  obs::Counter& metricBytesReceived_;
+  obs::Counter& metricSendErrors_;
+  obs::Counter& metricReceiveTimeouts_;
+  obs::Gauge& metricQueueDepth_;
 };
 
 }  // namespace privtopk::net

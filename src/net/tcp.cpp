@@ -15,6 +15,8 @@ namespace privtopk::net {
 
 namespace {
 
+const obs::Labels kTcpLabels{{"transport", "tcp"}};
+
 /// Writes all of `data`, retrying on partial writes and EINTR.
 void writeAll(int fd, const std::uint8_t* data, std::size_t len) {
   std::size_t sent = 0;
@@ -103,7 +105,21 @@ int makeListener(std::uint16_t port, std::uint16_t& boundPort) {
 
 TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeer> peers,
                            TcpOptions options)
-    : self_(self), options_(options) {
+    : self_(self), options_(options),
+      metricMessagesSent_(
+          obs::counter("privtopk.transport.messages_sent", kTcpLabels)),
+      metricBytesSent_(
+          obs::counter("privtopk.transport.bytes_sent", kTcpLabels)),
+      metricMessagesReceived_(
+          obs::counter("privtopk.transport.messages_received", kTcpLabels)),
+      metricBytesReceived_(
+          obs::counter("privtopk.transport.bytes_received", kTcpLabels)),
+      metricSendErrors_(
+          obs::counter("privtopk.transport.send_errors", kTcpLabels)),
+      metricReceiveTimeouts_(
+          obs::counter("privtopk.transport.receive_timeouts", kTcpLabels)),
+      metricQueueDepth_(
+          obs::gauge("privtopk.transport.queue_depth", kTcpLabels)) {
   for (const auto& p : peers) peers_[p.id] = p;
   const auto it = peers_.find(self);
   if (it == peers_.end()) {
@@ -122,8 +138,8 @@ void TcpTransport::listenLoop() {
   while (!shutdown_.load()) {
     sockaddr_in peer{};
     socklen_t len = sizeof peer;
-    const int fd =
-        ::accept(listenFd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    const int fd = ::accept(listenFd_.load(std::memory_order_relaxed),
+                            reinterpret_cast<sockaddr*>(&peer), &len);
     if (fd < 0) {
       if (shutdown_.load()) return;
       if (errno == EINTR) continue;
@@ -175,9 +191,12 @@ void TcpTransport::readerLoop(int fd) {
           session ? session->open(*frame) : std::move(*frame);
       messagesReceived_.fetch_add(1);
       bytesReceived_.fetch_add(payload.size());
+      metricMessagesReceived_.inc();
+      metricBytesReceived_.inc(payload.size());
       {
         std::scoped_lock lock(inboxMutex_);
         inbox_.push_back(Envelope{from, self_, std::move(payload)});
+        metricQueueDepth_.add(1);
       }
       inboxCv_.notify_all();
     }
@@ -258,15 +277,22 @@ void TcpTransport::send(NodeId from, NodeId to, const Bytes& payload) {
     throw TransportError("TcpTransport: can only send as self");
   }
   if (shutdown_.load()) throw TransportError("TcpTransport: shut down");
-  OutLink& link = outgoingLink(to);
-  std::scoped_lock lock(link.writeMutex);
-  if (link.session) {
-    writeFrame(link.fd, link.session->seal(payload));
-  } else {
-    writeFrame(link.fd, payload);
+  try {
+    OutLink& link = outgoingLink(to);
+    std::scoped_lock lock(link.writeMutex);
+    if (link.session) {
+      writeFrame(link.fd, link.session->seal(payload));
+    } else {
+      writeFrame(link.fd, payload);
+    }
+  } catch (const TransportError&) {
+    metricSendErrors_.inc();
+    throw;
   }
   messagesSent_.fetch_add(1);
   bytesSent_.fetch_add(payload.size());
+  metricMessagesSent_.inc();
+  metricBytesSent_.inc(payload.size());
 }
 
 std::optional<Envelope> TcpTransport::receive(
@@ -278,9 +304,13 @@ std::optional<Envelope> TcpTransport::receive(
   const bool ready = inboxCv_.wait_for(lock, timeout, [&] {
     return shutdown_.load() || !inbox_.empty();
   });
-  if (!ready || inbox_.empty()) return std::nullopt;
+  if (!ready || inbox_.empty()) {
+    metricReceiveTimeouts_.inc();
+    return std::nullopt;
+  }
   Envelope env = std::move(inbox_.front());
   inbox_.pop_front();
+  metricQueueDepth_.sub(1);
   return env;
 }
 
@@ -290,10 +320,10 @@ void TcpTransport::shutdown() {
 
   // Closing the listener unblocks accept(); shutting down links unblocks
   // reader threads.
-  if (listenFd_ >= 0) {
-    ::shutdown(listenFd_, SHUT_RDWR);
-    ::close(listenFd_);
-    listenFd_ = -1;
+  const int listenFd = listenFd_.exchange(-1, std::memory_order_relaxed);
+  if (listenFd >= 0) {
+    ::shutdown(listenFd, SHUT_RDWR);
+    ::close(listenFd);
   }
   {
     std::scoped_lock lock(outMutex_);

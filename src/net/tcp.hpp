@@ -24,6 +24,7 @@
 #include "crypto/dh.hpp"
 #include "crypto/secure_channel.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace privtopk::net {
 
@@ -92,7 +93,9 @@ class TcpTransport final : public Transport {
   std::map<NodeId, TcpPeer> peers_;
   TcpOptions options_;
 
-  int listenFd_ = -1;
+  // Written by shutdown() while listenLoop() blocks in accept(): atomic so
+  // the cross-thread handoff is well-defined (TSan-clean).
+  std::atomic<int> listenFd_{-1};
   std::uint16_t listenPort_ = 0;
   std::thread listenThread_;
   std::vector<std::thread> readerThreads_;
@@ -110,6 +113,15 @@ class TcpTransport final : public Transport {
   std::atomic<std::size_t> messagesReceived_{0};
   std::atomic<std::size_t> bytesSent_{0};
   std::atomic<std::size_t> bytesReceived_{0};
+
+  // Cached global-metric cells (registration is cold; inc is lock-free).
+  obs::Counter& metricMessagesSent_;
+  obs::Counter& metricBytesSent_;
+  obs::Counter& metricMessagesReceived_;
+  obs::Counter& metricBytesReceived_;
+  obs::Counter& metricSendErrors_;
+  obs::Counter& metricReceiveTimeouts_;
+  obs::Gauge& metricQueueDepth_;
 
   std::atomic<bool> shutdown_{false};
 };

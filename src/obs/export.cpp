@@ -1,0 +1,146 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace privtopk::obs {
+
+namespace {
+
+/// Shortest round-trip-ish rendering for bucket bounds and sums ("0.1",
+/// "250", "1e+06") - stable across platforms for golden tests.
+std::string formatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string promName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+std::string escapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders {label="value",...} including the extra `le` pair when given.
+std::string promLabels(const Labels& labels, const std::string* le = nullptr) {
+  if (labels.empty() && le == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += promName(k) + "=\"" + v + "\"";
+  }
+  if (le != nullptr) {
+    if (!first) out += ',';
+    out += "le=\"" + *le + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+const char* kindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string renderPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::string lastTyped;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    const std::string name = promName(m.name);
+    if (name != lastTyped) {
+      os << "# TYPE " << name << ' ' << kindName(m.kind) << '\n';
+      lastTyped = name;
+    }
+    if (m.kind == MetricKind::Histogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < m.bucketCounts.size(); ++i) {
+        cumulative += m.bucketCounts[i];
+        const std::string le =
+            i < m.bounds.size() ? formatDouble(m.bounds[i]) : "+Inf";
+        os << name << "_bucket" << promLabels(m.labels, &le) << ' '
+           << cumulative << '\n';
+      }
+      os << name << "_sum" << promLabels(m.labels) << ' '
+         << formatDouble(m.sum) << '\n';
+      os << name << "_count" << promLabels(m.labels) << ' ' << m.count << '\n';
+    } else {
+      os << name << promLabels(m.labels) << ' ' << m.value << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string renderJson(const MetricsSnapshot& snapshot, bool pretty) {
+  const char* nl = pretty ? "\n" : "";
+  const char* in1 = pretty ? "  " : "";
+  const char* in2 = pretty ? "    " : "";
+  const char* in3 = pretty ? "      " : "";
+  std::ostringstream os;
+  os << '{' << nl << in1 << "\"metrics\": [" << nl;
+  for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricSnapshot& m = snapshot.metrics[i];
+    os << in2 << "{\"name\": \"" << escapeJson(m.name) << "\", \"type\": \""
+       << kindName(m.kind) << "\"";
+    if (!m.labels.empty()) {
+      os << ", \"labels\": {";
+      for (std::size_t j = 0; j < m.labels.size(); ++j) {
+        if (j > 0) os << ", ";
+        os << '"' << escapeJson(m.labels[j].first) << "\": \""
+           << escapeJson(m.labels[j].second) << '"';
+      }
+      os << '}';
+    }
+    if (m.kind == MetricKind::Histogram) {
+      os << ", \"count\": " << m.count << ", \"sum\": " << formatDouble(m.sum)
+         << ", \"buckets\": [" << nl;
+      std::uint64_t cumulative = 0;
+      for (std::size_t j = 0; j < m.bucketCounts.size(); ++j) {
+        cumulative += m.bucketCounts[j];
+        const std::string le =
+            j < m.bounds.size() ? formatDouble(m.bounds[j]) : "+Inf";
+        os << in3 << "{\"le\": \"" << le << "\", \"count\": " << cumulative
+           << '}' << (j + 1 < m.bucketCounts.size() ? "," : "") << nl;
+      }
+      os << in2 << ']';
+    } else {
+      os << ", \"value\": " << m.value;
+    }
+    os << '}' << (i + 1 < snapshot.metrics.size() ? "," : "") << nl;
+  }
+  os << in1 << ']' << nl << '}' << nl;
+  return os.str();
+}
+
+}  // namespace privtopk::obs

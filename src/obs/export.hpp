@@ -1,0 +1,26 @@
+// Metric exporters: Prometheus text exposition format and a JSON snapshot.
+//
+// Both render a MetricsSnapshot, so callers can export a private registry
+// or the global one (`renderPrometheus(MetricsRegistry::global().snapshot())`).
+// Prometheus metric names may not contain '.', so dotted library names are
+// rendered with '_' ("privtopk.query.latency_ms" -> "privtopk_query_latency_ms");
+// the JSON export keeps the dotted spelling.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace privtopk::obs {
+
+/// Prometheus text exposition format (# TYPE lines, cumulative `le` buckets,
+/// `_sum`/`_count` series for histograms).
+[[nodiscard]] std::string renderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON object: {"metrics": [{"name": ..., "labels": {...}, ...}]}.
+/// `pretty` adds newlines/indentation for human consumption.
+[[nodiscard]] std::string renderJson(const MetricsSnapshot& snapshot,
+                                     bool pretty = true);
+
+}  // namespace privtopk::obs

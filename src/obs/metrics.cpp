@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace privtopk::obs {
+
+namespace {
+
+/// Canonical registry key: name plus sorted label pairs.  Uses characters
+/// that cannot appear in exported names so distinct (name, labels) never
+/// collide.
+std::string makeKey(std::string_view name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw ConfigError("Histogram: needs at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw ConfigError("Histogram: bucket bounds must be ascending");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& defaultLatencyBucketsMs() {
+  static const std::vector<double> buckets{
+      0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+      5000, 10000};
+  return buckets;
+}
+
+const std::vector<double>& defaultSizeBuckets() {
+  static const std::vector<double> buckets{16,   64,    256,    1024,
+                                           4096, 16384, 65536,  262144,
+                                           1048576, 4194304};
+  return buckets;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::findOrCreate(
+    std::string_view name, const Labels& labels, MetricKind kind,
+    const std::vector<double>* bounds) {
+  std::scoped_lock lock(mutex_);
+  const std::string key = makeKey(name, labels);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw ConfigError("MetricsRegistry: metric '" + std::string(name) +
+                        "' re-registered with a different kind");
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.labels = labels;
+  std::sort(entry.labels.begin(), entry.labels.end());
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::Counter: entry.counter = std::make_unique<Counter>(); break;
+    case MetricKind::Gauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::Histogram:
+      entry.histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  return entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  return *findOrCreate(name, labels, MetricKind::Counter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  return *findOrCreate(name, labels, MetricKind::Gauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const Labels& labels,
+                                      const std::vector<double>& bounds) {
+  return *findOrCreate(name, labels, MetricKind::Histogram, &bounds).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = entry.name;
+    m.labels = entry.labels;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        m.value = static_cast<std::int64_t>(entry.counter->value());
+        break;
+      case MetricKind::Gauge:
+        m.value = entry.gauge->value();
+        break;
+      case MetricKind::Histogram:
+        m.bounds = entry.histogram->bounds();
+        m.bucketCounts = entry.histogram->bucketCounts();
+        m.count = entry.histogram->count();
+        m.sum = entry.histogram->sum();
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void MetricsRegistry::resetValues() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::Counter: entry.counter->reset(); break;
+      case MetricKind::Gauge: entry.gauge->reset(); break;
+      case MetricKind::Histogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace privtopk::obs

@@ -1,0 +1,200 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//
+// Design goals (see docs/OBSERVABILITY.md for the metric catalog):
+//   * lock-free hot path - instrumented code caches a Counter&/Histogram&
+//     once and then performs a single relaxed atomic RMW per event; the
+//     registry mutex is taken only at registration (cold) and snapshot
+//     time;
+//   * stable identity - a metric is (name, sorted label set); repeated
+//     registration returns the same cell, so independent call sites
+//     aggregate into one series;
+//   * export-agnostic - snapshot() materializes plain structs that the
+//     Prometheus/JSON renderers in obs/export.hpp consume.
+//
+// The default instance is MetricsRegistry::global(); tests may construct
+// private registries for isolation.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace privtopk::obs {
+
+/// Label set attached to a metric, e.g. {{"transport", "tcp"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level that can move both ways (queue depth, active queries).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram.  `bounds` are inclusive upper bucket bounds in
+/// ascending order; an implicit +Inf bucket catches the overflow.  observe()
+/// is one relaxed RMW per bucket/count/sum - safe from any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  [[nodiscard]] std::vector<std::uint64_t> bucketCounts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default buckets for millisecond latency histograms.
+[[nodiscard]] const std::vector<double>& defaultLatencyBucketsMs();
+
+/// Default buckets for message/payload byte-size histograms.
+[[nodiscard]] const std::vector<double>& defaultSizeBuckets();
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// Point-in-time copy of one metric, for exporters.
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::Counter;
+  std::int64_t value = 0;  // counter/gauge value
+  // Histogram-only fields.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucketCounts;  // non-cumulative, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;  // sorted by (name, labels)
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all library instrumentation records into.
+  static MetricsRegistry& global();
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use.  The reference stays valid for the registry's lifetime -
+  /// cache it outside hot loops.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` is consulted only on first registration.
+  Histogram& histogram(std::string_view name, const Labels& labels = {},
+                       const std::vector<double>& bounds =
+                           defaultLatencyBucketsMs());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered value (registrations and cached references
+  /// stay valid).  Intended for tests and bench warmup.
+  void resetValues();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& findOrCreate(std::string_view name, const Labels& labels,
+                      MetricKind kind, const std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // keyed by name + canonical labels
+};
+
+/// Convenience accessors against the global registry.  The ISSUE-style
+/// `metric("privtopk.transport.bytes_sent", {{"transport","tcp"}}).inc(n)`
+/// spelling resolves to a counter.
+inline Counter& metric(std::string_view name, const Labels& labels = {}) {
+  return MetricsRegistry::global().counter(name, labels);
+}
+inline Counter& counter(std::string_view name, const Labels& labels = {}) {
+  return MetricsRegistry::global().counter(name, labels);
+}
+inline Gauge& gauge(std::string_view name, const Labels& labels = {}) {
+  return MetricsRegistry::global().gauge(name, labels);
+}
+inline Histogram& histogram(std::string_view name, const Labels& labels = {},
+                            const std::vector<double>& bounds =
+                                defaultLatencyBucketsMs()) {
+  return MetricsRegistry::global().histogram(name, labels, bounds);
+}
+
+/// RAII timer: records the elapsed wall time in milliseconds into a
+/// histogram when it goes out of scope (unless dismissed).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& target)
+      : target_(&target), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (target_ != nullptr) target_->observe(elapsedMs());
+  }
+
+  /// Milliseconds since construction.
+  [[nodiscard]] double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Detaches the timer: nothing is recorded at destruction.
+  void dismiss() { target_ = nullptr; }
+
+ private:
+  Histogram* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace privtopk::obs

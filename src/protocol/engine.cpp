@@ -6,8 +6,40 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace privtopk::protocol {
+
+namespace {
+
+/// Global metric cells shared by every participant (registered once).
+struct DistributedMetrics {
+  obs::Counter& queries =
+      obs::counter("privtopk.protocol.queries", {{"engine", "distributed"}});
+  obs::Counter& rounds = obs::counter("privtopk.protocol.rounds_executed",
+                                      {{"engine", "distributed"}});
+  obs::Counter& tokenMessages = obs::counter(
+      "privtopk.protocol.token_messages", {{"engine", "distributed"}});
+  obs::Counter& randomized = obs::counter(
+      "privtopk.protocol.randomized_passes", {{"engine", "distributed"}});
+  obs::Counter& real = obs::counter("privtopk.protocol.real_value_passes",
+                                    {{"engine", "distributed"}});
+  obs::Counter& passthrough = obs::counter(
+      "privtopk.protocol.passthrough_passes", {{"engine", "distributed"}});
+  obs::Counter& ringRepairs = obs::counter("privtopk.protocol.ring_repairs",
+                                           {{"engine", "distributed"}});
+  obs::Histogram& tokenBytes = obs::histogram(
+      "privtopk.protocol.token_bytes", {{"engine", "distributed"}},
+      obs::defaultSizeBuckets());
+};
+
+DistributedMetrics& distributedMetrics() {
+  static DistributedMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 DistributedParticipant::DistributedParticipant(ProtocolNode node,
                                                net::Transport& transport,
@@ -38,10 +70,14 @@ void DistributedParticipant::sendOnRing(const Bytes& payload) {
     if (dead_.contains(target)) continue;
     try {
       transport_.send(node_.id(), target, payload);
+      distributedMetrics().tokenMessages.inc();
+      distributedMetrics().tokenBytes.observe(
+          static_cast<double>(payload.size()));
       return;
     } catch (const TransportError& e) {
       PRIVTOPK_LOG_WARN("node ", node_.id(), ": successor ", target,
                         " unreachable (", e.what(), "); repairing ring");
+      distributedMetrics().ringRepairs.inc();
       dead_.insert(target);
     }
   }
@@ -57,7 +93,16 @@ net::Message DistributedParticipant::awaitMessage() {
 }
 
 TopKVector DistributedParticipant::run() {
-  return isStart() ? runAsStart() : runAsFollower();
+  const obs::Span span("participant_run",
+                       {{"query_id", static_cast<std::int64_t>(config_.queryId)},
+                        {"node", node_.id()}});
+  TopKVector result = isStart() ? runAsStart() : runAsFollower();
+  DistributedMetrics& metrics = distributedMetrics();
+  metrics.queries.inc();
+  metrics.randomized.inc(node_.passCounts().randomized);
+  metrics.real.inc(node_.passCounts().real);
+  metrics.passthrough.inc(node_.passCounts().passthrough);
+  return result;
 }
 
 TopKVector DistributedParticipant::runAsStart() {
@@ -67,6 +112,7 @@ TopKVector DistributedParticipant::runAsStart() {
   TopKVector global(config_.params.k, config_.params.domain.min);
 
   for (Round r = 1; r <= rounds; ++r) {
+    distributedMetrics().rounds.inc();
     global = node_.onToken(r, global);
     sendOnRing(net::encodeMessage(net::RoundToken{config_.queryId, r, global}));
     // Wait for the token to circle back (it becomes next round's input).

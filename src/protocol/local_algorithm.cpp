@@ -70,14 +70,19 @@ TopKVector RandomizedMaxAlgorithm::step(const TopKVector& incoming, Round r) {
 
   // Case 1: the global value already dominates; pass it on unchanged - the
   // node exposes nothing.
-  if (g >= value_) return {g};
+  if (g >= value_) {
+    ++passCounts_.passthrough;
+    return {g};
+  }
 
   // Case 2: with probability Pr(r) return a uniform random value from
   // [g, value), otherwise insert the real value.
   const double pr = schedule_->probability(r);
   if (rng_.bernoulli(pr)) {
+    ++passCounts_.randomized;
     return {rng_.uniformIntHalfOpen(g, value_)};  // range non-empty: g < value
   }
+  ++passCounts_.real;
   return {value_};
 }
 
@@ -133,17 +138,25 @@ TopKVector RandomizedTopKAlgorithm::step(const TopKVector& incoming, Round r) {
   const std::size_t m = contributed.size();
 
   // Case 1: nothing of ours in the current top-k; pass the vector on.
-  if (m == 0) return incoming;
+  if (m == 0) {
+    ++passCounts_.passthrough;
+    return incoming;
+  }
 
   // Once the real values have been inserted the node stops randomizing
   // ("a node only does this once") and deterministically re-merges.
-  if (inserted_) return real;
+  if (inserted_) {
+    ++passCounts_.real;
+    return real;
+  }
 
   const double pr = schedule_->probability(r);
   if (!rng_.bernoulli(pr)) {
     inserted_ = true;
+    ++passCounts_.real;
     return real;
   }
+  ++passCounts_.randomized;
 
   // Randomization branch: keep the first k-m incoming values and fill the
   // tail with m random values from

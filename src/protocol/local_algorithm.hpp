@@ -39,6 +39,17 @@ class LocalAlgorithm {
  public:
   virtual ~LocalAlgorithm() = default;
 
+  /// Per-step outcome tally - the observable side of the randomization
+  /// schedule Pr(r) = p0*d^(r-1) (Eq. 2).  Members are plain integers so
+  /// the token hot path pays nothing; execution engines flush the totals
+  /// into the global metrics registry once per query (see
+  /// docs/OBSERVABILITY.md).
+  struct PassCounts {
+    std::uint64_t randomized = 0;   // injected bounded noise
+    std::uint64_t real = 0;         // merged/inserted real local values
+    std::uint64_t passthrough = 0;  // forwarded the vector untouched
+  };
+
   /// Starts a new query with this node's local top-k vector (sorted
   /// descending, at most k values - fewer when the node has fewer rows).
   virtual void reset(TopKVector localTopK) = 0;
@@ -49,6 +60,13 @@ class LocalAlgorithm {
                                         Round r) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Totals accumulated since construction (reset() does not clear them:
+  /// engines create one algorithm per query and flush at completion).
+  [[nodiscard]] const PassCounts& passCounts() const { return passCounts_; }
+
+ protected:
+  PassCounts passCounts_;
 };
 
 /// Algorithm 1: randomized max selection (k = 1 specialization, kept
@@ -103,6 +121,7 @@ class NaiveAlgorithm final : public LocalAlgorithm {
 
   void reset(TopKVector localTopK) override { local_ = std::move(localTopK); }
   [[nodiscard]] TopKVector step(const TopKVector& incoming, Round) override {
+    ++passCounts_.real;
     return mergeTopK(incoming, local_, k_);
   }
   [[nodiscard]] std::string name() const override { return "naive"; }

@@ -34,6 +34,12 @@ class ProtocolNode {
   /// Restarts the node for a fresh query over the same local data.
   void restart() { algorithm_->reset(local_); }
 
+  /// Step-outcome tallies accumulated by the local algorithm (randomized /
+  /// real / passthrough) - flushed to the metrics registry by the engines.
+  [[nodiscard]] const LocalAlgorithm::PassCounts& passCounts() const {
+    return algorithm_->passCounts();
+  }
+
  private:
   NodeId id_;
   TopKVector local_;

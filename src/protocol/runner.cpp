@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/node.hpp"
 #include "sim/ring.hpp"
 
@@ -18,6 +20,28 @@ TopKVector localTopK(const std::vector<Value>& values, std::size_t k) {
                     v.end(), std::greater<>());
   v.resize(take);
   return v;
+}
+
+/// Global metric cells, registered once and flushed once per run() so the
+/// Monte-Carlo hot loop performs no atomic work per step.
+struct RunnerMetrics {
+  obs::Counter& queries =
+      obs::counter("privtopk.protocol.queries", {{"engine", "runner"}});
+  obs::Counter& rounds = obs::counter("privtopk.protocol.rounds_executed",
+                                      {{"engine", "runner"}});
+  obs::Counter& tokenMessages = obs::counter(
+      "privtopk.protocol.token_messages", {{"engine", "runner"}});
+  obs::Counter& randomized = obs::counter(
+      "privtopk.protocol.randomized_passes", {{"engine", "runner"}});
+  obs::Counter& real = obs::counter("privtopk.protocol.real_value_passes",
+                                    {{"engine", "runner"}});
+  obs::Counter& passthrough = obs::counter(
+      "privtopk.protocol.passthrough_passes", {{"engine", "runner"}});
+};
+
+RunnerMetrics& runnerMetrics() {
+  static RunnerMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -72,6 +96,10 @@ RunResult RingQueryRunner::run(
   // Initial global vector: k copies of the domain minimum (§3.4).
   TopKVector global(params_.k, params_.domain.min);
 
+  // The enabled flag is sampled once per run: a query is all-or-nothing in
+  // the trace stream, and the hot loop stays branch-predictable.
+  const bool traceEvents = obs::EventTracer::global().enabled();
+
   // --- Rounds of token passing ---
   for (Round r = 1; r <= rounds; ++r) {
     if (params_.remapEachRound && r > 1 && kind_ == ProtocolKind::Probabilistic) {
@@ -81,6 +109,12 @@ RunResult RingQueryRunner::run(
     for (std::size_t pos = 0; pos < n; ++pos) {
       const NodeId nodeId = ring.at(pos);
       TopKVector output = nodes[nodeId].onToken(r, global);
+      if (traceEvents) {
+        obs::EventTracer::global().event(
+            "event", "ring_step",
+            {{"round", r}, {"position", static_cast<std::int64_t>(pos)},
+             {"node", nodeId}});
+      }
       out.trace.steps.push_back(TraceStep{r, pos, nodeId, global, output});
       global = std::move(output);
       ++out.tokenMessages;  // token handed to the successor
@@ -92,6 +126,21 @@ RunResult RingQueryRunner::run(
   // Result dissemination: one final pass around the ring (§3.3 "in the
   // termination round all nodes simply pass on the final result").
   out.totalMessages = out.tokenMessages + n;
+
+  // One-shot metric flush (six relaxed RMWs per query).
+  RunnerMetrics& metrics = runnerMetrics();
+  metrics.queries.inc();
+  metrics.rounds.inc(rounds);
+  metrics.tokenMessages.inc(out.tokenMessages);
+  LocalAlgorithm::PassCounts totals;
+  for (const ProtocolNode& node : nodes) {
+    totals.randomized += node.passCounts().randomized;
+    totals.real += node.passCounts().real;
+    totals.passthrough += node.passCounts().passthrough;
+  }
+  metrics.randomized.inc(totals.randomized);
+  metrics.real.inc(totals.real);
+  metrics.passthrough.inc(totals.passthrough);
   return out;
 }
 

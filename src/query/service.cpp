@@ -4,11 +4,53 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "query/federation.hpp"
 
 namespace privtopk::query {
 
 using namespace std::chrono_literals;
+
+namespace {
+
+constexpr char kService[] = "service";
+
+double elapsedMsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+NodeService::Metrics::Metrics()
+    : initiated(obs::counter("privtopk.query.queries_initiated",
+                             {{"engine", kService}})),
+      participated(obs::counter("privtopk.query.queries_participated",
+                                {{"engine", kService}})),
+      completed(obs::counter("privtopk.query.queries_completed",
+                             {{"engine", kService}})),
+      stalePurged(obs::counter("privtopk.query.queries_stale_purged",
+                               {{"engine", kService}})),
+      droppedMessages(obs::counter("privtopk.query.dropped_messages",
+                                   {{"engine", kService}})),
+      roundsExecuted(obs::counter("privtopk.protocol.rounds_executed",
+                                  {{"engine", kService}})),
+      randomizedPasses(obs::counter("privtopk.protocol.randomized_passes",
+                                    {{"engine", kService}})),
+      realPasses(obs::counter("privtopk.protocol.real_value_passes",
+                              {{"engine", kService}})),
+      passthroughPasses(obs::counter("privtopk.protocol.passthrough_passes",
+                                     {{"engine", kService}})),
+      activeQueries(obs::gauge("privtopk.query.active_queries",
+                               {{"engine", kService}})),
+      queryLatencyMs(obs::histogram("privtopk.query.latency_ms",
+                                    {{"engine", kService}},
+                                    obs::defaultLatencyBucketsMs())),
+      announceToFirstTokenMs(
+          obs::histogram("privtopk.query.announce_to_first_token_ms",
+                         {{"engine", kService}},
+                         obs::defaultLatencyBucketsMs())) {}
 
 NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
                          net::Transport& transport, std::uint64_t seed,
@@ -39,6 +81,7 @@ void NodeService::workerLoop() {
       dispatch(*envelope);
     } catch (const Error& e) {
       // Hostile or stale traffic must not take the service down.
+      metrics_.droppedMessages.inc();
       PRIVTOPK_LOG_WARN("service ", self_, ": dropped message from ",
                         envelope->from, ": ", e.what());
     }
@@ -55,6 +98,8 @@ void NodeService::purgeStale() {
     }
     PRIVTOPK_LOG_WARN("service ", self_, ": garbage-collecting stale query ",
                       it->first);
+    metrics_.stalePurged.inc();
+    metrics_.activeQueries.sub(1);
     if (it->second.initiator) {
       it->second.promise.set_exception(std::make_exception_ptr(
           TransportError("query timed out waiting for the ring")));
@@ -76,6 +121,7 @@ void NodeService::dispatch(const net::Envelope& envelope) {
                  std::get_if<net::ResultAnnouncement>(&message)) {
     onResult(*result);
   } else {
+    metrics_.droppedMessages.inc();
     PRIVTOPK_LOG_WARN("service ", self_, ": ignoring ring-repair control");
   }
 }
@@ -147,6 +193,13 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
       active_.emplace(descriptor.queryId, std::move(state));
   (void)inserted;
   QueryState& registered = it->second;
+  metrics_.initiated.inc();
+  metrics_.activeQueries.add(1);
+  obs::EventTracer::global().event(
+      "event", "query_initiated",
+      {{"query_id", static_cast<std::int64_t>(descriptor.queryId)},
+       {"node", self_},
+       {"rounds", registered.rounds}});
 
   // Announce first (FIFO links deliver it ahead of the round token on
   // every hop), then start the protocol immediately.
@@ -208,20 +261,36 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   const auto [it, inserted] =
       active_.emplace(announce.queryId, std::move(state));
   (void)inserted;
+  metrics_.participated.inc();
+  metrics_.activeQueries.add(1);
   send(it->second, announce);  // keep the announce circling
 }
 
 void NodeService::onRoundToken(const net::RoundToken& token) {
   const auto it = active_.find(token.queryId);
   if (it == active_.end()) {
+    metrics_.droppedMessages.inc();
     PRIVTOPK_LOG_WARN("service ", self_, ": token for unknown query ",
                       token.queryId);
     return;
   }
   QueryState& state = it->second;
+  if (!state.firstTokenSeen) {
+    state.firstTokenSeen = true;
+    if (!state.initiator) {
+      metrics_.announceToFirstTokenMs.observe(
+          elapsedMsSince(state.registeredAt));
+    }
+  }
+  obs::EventTracer::global().event(
+      "event", "ring_step",
+      {{"query_id", static_cast<std::int64_t>(token.queryId)},
+       {"round", token.round},
+       {"node", self_}});
 
   if (state.initiator) {
     // The token circled back: close the round.
+    metrics_.roundsExecuted.inc();
     if (token.round >= state.rounds) {
       send(state,
            net::ResultAnnouncement{token.queryId, token.vector});
@@ -239,6 +308,7 @@ void NodeService::onRoundToken(const net::RoundToken& token) {
 void NodeService::onSumToken(const net::SumToken& token) {
   const auto it = active_.find(token.queryId);
   if (it == active_.end()) {
+    metrics_.droppedMessages.inc();
     PRIVTOPK_LOG_WARN("service ", self_, ": sum token for unknown query ",
                       token.queryId);
     return;
@@ -283,6 +353,23 @@ void NodeService::onResult(const net::ResultAnnouncement& result) {
 
 void NodeService::complete(std::uint64_t queryId, QueryState& state,
                            TopKVector result) {
+  metrics_.queryLatencyMs.observe(elapsedMsSince(state.registeredAt));
+  if (state.node != nullptr) {
+    // One flush per query keeps the per-step protocol hot path free of
+    // atomics; see protocol::LocalAlgorithm::PassCounts.
+    const auto& passes = state.node->passCounts();
+    metrics_.randomizedPasses.inc(passes.randomized);
+    metrics_.realPasses.inc(passes.real);
+    metrics_.passthroughPasses.inc(passes.passthrough);
+  }
+  metrics_.completed.inc();
+  metrics_.activeQueries.sub(1);
+  obs::EventTracer::global().event(
+      "event", "query_completed",
+      {{"query_id", static_cast<std::int64_t>(queryId)},
+       {"node", self_},
+       {"initiator", state.initiator ? 1 : 0}});
+
   TopKVector presented = presentResult(state.descriptor, std::move(result));
   if (state.initiator) {
     state.promise.set_value(presented);
@@ -312,6 +399,10 @@ std::optional<TopKVector> NodeService::waitFor(
 std::size_t NodeService::activeQueries() const {
   std::scoped_lock lock(mutex_);
   return active_.size();
+}
+
+obs::MetricsSnapshot NodeService::metricsSnapshot() const {
+  return obs::MetricsRegistry::global().snapshot();
 }
 
 }  // namespace privtopk::query

@@ -37,6 +37,7 @@
 #include "data/database.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/node.hpp"
 #include "query/descriptor.hpp"
 
@@ -84,6 +85,12 @@ class NodeService {
   /// Number of queries currently in flight (registered, not completed).
   [[nodiscard]] std::size_t activeQueries() const;
 
+  /// Point-in-time copy of the process-wide metrics registry (the service
+  /// records into the global registry, so one snapshot covers the service
+  /// together with its transport/protocol/crypto substrate).  Render it
+  /// with obs::renderPrometheus / obs::renderJson.
+  [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const;
+
  private:
   /// Per-query participant state.
   struct QueryState {
@@ -104,6 +111,8 @@ class NodeService {
     bool announced = false;  // our own announce came back; rounds started
 
     std::chrono::steady_clock::time_point registeredAt;
+    // Follower-side announce -> first round-token latency observation.
+    bool firstTokenSeen = false;
   };
 
   void workerLoop();
@@ -119,11 +128,30 @@ class NodeService {
   void beginRounds(QueryState& state);
   void complete(std::uint64_t queryId, QueryState& state, TopKVector result);
 
+  /// Cached global-metric cells (see docs/OBSERVABILITY.md for the
+  /// catalog); registration happens once at service construction.
+  struct Metrics {
+    obs::Counter& initiated;
+    obs::Counter& participated;
+    obs::Counter& completed;
+    obs::Counter& stalePurged;
+    obs::Counter& droppedMessages;
+    obs::Counter& roundsExecuted;
+    obs::Counter& randomizedPasses;
+    obs::Counter& realPasses;
+    obs::Counter& passthroughPasses;
+    obs::Gauge& activeQueries;
+    obs::Histogram& queryLatencyMs;
+    obs::Histogram& announceToFirstTokenMs;
+    Metrics();
+  };
+
   NodeId self_;
   const data::PrivateDatabase* db_;
   net::Transport* transport_;
   Rng rng_;
   std::chrono::milliseconds staleAfter_;
+  Metrics metrics_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable completedCv_;

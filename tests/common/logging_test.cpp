@@ -10,14 +10,16 @@ namespace {
 /// RAII guard restoring global logger state after each test.
 class LogGuard {
  public:
-  LogGuard() : level_(logLevel()) {}
+  LogGuard() : level_(logLevel()), timestamps_(logTimestamps()) {}
   ~LogGuard() {
     setLogLevel(level_);
     setLogSink(nullptr);
+    setLogTimestamps(timestamps_);
   }
 
  private:
   LogLevel level_;
+  bool timestamps_;
 };
 
 TEST(Logging, RespectsLevelThreshold) {
@@ -78,6 +80,71 @@ TEST(Logging, NullSinkRestoresDefault) {
   setLogLevel(LogLevel::Off);
   PRIVTOPK_LOG_ERROR("never rendered anyway");
   EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logging, DefaultFormatHasNoTimestamp) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Trace);
+
+  PRIVTOPK_LOG_INFO("plain line");
+  // Historical format: the line starts with the level bracket.
+  EXPECT_EQ(sink.str().rfind("[INFO ] plain line", 0), 0u);
+}
+
+TEST(Logging, TimestampPrefixIsIso8601Utc) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Trace);
+  setLogTimestamps(true);
+  EXPECT_TRUE(logTimestamps());
+
+  PRIVTOPK_LOG_WARN("stamped");
+  const std::string out = sink.str();
+  // "YYYY-MM-DDTHH:MM:SS.mmmZ [WARN ] stamped"
+  ASSERT_GE(out.size(), 25u);
+  EXPECT_EQ(out[4], '-');
+  EXPECT_EQ(out[7], '-');
+  EXPECT_EQ(out[10], 'T');
+  EXPECT_EQ(out[13], ':');
+  EXPECT_EQ(out[16], ':');
+  EXPECT_EQ(out[19], '.');
+  EXPECT_EQ(out[23], 'Z');
+  EXPECT_EQ(out[24], ' ');
+  EXPECT_NE(out.find("[WARN ] stamped"), std::string::npos);
+
+  setLogTimestamps(false);
+  sink.str("");
+  PRIVTOPK_LOG_WARN("plain again");
+  EXPECT_EQ(sink.str().rfind("[WARN ] plain again", 0), 0u);
+}
+
+TEST(Logging, ComponentTagRendersAfterLevel) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Trace);
+
+  PRIVTOPK_LOG_WARN_C("net", "lost ", 3, " msgs");
+  PRIVTOPK_LOG_INFO_C("query", "done");
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("[WARN ] [net] lost 3 msgs"), std::string::npos);
+  EXPECT_NE(out.find("[INFO ] [query] done"), std::string::npos);
+}
+
+TEST(Logging, ComponentTagRespectsLevelThreshold) {
+  LogGuard guard;
+  std::ostringstream sink;
+  setLogSink(&sink);
+  setLogLevel(LogLevel::Error);
+
+  PRIVTOPK_LOG_DEBUG_C("crypto", "hidden");
+  PRIVTOPK_LOG_ERROR_C("crypto", "visible");
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] [crypto] visible"), std::string::npos);
 }
 
 TEST(Logging, LevelRoundTrip) {

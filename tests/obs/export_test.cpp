@@ -1,0 +1,86 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace privtopk::obs {
+namespace {
+
+/// A small fixed registry so the renderings are fully deterministic.
+MetricsSnapshot sampleSnapshot() {
+  MetricsRegistry registry;
+  registry.counter("privtopk.transport.messages_sent",
+                   {{"transport", "inproc"}})
+      .inc(12);
+  registry.gauge("privtopk.query.active_queries", {{"engine", "service"}})
+      .set(2);
+  Histogram& h = registry.histogram("privtopk.query.latency_ms",
+                                    {{"engine", "service"}}, {0.5, 1.0});
+  h.observe(0.25);
+  h.observe(0.75);
+  h.observe(4.0);
+  return registry.snapshot();
+}
+
+TEST(PrometheusExport, GoldenRendering) {
+  const std::string expected =
+      "# TYPE privtopk_query_active_queries gauge\n"
+      "privtopk_query_active_queries{engine=\"service\"} 2\n"
+      "# TYPE privtopk_query_latency_ms histogram\n"
+      "privtopk_query_latency_ms_bucket{engine=\"service\",le=\"0.5\"} 1\n"
+      "privtopk_query_latency_ms_bucket{engine=\"service\",le=\"1\"} 2\n"
+      "privtopk_query_latency_ms_bucket{engine=\"service\",le=\"+Inf\"} 3\n"
+      "privtopk_query_latency_ms_sum{engine=\"service\"} 5\n"
+      "privtopk_query_latency_ms_count{engine=\"service\"} 3\n"
+      "# TYPE privtopk_transport_messages_sent counter\n"
+      "privtopk_transport_messages_sent{transport=\"inproc\"} 12\n";
+  EXPECT_EQ(renderPrometheus(sampleSnapshot()), expected);
+}
+
+TEST(PrometheusExport, DotsAndDashesBecomeUnderscores) {
+  MetricsRegistry registry;
+  registry.counter("a.b-c.d").inc();
+  const std::string out = renderPrometheus(registry.snapshot());
+  EXPECT_NE(out.find("a_b_c_d 1"), std::string::npos);
+  EXPECT_EQ(out.find("a.b-c.d"), std::string::npos);
+}
+
+TEST(JsonExport, GoldenCompactRendering) {
+  const std::string expected =
+      "{\"metrics\": ["
+      "{\"name\": \"privtopk.query.active_queries\", \"type\": \"gauge\", "
+      "\"labels\": {\"engine\": \"service\"}, \"value\": 2},"
+      "{\"name\": \"privtopk.query.latency_ms\", \"type\": \"histogram\", "
+      "\"labels\": {\"engine\": \"service\"}, \"count\": 3, \"sum\": 5, "
+      "\"buckets\": ["
+      "{\"le\": \"0.5\", \"count\": 1},"
+      "{\"le\": \"1\", \"count\": 2},"
+      "{\"le\": \"+Inf\", \"count\": 3}]},"
+      "{\"name\": \"privtopk.transport.messages_sent\", \"type\": "
+      "\"counter\", \"labels\": {\"transport\": \"inproc\"}, \"value\": 12}"
+      "]}";
+  EXPECT_EQ(renderJson(sampleSnapshot(), /*pretty=*/false), expected);
+}
+
+TEST(JsonExport, PrettyRenderingKeepsDottedNames) {
+  const std::string out = renderJson(sampleSnapshot());
+  EXPECT_NE(out.find("\"privtopk.query.latency_ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"le\": \"+Inf\""), std::string::npos);
+}
+
+TEST(JsonExport, EscapesSpecialCharacters) {
+  MetricsRegistry registry;
+  registry.counter("weird", {{"msg", "a\"b\\c"}}).inc();
+  const std::string out = renderJson(registry.snapshot(), /*pretty=*/false);
+  EXPECT_NE(out.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(Exports, EmptySnapshot) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(renderPrometheus(empty), "");
+  EXPECT_EQ(renderJson(empty, /*pretty=*/false), "{\"metrics\": []}");
+}
+
+}  // namespace
+}  // namespace privtopk::obs

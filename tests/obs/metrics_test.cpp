@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace privtopk::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, MovesBothWays) {
+  Gauge g;
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive)
+  h.observe(1.5);   // <= 2
+  h.observe(5.0);   // <= 5 (inclusive)
+  h.observe(5.1);   // +Inf
+  h.observe(100.0); // +Inf
+  EXPECT_EQ(h.bucketCounts(), (std::vector<std::uint64_t>{2, 1, 1, 2}));
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 5.1 + 100.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), ConfigError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), ConfigError);
+}
+
+TEST(Histogram, ConcurrentObservationsAreExact) {
+  Histogram h({10.0, 20.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(15.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  EXPECT_EQ(h.bucketCounts(),
+            (std::vector<std::uint64_t>{0, total, 0}));
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0 * static_cast<double>(total));
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsSharesOneCell) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests", {{"transport", "tcp"}});
+  Counter& b = registry.counter("requests", {{"transport", "tcp"}});
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.counter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, DifferentLabelsAreDifferentSeries) {
+  MetricsRegistry registry;
+  Counter& tcp = registry.counter("sent", {{"transport", "tcp"}});
+  Counter& inproc = registry.counter("sent", {{"transport", "inproc"}});
+  EXPECT_NE(&tcp, &inproc);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("thing");
+  EXPECT_THROW(registry.gauge("thing"), ConfigError);
+  EXPECT_THROW(registry.histogram("thing"), ConfigError);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.counter").inc(2);
+  registry.gauge("a.gauge").set(-1);
+  registry.histogram("c.hist", {}, {1.0}).observe(0.5);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "a.gauge");
+  EXPECT_EQ(snap.metrics[0].kind, MetricKind::Gauge);
+  EXPECT_EQ(snap.metrics[0].value, -1);
+  EXPECT_EQ(snap.metrics[1].name, "b.counter");
+  EXPECT_EQ(snap.metrics[1].value, 2);
+  EXPECT_EQ(snap.metrics[2].name, "c.hist");
+  EXPECT_EQ(snap.metrics[2].count, 1u);
+  EXPECT_EQ(snap.metrics[2].bucketCounts,
+            (std::vector<std::uint64_t>{1, 0}));
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("n");
+  c.inc(9);
+  registry.resetValues();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&registry.counter("n"), &c);
+}
+
+TEST(MetricsRegistry, GlobalHelpersResolveToGlobalRegistry) {
+  Counter& a = metric("privtopk.test.helper_counter", {{"t", "1"}});
+  Counter& b = MetricsRegistry::global().counter(
+      "privtopk.test.helper_counter", {{"t", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ScopedTimer, RecordsElapsedMilliseconds) {
+  Histogram h({1e9});
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.elapsedMs(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(ScopedTimer, DismissSkipsRecording) {
+  Histogram h({1e9});
+  {
+    ScopedTimer timer(h);
+    timer.dismiss();
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(DefaultBuckets, AreAscending) {
+  for (const auto& bounds : {defaultLatencyBucketsMs(), defaultSizeBuckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privtopk::obs

@@ -5,6 +5,7 @@
 //   generate  - write synthetic per-party CSV datasets
 //   query     - run a federated query across local CSV files (simulation)
 //   node      - run ONE distributed participant over TCP (deployment)
+//   metrics   - run one in-process federated query, dump the metrics
 //
 // Examples:
 //   privtopk analyze --p0 1 --d 0.5 --epsilon 0.001
@@ -15,20 +16,28 @@
 //   privtopk node --self 0 --peers 127.0.0.1:9100,127.0.0.1:9101,...
 //       --ring 0,1,2 --csv /tmp/party0.csv --schema id:text,value:int
 //       --attribute value --k 3 --encrypt
+//   privtopk metrics --parties 4 --k 3 --format both --trace
 // (multi-flag invocations continue on one shell line or with backslashes)
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <numeric>
+#include <thread>
 
 #include "analysis/bounds.hpp"
 #include "analysis/optimal_schedule.hpp"
 #include "common/args.hpp"
 #include "data/csv.hpp"
 #include "data/generator.hpp"
+#include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "protocol/engine.hpp"
 #include "query/federation.hpp"
 #include "query/filter.hpp"
+#include "query/service.hpp"
 #include "privacy/adversary.hpp"
 #include "privacy/anonymity.hpp"
 #include "privacy/distribution_exposure.hpp"
@@ -42,8 +51,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: privtopk "
-               "<analyze|generate|query|node|record-traces|analyze-traces> "
-               "[flags]\n"
+               "<analyze|generate|query|node|metrics|record-traces|"
+               "analyze-traces> [flags]\n"
                "run with a subcommand and no flags for its flag list\n");
   return 2;
 }
@@ -267,6 +276,84 @@ int cmdNode(int argc, const char* const* argv) {
   return 0;
 }
 
+// Runs one federated query on a synthetic in-process cluster of
+// NodeServices, then dumps the populated metrics registry in Prometheus
+// text format and/or JSON.  This is the quickest way to see the whole
+// observability surface end to end; --trace additionally streams the
+// structured JSON-lines events to stderr while the query runs.
+int cmdMetrics(int argc, const char* const* argv) {
+  const ArgParser args(
+      argc, argv,
+      {"parties", "rows", "dist", "type", "k", "protocol", "p0", "d",
+       "epsilon", "rounds", "seed", "domain-min", "domain-max", "query-id",
+       "format", "trace"});
+  const auto n = static_cast<std::size_t>(args.getInt("parties", 4));
+  if (n < 3) throw ConfigError("metrics: --parties must be >= 3");
+  const std::string format = args.getString("format", "both");
+  if (format != "prometheus" && format != "json" && format != "both") {
+    throw ConfigError("metrics: --format must be prometheus|json|both");
+  }
+  const query::QueryDescriptor descriptor = descriptorFromArgs(args);
+
+  data::FleetSpec spec;
+  spec.nodes = n;
+  spec.rowsPerNode = static_cast<std::size_t>(args.getInt("rows", 50));
+  spec.distribution = args.getString("dist", "uniform");
+  spec.domain = descriptor.params.domain;
+  spec.tableName = descriptor.tableName;
+  spec.attribute = descriptor.attribute;
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+  const auto fleet = data::generateFleet(spec, rng);
+
+  if (args.getBool("trace")) obs::EventTracer::global().enable(&std::cerr);
+
+  net::InProcTransport transport(n);
+  std::vector<std::unique_ptr<query::NodeService>> services;
+  for (std::size_t i = 0; i < n; ++i) {
+    services.push_back(std::make_unique<query::NodeService>(
+        static_cast<NodeId>(i), fleet[i], transport,
+        static_cast<std::uint64_t>(args.getInt("seed", 42)) + i));
+    services.back()->start();
+  }
+
+  std::vector<NodeId> ring(n);
+  std::iota(ring.begin(), ring.end(), NodeId{0});
+  auto future = services.front()->initiate(descriptor, ring);
+  if (future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    throw TransportError("metrics: query did not complete within 30s");
+  }
+  const TopKVector result = future.get();
+
+  // The initiator's future resolves before the result announcement has
+  // finished circling; wait for every follower to retire the query so the
+  // snapshot shows the settled state (active 0, all latencies recorded).
+  const auto drainDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (auto& service : services) {
+    while (service->activeQueries() > 0 &&
+           std::chrono::steady_clock::now() < drainDeadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const obs::MetricsSnapshot snapshot = services.front()->metricsSnapshot();
+  for (auto& service : services) service->stop();
+  transport.shutdown();
+  obs::EventTracer::global().disable();
+
+  std::printf("# %s(%zu) over %zu parties: %s\n", toString(descriptor.type),
+              descriptor.effectiveK(), n, toString(result).c_str());
+  if (format == "prometheus" || format == "both") {
+    std::fputs(obs::renderPrometheus(snapshot).c_str(), stdout);
+  }
+  if (format == "json" || format == "both") {
+    std::fputs(obs::renderJson(snapshot).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
 int cmdRecordTraces(int argc, const char* const* argv) {
   const ArgParser args(
       argc, argv,
@@ -369,6 +456,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmdGenerate(argc - 1, argv + 1);
     if (command == "query") return cmdQuery(argc - 1, argv + 1);
     if (command == "node") return cmdNode(argc - 1, argv + 1);
+    if (command == "metrics") return cmdMetrics(argc - 1, argv + 1);
     if (command == "record-traces") return cmdRecordTraces(argc - 1, argv + 1);
     if (command == "analyze-traces") return cmdAnalyzeTraces(argc - 1, argv + 1);
     return usage();
