@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,6 +17,12 @@ namespace privtopk::net {
 namespace {
 
 const obs::Labels kTcpLabels{{"transport", "tcp"}};
+
+/// An oversized frame is a caller error, not a link failure: send() must
+/// surface it without evicting the (healthy) link or retrying.
+struct FrameTooLarge final : TransportError {
+  using TransportError::TransportError;
+};
 
 /// Writes all of `data`, retrying on partial writes and EINTR.
 void writeAll(int fd, const std::uint8_t* data, std::size_t len) {
@@ -52,6 +59,13 @@ bool readAll(int fd, std::uint8_t* data, std::size_t len) {
 }
 
 void writeFrame(int fd, std::span<const std::uint8_t> payload) {
+  // Mirror of readFrame's cap: an oversized frame would be accepted by the
+  // local kernel and then kill the receiver's connection mid-stream.
+  if (payload.size() > kMaxFrame) {
+    throw FrameTooLarge("tcp frame too large to send (" +
+                        std::to_string(payload.size()) + " > " +
+                        std::to_string(kMaxFrame) + " bytes)");
+  }
   std::uint8_t header[4];
   const auto len = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
@@ -65,7 +79,6 @@ std::optional<Bytes> readFrame(int fd) {
   if (!readAll(fd, header, 4)) return std::nullopt;
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity cap
   if (len > kMaxFrame) throw TransportError("tcp frame too large");
   Bytes payload(len);
   if (len > 0 && !readAll(fd, payload.data(), len)) {
@@ -118,6 +131,10 @@ TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeer> peers,
           obs::counter("privtopk.transport.send_errors", kTcpLabels)),
       metricReceiveTimeouts_(
           obs::counter("privtopk.transport.receive_timeouts", kTcpLabels)),
+      metricLinksEvicted_(
+          obs::counter("privtopk.transport.links_evicted", kTcpLabels)),
+      metricReconnects_(
+          obs::counter("privtopk.transport.reconnects", kTcpLabels)),
       metricQueueDepth_(
           obs::gauge("privtopk.transport.queue_depth", kTcpLabels)) {
   for (const auto& p : peers) peers_[p.id] = p;
@@ -208,11 +225,7 @@ void TcpTransport::readerLoop(int fd) {
   // The fd is closed by shutdown(), which owns accepted descriptors.
 }
 
-TcpTransport::OutLink& TcpTransport::outgoingLink(NodeId to) {
-  std::scoped_lock lock(outMutex_);
-  auto it = outLinks_.find(to);
-  if (it != outLinks_.end()) return *it->second;
-
+std::shared_ptr<TcpTransport::OutLink> TcpTransport::dialPeer(NodeId to) {
   const auto peerIt = peers_.find(to);
   if (peerIt == peers_.end()) {
     throw TransportError("TcpTransport: unknown peer " + std::to_string(to));
@@ -231,6 +244,7 @@ TcpTransport::OutLink& TcpTransport::outgoingLink(NodeId to) {
       std::chrono::steady_clock::now() + options_.connectTimeout;
   int fd = -1;
   while (true) {
+    if (shutdown_.load()) throw TransportError("TcpTransport: shut down");
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw TransportError("TcpTransport: socket() failed");
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
@@ -247,47 +261,129 @@ TcpTransport::OutLink& TcpTransport::outgoingLink(NodeId to) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-  auto link = std::make_unique<OutLink>();
-  link->fd = fd;
+  auto link = std::make_shared<OutLink>();
+  link->fd.store(fd, std::memory_order_relaxed);
 
-  // Identify ourselves.
-  std::uint8_t id[4];
-  for (int i = 0; i < 4; ++i) id[i] = static_cast<std::uint8_t>(self_ >> (8 * i));
-  writeFrame(fd, std::span<const std::uint8_t>(id, 4));
+  try {
+    // Identify ourselves.
+    std::uint8_t id[4];
+    for (int i = 0; i < 4; ++i) {
+      id[i] = static_cast<std::uint8_t>(self_ >> (8 * i));
+    }
+    writeFrame(fd, std::span<const std::uint8_t>(id, 4));
 
-  if (options_.encrypt) {
-    Rng rng(splitmix64(options_.keySeed ^ (static_cast<std::uint64_t>(self_)
-                                           << 32) ^ to ^ 0x1417ULL));
-    crypto::SecureHandshake hs(crypto::SecureHandshake::Role::Initiator,
-                               *options_.group, rng);
-    writeFrame(fd, hs.localHello());
-    const std::optional<Bytes> peerHello = readFrame(fd);
-    if (!peerHello) throw TransportError("TcpTransport: handshake EOF");
-    link->session = std::make_unique<crypto::SecureSession>(
-        hs.deriveSession(*peerHello));
+    if (options_.encrypt) {
+      Rng rng(splitmix64(options_.keySeed ^ (static_cast<std::uint64_t>(self_)
+                                             << 32) ^ to ^ 0x1417ULL));
+      crypto::SecureHandshake hs(crypto::SecureHandshake::Role::Initiator,
+                                 *options_.group, rng);
+      writeFrame(fd, hs.localHello());
+      const std::optional<Bytes> peerHello = readFrame(fd);
+      if (!peerHello) throw TransportError("TcpTransport: handshake EOF");
+      link->session = std::make_unique<crypto::SecureSession>(
+          hs.deriveSession(*peerHello));
+    }
+  } catch (...) {
+    ::close(fd);
+    link->fd.store(-1, std::memory_order_relaxed);
+    throw;
+  }
+  return link;
+}
+
+std::shared_ptr<TcpTransport::OutLink> TcpTransport::outgoingLink(NodeId to) {
+  std::shared_ptr<LinkSlot> slot;
+  {
+    std::scoped_lock lock(outMutex_);
+    auto it = outLinks_.find(to);
+    if (it == outLinks_.end()) {
+      it = outLinks_.emplace(to, std::make_shared<LinkSlot>()).first;
+    }
+    slot = it->second;
+    if (slot->link) return slot->link;
   }
 
-  auto& ref = *link;
-  outLinks_.emplace(to, std::move(link));
-  return ref;
+  // Dial under the per-peer mutex only: a dead peer's connect timeout must
+  // not stall sends to every other peer.
+  std::scoped_lock connectLock(slot->connectMutex);
+  {
+    std::scoped_lock lock(outMutex_);
+    if (slot->link) return slot->link;  // a racer connected first
+  }
+  std::shared_ptr<OutLink> link = dialPeer(to);
+  std::scoped_lock lock(outMutex_);
+  if (shutdown_.load()) {
+    const int fd = link->fd.exchange(-1, std::memory_order_relaxed);
+    if (fd >= 0) ::close(fd);
+    throw TransportError("TcpTransport: shut down");
+  }
+  slot->link = link;
+  return link;
+}
+
+void TcpTransport::evictLink(NodeId to, const std::shared_ptr<OutLink>& link) {
+  {
+    std::scoped_lock lock(outMutex_);
+    const auto it = outLinks_.find(to);
+    if (it != outLinks_.end() && it->second->link == link) {
+      it->second->link.reset();
+      linksEvicted_.fetch_add(1);
+      metricLinksEvicted_.inc();
+    }
+  }
+  // Poison under writeMutex so a racing sender queued on this link sees the
+  // flag instead of writing into a closed (possibly reused) descriptor.
+  std::scoped_lock lock(link->writeMutex);
+  if (!link->poisoned) {
+    link->poisoned = true;
+    const int fd = link->fd.exchange(-1, std::memory_order_relaxed);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
 }
 
 void TcpTransport::send(NodeId from, NodeId to, const Bytes& payload) {
   if (from != self_) {
     throw TransportError("TcpTransport: can only send as self");
   }
-  if (shutdown_.load()) throw TransportError("TcpTransport: shut down");
-  try {
-    OutLink& link = outgoingLink(to);
-    std::scoped_lock lock(link.writeMutex);
-    if (link.session) {
-      writeFrame(link.fd, link.session->seal(payload));
-    } else {
-      writeFrame(link.fd, payload);
-    }
-  } catch (const TransportError&) {
+  if (payload.size() > kMaxFrame) {
     metricSendErrors_.inc();
-    throw;
+    throw TransportError("TcpTransport: payload exceeds kMaxFrame (" +
+                         std::to_string(payload.size()) + " bytes)");
+  }
+  std::chrono::milliseconds backoff = options_.backoffInitial;
+  for (int attempt = 0;; ++attempt) {
+    if (shutdown_.load()) throw TransportError("TcpTransport: shut down");
+    std::shared_ptr<OutLink> link;
+    try {
+      link = outgoingLink(to);
+      std::scoped_lock lock(link->writeMutex);
+      if (link->poisoned) {
+        throw TransportError("TcpTransport: link to " + std::to_string(to) +
+                             " was evicted");
+      }
+      const int fd = link->fd.load(std::memory_order_relaxed);
+      if (link->session) {
+        writeFrame(fd, link->session->seal(payload));
+      } else {
+        writeFrame(fd, payload);
+      }
+      break;
+    } catch (const FrameTooLarge&) {
+      // Sealing overhead pushed the frame over the cap: the link is fine,
+      // the payload is not.  No eviction, no retry.
+      metricSendErrors_.inc();
+      throw;
+    } catch (const TransportError&) {
+      metricSendErrors_.inc();
+      if (link) evictLink(to, link);
+      if (attempt >= options_.sendRetries || shutdown_.load()) throw;
+      metricReconnects_.inc();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, options_.backoffMax);
+    }
   }
   messagesSent_.fetch_add(1);
   bytesSent_.fetch_add(payload.size());
@@ -305,7 +401,8 @@ std::optional<Envelope> TcpTransport::receive(
     return shutdown_.load() || !inbox_.empty();
   });
   if (!ready || inbox_.empty()) {
-    metricReceiveTimeouts_.inc();
+    // A shutdown wakeup is not a timeout; only count real deadline misses.
+    if (!shutdown_.load()) metricReceiveTimeouts_.inc();
     return std::nullopt;
   }
   Envelope env = std::move(inbox_.front());
@@ -326,13 +423,25 @@ void TcpTransport::shutdown() {
     ::close(listenFd);
   }
   {
-    std::scoped_lock lock(outMutex_);
-    for (auto& [id, link] : outLinks_) {
-      if (link->fd >= 0) {
-        ::shutdown(link->fd, SHUT_RDWR);
-        ::close(link->fd);
-        link->fd = -1;
+    // Two phases: ::shutdown() first (safe concurrently with a blocked
+    // writer, makes its write fail fast), then close under writeMutex once
+    // the writer is out.
+    std::vector<std::shared_ptr<OutLink>> links;
+    {
+      std::scoped_lock lock(outMutex_);
+      for (auto& [id, slot] : outLinks_) {
+        if (slot->link) links.push_back(slot->link);
       }
+    }
+    for (auto& link : links) {
+      const int fd = link->fd.load(std::memory_order_relaxed);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& link : links) {
+      std::scoped_lock lock(link->writeMutex);
+      link->poisoned = true;
+      const int fd = link->fd.exchange(-1, std::memory_order_relaxed);
+      if (fd >= 0) ::close(fd);
     }
   }
   if (listenThread_.joinable()) listenThread_.join();

@@ -7,6 +7,13 @@
 // incoming connections are accepted by a listener thread, each served by a
 // reader thread that pushes decoded envelopes into a mailbox shared with
 // receive().
+//
+// Fault tolerance (see docs/ROBUSTNESS.md): a send failure evicts the
+// broken link and send() transparently reconnects with exponential backoff
+// (up to TcpOptions::sendRetries attempts) before surfacing the error.
+// Connect/handshake for one peer never blocks traffic to other peers: the
+// global map mutex only guards slot lookup; dialing happens under a
+// per-peer mutex.
 
 #pragma once
 
@@ -28,6 +35,11 @@
 
 namespace privtopk::net {
 
+/// Largest frame either side will put on (or accept from) the wire.
+/// Enforced symmetrically: readFrame rejects oversized headers and send()
+/// refuses oversized payloads instead of poisoning the receiver's link.
+inline constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB
+
 /// Address book entry.
 struct TcpPeer {
   NodeId id = 0;
@@ -45,8 +57,15 @@ struct TcpOptions {
   /// Seed for handshake key generation; mix in a per-process entropy
   /// source outside of tests.
   std::uint64_t keySeed = 0;
-  /// How long send() keeps retrying the initial connect.
+  /// How long one connect attempt keeps retrying while the peer's
+  /// listener comes up.
   std::chrono::milliseconds connectTimeout{5000};
+  /// How many times send() evicts a broken link and reconnects before
+  /// giving up (0 = fail on the first broken write).
+  int sendRetries = 2;
+  /// Exponential backoff between reconnect attempts.
+  std::chrono::milliseconds backoffInitial{10};
+  std::chrono::milliseconds backoffMax{1000};
 };
 
 class TcpTransport final : public Transport {
@@ -77,17 +96,36 @@ class TcpTransport final : public Transport {
   [[nodiscard]] std::size_t bytesReceived() const {
     return bytesReceived_.load();
   }
+  /// Links evicted after a broken write (each is followed by a reconnect
+  /// attempt on the next send).
+  [[nodiscard]] std::size_t linksEvicted() const { return linksEvicted_.load(); }
 
  private:
   struct OutLink {
-    int fd = -1;
+    // Atomic: shutdown() pokes the descriptor with ::shutdown() while a
+    // writer may be mid-send (the write then fails fast and releases
+    // writeMutex for the close).
+    std::atomic<int> fd{-1};
     std::mutex writeMutex;
     std::unique_ptr<crypto::SecureSession> session;
+    // Set (under writeMutex) when a write failed and the fd was closed;
+    // racing senders waiting on writeMutex must not touch the stale fd.
+    bool poisoned = false;
+  };
+
+  /// Per-peer slot: `connectMutex` serialises dialing that one peer so a
+  /// slow or dead peer cannot head-of-line-block sends to other peers
+  /// (the map-wide outMutex_ is only held for pointer reads/writes).
+  struct LinkSlot {
+    std::mutex connectMutex;
+    std::shared_ptr<OutLink> link;  // guarded by outMutex_
   };
 
   void listenLoop();
   void readerLoop(int fd);
-  OutLink& outgoingLink(NodeId to);
+  std::shared_ptr<OutLink> outgoingLink(NodeId to);
+  std::shared_ptr<OutLink> dialPeer(NodeId to);
+  void evictLink(NodeId to, const std::shared_ptr<OutLink>& link);
 
   NodeId self_;
   std::map<NodeId, TcpPeer> peers_;
@@ -103,7 +141,7 @@ class TcpTransport final : public Transport {
   std::mutex readersMutex_;
 
   std::mutex outMutex_;
-  std::map<NodeId, std::unique_ptr<OutLink>> outLinks_;
+  std::map<NodeId, std::shared_ptr<LinkSlot>> outLinks_;
 
   std::mutex inboxMutex_;
   std::condition_variable inboxCv_;
@@ -113,6 +151,7 @@ class TcpTransport final : public Transport {
   std::atomic<std::size_t> messagesReceived_{0};
   std::atomic<std::size_t> bytesSent_{0};
   std::atomic<std::size_t> bytesReceived_{0};
+  std::atomic<std::size_t> linksEvicted_{0};
 
   // Cached global-metric cells (registration is cold; inc is lock-free).
   obs::Counter& metricMessagesSent_;
@@ -121,6 +160,8 @@ class TcpTransport final : public Transport {
   obs::Counter& metricBytesReceived_;
   obs::Counter& metricSendErrors_;
   obs::Counter& metricReceiveTimeouts_;
+  obs::Counter& metricLinksEvicted_;
+  obs::Counter& metricReconnects_;
   obs::Gauge& metricQueueDepth_;
 
   std::atomic<bool> shutdown_{false};

@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
 #include "query/federation.hpp"
+#include "sim/ring.hpp"
 
 namespace privtopk::query {
 
@@ -42,6 +43,16 @@ NodeService::Metrics::Metrics()
                               {{"engine", kService}})),
       passthroughPasses(obs::counter("privtopk.protocol.passthrough_passes",
                                      {{"engine", kService}})),
+      retransmits(obs::counter("privtopk.query.retransmits",
+                               {{"engine", kService}})),
+      ringRepairs(obs::counter("privtopk.query.ring_repairs",
+                               {{"engine", kService}})),
+      peersDeclaredDead(obs::counter("privtopk.query.peers_declared_dead",
+                                     {{"engine", kService}})),
+      duplicatesDropped(obs::counter("privtopk.query.duplicates_dropped",
+                                     {{"engine", kService}})),
+      aborted(obs::counter("privtopk.query.queries_aborted",
+                           {{"engine", kService}})),
       activeQueries(obs::gauge("privtopk.query.active_queries",
                                {{"engine", kService}})),
       queryLatencyMs(obs::histogram("privtopk.query.latency_ms",
@@ -55,8 +66,24 @@ NodeService::Metrics::Metrics()
 NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
                          net::Transport& transport, std::uint64_t seed,
                          std::chrono::milliseconds staleAfter)
+    : NodeService(self, db, transport, seed, [&] {
+        ServiceOptions options;
+        options.staleAfter = staleAfter;
+        return options;
+      }()) {}
+
+NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
+                         net::Transport& transport, std::uint64_t seed,
+                         ServiceOptions options)
     : self_(self), db_(&db), transport_(&transport), rng_(seed),
-      staleAfter_(staleAfter) {}
+      options_(options) {
+  if (options_.completedCap == 0) {
+    throw ConfigError("NodeService: completedCap must be >= 1");
+  }
+  if (options_.deadAfterFailures < 1) {
+    throw ConfigError("NodeService: deadAfterFailures must be >= 1");
+  }
+}
 
 NodeService::~NodeService() { stop(); }
 
@@ -75,7 +102,7 @@ void NodeService::stop() {
 void NodeService::workerLoop() {
   while (running_.load()) {
     const auto envelope = transport_->receive(self_, 50ms);
-    purgeStale();
+    maintain();
     if (!envelope) continue;
     try {
       dispatch(*envelope);
@@ -88,23 +115,33 @@ void NodeService::workerLoop() {
   }
 }
 
-void NodeService::purgeStale() {
+void NodeService::maintain() {
   const auto now = std::chrono::steady_clock::now();
   std::scoped_lock lock(mutex_);
   for (auto it = active_.begin(); it != active_.end();) {
-    if (now - it->second.registeredAt < staleAfter_) {
-      ++it;
+    QueryState& state = it->second;
+    const bool stale = now - state.registeredAt >= options_.staleAfter;
+    if (state.aborted || stale) {
+      if (!state.aborted) {
+        PRIVTOPK_LOG_WARN("service ", self_,
+                          ": garbage-collecting stale query ", it->first);
+        metrics_.stalePurged.inc();
+      }
+      metrics_.activeQueries.sub(1);
+      if (state.initiator && !state.promiseSettled) {
+        state.promiseSettled = true;
+        state.promise.set_exception(std::make_exception_ptr(
+            TransportError("query timed out waiting for the ring")));
+      }
+      it = active_.erase(it);
       continue;
     }
-    PRIVTOPK_LOG_WARN("service ", self_, ": garbage-collecting stale query ",
-                      it->first);
-    metrics_.stalePurged.inc();
-    metrics_.activeQueries.sub(1);
-    if (it->second.initiator) {
-      it->second.promise.set_exception(std::make_exception_ptr(
-          TransportError("query timed out waiting for the ring")));
+    if (options_.retransmitAfter.count() > 0 && !state.lastMessage.empty() &&
+        now - state.lastActivity >= options_.retransmitAfter) {
+      state.lastActivity = now;
+      retransmit(state);
     }
-    it = active_.erase(it);
+    ++it;
   }
 }
 
@@ -120,9 +157,11 @@ void NodeService::dispatch(const net::Envelope& envelope) {
   } else if (const auto* result =
                  std::get_if<net::ResultAnnouncement>(&message)) {
     onResult(*result);
+  } else if (const auto* repair = std::get_if<net::RingRepair>(&message)) {
+    onRingRepair(*repair);
   } else {
     metrics_.droppedMessages.inc();
-    PRIVTOPK_LOG_WARN("service ", self_, ": ignoring ring-repair control");
+    PRIVTOPK_LOG_WARN("service ", self_, ": ignoring unknown message");
   }
 }
 
@@ -134,14 +173,93 @@ NodeId NodeService::successorFor(const QueryState& state) const {
   return state.ringOrder[(pos + 1) % state.ringOrder.size()];
 }
 
-void NodeService::send(const QueryState& state, const net::Message& message) {
+bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead) {
+  metrics_.peersDeclaredDead.inc();
+  PRIVTOPK_LOG_WARN("service ", self_, ": declaring successor ", dead,
+                    " dead for query ", state.descriptor.queryId,
+                    " after ", state.sendFailures, " send failures");
+  sim::repairRingOrder(state.ringOrder, dead);
+  state.sendFailures = 0;
+  metrics_.ringRepairs.inc();
+  obs::EventTracer::global().event(
+      "event", "ring_repair",
+      {{"query_id", static_cast<std::int64_t>(state.descriptor.queryId)},
+       {"node", self_},
+       {"failed_node", dead},
+       {"ring_size", state.ringOrder.size()}});
+  if (state.ringOrder.size() < 3) {
+    abortQuery(state, "ring shrank below 3 nodes after repair");
+    return false;
+  }
+  // Announce the shrunken ring.  Best-effort: circulation stops at any
+  // node that already applied the repair, and a node whose own successor
+  // is dead detects and repairs independently.
+  const NodeId next = successorFor(state);
   try {
-    transport_->send(self_, successorFor(state), net::encodeMessage(message));
+    transport_->send(self_, next,
+                     net::encodeMessage(net::RingRepair{
+                         state.descriptor.queryId, dead, next}));
   } catch (const TransportError& e) {
-    // The token is lost; the query stalls and the stale-query GC reclaims
-    // it (failing the initiator's future).  The service itself stays up.
-    PRIVTOPK_LOG_WARN("service ", self_, ": send to ", successorFor(state),
+    PRIVTOPK_LOG_WARN("service ", self_, ": ring-repair notify to ", next,
                       " failed: ", e.what());
+  }
+  return true;
+}
+
+bool NodeService::deliver(QueryState& state, const Bytes& wire) {
+  while (!state.aborted) {
+    const NodeId succ = successorFor(state);
+    try {
+      transport_->send(self_, succ, wire);
+      state.sendFailures = 0;
+      return true;
+    } catch (const TransportError& e) {
+      ++state.sendFailures;
+      PRIVTOPK_LOG_WARN("service ", self_, ": send to ", succ,
+                        " failed (", state.sendFailures, "): ", e.what());
+      if (state.sendFailures < options_.deadAfterFailures) {
+        // Not yet condemned: the retransmission deadline retries later.
+        return false;
+      }
+      if (!repairAfterDeadSuccessor(state, succ)) return false;
+      // Ring repaired; retry toward the new successor.
+    }
+  }
+  return false;
+}
+
+void NodeService::send(QueryState& state, const net::Message& message) {
+  state.lastMessage = net::encodeMessage(message);
+  if (std::holds_alternative<net::QueryAnnounce>(message)) {
+    state.announceWire = state.lastMessage;
+  }
+  state.lastActivity = std::chrono::steady_clock::now();
+  deliver(state, state.lastMessage);
+}
+
+void NodeService::retransmit(QueryState& state) {
+  metrics_.retransmits.inc();
+  PRIVTOPK_LOG_WARN("service ", self_, ": retransmitting query ",
+                    state.descriptor.queryId, " to successor ",
+                    successorFor(state));
+  // The successor may have missed the announce as well (it died on a
+  // predecessor's link); duplicates are suppressed on arrival.
+  if (!state.announceWire.empty() && state.announceWire != state.lastMessage) {
+    if (!deliver(state, state.announceWire)) return;
+  }
+  deliver(state, state.lastMessage);
+}
+
+void NodeService::abortQuery(QueryState& state, const std::string& reason) {
+  if (state.aborted) return;
+  state.aborted = true;
+  metrics_.aborted.inc();
+  PRIVTOPK_LOG_WARN("service ", self_, ": aborting query ",
+                    state.descriptor.queryId, ": ", reason);
+  if (state.initiator && !state.promiseSettled) {
+    state.promiseSettled = true;
+    state.promise.set_exception(
+        std::make_exception_ptr(TransportError("query aborted: " + reason)));
   }
 }
 
@@ -167,6 +285,7 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
   state.ringOrder = ringOrder;
   state.initiator = true;
   state.registeredAt = std::chrono::steady_clock::now();
+  state.lastActivity = state.registeredAt;
 
   const LocalParty party(*db_);
   if (descriptor.isAggregate()) {
@@ -205,7 +324,7 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
   // every hop), then start the protocol immediately.
   send(registered, net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
                                       registered.ringOrder});
-  beginRounds(registered);
+  if (!registered.aborted) beginRounds(registered);
   return future;
 }
 
@@ -237,6 +356,9 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   if (descriptor.queryId != announce.queryId) {
     throw ProtocolError("QueryAnnounce: inner/outer query id mismatch");
   }
+  if (announce.ringOrder.size() < 3) {
+    throw ProtocolError("QueryAnnounce: ring needs >= 3 nodes");
+  }
   if (std::find(announce.ringOrder.begin(), announce.ringOrder.end(), self_) ==
       announce.ringOrder.end()) {
     throw ProtocolError("QueryAnnounce: this node is not on the ring");
@@ -246,6 +368,7 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   state.descriptor = descriptor;
   state.ringOrder = announce.ringOrder;
   state.registeredAt = std::chrono::steady_clock::now();
+  state.lastActivity = state.registeredAt;
 
   const LocalParty party(*db_);
   if (descriptor.isAggregate()) {
@@ -275,6 +398,12 @@ void NodeService::onRoundToken(const net::RoundToken& token) {
     return;
   }
   QueryState& state = it->second;
+  if (state.aborted) return;
+  if (token.round <= state.lastRoundSeen) {
+    // A retransmitted token we already processed: pass-once semantics.
+    metrics_.duplicatesDropped.inc();
+    return;
+  }
   if (!state.firstTokenSeen) {
     state.firstTokenSeen = true;
     if (!state.initiator) {
@@ -282,6 +411,8 @@ void NodeService::onRoundToken(const net::RoundToken& token) {
           elapsedMsSince(state.registeredAt));
     }
   }
+  state.lastActivity = std::chrono::steady_clock::now();
+  state.lastRoundSeen = token.round;
   obs::EventTracer::global().event(
       "event", "ring_step",
       {{"query_id", static_cast<std::int64_t>(token.queryId)},
@@ -314,9 +445,16 @@ void NodeService::onSumToken(const net::SumToken& token) {
     return;
   }
   QueryState& state = it->second;
+  if (state.aborted) return;
+  if (state.sumSeen) {
+    metrics_.duplicatesDropped.inc();
+    return;
+  }
   if (token.sums.size() != state.addends.size()) {
     throw ProtocolError("SumToken: counter count mismatch");
   }
+  state.sumSeen = true;
+  state.lastActivity = std::chrono::steady_clock::now();
 
   if (state.initiator) {
     // Unmask and publish.
@@ -347,8 +485,47 @@ void NodeService::onResult(const net::ResultAnnouncement& result) {
     return;
   }
   QueryState& state = it->second;
+  if (state.aborted) return;
   send(state, result);  // forward once before completing
   complete(result.queryId, state, result.result);
+}
+
+void NodeService::onRingRepair(const net::RingRepair& repair) {
+  const auto it = active_.find(repair.queryId);
+  if (it == active_.end()) return;  // unknown or already completed
+  QueryState& state = it->second;
+  if (state.aborted) return;
+  if (repair.failedNode == self_) {
+    // We are demonstrably alive; a partitioned peer condemned us.  Keep
+    // running - the shrunken ring proceeds without us.
+    PRIVTOPK_LOG_WARN("service ", self_,
+                      ": a peer declared this node dead for query ",
+                      repair.queryId, "; standing down from the ring");
+    return;
+  }
+  if (!sim::repairRingOrder(state.ringOrder, repair.failedNode)) {
+    return;  // already applied: the repair has circled the ring
+  }
+  metrics_.ringRepairs.inc();
+  state.lastActivity = std::chrono::steady_clock::now();
+  obs::EventTracer::global().event(
+      "event", "ring_repair",
+      {{"query_id", static_cast<std::int64_t>(repair.queryId)},
+       {"node", self_},
+       {"failed_node", repair.failedNode},
+       {"ring_size", state.ringOrder.size()}});
+  if (state.ringOrder.size() < 3) {
+    abortQuery(state, "ring shrank below 3 nodes after repair");
+    return;
+  }
+  // Forward so every survivor learns the new ring.
+  try {
+    transport_->send(self_, successorFor(state),
+                     net::encodeMessage(net::Message{repair}));
+  } catch (const TransportError& e) {
+    PRIVTOPK_LOG_WARN("service ", self_, ": ring-repair forward failed: ",
+                      e.what());
+  }
 }
 
 void NodeService::complete(std::uint64_t queryId, QueryState& state,
@@ -371,10 +548,17 @@ void NodeService::complete(std::uint64_t queryId, QueryState& state,
        {"initiator", state.initiator ? 1 : 0}});
 
   TopKVector presented = presentResult(state.descriptor, std::move(result));
-  if (state.initiator) {
+  if (state.initiator && !state.promiseSettled) {
+    state.promiseSettled = true;
     state.promise.set_value(presented);
   }
-  completed_[queryId] = std::move(presented);
+  const bool inserted =
+      completed_.insert_or_assign(queryId, std::move(presented)).second;
+  if (inserted) completedOrder_.push_back(queryId);
+  while (completed_.size() > options_.completedCap) {
+    completed_.erase(completedOrder_.front());
+    completedOrder_.pop_front();
+  }
   active_.erase(queryId);
   completedCv_.notify_all();
 }
@@ -399,6 +583,11 @@ std::optional<TopKVector> NodeService::waitFor(
 std::size_t NodeService::activeQueries() const {
   std::scoped_lock lock(mutex_);
   return active_.size();
+}
+
+std::size_t NodeService::completedQueries() const {
+  std::scoped_lock lock(mutex_);
+  return completed_.size();
 }
 
 obs::MetricsSnapshot NodeService::metricsSnapshot() const {

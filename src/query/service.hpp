@@ -13,19 +13,28 @@
 //   * runs top-k/bottom-k/max/min queries through the paper's randomized
 //     ring protocol and sum/count/average queries through the masked
 //     secure-sum pass;
+//   * survives fail-stop peer crashes and lost tokens: every node
+//     retransmits its last outbound message when a query stalls, and a
+//     successor that keeps refusing sends is spliced out of the ring
+//     (sim::repairRingOrder - the paper's predecessor/successor repair
+//     rule), with a RingRepair control message circulating the shrunken
+//     ring.  See docs/ROBUSTNESS.md for the failure model.
 //   * exposes initiate() returning a future, and resultOf() for queries
 //     this node merely participated in.
 //
 // Ordering assumption: links are FIFO per sender (both InProcTransport and
 // TcpTransport guarantee this), so a query's announce always arrives
-// before its first round token.  Malformed or unknown traffic is logged
-// and dropped - a hostile peer cannot take the service down.
+// before its first round token.  Retransmission can introduce duplicates;
+// they are suppressed by per-query round tracking.  Malformed or unknown
+// traffic is logged and dropped - a hostile peer cannot take the service
+// down.
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <map>
 #include <mutex>
@@ -43,6 +52,26 @@
 
 namespace privtopk::query {
 
+/// Robustness knobs for NodeService (see docs/ROBUSTNESS.md).
+struct ServiceOptions {
+  /// In-flight queries older than this are garbage-collected; initiators
+  /// see their future fail with TransportError.  This is the final
+  /// backstop when retransmission and ring repair cannot make progress
+  /// (e.g. the initiator itself died).
+  std::chrono::milliseconds staleAfter{60'000};
+  /// A query with no send/processed-receive activity for this long has its
+  /// last outbound message (announce + token) retransmitted.  0 disables
+  /// retransmission (pre-robustness behaviour).
+  std::chrono::milliseconds retransmitAfter{1'000};
+  /// Consecutive send failures to the current successor before it is
+  /// declared dead and spliced out of the ring.
+  int deadAfterFailures = 3;
+  /// Bound on the completed-result cache; the oldest entries are evicted
+  /// first (a long-running daemon must not leak one entry per query
+  /// forever).
+  std::size_t completedCap = 1024;
+};
+
 class NodeService {
  public:
   /// Binds the service to this node's id, private database and transport
@@ -55,6 +84,11 @@ class NodeService {
               net::Transport& transport, std::uint64_t seed,
               std::chrono::milliseconds staleAfter =
                   std::chrono::milliseconds(60'000));
+
+  /// Same, with the full robustness option set.
+  NodeService(NodeId self, const data::PrivateDatabase& db,
+              net::Transport& transport, std::uint64_t seed,
+              ServiceOptions options);
   ~NodeService();
 
   NodeService(const NodeService&) = delete;
@@ -74,7 +108,8 @@ class NodeService {
                                                  std::vector<NodeId> ringOrder);
 
   /// The recorded result of a completed query (also available for queries
-  /// this node did not initiate).
+  /// this node did not initiate).  Bounded: only the most recent
+  /// ServiceOptions::completedCap results are retained.
   [[nodiscard]] std::optional<TopKVector> resultOf(std::uint64_t queryId) const;
 
   /// Blocks until `queryId` completes or `timeout` elapses; returns the
@@ -84,6 +119,9 @@ class NodeService {
 
   /// Number of queries currently in flight (registered, not completed).
   [[nodiscard]] std::size_t activeQueries() const;
+
+  /// Number of retained completed results (bounded by completedCap).
+  [[nodiscard]] std::size_t completedQueries() const;
 
   /// Point-in-time copy of the process-wide metrics registry (the service
   /// records into the global registry, so one snapshot covers the service
@@ -108,23 +146,58 @@ class NodeService {
 
     // Initiator bookkeeping.
     std::promise<TopKVector> promise;
-    bool announced = false;  // our own announce came back; rounds started
+    bool promiseSettled = false;
 
     std::chrono::steady_clock::time_point registeredAt;
     // Follower-side announce -> first round-token latency observation.
     bool firstTokenSeen = false;
+
+    // --- Robustness state (docs/ROBUSTNESS.md) ---
+    // Wire copies for retransmission: the announce this node circulated
+    // and the most recent protocol message it emitted.
+    Bytes announceWire;
+    Bytes lastMessage;
+    // Last send or processed receive for this query; drives the
+    // retransmission deadline.
+    std::chrono::steady_clock::time_point lastActivity;
+    // Consecutive send failures to the current successor.
+    int sendFailures = 0;
+    // Duplicate suppression: highest round processed (RoundToken) and
+    // whether the single secure-sum pass was already forwarded.
+    Round lastRoundSeen = 0;
+    bool sumSeen = false;
+    // Set when the query can no longer proceed (ring shrank below 3);
+    // maintain() erases aborted entries.
+    bool aborted = false;
   };
 
   void workerLoop();
-  void purgeStale();
+  /// Stale-query GC + retransmission deadlines + aborted-query sweep.
+  void maintain();
   void dispatch(const net::Envelope& envelope);
   void onAnnounce(const net::QueryAnnounce& announce);
   void onRoundToken(const net::RoundToken& token);
   void onSumToken(const net::SumToken& token);
   void onResult(const net::ResultAnnouncement& result);
+  void onRingRepair(const net::RingRepair& repair);
 
   [[nodiscard]] NodeId successorFor(const QueryState& state) const;
-  void send(const QueryState& state, const net::Message& message);
+  /// Records `message` as the query's latest outbound payload and
+  /// delivers it (with failure accounting and ring repair).
+  void send(QueryState& state, const net::Message& message);
+  /// Re-sends the recorded announce + last message after a stall.
+  void retransmit(QueryState& state);
+  /// One delivery attempt to the current successor; counts consecutive
+  /// failures and, at the threshold, splices the successor out of the
+  /// ring and retries toward the next live node.  Returns false when the
+  /// message could not be delivered (yet).
+  bool deliver(QueryState& state, const Bytes& wire);
+  /// Declares `dead` failed: repairs the ring, announces the repair, and
+  /// aborts the query when fewer than 3 nodes remain.  Returns true when
+  /// the query can continue.
+  bool repairAfterDeadSuccessor(QueryState& state, NodeId dead);
+  /// Marks the query unable to proceed and fails the initiator's future.
+  void abortQuery(QueryState& state, const std::string& reason);
   void beginRounds(QueryState& state);
   void complete(std::uint64_t queryId, QueryState& state, TopKVector result);
 
@@ -140,6 +213,11 @@ class NodeService {
     obs::Counter& randomizedPasses;
     obs::Counter& realPasses;
     obs::Counter& passthroughPasses;
+    obs::Counter& retransmits;
+    obs::Counter& ringRepairs;
+    obs::Counter& peersDeclaredDead;
+    obs::Counter& duplicatesDropped;
+    obs::Counter& aborted;
     obs::Gauge& activeQueries;
     obs::Histogram& queryLatencyMs;
     obs::Histogram& announceToFirstTokenMs;
@@ -150,13 +228,15 @@ class NodeService {
   const data::PrivateDatabase* db_;
   net::Transport* transport_;
   Rng rng_;
-  std::chrono::milliseconds staleAfter_;
+  ServiceOptions options_;
   Metrics metrics_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable completedCv_;
   std::map<std::uint64_t, QueryState> active_;
   std::map<std::uint64_t, TopKVector> completed_;
+  // Insertion order of completed_ entries, oldest first (LRU eviction).
+  std::deque<std::uint64_t> completedOrder_;
 
   std::thread worker_;
   std::atomic<bool> running_{false};

@@ -5,6 +5,16 @@
 
 namespace privtopk::sim {
 
+bool repairRingOrder(std::vector<NodeId>& order, NodeId failed) {
+  const auto it = std::find(order.begin(), order.end(), failed);
+  if (it == order.end()) return false;
+  if (order.size() <= 1) {
+    throw Error("repairRingOrder: cannot remove the last node");
+  }
+  order.erase(it);
+  return true;
+}
+
 RingTopology RingTopology::identity(std::size_t n) {
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), NodeId{0});

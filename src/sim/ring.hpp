@@ -19,6 +19,14 @@
 
 namespace privtopk::sim {
 
+/// Splices `failed` out of `order` in place, connecting its predecessor and
+/// successor (the paper's repair rule).  Returns false when `failed` is not
+/// on the ring (already repaired elsewhere); throws Error when removal would
+/// empty the ring.  This is the single source of truth for repair semantics:
+/// both the simulator's RingTopology and the real-transport NodeService
+/// shrink rings through it.
+bool repairRingOrder(std::vector<NodeId>& order, NodeId failed);
+
 class RingTopology {
  public:
   /// Ring over nodes 0..n-1 in index order (position i holds node i).

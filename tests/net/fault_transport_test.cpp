@@ -1,0 +1,259 @@
+// FaultInjectingTransport + TcpTransport robustness tests: spec parsing,
+// deterministic drop/delay/crash schedules, link eviction and reconnect
+// after peer restart, send-side frame cap, and shutdown-vs-timeout
+// accounting.
+
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+
+namespace privtopk::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Bytes bytesOf(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------------------------------------------------------------------------
+// FaultSpec parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const FaultSpec spec =
+      FaultSpec::parse("drop:0->1:3,delay:1->2:50;crash:2@5");
+  ASSERT_EQ(spec.drops.size(), 1u);
+  EXPECT_EQ(spec.drops[0].from, 0u);
+  EXPECT_EQ(spec.drops[0].to, 1u);
+  EXPECT_EQ(spec.drops[0].nth, 3u);
+  ASSERT_EQ(spec.delays.size(), 1u);
+  EXPECT_EQ(spec.delays[0].from, 1u);
+  EXPECT_EQ(spec.delays[0].to, 2u);
+  EXPECT_EQ(spec.delays[0].delay, 50ms);
+  ASSERT_EQ(spec.crashes.size(), 1u);
+  EXPECT_EQ(spec.crashes[0].node, 2u);
+  EXPECT_EQ(spec.crashes[0].afterSends, 5u);
+}
+
+TEST(FaultSpec, EmptyStringMeansNoFaults) {
+  EXPECT_TRUE(FaultSpec::parse("").empty());
+}
+
+TEST(FaultSpec, RejectsMalformedClauses) {
+  EXPECT_THROW((void)FaultSpec::parse("drop:0->1"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("drop:01:3"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("drop:0->1:0"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("crash:2"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("crash:x@1"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("explode:0->1:1"), ConfigError);
+  EXPECT_THROW((void)FaultSpec::parse("nonsense"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault decorator over InProcTransport
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectingTransport, DropsExactlyTheScheduledMessage) {
+  InProcTransport inner(2);
+  FaultInjectingTransport t(inner, FaultSpec::parse("drop:0->1:2"));
+  t.send(0, 1, bytesOf("one"));
+  t.send(0, 1, bytesOf("two"));  // dropped
+  t.send(0, 1, bytesOf("three"));
+  EXPECT_EQ(t.receive(1, 100ms)->payload, bytesOf("one"));
+  EXPECT_EQ(t.receive(1, 100ms)->payload, bytesOf("three"));
+  EXPECT_EQ(t.receive(1, 20ms), std::nullopt);
+  EXPECT_EQ(t.dropsInjected(), 1u);
+}
+
+TEST(FaultInjectingTransport, DelaysTheLink) {
+  InProcTransport inner(2);
+  FaultInjectingTransport t(inner, FaultSpec::parse("delay:0->1:60"));
+  const auto start = std::chrono::steady_clock::now();
+  t.send(0, 1, bytesOf("slow"));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 55ms);
+  EXPECT_EQ(t.receive(1, 100ms)->payload, bytesOf("slow"));
+  EXPECT_EQ(t.delaysInjected(), 1u);
+}
+
+TEST(FaultInjectingTransport, CrashAfterBudgetThenUnreachable) {
+  InProcTransport inner(3);
+  FaultInjectingTransport t(inner, FaultSpec::parse("crash:0@2"));
+  t.send(0, 1, bytesOf("a"));
+  t.send(0, 2, bytesOf("b"));
+  // Third send exhausts the budget: node 0 is now failed-stop.
+  EXPECT_THROW(t.send(0, 1, bytesOf("c")), TransportError);
+  EXPECT_TRUE(t.isCrashed(0));
+  // Peers can no longer reach it, and it reads nothing.
+  EXPECT_THROW(t.send(1, 0, bytesOf("d")), TransportError);
+  EXPECT_EQ(t.receive(0, 10ms), std::nullopt);
+  // Other links are unaffected.
+  t.send(1, 2, bytesOf("e"));
+  EXPECT_EQ(t.receive(2, 100ms)->payload, bytesOf("b"));
+  EXPECT_EQ(t.receive(2, 100ms)->payload, bytesOf("e"));
+}
+
+TEST(FaultInjectingTransport, CrashFromTheStartAndRevive) {
+  InProcTransport inner(2);
+  FaultInjectingTransport t(inner, FaultSpec::parse("crash:1@0"));
+  EXPECT_TRUE(t.isCrashed(1));
+  EXPECT_THROW(t.send(0, 1, bytesOf("x")), TransportError);
+  t.reviveNode(1);
+  t.send(0, 1, bytesOf("x"));
+  EXPECT_EQ(t.receive(1, 100ms)->payload, bytesOf("x"));
+}
+
+TEST(FaultInjectingTransport, SharedStateCrossWrapper) {
+  // One wrapper per node (the TCP deployment shape): a crash recorded via
+  // wrapper A is visible to wrapper B.
+  InProcTransport inner(2);
+  auto state = std::make_shared<FaultState>(FaultSpec{});
+  FaultInjectingTransport a(inner, state);
+  FaultInjectingTransport b(inner, state);
+  a.crashNode(1);
+  EXPECT_TRUE(b.isCrashed(1));
+  EXPECT_THROW(b.send(0, 1, bytesOf("x")), TransportError);
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport link recovery
+// ---------------------------------------------------------------------------
+
+/// Reserves `count` distinct free localhost ports (see transport_test.cpp).
+std::vector<std::uint16_t> reservePorts(std::size_t count) {
+  std::vector<std::unique_ptr<TcpTransport>> probes;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < count; ++i) {
+    probes.push_back(std::make_unique<TcpTransport>(
+        0, std::vector<TcpPeer>{{0, "127.0.0.1", 0}}));
+    ports.push_back(probes.back()->listenPort());
+  }
+  for (auto& p : probes) p->shutdown();
+  return ports;
+}
+
+TEST(TcpTransportRecovery, ReconnectsAfterPeerRestart) {
+  const auto ports = reservePorts(2);
+  const std::vector<TcpPeer> peers = {{0, "127.0.0.1", ports[0]},
+                                      {1, "127.0.0.1", ports[1]}};
+  TcpOptions options;
+  options.connectTimeout = 1000ms;
+  TcpTransport a(0, peers, options);
+  auto b = std::make_unique<TcpTransport>(1, peers, options);
+
+  a.send(0, 1, bytesOf("before"));
+  ASSERT_TRUE(b->receive(1, 5000ms));
+
+  // Kill peer 1 and restart it on the same port.  The cached link in `a`
+  // is now dead; before the eviction fix every later send to 1 failed
+  // forever on the poisoned descriptor.
+  b->shutdown();
+  b.reset();
+  b = std::make_unique<TcpTransport>(1, peers, options);
+
+  // The first send may be swallowed by the dead socket (TCP accepts a
+  // write until the RST comes back), but send() must recover on its own
+  // within its retry budget rather than stay poisoned.
+  for (int i = 0; i < 10; ++i) {
+    try {
+      a.send(0, 1, bytesOf("after" + std::to_string(i)));
+    } catch (const TransportError&) {
+      // Retries exhausted on a torn link; the next send dials fresh.
+    }
+  }
+  const auto env = b->receive(1, 5000ms);
+  ASSERT_TRUE(env);
+  EXPECT_GT(a.linksEvicted(), 0u);
+
+  a.shutdown();
+  b->shutdown();
+}
+
+TEST(TcpTransportRecovery, DeadPeerDoesNotBlockOtherLinks) {
+  // Three-node address book where node 2 never comes up: a send to the
+  // dead peer burns its connect timeout, but a concurrent send to the
+  // live peer must not queue behind it (the old code dialed while holding
+  // the global link-map mutex).
+  const auto ports = reservePorts(3);
+  const std::vector<TcpPeer> peers = {{0, "127.0.0.1", ports[0]},
+                                      {1, "127.0.0.1", ports[1]},
+                                      {2, "127.0.0.1", ports[2]}};
+  TcpOptions options;
+  options.connectTimeout = 2000ms;
+  options.sendRetries = 0;
+  TcpTransport a(0, peers, options);
+  TcpTransport b(1, peers, options);
+
+  std::atomic<bool> deadSendDone{false};
+  std::thread blocked([&] {
+    EXPECT_THROW(a.send(0, 2, bytesOf("into the void")), TransportError);
+    deadSendDone = true;
+  });
+  std::this_thread::sleep_for(50ms);  // let the dead dial start first
+
+  const auto start = std::chrono::steady_clock::now();
+  a.send(0, 1, bytesOf("live traffic"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(deadSendDone.load());  // dead dial still burning its timeout
+  EXPECT_LT(elapsed, 1000ms);
+  ASSERT_TRUE(b.receive(1, 5000ms));
+
+  blocked.join();
+  a.shutdown();
+  b.shutdown();
+}
+
+TEST(TcpTransportRecovery, OversizedPayloadRejectedWithoutKillingLink) {
+  const auto ports = reservePorts(2);
+  const std::vector<TcpPeer> peers = {{0, "127.0.0.1", ports[0]},
+                                      {1, "127.0.0.1", ports[1]}};
+  TcpTransport a(0, peers);
+  TcpTransport b(1, peers);
+
+  // Before the send-side cap, this frame went out whole and the receiver
+  // tore the connection down on the oversized header.
+  Bytes oversized(static_cast<std::size_t>(kMaxFrame) + 1);
+  EXPECT_THROW(a.send(0, 1, oversized), TransportError);
+
+  // The link (and the receiver) must still be healthy.
+  a.send(0, 1, bytesOf("still alive"));
+  const auto env = b.receive(1, 5000ms);
+  ASSERT_TRUE(env);
+  EXPECT_EQ(env->payload, bytesOf("still alive"));
+
+  a.shutdown();
+  b.shutdown();
+}
+
+TEST(TcpTransportRecovery, ShutdownWakeupIsNotCountedAsTimeout) {
+  auto& timeouts = obs::counter("privtopk.transport.receive_timeouts",
+                                {{"transport", "tcp"}});
+  const auto ports = reservePorts(1);
+  TcpTransport t(0, {{0, "127.0.0.1", ports[0]}});
+
+  // A genuine deadline miss increments the metric...
+  const std::uint64_t before = timeouts.value();
+  EXPECT_EQ(t.receive(0, 10ms), std::nullopt);
+  EXPECT_EQ(timeouts.value(), before + 1);
+
+  // ...but a shutdown wakeup must not.
+  std::atomic<bool> woke{false};
+  std::thread blocked([&] {
+    (void)t.receive(0, 10s);
+    woke = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  const std::uint64_t beforeShutdown = timeouts.value();
+  t.shutdown();
+  blocked.join();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(timeouts.value(), beforeShutdown);
+}
+
+}  // namespace
+}  // namespace privtopk::net

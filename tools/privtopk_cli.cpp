@@ -17,7 +17,9 @@
 //       --ring 0,1,2 --csv /tmp/party0.csv --schema id:text,value:int
 //       --attribute value --k 3 --encrypt
 //   privtopk metrics --parties 4 --k 3 --format both --trace
-// (multi-flag invocations continue on one shell line or with backslashes)
+//   privtopk metrics --parties 5 --k 3 --fault-spec "drop:0->1:2,crash:2@0"
+// (multi-flag invocations continue on one shell line or with backslashes;
+//  --fault-spec grammar is documented in docs/ROBUSTNESS.md)
 
 #include <cstdio>
 #include <fstream>
@@ -30,6 +32,7 @@
 #include "common/args.hpp"
 #include "data/csv.hpp"
 #include "data/generator.hpp"
+#include "net/fault.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "obs/export.hpp"
@@ -223,7 +226,7 @@ int cmdNode(int argc, const char* const* argv) {
       argc, argv,
       {"self", "peers", "ring", "csv", "schema", "table", "attribute", "type",
        "k", "p0", "d", "epsilon", "rounds", "seed", "domain-min",
-       "domain-max", "query-id", "encrypt", "timeout-ms"});
+       "domain-max", "query-id", "encrypt", "timeout-ms", "fault-spec"});
   const auto self = static_cast<NodeId>(args.getInt("self", 0));
   const query::QueryDescriptor descriptor = descriptorFromArgs(args);
 
@@ -261,7 +264,20 @@ int cmdNode(int argc, const char* const* argv) {
   net::TcpOptions tcpOptions;
   tcpOptions.encrypt = args.getBool("encrypt");
   tcpOptions.keySeed = descriptor.queryId ^ 0x9e3779b97f4a7c15ULL;
-  net::TcpTransport transport(self, peers, tcpOptions);
+  net::TcpTransport tcpTransport(self, peers, tcpOptions);
+
+  // Optional deterministic fault schedule for robustness drills (see
+  // docs/ROBUSTNESS.md for the grammar).
+  const net::FaultSpec faultSpec =
+      net::FaultSpec::parse(args.getString("fault-spec", ""));
+  std::unique_ptr<net::FaultInjectingTransport> faulty;
+  net::Transport* transportPtr = &tcpTransport;
+  if (!faultSpec.empty()) {
+    faulty = std::make_unique<net::FaultInjectingTransport>(tcpTransport,
+                                                            faultSpec);
+    transportPtr = faulty.get();
+  }
+  net::Transport& transport = *transportPtr;
 
   Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)) + self);
   protocol::ProtocolNode node(
@@ -286,7 +302,7 @@ int cmdMetrics(int argc, const char* const* argv) {
       argc, argv,
       {"parties", "rows", "dist", "type", "k", "protocol", "p0", "d",
        "epsilon", "rounds", "seed", "domain-min", "domain-max", "query-id",
-       "format", "trace"});
+       "format", "trace", "fault-spec"});
   const auto n = static_cast<std::size_t>(args.getInt("parties", 4));
   if (n < 3) throw ConfigError("metrics: --parties must be >= 3");
   const std::string format = args.getString("format", "both");
@@ -307,12 +323,29 @@ int cmdMetrics(int argc, const char* const* argv) {
 
   if (args.getBool("trace")) obs::EventTracer::global().enable(&std::cerr);
 
-  net::InProcTransport transport(n);
+  net::InProcTransport inproc(n);
+  const net::FaultSpec faultSpec =
+      net::FaultSpec::parse(args.getString("fault-spec", ""));
+  std::unique_ptr<net::FaultInjectingTransport> faulty;
+  net::Transport* transportPtr = &inproc;
+  if (!faultSpec.empty()) {
+    faulty = std::make_unique<net::FaultInjectingTransport>(inproc, faultSpec);
+    transportPtr = faulty.get();
+  }
+  net::Transport& transport = *transportPtr;
+  // Under injected faults the ring needs headroom to detect and repair
+  // before the default initiator deadline.
+  query::ServiceOptions serviceOptions;
+  if (!faultSpec.empty()) {
+    serviceOptions.retransmitAfter = std::chrono::milliseconds(250);
+    serviceOptions.deadAfterFailures = 2;
+  }
   std::vector<std::unique_ptr<query::NodeService>> services;
   for (std::size_t i = 0; i < n; ++i) {
     services.push_back(std::make_unique<query::NodeService>(
         static_cast<NodeId>(i), fleet[i], transport,
-        static_cast<std::uint64_t>(args.getInt("seed", 42)) + i));
+        static_cast<std::uint64_t>(args.getInt("seed", 42)) + i,
+        serviceOptions));
     services.back()->start();
   }
 
