@@ -12,7 +12,8 @@
 
 using namespace privtopk;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ablation_grouping");
   protocol::ProtocolParams params;
   params.k = 1;
   params.rounds = 5;  // r_min(0.001) for (1, 1/2)

@@ -23,7 +23,7 @@ namespace {
 
 constexpr std::size_t kNodes = 4;
 constexpr Round kRounds = 8;
-constexpr int kTrials = 300;
+constexpr int kDefaultTrials = 300;
 
 /// Runs the max protocol with an arbitrary schedule (bypassing the
 /// ProtocolParams schedule construction).
@@ -40,10 +40,11 @@ ScheduleResult runWithSchedule(
   Rng dataRng(seed);
   Rng rng(seed + 1);
 
+  const int trials = bench::effectiveTrials(kDefaultTrials);
   std::vector<double> precisionSums(kRounds, 0.0);
   privacy::LoPAccumulator acc(kNodes, kRounds, privacy::Grouping::ByNodeId);
 
-  for (int t = 0; t < kTrials; ++t) {
+  for (int t = 0; t < trials; ++t) {
     const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
     const TopKVector truth = data::trueTopK(values, 1);
 
@@ -83,7 +84,7 @@ ScheduleResult runWithSchedule(
   }
 
   ScheduleResult result;
-  for (double s : precisionSums) result.precision.push_back(s / kTrials);
+  for (double s : precisionSums) result.precision.push_back(s / trials);
   result.lopPerRound = acc.perRoundAverage();
   result.lopPeakAvg = acc.averageLoP();
   return result;
@@ -91,7 +92,8 @@ ScheduleResult runWithSchedule(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ablation_schedules");
   const auto exponential =
       std::make_shared<const protocol::ExponentialSchedule>(1.0, 0.5);
   const auto linear =

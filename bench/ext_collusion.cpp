@@ -3,6 +3,7 @@
 // multi-round Bayesian distribution exposure, and the paper's proposed
 // countermeasure of re-randomizing the ring mapping every round.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -17,7 +18,7 @@ namespace {
 
 constexpr std::size_t kNodes = 6;
 constexpr Round kRounds = 6;
-constexpr int kTrials = 1500;
+constexpr int kDefaultTrials = 1500;
 
 struct CollusionResult {
   std::vector<double> conditionalByRound;
@@ -36,13 +37,15 @@ CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
   Rng dataRng(seed);
   Rng rng(seed + 1);
 
+  const int trials = bench::effectiveTrials(kDefaultTrials);
+  const int bayesTrials = std::min(trials, 200);
   privacy::CollusionAnalyzer analyzer(kRounds);
   double bayes = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
+  for (int t = 0; t < trials; ++t) {
     const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
     const auto trace = runner.run(values, rng).trace;
     analyzer.addTrial(trace);
-    if (t < 200) {  // the Bayesian replay is the expensive part
+    if (t < bayesTrials) {  // the Bayesian replay is the expensive part
       bayes += privacy::averageDistributionExposure(trace, schedule);
     }
   }
@@ -51,13 +54,14 @@ CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
   for (const auto& stats : analyzer.perRound()) {
     result.conditionalByRound.push_back(stats.conditionalExposure());
   }
-  result.bayesianExposure = bayes / 200;
+  result.bayesianExposure = bayes / bayesTrials;
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ext_collusion");
   const auto fixedRing = measure(false, 1201);
   const auto remapped = measure(true, 1203);
 

@@ -34,7 +34,8 @@ bench::LoPSummary lopFor(const std::string& dist, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ext_distributions");
   std::vector<double> xs;
   for (Round r = 1; r <= 8; ++r) xs.push_back(r);
 

@@ -30,7 +30,8 @@ std::vector<std::vector<knn::LabeledPoint>> blobs(std::size_t parties,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ext_knn");
   bench::printHeader(
       "Extension: privacy-preserving kNN (paper SS7 future work)",
       "two-blob data, sigma 1.5, centers 6 apart; 100 test queries");
@@ -50,7 +51,7 @@ int main() {
       Rng protoRng(seed + 2);
       int correct = 0;
       int agree = 0;
-      const int queries = 100;
+      const int queries = bench::effectiveTrials(100);
       for (int q = 0; q < queries; ++q) {
         const int label = static_cast<int>(testRng.bernoulli(0.5));
         const double c = label == 0 ? 0.0 : 6.0;

@@ -23,7 +23,7 @@ Row measure(protocol::MaliciousBehavior behavior, std::size_t adversaries,
             std::uint64_t seed) {
   constexpr std::size_t kNodes = 8;
   constexpr std::size_t kK = 4;
-  constexpr int kTrials = 200;
+  const int kTrials = bench::effectiveTrials(200);
 
   data::UniformDistribution dist;
   Rng dataRng(seed);
@@ -56,7 +56,8 @@ Row measure(protocol::MaliciousBehavior behavior, std::size_t adversaries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ext_malicious");
   bench::printHeader(
       "Extension: malicious-model attacks (paper SS2.1 / SS7)",
       "n = 8, k = 4, 200 trials; precision vs honest-only ground truth");

@@ -18,12 +18,13 @@ namespace {
 
 constexpr std::size_t kNodes = 4;
 constexpr Round kRounds = 6;
-constexpr int kRepeats = 10;   // queries over the same data
-constexpr int kTrials = 100;   // independent datasets
+constexpr int kRepeats = 10;         // queries over the same data
+constexpr int kDefaultTrials = 100;  // independent datasets
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ext_multiquery");
   protocol::ProtocolParams params;
   params.rounds = kRounds;
   const protocol::RingQueryRunner runner(params,
@@ -34,10 +35,11 @@ int main() {
   Rng dataRng(1301);
   Rng rng(1302);
 
+  const int trials = bench::effectiveTrials(kDefaultTrials);
   // exposure[q] = average exposure after q+1 queries.
   std::vector<double> exposure(kRepeats, 0.0);
 
-  for (int trial = 0; trial < kTrials; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
     std::vector<privacy::ValuePosterior> posteriors(
         kNodes, privacy::ValuePosterior(kPaperDomain, 100));
@@ -52,7 +54,7 @@ int main() {
       exposure[static_cast<std::size_t>(q)] += avg / kNodes;
     }
   }
-  for (double& e : exposure) e /= kTrials;
+  for (double& e : exposure) e /= trials;
 
   bench::printHeader(
       "Extension: privacy erosion under repeated queries",

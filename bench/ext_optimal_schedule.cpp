@@ -20,7 +20,7 @@ using namespace privtopk;
 namespace {
 
 constexpr std::size_t kNodes = 4;
-constexpr int kTrials = 400;
+constexpr int kDefaultTrials = 400;
 
 struct Measured {
   double finalPrecision = 0.0;
@@ -33,10 +33,11 @@ Measured runSchedule(
   data::UniformDistribution dist;
   Rng dataRng(seed);
   Rng rng(seed + 1);
+  const int trials = bench::effectiveTrials(kDefaultTrials);
   privacy::LoPAccumulator acc(kNodes, rounds, privacy::Grouping::ByNodeId);
   int exact = 0;
 
-  for (int t = 0; t < kTrials; ++t) {
+  for (int t = 0; t < trials; ++t) {
     const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
     const TopKVector truth = data::trueTopK(values, 1);
 
@@ -69,12 +70,13 @@ Measured runSchedule(
     acc.addTrial(trace);
     if (global == truth) ++exact;
   }
-  return Measured{static_cast<double>(exact) / kTrials, acc.averageLoP()};
+  return Measured{static_cast<double>(exact) / trials, acc.averageLoP()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "ext_optimal_schedule");
   bench::printHeader(
       "Extension: optimized randomization schedule (paper SS7)",
       "equal round budget & correctness target; n = 4, 400 trials");

@@ -23,7 +23,8 @@ std::vector<double> boundSeries(double p0, double d, Round maxRound) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig03");
   constexpr Round kMaxRound = 10;
   std::vector<double> xs;
   for (Round r = 1; r <= kMaxRound; ++r) xs.push_back(r);

@@ -25,7 +25,8 @@ std::vector<double> roundsSeries(double p0, double d,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig04");
   std::vector<double> epsilons;
   for (int e = 1; e <= 10; ++e) epsilons.push_back(std::pow(10.0, -e));
 

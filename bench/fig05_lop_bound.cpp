@@ -24,7 +24,8 @@ std::vector<double> lopSeries(double p0, double d, Round maxRound) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig05");
   constexpr Round kMaxRound = 8;
   std::vector<double> xs;
   for (Round r = 1; r <= kMaxRound; ++r) xs.push_back(r);

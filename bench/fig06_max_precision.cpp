@@ -25,7 +25,8 @@ std::vector<double> run(double p0, double d, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig06");
   std::vector<double> xs;
   for (Round r = 1; r <= 10; ++r) xs.push_back(r);
 

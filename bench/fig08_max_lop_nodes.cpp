@@ -32,7 +32,8 @@ std::vector<double> run(double p0, double d, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig08");
   bench::printHeader("Figure 8(a): LoP vs number of nodes (d = 1/2)",
                      "max selection, peak over rounds, 100 trials");
   bench::printSeriesTable("nodes", {"p0=1", "p0=3/4", "p0=1/2", "p0=1/4"},

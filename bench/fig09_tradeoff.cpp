@@ -14,7 +14,8 @@
 using namespace privtopk;
 using bench::SeriesSpec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig09");
   constexpr double kEpsilon = 0.001;
   const std::vector<double> p0s = {0.25, 0.5, 0.75, 1.0};
   const std::vector<double> ds = {0.125, 0.25, 0.5, 0.75};

@@ -31,7 +31,8 @@ bench::LoPSummary measure(ProtocolKind kind, std::size_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig10");
   std::vector<double> naiveAvg;
   std::vector<double> anonAvg;
   std::vector<double> probAvg;

@@ -23,7 +23,8 @@ std::vector<double> run(std::size_t k, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig11");
   std::vector<double> xs;
   for (Round r = 1; r <= 10; ++r) xs.push_back(r);
 

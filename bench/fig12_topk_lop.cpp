@@ -30,7 +30,8 @@ bench::LoPSummary measure(ProtocolKind kind, std::size_t k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initBenchCli(argc, argv, "fig12");
   std::vector<double> naiveAvg;
   std::vector<double> anonAvg;
   std::vector<double> probAvg;

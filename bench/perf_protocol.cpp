@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "support/bench_json.hpp"
+#include "support/experiment.hpp"
 
 #include "data/generator.hpp"
 #include "protocol/local_algorithm.hpp"
@@ -41,8 +43,12 @@ void BM_MaxQuery_VsNodes(benchmark::State& state) {
     last = runner.run(values, rng);
     benchmark::DoNotOptimize(last.result);
   }
+  // One "item" per ring step actually executed; use the measured round
+  // count, not the configured literal, so items/sec stays honest when
+  // effectiveRounds() diverges from the parameter.
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n) * 5);
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(last.rounds));
   state.counters["n"] = static_cast<double>(n);
   state.counters["k"] = 1;
   state.counters["rounds"] = static_cast<double>(last.rounds);
@@ -142,6 +148,63 @@ void BM_LocalTopKStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalTopKStep)->Arg(1)->Arg(16)->Arg(256);
+
+// Monte-Carlo sweep scaling: one figure-style point (100 trials) at a
+// given worker-thread count.  The exported counters record the wall clock
+// and the speedup over the single-threaded row, so the BENCH JSON carries
+// the parallel harness's perf trajectory across commits.  The Arg(1) row
+// runs first (registration order) and seeds the baseline.
+template <typename Measure>
+void sweepWithThreads(benchmark::State& state, double& baselineMs,
+                      const Measure& measure) {
+  bench::SeriesSpec spec;
+  spec.n = 64;
+  spec.k = 4;
+  spec.valuesPerNode = 8;
+  spec.rounds = 10;
+  spec.trials = 100;
+  spec.threads = static_cast<int>(state.range(0));
+
+  double totalMs = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(measure(spec));
+    totalMs += std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  }
+  const double perSweepMs =
+      state.iterations() > 0
+          ? totalMs / static_cast<double>(state.iterations())
+          : 0.0;
+  if (spec.threads == 1) baselineMs = perSweepMs;
+  state.counters["threads"] = static_cast<double>(spec.threads);
+  state.counters["trials"] = static_cast<double>(spec.trials);
+  state.counters["sweep_ms"] = perSweepMs;
+  if (spec.threads > 1 && baselineMs > 0.0 && perSweepMs > 0.0) {
+    state.counters["speedup_vs_1t"] = baselineMs / perSweepMs;
+  }
+}
+
+void BM_PrecisionSweep_Threads(benchmark::State& state) {
+  static double baselineMs = 0.0;
+  sweepWithThreads(state, baselineMs, [](const bench::SeriesSpec& spec) {
+    return bench::measurePrecisionSeries(spec);
+  });
+}
+BENCHMARK(BM_PrecisionSweep_Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_LoPSweep_Threads(benchmark::State& state) {
+  static double baselineMs = 0.0;
+  sweepWithThreads(state, baselineMs, [](const bench::SeriesSpec& spec) {
+    return bench::measureLoP(spec);
+  });
+}
+BENCHMARK(BM_LoPSweep_Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

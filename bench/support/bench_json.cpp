@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "support/experiment.hpp"
+
 namespace privtopk::benchsupport {
 
 namespace {
@@ -80,9 +82,14 @@ void JsonExportReporter::Finalize() {
 
 int runBenchmarksWithJson(int argc, char** argv,
                           const std::string& jsonPath) {
+  // Resolve the export location before benchmark::Initialize touches argv:
+  // $PRIVTOPK_BENCH_JSON_DIR, else the binary's own directory — NOT the
+  // CWD, which silently decoupled the files from the CI artifact upload.
+  const std::string resolved = bench::resolveBenchJsonPath(
+      jsonPath, argc > 0 ? argv[0] : nullptr);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  JsonExportReporter reporter(jsonPath);
+  JsonExportReporter reporter(resolved);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;

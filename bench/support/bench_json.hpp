@@ -4,8 +4,11 @@
 // library versions shipped by distributions, so the perf harnesses use a
 // console reporter subclass that additionally collects every finished run
 // and writes a stable JSON array (name, iterations, wall/cpu time per
-// iteration, user counters such as n/k/rounds/messages/bytes) to a fixed
-// path.  CI uploads these files as artifacts for cross-commit comparison.
+// iteration, user counters such as n/k/rounds/messages/bytes).  The file
+// lands in $PRIVTOPK_BENCH_JSON_DIR when set, otherwise next to the bench
+// binary (see bench::resolveBenchJsonPath) so the CI artifact upload from
+// build/bench/ always finds it.  CI uploads these files as artifacts for
+// cross-commit comparison.
 
 #pragma once
 

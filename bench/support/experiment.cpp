@@ -1,8 +1,16 @@
 #include "support/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
 
+#include "common/args.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace privtopk::bench {
 
@@ -22,6 +30,23 @@ std::vector<double> precisionByRound(const protocol::ExecutionTrace& trace,
   return out;
 }
 
+std::vector<double> averagePerRound(
+    const std::vector<std::vector<double>>& perTrial, std::size_t rounds) {
+  std::vector<double> sums(rounds, 0.0);
+  std::vector<std::size_t> counts(rounds, 0);
+  for (const auto& series : perTrial) {
+    const std::size_t upto = std::min(series.size(), rounds);
+    for (std::size_t r = 0; r < upto; ++r) {
+      sums[r] += series[r];
+      ++counts[r];
+    }
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (counts[r] > 0) sums[r] /= static_cast<double>(counts[r]);
+  }
+  return sums;
+}
+
 namespace {
 
 protocol::ProtocolParams paramsOf(const SeriesSpec& spec) {
@@ -33,34 +58,168 @@ protocol::ProtocolParams paramsOf(const SeriesSpec& spec) {
   return params;
 }
 
+// ---------------------------------------------------------------------------
+// Driver-level CLI state and the per-measurement run log.  The log is
+// flushed to BENCH_<name>.json at exit so every figure bench leaves a
+// machine-readable perf record (wall clock, threads, trials per series)
+// next to its table output.
+// ---------------------------------------------------------------------------
+
+struct BenchCliState {
+  std::string name;
+  std::string argv0;
+  int threads = 0;      // 0 = env var, then hardware
+  int trials = 0;       // 0 = per-spec default
+  bool writeJson = true;
+  bool initialized = false;
+};
+
+BenchCliState& cliState() {
+  static BenchCliState state;
+  return state;
+}
+
+struct RunRecord {
+  std::string kind;  // "precision" | "lop"
+  std::size_t n = 0;
+  std::size_t k = 0;
+  Round rounds = 0;
+  int trials = 0;
+  std::size_t threads = 0;
+  double wallMs = 0.0;
+};
+
+std::vector<RunRecord>& runRecords() {
+  static std::vector<RunRecord> records;
+  return records;
+}
+
+std::mutex& runRecordMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void writeRunRecordsJson() {
+  const BenchCliState& state = cliState();
+  if (!state.writeJson || state.name.empty()) return;
+  std::vector<RunRecord> records;
+  {
+    const std::lock_guard<std::mutex> lock(runRecordMutex());
+    records = runRecords();
+  }
+  if (records.empty()) return;
+  const std::string path = resolveBenchJsonPath(
+      "BENCH_" + state.name + ".json", state.argv0.c_str());
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write '%s'\n", path.c_str());
+    return;
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << "  {\"bench\": \"" << state.name << "\", \"series\": " << i
+        << ", \"kind\": \"" << r.kind << "\", \"n\": " << r.n
+        << ", \"k\": " << r.k << ", \"rounds\": " << r.rounds
+        << ", \"trials\": " << r.trials << ", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << r.wallMs << "}";
+    if (i + 1 < records.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+}
+
+void recordRun(const char* kind, const SeriesSpec& spec, int trials,
+               std::size_t threads, Round rounds,
+               std::chrono::steady_clock::time_point start) {
+  RunRecord record;
+  record.kind = kind;
+  record.n = spec.n;
+  record.k = spec.k;
+  record.rounds = rounds;
+  record.trials = trials;
+  record.threads = threads;
+  record.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  const std::lock_guard<std::mutex> lock(runRecordMutex());
+  runRecords().push_back(std::move(record));
+}
+
+std::size_t specThreads(const SeriesSpec& spec) {
+  const int requested = spec.threads > 0 ? spec.threads : cliState().threads;
+  return resolveThreadCount(requested, kBenchThreadsEnvVar);
+}
+
 }  // namespace
+
+void initBenchCli(int argc, char** argv, const std::string& benchName) {
+  BenchCliState& state = cliState();
+  state.name = benchName;
+  if (argc > 0 && argv[0] != nullptr) state.argv0 = argv[0];
+  const ArgParser args(argc, argv, {"threads", "trials", "no-json"});
+  state.threads = static_cast<int>(args.getInt("threads", 0));
+  state.trials = static_cast<int>(args.getInt("trials", 0));
+  state.writeJson = !args.getBool("no-json");
+  if (!state.initialized) {
+    state.initialized = true;
+    std::atexit(writeRunRecordsJson);
+  }
+}
+
+int effectiveTrials(int specDefault) {
+  const int override = cliState().trials;
+  return override > 0 ? override : specDefault;
+}
+
+std::string resolveBenchJsonPath(const std::string& filename,
+                                 const char* argv0) {
+  namespace fs = std::filesystem;
+  fs::path dir;
+  if (const char* env = std::getenv("PRIVTOPK_BENCH_JSON_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  if (dir.empty() && argv0 != nullptr && *argv0 != '\0') {
+    dir = fs::path(argv0).parent_path();
+  }
+  if (dir.empty()) return filename;
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; open() reports failures
+  return (dir / filename).string();
+}
 
 std::vector<double> measurePrecisionSeries(const SeriesSpec& spec) {
   const protocol::RingQueryRunner runner(paramsOf(spec), spec.kind);
   const auto dist = data::makeDistribution(spec.distribution);
-  Rng dataRng(spec.seed);
-  Rng rng(spec.seed + 1);
 
   const Round rounds =
       spec.kind == protocol::ProtocolKind::Probabilistic ? spec.rounds : 1;
-  std::vector<double> sums(rounds, 0.0);
-  for (int t = 0; t < spec.trials; ++t) {
+  const int trials = effectiveTrials(spec.trials);
+  const std::size_t threads = specThreads(spec);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Every trial writes its own slot; the index-ordered reduction below
+  // keeps the output bit-identical for any thread count.
+  std::vector<std::vector<double>> perTrial(
+      static_cast<std::size_t>(trials));
+  parallelFor(threads, perTrial.size(), [&](std::size_t t) {
+    Rng dataRng = trialRng(spec.seed, t);
+    Rng rng = trialRng(spec.seed + 1, t);
     const auto values =
         data::generateValueSets(spec.n, spec.valuesPerNode, *dist, dataRng);
     const TopKVector truth = data::trueTopK(values, spec.k);
     const auto run = runner.run(values, rng);
-    const auto series = precisionByRound(run.trace, truth);
-    for (std::size_t r = 0; r < series.size(); ++r) sums[r] += series[r];
-  }
-  for (double& s : sums) s /= spec.trials;
-  return sums;
+    perTrial[t] = precisionByRound(run.trace, truth);
+  });
+
+  auto out = averagePerRound(perTrial, rounds);
+  recordRun("precision", spec, trials, threads, rounds, start);
+  return out;
 }
 
 LoPSummary measureLoP(const SeriesSpec& spec) {
   const protocol::RingQueryRunner runner(paramsOf(spec), spec.kind);
   const auto dist = data::makeDistribution(spec.distribution);
-  Rng dataRng(spec.seed);
-  Rng rng(spec.seed + 1);
 
   const Round rounds =
       spec.kind == protocol::ProtocolKind::Probabilistic ? spec.rounds : 1;
@@ -68,16 +227,34 @@ LoPSummary measureLoP(const SeriesSpec& spec) {
       spec.kind == protocol::ProtocolKind::Naive
           ? privacy::Grouping::ByRingPosition
           : privacy::Grouping::ByNodeId;
-  privacy::LoPAccumulator acc(spec.n, rounds, grouping);
-  for (int t = 0; t < spec.trials; ++t) {
+  const int trials = effectiveTrials(spec.trials);
+  const std::size_t threads = specThreads(spec);
+  const auto start = std::chrono::steady_clock::now();
+
+  // One accumulator per trial, merged in trial order: merge() is
+  // associative, and the fixed reduction order makes the summary
+  // bit-identical for any thread count.
+  std::vector<std::unique_ptr<privacy::LoPAccumulator>> perTrial(
+      static_cast<std::size_t>(trials));
+  parallelFor(threads, perTrial.size(), [&](std::size_t t) {
+    Rng dataRng = trialRng(spec.seed, t);
+    Rng rng = trialRng(spec.seed + 1, t);
     const auto values =
         data::generateValueSets(spec.n, spec.valuesPerNode, *dist, dataRng);
-    acc.addTrial(runner.run(values, rng).trace);
-  }
+    auto acc = std::make_unique<privacy::LoPAccumulator>(spec.n, rounds,
+                                                         grouping);
+    acc->addTrial(runner.run(values, rng).trace);
+    perTrial[t] = std::move(acc);
+  });
+
+  privacy::LoPAccumulator acc(spec.n, rounds, grouping);
+  for (const auto& partial : perTrial) acc.merge(*partial);
+
   LoPSummary summary;
   summary.perRound = acc.perRoundAverage();
   summary.average = acc.averageLoP();
   summary.worst = acc.worstLoP();
+  recordRun("lop", spec, trials, threads, rounds, start);
   return summary;
 }
 

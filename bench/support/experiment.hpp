@@ -3,6 +3,13 @@
 // Mirrors the paper's §5.1 setup: n nodes, attribute values drawn from the
 // integer domain [1,10000] (uniform by default; normal and zipf available),
 // every plotted point averaged over 100 experiments.
+//
+// The repetition loop is embarrassingly parallel: every trial derives its
+// own counter-based RNG streams from (seed, trial index), so
+// measurePrecisionSeries/measureLoP fan trials across worker threads and
+// reduce per-trial results in trial order — the output is bit-identical
+// for ANY thread count.  The knob is SeriesSpec::threads, the drivers'
+// --threads flag, or the PRIVTOPK_BENCH_THREADS environment variable.
 
 #pragma once
 
@@ -20,11 +27,27 @@ namespace privtopk::bench {
 /// The paper's repetition count per plotted point.
 inline constexpr int kTrials = 100;
 
+/// Counter-based per-trial RNG stream: statistically independent across
+/// trials (and of streams derived from other seeds), and a pure function
+/// of (seed, trial) so parallel execution stays deterministic.
+[[nodiscard]] inline Rng trialRng(std::uint64_t seed, std::uint64_t trial) {
+  return Rng(splitmix64(seed) ^ splitmix64(trial));
+}
+
 /// Precision of the global vector state at the end of each round:
 /// |state_r ∩ TopK| / k (the paper's §5.4 metric; for k = 1 this is the
 /// 0/1 indicator of §5.2).  state_r is the output of the round's last step.
+/// The series can be SHORTER than trace.rounds when the trace holds fewer
+/// steps than rounds * nodeCount (e.g. a repaired, shrunken ring).
 [[nodiscard]] std::vector<double> precisionByRound(
     const protocol::ExecutionTrace& trace, const TopKVector& truth);
+
+/// Averages ragged per-trial series into a per-round mean of length
+/// `rounds`.  Each round divides by the number of trials whose series
+/// actually reached it, so short traces do not drag the tail averages
+/// toward zero; rounds no trial reached report 0.
+[[nodiscard]] std::vector<double> averagePerRound(
+    const std::vector<std::vector<double>>& perTrial, std::size_t rounds);
 
 /// Config for one measured series.
 struct SeriesSpec {
@@ -38,6 +61,10 @@ struct SeriesSpec {
   std::string distribution = "uniform";
   int trials = kTrials;
   std::uint64_t seed = 42;
+  /// Worker threads for the trial fan-out.  0 = the driver default
+  /// (--threads flag, then PRIVTOPK_BENCH_THREADS, then all cores).  The
+  /// results are bit-identical for every value.
+  int threads = 0;
 };
 
 /// Mean precision per round across trials (length = spec.rounds).
@@ -51,6 +78,27 @@ struct LoPSummary {
 };
 
 [[nodiscard]] LoPSummary measureLoP(const SeriesSpec& spec);
+
+/// Parses the shared figure-driver flags and registers the bench for JSON
+/// export.  Flags: --threads N (trial fan-out width), --trials N
+/// (overrides every spec's repetition count — CI smoke runs), --no-json
+/// (suppress the JSON export).  Call it first thing in every driver's
+/// main(); unknown flags abort with a ConfigError so typos fail loudly.
+/// `benchName` names the export file, BENCH_<benchName>.json.
+void initBenchCli(int argc, char** argv, const std::string& benchName);
+
+/// The CLI/driver-level trials override: --trials when given, otherwise
+/// `specDefault`.  Hand-rolled trial loops (the ablation/extension benches
+/// that bypass measure*) should size themselves with this so the smoke
+/// knob reaches them too.
+[[nodiscard]] int effectiveTrials(int specDefault);
+
+/// Resolves where a BENCH_*.json export lands: $PRIVTOPK_BENCH_JSON_DIR
+/// when set, otherwise the directory of the running binary (from argv0),
+/// otherwise the CWD.  Shared by the figure drivers and the
+/// google-benchmark JSON reporter so CI can upload from one place.
+[[nodiscard]] std::string resolveBenchJsonPath(const std::string& filename,
+                                               const char* argv0);
 
 /// Printing helpers: every bench emits a self-describing text table, one
 /// series per column, so the output diffs cleanly against EXPERIMENTS.md.

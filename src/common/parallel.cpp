@@ -1,0 +1,67 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace privtopk {
+
+std::size_t resolveThreadCount(int requested, const char* envVar) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  if (envVar != nullptr) {
+    if (const char* value = std::getenv(envVar)) {
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end != value && *end == '\0' && parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+void parallelFor(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(std::max<std::size_t>(threads, 1), count);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex errorMutex;
+  std::exception_ptr error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          if (!error) error = std::current_exception();
+        }
+        // Park the counter past the end so every worker drains promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace privtopk

@@ -1,0 +1,40 @@
+// Deterministic fan-out of independent loop iterations across threads.
+//
+// The Monte-Carlo harnesses repeat an experiment `trials` times; every
+// trial derives its own RNG streams from (seed, trial index), so the
+// iterations are embarrassingly parallel.  parallelFor distributes the
+// index space over a transient worker pool with dynamic (atomic-counter)
+// scheduling: which thread runs which index is unspecified, so callers
+// that need bit-identical results for ANY thread count must (a) write each
+// iteration's output to its own index-addressed slot and (b) reduce the
+// slots in index order on the calling thread afterwards.  The harnesses in
+// bench/support/experiment.cpp follow exactly that pattern.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace privtopk {
+
+/// Environment variable consulted by resolveThreadCount for the bench and
+/// CLI harnesses when no explicit thread count is given.
+inline constexpr const char* kBenchThreadsEnvVar = "PRIVTOPK_BENCH_THREADS";
+
+/// Resolves a worker-thread request: a positive `requested` wins;
+/// otherwise a positive integer in the `envVar` environment variable
+/// (when `envVar` is non-null and set); otherwise every hardware thread
+/// (at least 1).  Malformed environment values are ignored.
+[[nodiscard]] std::size_t resolveThreadCount(int requested,
+                                             const char* envVar = nullptr);
+
+/// Runs body(i) for every i in [0, count) on up to `threads` workers
+/// (`threads` <= 1 runs inline on the calling thread, which also
+/// participates in the parallel case).  Iterations must not depend on each
+/// other.  If any iteration throws, the remaining indices are abandoned,
+/// all workers are joined, and the first exception is rethrown on the
+/// calling thread.
+void parallelFor(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace privtopk

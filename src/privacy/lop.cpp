@@ -47,6 +47,18 @@ void LoPAccumulator::addTrial(const protocol::ExecutionTrace& trace) {
   ++trials_;
 }
 
+void LoPAccumulator::merge(const LoPAccumulator& other) {
+  if (other.nodes_ != nodes_ || other.maxRounds_ != maxRounds_ ||
+      other.grouping_ != grouping_) {
+    throw ConfigError("LoPAccumulator::merge: shape mismatch");
+  }
+  for (std::size_t cell = 0; cell < sums_.size(); ++cell) {
+    sums_[cell] += other.sums_[cell];
+    counts_[cell] += other.counts_[cell];
+  }
+  trials_ += other.trials_;
+}
+
 double LoPAccumulator::cellMean(std::size_t node, std::size_t round) const {
   const std::size_t cell = node * maxRounds_ + round;
   if (counts_[cell] == 0) return 0.0;

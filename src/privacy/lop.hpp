@@ -54,6 +54,13 @@ class LoPAccumulator {
   /// top-k R of the baseline term.
   void addTrial(const protocol::ExecutionTrace& trace);
 
+  /// Folds another accumulator over the same (nodes, rounds, grouping)
+  /// shape into this one.  The operation is associative (cell-wise sums of
+  /// sums and counts), which lets the Monte-Carlo harness accumulate
+  /// trials in parallel and reduce the partials in a fixed order.  Throws
+  /// ConfigError on a shape mismatch.
+  void merge(const LoPAccumulator& other);
+
   /// Mean over nodes of the per-round LoP estimate (Figure 7 series).
   [[nodiscard]] std::vector<double> perRoundAverage() const;
 

@@ -1,0 +1,111 @@
+// Determinism contract of the parallel Monte-Carlo harness: the figure
+// benches must produce bit-identical numbers for ANY worker-thread count,
+// because every trial derives its own RNG streams from (seed, trial) and
+// the reductions run in trial order on the calling thread.
+
+#include "support/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace privtopk::bench {
+namespace {
+
+SeriesSpec smallSpec() {
+  SeriesSpec spec;
+  spec.n = 5;
+  spec.k = 2;
+  spec.valuesPerNode = 4;
+  spec.rounds = 6;
+  spec.trials = 40;
+  spec.seed = 123;
+  return spec;
+}
+
+TEST(MeasurePrecisionSeries, BitIdenticalForAnyThreadCount) {
+  SeriesSpec spec = smallSpec();
+  spec.threads = 1;
+  const auto base = measurePrecisionSeries(spec);
+  ASSERT_EQ(base.size(), static_cast<std::size_t>(spec.rounds));
+  for (const int threads : {2, 4, 7}) {
+    spec.threads = threads;
+    const auto got = measurePrecisionSeries(spec);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t r = 0; r < base.size(); ++r) {
+      EXPECT_EQ(got[r], base[r]) << "threads=" << threads << " round=" << r;
+    }
+  }
+}
+
+TEST(MeasureLoP, BitIdenticalForAnyThreadCount) {
+  SeriesSpec spec = smallSpec();
+  spec.threads = 1;
+  const LoPSummary base = measureLoP(spec);
+  for (const int threads : {2, 4, 7}) {
+    spec.threads = threads;
+    const LoPSummary got = measureLoP(spec);
+    EXPECT_EQ(got.average, base.average) << "threads=" << threads;
+    EXPECT_EQ(got.worst, base.worst) << "threads=" << threads;
+    ASSERT_EQ(got.perRound.size(), base.perRound.size());
+    for (std::size_t r = 0; r < base.perRound.size(); ++r) {
+      EXPECT_EQ(got.perRound[r], base.perRound[r])
+          << "threads=" << threads << " round=" << r;
+    }
+  }
+}
+
+TEST(MeasureLoP, NaiveGroupingAlsoDeterministic) {
+  SeriesSpec spec = smallSpec();
+  spec.kind = protocol::ProtocolKind::Naive;
+  spec.threads = 1;
+  const LoPSummary base = measureLoP(spec);
+  spec.threads = 4;
+  const LoPSummary got = measureLoP(spec);
+  EXPECT_EQ(got.average, base.average);
+  EXPECT_EQ(got.worst, base.worst);
+}
+
+TEST(TrialRng, StreamsAreStableAndDistinct) {
+  // Pure function of (seed, trial): same inputs, same stream ...
+  Rng a = trialRng(7, 3);
+  Rng b = trialRng(7, 3);
+  EXPECT_EQ(a.next(), b.next());
+  // ... different trials, different streams.
+  Rng c = trialRng(7, 4);
+  Rng d = trialRng(7, 3);
+  EXPECT_NE(c.next(), d.next());
+}
+
+TEST(AveragePerRound, ShortSeriesDoNotBiasTheTail) {
+  // Trial 0 reached three rounds, trial 1 only one: each round must divide
+  // by the number of trials that actually reached it, not by the trial
+  // count (the old harness dragged the tail toward zero).
+  const std::vector<std::vector<double>> perTrial = {{1.0, 0.5, 0.25}, {0.0}};
+  const auto avg = averagePerRound(perTrial, 4);
+  ASSERT_EQ(avg.size(), 4u);
+  EXPECT_DOUBLE_EQ(avg[0], 0.5);   // (1.0 + 0.0) / 2
+  EXPECT_DOUBLE_EQ(avg[1], 0.5);   // only trial 0 reached round 2
+  EXPECT_DOUBLE_EQ(avg[2], 0.25);  // only trial 0 reached round 3
+  EXPECT_DOUBLE_EQ(avg[3], 0.0);   // nobody reached round 4
+}
+
+TEST(PrecisionByRound, TruncatedTraceYieldsShortSeries) {
+  protocol::ExecutionTrace trace;
+  trace.nodeCount = 3;
+  trace.k = 1;
+  trace.rounds = 4;  // claims four rounds ...
+  const TopKVector truth = {9};
+  for (std::size_t pos = 0; pos < 3; ++pos) {  // ... but holds only one
+    trace.steps.push_back(
+        protocol::TraceStep{Round{1}, pos, static_cast<NodeId>(pos), {1}, {9}});
+  }
+  const auto series = precisionByRound(trace, truth);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+}
+
+TEST(EffectiveTrials, DefaultsToSpecWithoutCliOverride) {
+  EXPECT_EQ(effectiveTrials(250), 250);
+}
+
+}  // namespace
+}  // namespace privtopk::bench

@@ -139,5 +139,88 @@ TEST(LoPAccumulator, TrialsCounted) {
   EXPECT_EQ(acc.trials(), 25u);
 }
 
+/// Traces for the merge tests.  k = 1 and n = 4 keep every per-step LoP
+/// sample dyadic (multiples of 1/4), so double addition is EXACT and the
+/// equality checks below compare bit-for-bit.
+std::vector<protocol::ExecutionTrace> sampleTraces(int trials,
+                                                   std::uint64_t seed) {
+  ProtocolParams params;
+  params.rounds = 6;
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(seed);
+  Rng rng(seed + 1);
+  std::vector<protocol::ExecutionTrace> traces;
+  traces.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const auto values = data::generateValueSets(4, 1, dist, dataRng);
+    traces.push_back(runner.run(values, rng).trace);
+  }
+  return traces;
+}
+
+LoPAccumulator accumulate(
+    const std::vector<protocol::ExecutionTrace>& traces) {
+  LoPAccumulator acc(4, 6, Grouping::ByNodeId);
+  for (const auto& trace : traces) acc.addTrial(trace);
+  return acc;
+}
+
+void expectSameEstimates(const LoPAccumulator& a, const LoPAccumulator& b) {
+  EXPECT_EQ(a.trials(), b.trials());
+  const auto perRoundA = a.perRoundAverage();
+  const auto perRoundB = b.perRoundAverage();
+  ASSERT_EQ(perRoundA.size(), perRoundB.size());
+  for (std::size_t r = 0; r < perRoundA.size(); ++r) {
+    EXPECT_EQ(perRoundA[r], perRoundB[r]) << "round " << r;
+  }
+  EXPECT_EQ(a.averageLoP(), b.averageLoP());
+  EXPECT_EQ(a.worstLoP(), b.worstLoP());
+}
+
+TEST(LoPAccumulatorMerge, MatchesSequentialAccumulation) {
+  const auto traces = sampleTraces(30, 21);
+  const auto sequential = accumulate(traces);
+
+  // Partition into three uneven shards, accumulate separately, merge.
+  LoPAccumulator merged(4, 6, Grouping::ByNodeId);
+  merged.merge(accumulate({traces.begin(), traces.begin() + 7}));
+  merged.merge(accumulate({traces.begin() + 7, traces.begin() + 19}));
+  merged.merge(accumulate({traces.begin() + 19, traces.end()}));
+
+  expectSameEstimates(merged, sequential);
+}
+
+TEST(LoPAccumulatorMerge, IsAssociative) {
+  const auto traces = sampleTraces(24, 22);
+  const auto a = accumulate({traces.begin(), traces.begin() + 8});
+  const auto b = accumulate({traces.begin() + 8, traces.begin() + 16});
+  const auto c = accumulate({traces.begin() + 16, traces.end()});
+
+  LoPAccumulator left(4, 6, Grouping::ByNodeId);  // (a ⊕ b) ⊕ c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+
+  LoPAccumulator bc(4, 6, Grouping::ByNodeId);  // a ⊕ (b ⊕ c)
+  bc.merge(b);
+  bc.merge(c);
+  LoPAccumulator right(4, 6, Grouping::ByNodeId);
+  right.merge(a);
+  right.merge(bc);
+
+  expectSameEstimates(left, right);
+}
+
+TEST(LoPAccumulatorMerge, RejectsShapeMismatch) {
+  LoPAccumulator acc(4, 6, Grouping::ByNodeId);
+  EXPECT_THROW(acc.merge(LoPAccumulator(5, 6, Grouping::ByNodeId)),
+               ConfigError);
+  EXPECT_THROW(acc.merge(LoPAccumulator(4, 7, Grouping::ByNodeId)),
+               ConfigError);
+  EXPECT_THROW(acc.merge(LoPAccumulator(4, 6, Grouping::ByRingPosition)),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace privtopk::privacy

@@ -30,6 +30,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/optimal_schedule.hpp"
 #include "common/args.hpp"
+#include "common/parallel.hpp"
 #include "data/csv.hpp"
 #include "data/generator.hpp"
 #include "net/fault.hpp"
@@ -392,7 +393,7 @@ int cmdRecordTraces(int argc, const char* const* argv) {
       argc, argv,
       {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
        "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
-       "query-id", "filter", "trials", "out"});
+       "query-id", "filter", "trials", "threads", "out"});
   const auto files = args.getList("csv");
   if (files.size() < 3) {
     throw ConfigError("--csv needs at least 3 comma-separated files");
@@ -413,13 +414,19 @@ int cmdRecordTraces(int argc, const char* const* argv) {
   }
   const query::Federation federation(parties);
 
-  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+  // Trials fan out across threads (--threads, PRIVTOPK_BENCH_THREADS,
+  // default all cores) with a counter-based RNG stream per trial, so the
+  // recorded archive is bit-identical for any thread count.
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   const int trials = static_cast<int>(args.getInt("trials", 100));
-  std::vector<protocol::ExecutionTrace> traces;
-  traces.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    traces.push_back(federation.execute(descriptor, rng).trace);
-  }
+  const std::size_t threads = resolveThreadCount(
+      static_cast<int>(args.getInt("threads", 0)), kBenchThreadsEnvVar);
+  std::vector<protocol::ExecutionTrace> traces(
+      static_cast<std::size_t>(trials));
+  parallelFor(threads, traces.size(), [&](std::size_t t) {
+    Rng rng(splitmix64(seed) ^ splitmix64(t));
+    traces[t] = federation.execute(descriptor, rng).trace;
+  });
   const std::string out = args.getString("out", "query.traces");
   protocol::saveTraceArchive(out, traces);
   std::printf("recorded %d traces of %s(%zu) over %zu parties -> %s\n",
