@@ -12,8 +12,8 @@
 #include "data/generator.hpp"
 #include "privacy/lop.hpp"
 #include "protocol/local_algorithm.hpp"
-#include "protocol/node.hpp"
 #include "protocol/runner.hpp"
+#include "protocol/trace.hpp"
 #include "sim/ring.hpp"
 #include "support/experiment.hpp"
 
@@ -49,12 +49,13 @@ ScheduleResult runWithSchedule(
     const TopKVector truth = data::trueTopK(values, 1);
 
     // Hand-rolled ring execution with the custom schedule.
-    std::vector<protocol::ProtocolNode> nodes;
+    std::vector<TopKVector> locals;
+    std::vector<std::unique_ptr<protocol::LocalAlgorithm>> algorithms;
     for (std::size_t i = 0; i < kNodes; ++i) {
-      TopKVector local = {values[i][0]};
-      nodes.emplace_back(static_cast<NodeId>(i), local,
-                         std::make_unique<protocol::RandomizedMaxAlgorithm>(
-                             schedule, rng.fork(t * 100 + i), kPaperDomain));
+      locals.push_back({values[i][0]});
+      algorithms.push_back(std::make_unique<protocol::RandomizedMaxAlgorithm>(
+          schedule, rng.fork(t * 100 + i), kPaperDomain));
+      algorithms.back()->reset(locals.back());
     }
     privtopk::sim::RingTopology ring =
         privtopk::sim::RingTopology::random(kNodes, rng);
@@ -64,16 +65,13 @@ ScheduleResult runWithSchedule(
     trace.k = 1;
     trace.rounds = kRounds;
     trace.initialOrder = ring.order();
-    trace.localVectors.resize(kNodes);
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      trace.localVectors[i] = nodes[i].localVector();
-    }
+    trace.localVectors = locals;
 
     TopKVector global = {kPaperDomain.min};
     for (Round r = 1; r <= kRounds; ++r) {
       for (std::size_t pos = 0; pos < kNodes; ++pos) {
         const NodeId node = ring.at(pos);
-        TopKVector out = nodes[node].onToken(r, global);
+        TopKVector out = algorithms[node]->step(global, r);
         trace.steps.push_back(protocol::TraceStep{r, pos, node, global, out});
         global = std::move(out);
       }

@@ -11,7 +11,7 @@
 #include "data/generator.hpp"
 #include "privacy/lop.hpp"
 #include "protocol/local_algorithm.hpp"
-#include "protocol/node.hpp"
+#include "protocol/trace.hpp"
 #include "sim/ring.hpp"
 #include "support/experiment.hpp"
 
@@ -41,11 +41,13 @@ Measured runSchedule(
     const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
     const TopKVector truth = data::trueTopK(values, 1);
 
-    std::vector<protocol::ProtocolNode> nodes;
+    std::vector<TopKVector> locals;
+    std::vector<std::unique_ptr<protocol::LocalAlgorithm>> algorithms;
     for (std::size_t i = 0; i < kNodes; ++i) {
-      nodes.emplace_back(static_cast<NodeId>(i), TopKVector{values[i][0]},
-                         std::make_unique<protocol::RandomizedMaxAlgorithm>(
-                             schedule, rng.fork(t * 100 + i), kPaperDomain));
+      locals.push_back({values[i][0]});
+      algorithms.push_back(std::make_unique<protocol::RandomizedMaxAlgorithm>(
+          schedule, rng.fork(t * 100 + i), kPaperDomain));
+      algorithms.back()->reset(locals.back());
     }
     sim::RingTopology ring = sim::RingTopology::random(kNodes, rng);
     protocol::ExecutionTrace trace;
@@ -53,15 +55,12 @@ Measured runSchedule(
     trace.k = 1;
     trace.rounds = rounds;
     trace.initialOrder = ring.order();
-    trace.localVectors.resize(kNodes);
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      trace.localVectors[i] = nodes[i].localVector();
-    }
+    trace.localVectors = locals;
     TopKVector global = {kPaperDomain.min};
     for (Round r = 1; r <= rounds; ++r) {
       for (std::size_t pos = 0; pos < kNodes; ++pos) {
         const NodeId node = ring.at(pos);
-        TopKVector out = nodes[node].onToken(r, global);
+        TopKVector out = algorithms[node]->step(global, r);
         trace.steps.push_back(protocol::TraceStep{r, pos, node, global, out});
         global = std::move(out);
       }

@@ -70,11 +70,9 @@ int main() {
   std::vector<std::future<TopKVector>> futures;
   for (std::size_t i = 0; i < kParties; ++i) {
     futures.push_back(std::async(std::launch::async, [&, i] {
-      protocol::ProtocolNode node(
-          static_cast<NodeId>(i), locals[i],
-          protocol::makeLocalAlgorithm(cfg.kind, cfg.params, nodeRngs[i]));
-      protocol::DistributedParticipant participant(std::move(node),
-                                                   *transports[i], cfg);
+      protocol::DistributedParticipant participant(static_cast<NodeId>(i),
+                                                   locals[i], *transports[i],
+                                                   cfg, nodeRngs[i]);
       return participant.run();
     }));
   }

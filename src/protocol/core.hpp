@@ -1,0 +1,255 @@
+// The sans-I/O protocol core: ONE implementation of the paper's ring
+// protocol (§3.2-§3.4) shared by every execution engine.
+//
+// The core is transport-agnostic and event-driven.  A driver feeds inputs
+// in (onStart / onToken / onResult / onPeerDead) and maps the returned
+// effects onto its own substrate:
+//
+//   * Actions::sendToken / Actions::sendResult  -> deliver to the ring
+//     successor (synchronously, through an event queue, or over a real
+//     net::Transport);
+//   * ParticipantConfig::trace                  -> RecordTraceStep: every
+//     local-algorithm invocation is appended to the sink as it happens;
+//   * Actions::completed                        -> FlushPassCounts: the
+//     driver reads passCounts() once and flushes them to its metric cells;
+//   * aborted()/abortReason()                   -> Abort: the ring shrank
+//     below the privacy floor and the query cannot continue.
+//
+// Four drivers exist: protocol::RingQueryRunner (synchronous Monte-Carlo
+// loop), protocol::runSimulatedQuery (virtual-time event queue),
+// protocol::DistributedParticipant (blocking transport) and
+// query::NodeService (long-running daemon).  They contain NO ring
+// arithmetic, round bookkeeping or termination logic of their own - this
+// header is the single home of all of it.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "protocol/local_algorithm.hpp"
+#include "protocol/params.hpp"
+#include "protocol/trace.hpp"
+
+namespace privtopk::protocol::core {
+
+// ---------------------------------------------------------------------------
+// Privacy floor (§4.1): with fewer than 3 participants the two neighbours
+// of a node can reconstruct its contribution, so every engine refuses to
+// run - and aborts a repaired ring that shrank - below this size.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kMinRingSize = 3;
+
+[[nodiscard]] constexpr bool meetsPrivacyFloor(std::size_t ringSize) {
+  return ringSize >= kMinRingSize;
+}
+
+/// Throws ConfigError("<context>: ...") unless `ringSize` meets the floor.
+void requireRingSize(std::size_t ringSize, const char* context);
+
+// ---------------------------------------------------------------------------
+// Ring-position math.  `order[i]` is the node at ring position i and
+// `order.front()` is the starting node; this is the only place that
+// indexes a ring order.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool onRing(const std::vector<NodeId>& order, NodeId node);
+
+/// Position of `node` on the ring; throws Error when absent.
+[[nodiscard]] std::size_t ringPosition(const std::vector<NodeId>& order,
+                                       NodeId node);
+
+/// The node `node` hands the token to; throws Error when `node` is absent.
+[[nodiscard]] NodeId ringSuccessor(const std::vector<NodeId>& order,
+                                   NodeId node);
+
+struct RepairOutcome {
+  /// False when `failed` was not on the ring (repair already applied).
+  bool applied = false;
+  /// True when the surviving ring no longer meets the privacy floor; the
+  /// query must abort.
+  bool belowFloor = false;
+};
+
+/// The paper's §3.2 repair rule: splice `failed` out, connecting its
+/// predecessor and successor, and report whether the survivors still meet
+/// the privacy floor.
+RepairOutcome repairRing(std::vector<NodeId>& order, NodeId failed);
+
+/// §4.3 collusion hardening: a fresh random mapping over the live nodes,
+/// rotated so `controller` keeps position 0 (it still drives the rounds).
+[[nodiscard]] std::vector<NodeId> remapRing(std::vector<NodeId> order,
+                                            NodeId controller, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Local initialization (§3.4).
+// ---------------------------------------------------------------------------
+
+/// Sort descending and keep the k largest values.
+[[nodiscard]] TopKVector localTopK(const std::vector<Value>& values,
+                                   std::size_t k);
+
+/// Stream-separation tag used when forking a node's algorithm Rng out of a
+/// shared engine Rng (see makeLocalAlgorithm).
+inline constexpr std::uint64_t kAlgorithmRngTag = 0x5a17;
+
+/// Builds the local-algorithm instance a ProtocolKind requires.  For the
+/// probabilistic kinds `rng` is forked (with kAlgorithmRngTag) so each
+/// node owns an independent stream; the naive kinds draw nothing.
+[[nodiscard]] std::unique_ptr<LocalAlgorithm> makeLocalAlgorithm(
+    ProtocolKind kind, const ProtocolParams& params, Rng& rng);
+
+/// The round budget a configuration implies: the paper's r_min (Eq. 4) for
+/// the probabilistic protocol, exactly one round for the naive variants.
+[[nodiscard]] Round roundBudget(ProtocolKind kind,
+                                const ProtocolParams& params);
+
+// ---------------------------------------------------------------------------
+// Engine-facing knobs shared by the in-memory drivers (runner + simulator).
+// ---------------------------------------------------------------------------
+
+/// Optional determinism overrides for the in-memory engines, letting a
+/// test pin the ring and the per-node randomness to match another engine
+/// bit for bit (see tests/integration/engine_equivalence_test.cpp).
+struct EngineOverrides {
+  /// Explicit ring order (a permutation of 0..n-1; front() starts).
+  /// Empty: the engine draws its default mapping (identity for the naive
+  /// baseline, random otherwise).
+  std::vector<NodeId> ringOrder;
+  /// Per-node algorithm seeds: node i's algorithm draws exactly the
+  /// stream a NodeService seeded with nodeSeeds[i] would use for its
+  /// first query.  Empty: algorithms fork off the engine Rng as usual.
+  std::vector<std::uint64_t> nodeSeeds;
+};
+
+// ---------------------------------------------------------------------------
+// The participant state machine.
+// ---------------------------------------------------------------------------
+
+struct ParticipantConfig {
+  std::uint64_t queryId = 0;
+  NodeId self = 0;
+  /// Agreed ring order; ringOrder.front() is the starting node.
+  std::vector<NodeId> ringOrder;
+  ProtocolKind kind = ProtocolKind::Probabilistic;
+  /// Protocol parameters with k already resolved to the effective k.
+  ProtocolParams params;
+  /// Optional trace sink (RecordTraceStep effect).  May be shared by all
+  /// participants of one run (in-memory engines) or private to this node
+  /// (distributed engines).  Must outlive the Participant.
+  ExecutionTrace* trace = nullptr;
+};
+
+/// Effects returned by every input; the driver performs the I/O.
+struct Actions {
+  /// Hand this token to the current ring successor.
+  std::optional<net::RoundToken> sendToken;
+  /// Circulate the final result to the current ring successor (§3.3
+  /// termination round).
+  std::optional<net::ResultAnnouncement> sendResult;
+  /// The input was a duplicate (retransmission) or arrived out of phase;
+  /// nothing was processed.  Lenient drivers drop it, strict ones throw.
+  bool duplicate = false;
+  /// The start node closed a round (drivers count rounds_executed here;
+  /// the per-round remap hook also fires on this edge).
+  bool roundClosed = false;
+  /// The final result is known; result() is valid and the driver should
+  /// flush passCounts() to its metrics.
+  bool completed = false;
+};
+
+/// One ring participant: position bookkeeping, the round budget, duplicate
+/// suppression, LocalAlgorithm invocation, trace recording, repair and the
+/// privacy-floor abort.  The node at ringOrder.front() doubles as the
+/// controller: it deals round r+1 when round r circles back and emits the
+/// ResultAnnouncement when the budget is exhausted.  Repair can promote a
+/// different node to the front mid-query; the state machine handles the
+/// handover (a promoted controller may close a round it already processed
+/// as a follower).
+class Participant {
+ public:
+  /// `localTopK` is this node's private input (sorted descending, at most
+  /// k values - see core::localTopK).  Takes ownership of `algorithm`.
+  /// Throws ConfigError when the ring is below the privacy floor, self is
+  /// not on the ring, or the parameters are invalid.
+  Participant(ParticipantConfig config, TopKVector localTopK,
+              std::unique_ptr<LocalAlgorithm> algorithm);
+
+  // --- Inputs ---
+
+  /// Starts the query (start node only): processes round 1 over the
+  /// initial global vector (k copies of the domain minimum, §3.4).
+  [[nodiscard]] Actions onStart();
+
+  /// A RoundToken arrived carrying `vector` for `round`.
+  [[nodiscard]] Actions onToken(Round round, const TopKVector& vector);
+
+  /// A ResultAnnouncement arrived.  Followers adopt the result and forward
+  /// the announcement once; a completed node reports a duplicate.
+  [[nodiscard]] Actions onResult(const TopKVector& result);
+
+  /// `failed` was detected dead: splice it out (§3.2 repair).  Sets the
+  /// aborted state when the survivors fall below the privacy floor.
+  RepairOutcome onPeerDead(NodeId failed);
+
+  /// Adopts a fresh ring mapping (per-round remap drivers).  `order` must
+  /// contain this node.
+  void setRingOrder(std::vector<NodeId> order);
+
+  // --- Observers ---
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] bool isStart() const { return ringOrder_.front() == self_; }
+  [[nodiscard]] const std::vector<NodeId>& ringOrder() const {
+    return ringOrder_;
+  }
+  [[nodiscard]] std::size_t position() const {
+    return ringPosition(ringOrder_, self_);
+  }
+  [[nodiscard]] NodeId successor() const {
+    return ringSuccessor(ringOrder_, self_);
+  }
+  [[nodiscard]] Round rounds() const { return rounds_; }
+  /// Highest round this node's algorithm has processed.
+  [[nodiscard]] Round lastProcessedRound() const { return lastProcessed_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] const std::string& abortReason() const { return abortReason_; }
+  /// Valid once completed().
+  [[nodiscard]] const TopKVector& result() const { return result_; }
+  [[nodiscard]] const TopKVector& localVector() const { return local_; }
+  [[nodiscard]] const LocalAlgorithm::PassCounts& passCounts() const {
+    return algorithm_->passCounts();
+  }
+
+ private:
+  /// One local-algorithm invocation + the RecordTraceStep effect.
+  [[nodiscard]] TopKVector process(Round round, const TopKVector& input);
+  Actions finish(Actions actions, const TopKVector& result);
+
+  std::uint64_t queryId_ = 0;
+  NodeId self_ = 0;
+  std::vector<NodeId> ringOrder_;
+  ProtocolParams params_;
+  ExecutionTrace* trace_ = nullptr;
+  TopKVector local_;
+  std::unique_ptr<LocalAlgorithm> algorithm_;
+  Round rounds_ = 1;
+  Round lastProcessed_ = 0;  // duplicate suppression (followers)
+  Round lastClosed_ = 0;     // duplicate suppression (controller)
+  bool started_ = false;
+  bool completed_ = false;
+  bool aborted_ = false;
+  std::string abortReason_;
+  TopKVector result_;
+};
+
+}  // namespace privtopk::protocol::core

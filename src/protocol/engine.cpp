@@ -1,8 +1,7 @@
 #include "protocol/engine.hpp"
 
-#include <algorithm>
 #include <future>
-#include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -39,53 +38,62 @@ DistributedMetrics& distributedMetrics() {
   return metrics;
 }
 
+core::ParticipantConfig coreConfig(NodeId self,
+                                   const DistributedConfig& config) {
+  core::ParticipantConfig cfg;
+  cfg.queryId = config.queryId;
+  cfg.self = self;
+  cfg.ringOrder = config.ringOrder;
+  cfg.kind = config.kind;
+  cfg.params = config.params;
+  cfg.trace = config.trace;
+  return cfg;
+}
+
 }  // namespace
 
-DistributedParticipant::DistributedParticipant(ProtocolNode node,
+DistributedParticipant::DistributedParticipant(NodeId self,
+                                               TopKVector localTopK,
                                                net::Transport& transport,
-                                               DistributedConfig config)
-    : node_(std::move(node)), transport_(transport), config_(std::move(config)) {
-  config_.params.validate();
-  if (config_.ringOrder.size() < 3) {
-    throw ConfigError("DistributedParticipant: ring needs >= 3 nodes");
-  }
-  if (std::find(config_.ringOrder.begin(), config_.ringOrder.end(),
-                node_.id()) == config_.ringOrder.end()) {
-    throw ConfigError("DistributedParticipant: node not on the ring");
-  }
-}
-
-bool DistributedParticipant::isStart() const {
-  return config_.ringOrder.front() == node_.id();
-}
+                                               DistributedConfig config,
+                                               Rng& rng)
+    : transport_(transport),
+      config_(std::move(config)),
+      core_(coreConfig(self, config_), std::move(localTopK),
+            core::makeLocalAlgorithm(config_.kind, config_.params, rng)) {}
 
 void DistributedParticipant::sendOnRing(const Bytes& payload) {
-  const auto it = std::find(config_.ringOrder.begin(), config_.ringOrder.end(),
-                            node_.id());
-  const std::size_t self =
-      static_cast<std::size_t>(std::distance(config_.ringOrder.begin(), it));
-  const std::size_t n = config_.ringOrder.size();
-  for (std::size_t hop = 1; hop < n; ++hop) {
-    const NodeId target = config_.ringOrder[(self + hop) % n];
-    if (dead_.contains(target)) continue;
+  while (true) {
+    const NodeId target = core_.successor();
     try {
-      transport_.send(node_.id(), target, payload);
+      transport_.send(core_.self(), target, payload);
       distributedMetrics().tokenMessages.inc();
       distributedMetrics().tokenBytes.observe(
           static_cast<double>(payload.size()));
       return;
     } catch (const TransportError& e) {
-      PRIVTOPK_LOG_WARN("node ", node_.id(), ": successor ", target,
+      PRIVTOPK_LOG_WARN("node ", core_.self(), ": successor ", target,
                         " unreachable (", e.what(), "); repairing ring");
       distributedMetrics().ringRepairs.inc();
-      dead_.insert(target);
+      (void)core_.onPeerDead(target);
+      if (core_.aborted()) {
+        throw TransportError("sendOnRing: " + core_.abortReason());
+      }
     }
   }
-  throw TransportError("sendOnRing: every other participant is unreachable");
+}
+
+void DistributedParticipant::perform(const core::Actions& actions) {
+  if (actions.sendToken) {
+    sendOnRing(net::encodeMessage(*actions.sendToken));
+  }
+  if (actions.sendResult) {
+    sendOnRing(net::encodeMessage(*actions.sendResult));
+  }
 }
 
 net::Message DistributedParticipant::awaitMessage() {
-  const auto env = transport_.receive(node_.id(), config_.receiveTimeout);
+  const auto env = transport_.receive(core_.self(), config_.receiveTimeout);
   if (!env) {
     throw TransportError("DistributedParticipant: receive timed out");
   }
@@ -95,68 +103,54 @@ net::Message DistributedParticipant::awaitMessage() {
 TopKVector DistributedParticipant::run() {
   const obs::Span span("participant_run",
                        {{"query_id", static_cast<std::int64_t>(config_.queryId)},
-                        {"node", node_.id()}});
-  TopKVector result = isStart() ? runAsStart() : runAsFollower();
-  DistributedMetrics& metrics = distributedMetrics();
-  metrics.queries.inc();
-  metrics.randomized.inc(node_.passCounts().randomized);
-  metrics.real.inc(node_.passCounts().real);
-  metrics.passthrough.inc(node_.passCounts().passthrough);
-  return result;
-}
+                        {"node", core_.self()}});
+  if (core_.isStart()) perform(core_.onStart());
 
-TopKVector DistributedParticipant::runAsStart() {
-  const Round rounds = (config_.kind == ProtocolKind::Probabilistic)
-                           ? config_.params.effectiveRounds()
-                           : 1;
-  TopKVector global(config_.params.k, config_.params.domain.min);
-
-  for (Round r = 1; r <= rounds; ++r) {
-    distributedMetrics().rounds.inc();
-    global = node_.onToken(r, global);
-    sendOnRing(net::encodeMessage(net::RoundToken{config_.queryId, r, global}));
-    // Wait for the token to circle back (it becomes next round's input).
-    const net::Message msg = awaitMessage();
-    const auto* token = std::get_if<net::RoundToken>(&msg);
-    if (token == nullptr || token->queryId != config_.queryId ||
-        token->round != r) {
-      throw ProtocolError("start node: unexpected message mid-round");
-    }
-    global = token->vector;
-  }
-
-  // Termination: announce the final result around the ring (§3.3).
-  sendOnRing(net::encodeMessage(net::ResultAnnouncement{config_.queryId, global}));
-  const net::Message msg = awaitMessage();
-  const auto* announce = std::get_if<net::ResultAnnouncement>(&msg);
-  if (announce == nullptr || announce->queryId != config_.queryId) {
-    throw ProtocolError("start node: expected the result announcement back");
-  }
-  return global;
-}
-
-TopKVector DistributedParticipant::runAsFollower() {
-  while (true) {
+  while (!core_.completed()) {
     const net::Message msg = awaitMessage();
     if (const auto* token = std::get_if<net::RoundToken>(&msg)) {
       if (token->queryId != config_.queryId) {
-        throw ProtocolError("follower: token for an unknown query");
+        throw ProtocolError("participant: token for an unknown query");
       }
-      const TopKVector output = node_.onToken(token->round, token->vector);
-      sendOnRing(net::encodeMessage(
-          net::RoundToken{config_.queryId, token->round, output}));
+      if (core_.isStart() && token->round != core_.lastProcessedRound()) {
+        throw ProtocolError("start node: unexpected message mid-round");
+      }
+      const core::Actions actions = core_.onToken(token->round, token->vector);
+      if (actions.duplicate) {
+        throw ProtocolError("participant: duplicate round token");
+      }
+      if (actions.roundClosed) distributedMetrics().rounds.inc();
+      perform(actions);
     } else if (const auto* announce =
                    std::get_if<net::ResultAnnouncement>(&msg)) {
       if (announce->queryId != config_.queryId) {
-        throw ProtocolError("follower: announcement for an unknown query");
+        throw ProtocolError("participant: announcement for an unknown query");
       }
-      // Forward once; the announcement dies when it reaches the start node.
-      sendOnRing(net::encodeMessage(*announce));
-      return announce->result;
+      if (core_.isStart()) {
+        throw ProtocolError("start node: unexpected message mid-round");
+      }
+      perform(core_.onResult(announce->result));
     } else {
-      throw ProtocolError("follower: unexpected message type");
+      throw ProtocolError("participant: unexpected message type");
     }
   }
+
+  if (core_.isStart()) {
+    // Termination (§3.3): the announcement circles the ring once and dies
+    // back here.
+    const net::Message msg = awaitMessage();
+    const auto* announce = std::get_if<net::ResultAnnouncement>(&msg);
+    if (announce == nullptr || announce->queryId != config_.queryId) {
+      throw ProtocolError("start node: expected the result announcement back");
+    }
+  }
+
+  DistributedMetrics& metrics = distributedMetrics();
+  metrics.queries.inc();
+  metrics.randomized.inc(core_.passCounts().randomized);
+  metrics.real.inc(core_.passCounts().real);
+  metrics.passthrough.inc(core_.passCounts().passthrough);
+  return core_.result();
 }
 
 TopKVector runDistributedQuery(const std::vector<TopKVector>& localTopK,
@@ -175,10 +169,8 @@ TopKVector runDistributedQuery(const std::vector<TopKVector>& localTopK,
 
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(std::async(std::launch::async, [&, i] {
-      ProtocolNode node(static_cast<NodeId>(i), localTopK[i],
-                        makeLocalAlgorithm(config.kind, config.params,
-                                           rngs[i]));
-      DistributedParticipant participant(std::move(node), transport, config);
+      DistributedParticipant participant(static_cast<NodeId>(i), localTopK[i],
+                                         transport, config, rngs[i]);
       return participant.run();
     }));
   }

@@ -5,27 +5,29 @@
 // parameters, ring order and starting node (in practice the initiating
 // organization distributes a signed query descriptor).  Each participant
 // then constructs a DistributedParticipant and calls run(), which blocks
-// until the final result is known.  The starting node drives the rounds
-// and emits the final ResultAnnouncement that circles the ring once.
+// until the final result is known.  The protocol logic itself lives in
+// core::Participant; this driver only maps its send effects onto the
+// transport and its inputs onto received messages.
 //
 // Failure handling (paper SS3.2: "the ring can be reconstructed ... simply
 // by connecting the predecessor and successor of the failed node"): sends
 // are repair-aware.  When the transport reports the successor unreachable,
-// the sender marks it dead and retries the next node in ring order - the
-// dead node's data simply never joins.  A node that dies while HOLDING the
-// token loses it; the waiting participants then time out and the query
-// must be re-issued (a fail-stop limit the event simulator also models).
+// the sender splices it out of the ring and retries the next node - the
+// dead node's data simply never joins.  When repair would shrink the ring
+// below core::kMinRingSize the query aborts (TransportError).  A node that
+// dies while HOLDING the token loses it; the waiting participants then
+// time out and the query must be re-issued (a fail-stop limit the event
+// simulator also models).
 
 #pragma once
 
 #include <chrono>
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "net/message.hpp"
 #include "net/transport.hpp"
-#include "protocol/node.hpp"
+#include "protocol/core.hpp"
 #include "protocol/params.hpp"
 
 namespace privtopk::protocol {
@@ -34,40 +36,46 @@ struct DistributedConfig {
   std::uint64_t queryId = 1;
   ProtocolParams params;
   ProtocolKind kind = ProtocolKind::Probabilistic;
-  /// Agreed ring order; ringOrder[0] is the starting node.
+  /// Agreed ring order; the first entry is the starting node.
   std::vector<NodeId> ringOrder;
   /// How long receive() waits before concluding the ring is dead.
   std::chrono::milliseconds receiveTimeout{10'000};
+  /// Optional sink recording this participant's view of the execution
+  /// (its own steps only - peers' intermediate vectors stay private).
+  /// Must outlive the participant.
+  ExecutionTrace* trace = nullptr;
 };
 
 class DistributedParticipant {
  public:
-  /// `node` holds this participant's id and private local top-k.
-  DistributedParticipant(ProtocolNode node, net::Transport& transport,
-                         DistributedConfig config);
+  /// `localTopK` is this participant's private input (sorted descending,
+  /// at most k values).  `rng` seeds the node's local algorithm.
+  DistributedParticipant(NodeId self, TopKVector localTopK,
+                         net::Transport& transport, DistributedConfig config,
+                         Rng& rng);
 
   /// Blocks until the query completes; returns the final top-k.  Throws
   /// TransportError on timeout and ProtocolError on malformed traffic.
   [[nodiscard]] TopKVector run();
 
-  /// Peers discovered dead so far (skipped by repair-aware sends).
-  [[nodiscard]] const std::set<NodeId>& deadPeers() const { return dead_; }
+  /// The live ring as this participant sees it (shrinks on repair).
+  [[nodiscard]] const std::vector<NodeId>& ringOrder() const {
+    return core_.ringOrder();
+  }
 
  private:
-  [[nodiscard]] bool isStart() const;
-  [[nodiscard]] TopKVector runAsStart();
-  [[nodiscard]] TopKVector runAsFollower();
   [[nodiscard]] net::Message awaitMessage();
+  /// Maps the core's send effects onto the transport.
+  void perform(const core::Actions& actions);
 
-  /// Sends to the first LIVE successor on the ring, marking unreachable
-  /// peers dead (paper SS3.2 repair).  Throws TransportError when every
-  /// other participant is unreachable.
+  /// Sends to the first LIVE successor on the ring, splicing unreachable
+  /// peers out (paper SS3.2 repair).  Throws TransportError when repair
+  /// shrinks the ring below the privacy floor.
   void sendOnRing(const Bytes& payload);
 
-  ProtocolNode node_;
   net::Transport& transport_;
   DistributedConfig config_;
-  std::set<NodeId> dead_;
+  core::Participant core_;
 };
 
 /// Convenience multi-threaded harness: runs all n participants of a query

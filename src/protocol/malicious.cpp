@@ -1,9 +1,10 @@
 #include "protocol/malicious.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
-#include "protocol/node.hpp"
+#include "protocol/core.hpp"
 #include "protocol/runner.hpp"
 #include "sim/ring.hpp"
 
@@ -77,16 +78,16 @@ MaliciousRunResult runWithAdversaries(
   const std::size_t n = localValues.size();
   if (n < 3) throw ConfigError("runWithAdversaries: need n >= 3 nodes");
 
-  // Build nodes; misbehaving initialization happens here.
-  std::vector<std::unique_ptr<ProtocolNode>> nodes;
+  // Build per-node algorithms; misbehaving initialization happens here.
+  std::vector<std::unique_ptr<LocalAlgorithm>> algorithms;
   std::vector<MaliciousBehavior> behaviors(n);
   for (std::size_t i = 0; i < n; ++i) {
     behaviors[i] = behaviorOf(spec, static_cast<NodeId>(i));
-    TopKVector local =
+    const TopKVector local =
         initialVector(localValues[i], spec, behaviors[i], rng);
-    nodes.push_back(std::make_unique<ProtocolNode>(
-        static_cast<NodeId>(i), std::move(local),
-        makeLocalAlgorithm(ProtocolKind::Probabilistic, spec.params, rng)));
+    algorithms.push_back(core::makeLocalAlgorithm(ProtocolKind::Probabilistic,
+                                                  spec.params, rng));
+    algorithms.back()->reset(local);
   }
 
   sim::RingTopology ring = sim::RingTopology::random(n, rng);
@@ -103,7 +104,7 @@ MaliciousRunResult runWithAdversaries(
           global.assign(spec.params.k, spec.params.domain.min);
           break;
         default:
-          global = nodes[id]->onToken(r, global);
+          global = algorithms[id]->step(global, r);
           break;
       }
     }

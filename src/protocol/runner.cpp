@@ -1,26 +1,17 @@
 #include "protocol/runner.hpp"
 
-#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "protocol/node.hpp"
 #include "sim/ring.hpp"
 
 namespace privtopk::protocol {
 
 namespace {
-
-/// Local initialization (§3.4): sort and keep the k largest values.
-TopKVector localTopK(const std::vector<Value>& values, std::size_t k) {
-  TopKVector v = values;
-  const std::size_t take = std::min(k, v.size());
-  std::partial_sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(take),
-                    v.end(), std::greater<>());
-  v.resize(take);
-  return v;
-}
 
 /// Global metric cells, registered once and flushed once per run() so the
 /// Monte-Carlo hot loop performs no atomic work per step.
@@ -53,76 +44,114 @@ RingQueryRunner::RingQueryRunner(ProtocolParams params, ProtocolKind kind)
 
 RunResult RingQueryRunner::run(
     const std::vector<std::vector<Value>>& localValues, Rng& rng) const {
+  return run(localValues, rng, core::EngineOverrides{});
+}
+
+RunResult RingQueryRunner::run(
+    const std::vector<std::vector<Value>>& localValues, Rng& rng,
+    const core::EngineOverrides& overrides) const {
   const std::size_t n = localValues.size();
-  if (n < 3) {
-    throw ConfigError("RingQueryRunner: the protocol requires n >= 3 nodes");
+  core::requireRingSize(n, "RingQueryRunner");
+  if (!overrides.nodeSeeds.empty() && overrides.nodeSeeds.size() != n) {
+    throw ConfigError("RingQueryRunner: nodeSeeds size mismatch");
+  }
+  if (!overrides.ringOrder.empty() && overrides.ringOrder.size() != n) {
+    throw ConfigError("RingQueryRunner: ringOrder size mismatch");
   }
 
-  // --- Initialization module (§3.2) ---
-  std::vector<ProtocolNode> nodes;
-  nodes.reserve(n);
+  RunResult out;
+  out.rounds = core::roundBudget(kind_, params_);
+
+  // --- Initialization module (§3.2): local top-k + per-node algorithm.
+  // Algorithms are built before the ring is drawn so the rng consumption
+  // order matches the historical engine exactly.
+  std::vector<TopKVector> locals;
+  std::vector<std::unique_ptr<LocalAlgorithm>> algorithms;
+  locals.reserve(n);
+  algorithms.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (Value v : localValues[i]) {
       if (!params_.domain.contains(v)) {
         throw ConfigError("RingQueryRunner: value outside the public domain");
       }
     }
-    nodes.emplace_back(static_cast<NodeId>(i),
-                       localTopK(localValues[i], params_.k),
-                       makeLocalAlgorithm(kind_, params_, rng));
+    locals.push_back(core::localTopK(localValues[i], params_.k));
+    if (overrides.nodeSeeds.empty()) {
+      algorithms.push_back(core::makeLocalAlgorithm(kind_, params_, rng));
+    } else {
+      // Replay the algorithm stream of a node seeded with nodeSeeds[i].
+      Rng nodeRng(overrides.nodeSeeds[i]);
+      algorithms.push_back(core::makeLocalAlgorithm(kind_, params_, nodeRng));
+    }
   }
 
   // Ring mapping + starting node.  The fixed-start naive baseline uses the
   // identity ring starting at node 0; the other variants randomize both
   // (a random permutation makes position 0 a uniformly random starter).
   const bool fixedStart = (kind_ == ProtocolKind::Naive);
-  sim::RingTopology ring = fixedStart ? sim::RingTopology::identity(n)
-                                      : sim::RingTopology::random(n, rng);
-
-  const Round rounds =
-      (kind_ == ProtocolKind::Probabilistic) ? params_.effectiveRounds() : 1;
-
-  RunResult out;
-  out.rounds = rounds;
-  out.trace.nodeCount = n;
-  out.trace.k = params_.k;
-  out.trace.rounds = rounds;
-  out.trace.initialOrder = ring.order();
-  out.trace.localVectors.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.trace.localVectors[i] = nodes[i].localVector();
+  std::vector<NodeId> order;
+  if (!overrides.ringOrder.empty()) {
+    order = overrides.ringOrder;
+  } else if (fixedStart) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), NodeId{0});
+  } else {
+    order = sim::RingTopology::random(n, rng).order();
   }
 
-  // Initial global vector: k copies of the domain minimum (§3.4).
-  TopKVector global(params_.k, params_.domain.min);
+  // One core participant per node (ids are 0..n-1), all recording into the
+  // shared trace sink.
+  std::vector<core::Participant> participants;
+  participants.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::ParticipantConfig cfg;
+    cfg.self = static_cast<NodeId>(i);
+    cfg.ringOrder = order;
+    cfg.kind = kind_;
+    cfg.params = params_;
+    cfg.trace = &out.trace;
+    participants.emplace_back(std::move(cfg), std::move(locals[i]),
+                              std::move(algorithms[i]));
+  }
 
   // The enabled flag is sampled once per run: a query is all-or-nothing in
   // the trace stream, and the hot loop stays branch-predictable.
   const bool traceEvents = obs::EventTracer::global().enabled();
-
-  // --- Rounds of token passing ---
-  for (Round r = 1; r <= rounds; ++r) {
-    if (params_.remapEachRound && r > 1 && kind_ == ProtocolKind::Probabilistic) {
-      ring = sim::RingTopology::random(n, rng);
-      out.trace.steps.reserve(out.trace.steps.size() + n);
+  const auto traceStep = [&](const core::Participant& p, Round round) {
+    if (traceEvents) {
+      obs::EventTracer::global().event(
+          "event", "ring_step",
+          {{"round", round},
+           {"position", static_cast<std::int64_t>(p.position())},
+           {"node", p.self()}});
     }
-    for (std::size_t pos = 0; pos < n; ++pos) {
-      const NodeId nodeId = ring.at(pos);
-      TopKVector output = nodes[nodeId].onToken(r, global);
-      if (traceEvents) {
-        obs::EventTracer::global().event(
-            "event", "ring_step",
-            {{"round", r}, {"position", static_cast<std::int64_t>(pos)},
-             {"node", nodeId}});
-      }
-      out.trace.steps.push_back(TraceStep{r, pos, nodeId, global, output});
-      global = std::move(output);
-      ++out.tokenMessages;  // token handed to the successor
+  };
+  const bool remap = params_.remapEachRound && kind_ == ProtocolKind::Probabilistic;
+
+  // --- Rounds of token passing: shuttle the core's send effects around
+  // the ring synchronously until the start node announces the result.
+  NodeId holder = order.front();
+  core::Actions actions = participants[holder].onStart();
+  ++out.tokenMessages;
+  traceStep(participants[holder], 1);
+
+  while (actions.sendToken) {
+    const NodeId next = participants[holder].successor();
+    const net::RoundToken token = *std::move(actions.sendToken);
+    holder = next;
+    actions = participants[holder].onToken(token.round, token.vector);
+    if (actions.roundClosed && !actions.completed && remap) {
+      const std::vector<NodeId> mapping =
+          core::remapRing(participants[holder].ringOrder(), holder, rng);
+      for (auto& p : participants) p.setRingOrder(mapping);
+    }
+    if (actions.sendToken) {
+      ++out.tokenMessages;
+      traceStep(participants[holder], actions.sendToken->round);
     }
   }
 
-  out.result = global;
-  out.trace.result = global;
+  out.result = participants[holder].result();
   // Result dissemination: one final pass around the ring (§3.3 "in the
   // termination round all nodes simply pass on the final result").
   out.totalMessages = out.tokenMessages + n;
@@ -130,13 +159,13 @@ RunResult RingQueryRunner::run(
   // One-shot metric flush (six relaxed RMWs per query).
   RunnerMetrics& metrics = runnerMetrics();
   metrics.queries.inc();
-  metrics.rounds.inc(rounds);
+  metrics.rounds.inc(out.rounds);
   metrics.tokenMessages.inc(out.tokenMessages);
   LocalAlgorithm::PassCounts totals;
-  for (const ProtocolNode& node : nodes) {
-    totals.randomized += node.passCounts().randomized;
-    totals.real += node.passCounts().real;
-    totals.passthrough += node.passCounts().passthrough;
+  for (const core::Participant& p : participants) {
+    totals.randomized += p.passCounts().randomized;
+    totals.real += p.passCounts().real;
+    totals.passthrough += p.passCounts().passthrough;
   }
   metrics.randomized.inc(totals.randomized);
   metrics.real.inc(totals.real);

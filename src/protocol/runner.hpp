@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "protocol/core.hpp"
 #include "protocol/params.hpp"
 #include "protocol/trace.hpp"
 
@@ -41,6 +42,12 @@ class RingQueryRunner {
   /// algorithms; reuse one Rng across trials for independent randomness.
   [[nodiscard]] RunResult run(const std::vector<std::vector<Value>>& localValues,
                               Rng& rng) const;
+
+  /// Same, with explicit ring order and/or per-node algorithm seeds (see
+  /// core::EngineOverrides) for cross-engine determinism tests.
+  [[nodiscard]] RunResult run(const std::vector<std::vector<Value>>& localValues,
+                              Rng& rng,
+                              const core::EngineOverrides& overrides) const;
 
   /// Bottom-k variant: finds the k SMALLEST values by running the protocol
   /// on mirrored values (v -> min+max-v), mirroring back.  Used by the kNN

@@ -2,45 +2,82 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/error.hpp"
-#include "protocol/node.hpp"
 
 namespace privtopk::protocol {
 
 namespace {
 
-/// Mutable state shared by the event handlers of one simulated run.
+/// Mutable state shared by the event handlers of one simulated run.  The
+/// protocol itself lives in the core::Participant instances; this driver
+/// only routes their send effects through the virtual network.
 struct SimState {
   sim::EventSimulator simulator;
-  sim::RingTopology ring = sim::RingTopology::identity(1);
-  std::vector<std::unique_ptr<ProtocolNode>> nodes;
+  std::vector<std::unique_ptr<core::Participant>> participants;  // by NodeId
+  std::vector<bool> crashed;
+  std::vector<NodeId> order;  // canonical live ring (mirrors participants')
   const sim::LatencyModel* latency = nullptr;
   const sim::FailurePlan* failures = nullptr;
   Rng* rng = nullptr;
 
-  NodeId controller = 0;  // starting node; drives rounds and termination
-  Round rounds = 1;
   bool remapEachRound = false;
   SimulatedRunResult out;
   bool done = false;
 
   void deliver(NodeId target, Round round, TopKVector vec);
-  void processAndForward(NodeId node, Round round, const TopKVector& vec);
+  void applyEffects(NodeId node, core::Actions actions);
+  /// Splices `dead` out of every live participant's ring (and the
+  /// canonical order).  Returns false when the survivors fell below the
+  /// privacy floor, in which case the run is aborted.
+  bool splice(NodeId dead);
 };
 
-void SimState::processAndForward(NodeId node, Round round,
-                                 const TopKVector& vec) {
-  TopKVector output = nodes[node]->onToken(round, vec);
-  out.trace.steps.push_back(
-      TraceStep{round, ring.positionOf(node), node, vec, output});
-  const NodeId succ = ring.successor(node);
-  ++out.messages;
-  const sim::SimTime delay = latency->sample(*rng);
-  simulator.scheduleAfter(delay, [this, succ, round,
-                                  moved = std::move(output)]() mutable {
-    deliver(succ, round, std::move(moved));
-  });
+bool SimState::splice(NodeId dead) {
+  core::repairRing(order, dead);
+  crashed[dead] = true;
+  out.failedNodes.push_back(dead);
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (crashed[i]) continue;
+    (void)participants[i]->onPeerDead(dead);
+  }
+  if (!core::meetsPrivacyFloor(order.size())) {
+    out.aborted = true;
+    out.abortReason = "ring shrank below the privacy floor after repair";
+    out.completionTime = simulator.now();
+    done = true;
+    return false;
+  }
+  return true;
+}
+
+void SimState::applyEffects(NodeId node, core::Actions actions) {
+  if (actions.roundClosed && !actions.completed && remapEachRound) {
+    // §4.3 hardening: fresh random mapping over the LIVE nodes, rotated
+    // so the controller keeps position 0 (it still drives the rounds).
+    order = core::remapRing(order, node, *rng);
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      if (!crashed[i]) participants[i]->setRingOrder(order);
+    }
+  }
+  if (actions.sendResult) {
+    out.result = actions.sendResult->result;
+    out.completionTime = simulator.now();
+    out.messages += order.size();  // final dissemination pass
+    done = true;
+    return;
+  }
+  if (actions.sendToken) {
+    const NodeId succ = participants[node]->successor();
+    ++out.messages;
+    const sim::SimTime delay = latency->sample(*rng);
+    simulator.scheduleAfter(
+        delay, [this, succ, round = actions.sendToken->round,
+                moved = std::move(actions.sendToken->vector)]() mutable {
+          deliver(succ, round, std::move(moved));
+        });
+  }
 }
 
 void SimState::deliver(NodeId target, Round round, TopKVector vec) {
@@ -49,10 +86,8 @@ void SimState::deliver(NodeId target, Round round, TopKVector vec) {
   // Fail-stop repair: the sender detects the dead successor and re-routes
   // to the next node, splicing the failed one out (§3.2).
   if (failures->isFailed(target, simulator.now())) {
-    const NodeId next = ring.successor(target);
-    ring.removeNode(target);
-    out.failedNodes.push_back(target);
-    if (target == controller) controller = next;
+    const NodeId next = core::ringSuccessor(order, target);
+    if (!splice(target)) return;
     ++out.messages;  // the re-send
     const sim::SimTime delay = latency->sample(*rng);
     simulator.scheduleAfter(delay,
@@ -61,30 +96,7 @@ void SimState::deliver(NodeId target, Round round, TopKVector vec) {
                             });
     return;
   }
-
-  // A token arriving at the controller closes the round it carries.
-  if (target == controller) {
-    if (round >= rounds) {
-      out.result = vec;
-      out.trace.result = vec;
-      out.completionTime = simulator.now();
-      out.messages += ring.size();  // final dissemination pass
-      done = true;
-      return;
-    }
-    if (remapEachRound) {
-      // §4.3 hardening: fresh random mapping over the LIVE nodes, rotated
-      // so the controller keeps position 0 (it still drives the rounds).
-      std::vector<NodeId> alive = ring.order();
-      rng->shuffle(alive);
-      const auto it = std::find(alive.begin(), alive.end(), controller);
-      std::rotate(alive.begin(), it, alive.end());
-      ring = sim::RingTopology(std::move(alive));
-    }
-    processAndForward(controller, round + 1, vec);
-    return;
-  }
-  processAndForward(target, round, vec);
+  applyEffects(target, participants[target]->onToken(round, vec));
 }
 
 }  // namespace
@@ -94,7 +106,15 @@ SimulatedRunResult runSimulatedQuery(
     const SimulatedRunConfig& config, Rng& rng) {
   config.params.validate();
   const std::size_t n = localValues.size();
-  if (n < 3) throw ConfigError("runSimulatedQuery: need n >= 3 nodes");
+  core::requireRingSize(n, "runSimulatedQuery");
+  if (!config.overrides.nodeSeeds.empty() &&
+      config.overrides.nodeSeeds.size() != n) {
+    throw ConfigError("runSimulatedQuery: nodeSeeds size mismatch");
+  }
+  if (!config.overrides.ringOrder.empty() &&
+      config.overrides.ringOrder.size() != n) {
+    throw ConfigError("runSimulatedQuery: ringOrder size mismatch");
+  }
 
   const sim::FixedLatency defaultLatency(1.0);
   SimState state;
@@ -103,48 +123,51 @@ SimulatedRunResult runSimulatedQuery(
   state.rng = &rng;
   state.remapEachRound = config.params.remapEachRound &&
                          config.kind == ProtocolKind::Probabilistic;
-  state.rounds = (config.kind == ProtocolKind::Probabilistic)
-                     ? config.params.effectiveRounds()
-                     : 1;
+  state.crashed.assign(n, false);
 
-  state.nodes.reserve(n);
+  // Per-node algorithms first, ring second: same rng consumption order as
+  // the synchronous runner.
+  std::vector<std::unique_ptr<LocalAlgorithm>> algorithms;
+  algorithms.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    TopKVector local = localValues[i];
-    const std::size_t take = std::min(config.params.k, local.size());
-    std::partial_sort(local.begin(),
-                      local.begin() + static_cast<std::ptrdiff_t>(take),
-                      local.end(), std::greater<>());
-    local.resize(take);
-    state.nodes.push_back(std::make_unique<ProtocolNode>(
-        static_cast<NodeId>(i), std::move(local),
-        makeLocalAlgorithm(config.kind, config.params, rng)));
+    if (config.overrides.nodeSeeds.empty()) {
+      algorithms.push_back(
+          core::makeLocalAlgorithm(config.kind, config.params, rng));
+    } else {
+      Rng nodeRng(config.overrides.nodeSeeds[i]);
+      algorithms.push_back(
+          core::makeLocalAlgorithm(config.kind, config.params, nodeRng));
+    }
+  }
+  if (!config.overrides.ringOrder.empty()) {
+    state.order = config.overrides.ringOrder;
+  } else if (config.kind == ProtocolKind::Naive) {
+    state.order = sim::RingTopology::identity(n).order();
+  } else {
+    state.order = sim::RingTopology::random(n, rng).order();
   }
 
-  state.ring = (config.kind == ProtocolKind::Naive)
-                   ? sim::RingTopology::identity(n)
-                   : sim::RingTopology::random(n, rng);
-  state.controller = state.ring.order().front();
-
-  state.out.trace.nodeCount = n;
-  state.out.trace.k = config.params.k;
-  state.out.trace.rounds = state.rounds;
-  state.out.trace.initialOrder = state.ring.order();
-  state.out.trace.localVectors.resize(n);
+  state.participants.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    state.out.trace.localVectors[i] = state.nodes[i]->localVector();
+    core::ParticipantConfig cfg;
+    cfg.self = static_cast<NodeId>(i);
+    cfg.ringOrder = state.order;
+    cfg.kind = config.kind;
+    cfg.params = config.params;
+    cfg.trace = &state.out.trace;
+    state.participants.push_back(std::make_unique<core::Participant>(
+        std::move(cfg), core::localTopK(localValues[i], config.params.k),
+        std::move(algorithms[i])));
   }
 
   // Kickoff: the first LIVE node in ring order becomes the controller and
   // processes round 1 at virtual time zero.
-  TopKVector initial(config.params.k, config.params.domain.min);
-  state.simulator.scheduleAt(0.0, [&state, initial] {
-    while (state.failures->isFailed(state.controller, 0.0)) {
-      const NodeId next = state.ring.successor(state.controller);
-      state.ring.removeNode(state.controller);
-      state.out.failedNodes.push_back(state.controller);
-      state.controller = next;
+  state.simulator.scheduleAt(0.0, [&state] {
+    while (state.failures->isFailed(state.order.front(), 0.0)) {
+      if (!state.splice(state.order.front())) return;
     }
-    state.processAndForward(state.controller, 1, initial);
+    const NodeId start = state.order.front();
+    state.applyEffects(start, state.participants[start]->onStart());
   });
   state.simulator.run();
 

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "protocol/core.hpp"
 #include "protocol/params.hpp"
 #include "protocol/trace.hpp"
 #include "sim/event_sim.hpp"
@@ -33,6 +35,11 @@ struct SimulatedRunResult {
   std::size_t messages = 0;
   /// Nodes that crashed during the run.
   std::vector<NodeId> failedNodes;
+  /// Set when crashes shrank the ring below core::kMinRingSize: the
+  /// survivors abort rather than run a privacy-violating 2-node ring, and
+  /// `result` stays empty.
+  bool aborted = false;
+  std::string abortReason;
 };
 
 struct SimulatedRunConfig {
@@ -42,6 +49,8 @@ struct SimulatedRunConfig {
   const sim::LatencyModel* latency = nullptr;
   /// Fail-stop plan; empty = no failures.
   sim::FailurePlan failures;
+  /// Determinism overrides (explicit ring / per-node algorithm seeds).
+  core::EngineOverrides overrides;
 };
 
 /// Runs one simulated query over `localValues` (per-node raw values).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "protocol/core.hpp"
 #include "protocol/secure_sum.hpp"
 
 namespace privtopk::query {
@@ -87,7 +88,7 @@ TopKVector presentResult(const QueryDescriptor& descriptor,
 
 Federation::Federation(const std::vector<data::PrivateDatabase>& parties)
     : parties_(&parties) {
-  if (parties.size() < 3) {
+  if (!protocol::core::meetsPrivacyFloor(parties.size())) {
     throw ConfigError("Federation: the protocol requires >= 3 parties");
   }
 }

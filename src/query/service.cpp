@@ -6,7 +6,6 @@
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
 #include "query/federation.hpp"
-#include "sim/ring.hpp"
 
 namespace privtopk::query {
 
@@ -165,12 +164,18 @@ void NodeService::dispatch(const net::Envelope& envelope) {
   }
 }
 
+const std::vector<NodeId>& NodeService::ringOf(const QueryState& state) {
+  return state.participant ? state.participant->ringOrder() : state.ringOrder;
+}
+
+protocol::core::RepairOutcome NodeService::applyRepair(QueryState& state,
+                                                       NodeId dead) {
+  if (state.participant) return state.participant->onPeerDead(dead);
+  return protocol::core::repairRing(state.ringOrder, dead);
+}
+
 NodeId NodeService::successorFor(const QueryState& state) const {
-  const auto it =
-      std::find(state.ringOrder.begin(), state.ringOrder.end(), self_);
-  const std::size_t pos =
-      static_cast<std::size_t>(std::distance(state.ringOrder.begin(), it));
-  return state.ringOrder[(pos + 1) % state.ringOrder.size()];
+  return protocol::core::ringSuccessor(ringOf(state), self_);
 }
 
 bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead) {
@@ -178,7 +183,7 @@ bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead) {
   PRIVTOPK_LOG_WARN("service ", self_, ": declaring successor ", dead,
                     " dead for query ", state.descriptor.queryId,
                     " after ", state.sendFailures, " send failures");
-  sim::repairRingOrder(state.ringOrder, dead);
+  const protocol::core::RepairOutcome outcome = applyRepair(state, dead);
   state.sendFailures = 0;
   metrics_.ringRepairs.inc();
   obs::EventTracer::global().event(
@@ -186,9 +191,9 @@ bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead) {
       {{"query_id", static_cast<std::int64_t>(state.descriptor.queryId)},
        {"node", self_},
        {"failed_node", dead},
-       {"ring_size", state.ringOrder.size()}});
-  if (state.ringOrder.size() < 3) {
-    abortQuery(state, "ring shrank below 3 nodes after repair");
+       {"ring_size", ringOf(state).size()}});
+  if (outcome.belowFloor) {
+    abortQuery(state, "ring shrank below the privacy floor after repair");
     return false;
   }
   // Announce the shrunken ring.  Best-effort: circulation stops at any
@@ -266,7 +271,7 @@ void NodeService::abortQuery(QueryState& state, const std::string& reason) {
 std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
                                               std::vector<NodeId> ringOrder) {
   descriptor.validate();
-  if (ringOrder.size() < 3) {
+  if (!protocol::core::meetsPrivacyFloor(ringOrder.size())) {
     throw ConfigError("NodeService::initiate: ring needs >= 3 nodes");
   }
   if (ringOrder.front() != self_) {
@@ -282,29 +287,18 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
 
   QueryState state;
   state.descriptor = descriptor;
-  state.ringOrder = ringOrder;
   state.initiator = true;
   state.registeredAt = std::chrono::steady_clock::now();
   state.lastActivity = state.registeredAt;
 
   const LocalParty party(*db_);
   if (descriptor.isAggregate()) {
+    state.ringOrder = std::move(ringOrder);
     state.addends = party.localAggregate(descriptor);
     state.masks.resize(state.addends.size());
     for (auto& m : state.masks) m = rng_.next();
   } else {
-    state.rounds = descriptor.kind == protocol::ProtocolKind::Probabilistic
-                       ? [&] {
-                           auto p = descriptor.params;
-                           p.k = descriptor.effectiveK();
-                           return p.effectiveRounds();
-                         }()
-                       : 1;
-    auto params = descriptor.params;
-    params.k = descriptor.effectiveK();
-    state.node = std::make_unique<protocol::ProtocolNode>(
-        self_, party.localInput(descriptor),
-        protocol::makeLocalAlgorithm(descriptor.kind, params, rng_));
+    buildParticipant(state, descriptor, std::move(ringOrder), party);
   }
 
   std::future<TopKVector> future = state.promise.get_future();
@@ -318,14 +312,36 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
       "event", "query_initiated",
       {{"query_id", static_cast<std::int64_t>(descriptor.queryId)},
        {"node", self_},
-       {"rounds", registered.rounds}});
+       {"rounds", registered.participant ? registered.participant->rounds()
+                                         : Round{1}}});
 
   // Announce first (FIFO links deliver it ahead of the round token on
   // every hop), then start the protocol immediately.
   send(registered, net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
-                                      registered.ringOrder});
+                                      ringOf(registered)});
   if (!registered.aborted) beginRounds(registered);
   return future;
+}
+
+void NodeService::buildParticipant(QueryState& state,
+                                   const QueryDescriptor& descriptor,
+                                   std::vector<NodeId> ringOrder,
+                                   const LocalParty& party) {
+  auto params = descriptor.params;
+  params.k = descriptor.effectiveK();
+  if (options_.captureTraces) {
+    state.trace = std::make_unique<protocol::ExecutionTrace>();
+  }
+  protocol::core::ParticipantConfig cfg;
+  cfg.queryId = descriptor.queryId;
+  cfg.self = self_;
+  cfg.ringOrder = std::move(ringOrder);
+  cfg.kind = descriptor.kind;
+  cfg.params = params;
+  cfg.trace = state.trace.get();
+  state.participant = std::make_unique<protocol::core::Participant>(
+      std::move(cfg), party.localInput(descriptor),
+      protocol::core::makeLocalAlgorithm(descriptor.kind, params, rng_));
 }
 
 void NodeService::beginRounds(QueryState& state) {
@@ -339,11 +355,8 @@ void NodeService::beginRounds(QueryState& state) {
     send(state, net::SumToken{descriptor.queryId, 1, std::move(sums)});
     return;
   }
-  auto params = descriptor.params;
-  params.k = descriptor.effectiveK();
-  TopKVector initial(params.k, params.domain.min);
-  const TopKVector out = state.node->onToken(1, initial);
-  send(state, net::RoundToken{descriptor.queryId, 1, out});
+  const protocol::core::Actions actions = state.participant->onStart();
+  if (actions.sendToken) send(state, *actions.sendToken);
 }
 
 void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
@@ -356,29 +369,24 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   if (descriptor.queryId != announce.queryId) {
     throw ProtocolError("QueryAnnounce: inner/outer query id mismatch");
   }
-  if (announce.ringOrder.size() < 3) {
+  if (!protocol::core::meetsPrivacyFloor(announce.ringOrder.size())) {
     throw ProtocolError("QueryAnnounce: ring needs >= 3 nodes");
   }
-  if (std::find(announce.ringOrder.begin(), announce.ringOrder.end(), self_) ==
-      announce.ringOrder.end()) {
+  if (!protocol::core::onRing(announce.ringOrder, self_)) {
     throw ProtocolError("QueryAnnounce: this node is not on the ring");
   }
 
   QueryState state;
   state.descriptor = descriptor;
-  state.ringOrder = announce.ringOrder;
   state.registeredAt = std::chrono::steady_clock::now();
   state.lastActivity = state.registeredAt;
 
   const LocalParty party(*db_);
   if (descriptor.isAggregate()) {
+    state.ringOrder = announce.ringOrder;
     state.addends = party.localAggregate(descriptor);
   } else {
-    auto params = descriptor.params;
-    params.k = descriptor.effectiveK();
-    state.node = std::make_unique<protocol::ProtocolNode>(
-        self_, party.localInput(descriptor),
-        protocol::makeLocalAlgorithm(descriptor.kind, params, rng_));
+    buildParticipant(state, descriptor, announce.ringOrder, party);
   }
 
   const auto [it, inserted] =
@@ -399,7 +407,16 @@ void NodeService::onRoundToken(const net::RoundToken& token) {
   }
   QueryState& state = it->second;
   if (state.aborted) return;
-  if (token.round <= state.lastRoundSeen) {
+  if (!state.participant) {
+    // A round token for an aggregate query is hostile or confused traffic.
+    metrics_.droppedMessages.inc();
+    PRIVTOPK_LOG_WARN("service ", self_, ": round token for non-ring query ",
+                      token.queryId);
+    return;
+  }
+  const protocol::core::Actions actions =
+      state.participant->onToken(token.round, token.vector);
+  if (actions.duplicate) {
     // A retransmitted token we already processed: pass-once semantics.
     metrics_.duplicatesDropped.inc();
     return;
@@ -412,28 +429,19 @@ void NodeService::onRoundToken(const net::RoundToken& token) {
     }
   }
   state.lastActivity = std::chrono::steady_clock::now();
-  state.lastRoundSeen = token.round;
   obs::EventTracer::global().event(
       "event", "ring_step",
       {{"query_id", static_cast<std::int64_t>(token.queryId)},
        {"round", token.round},
        {"node", self_}});
 
-  if (state.initiator) {
-    // The token circled back: close the round.
-    metrics_.roundsExecuted.inc();
-    if (token.round >= state.rounds) {
-      send(state,
-           net::ResultAnnouncement{token.queryId, token.vector});
-      complete(token.queryId, state, token.vector);
-      return;
-    }
-    const TopKVector out = state.node->onToken(token.round + 1, token.vector);
-    send(state, net::RoundToken{token.queryId, token.round + 1, out});
-    return;
+  if (actions.roundClosed) metrics_.roundsExecuted.inc();
+  if (actions.sendToken) send(state, *actions.sendToken);
+  if (actions.sendResult) {
+    const TopKVector result = actions.sendResult->result;
+    send(state, *actions.sendResult);
+    complete(token.queryId, state, result);
   }
-  const TopKVector out = state.node->onToken(token.round, token.vector);
-  send(state, net::RoundToken{token.queryId, token.round, out});
 }
 
 void NodeService::onSumToken(const net::SumToken& token) {
@@ -486,6 +494,14 @@ void NodeService::onResult(const net::ResultAnnouncement& result) {
   }
   QueryState& state = it->second;
   if (state.aborted) return;
+  if (state.participant) {
+    const protocol::core::Actions actions =
+        state.participant->onResult(result.result);
+    if (actions.duplicate || !actions.sendResult) return;
+    send(state, *actions.sendResult);  // forward once before completing
+    complete(result.queryId, state, state.participant->result());
+    return;
+  }
   send(state, result);  // forward once before completing
   complete(result.queryId, state, result.result);
 }
@@ -503,7 +519,9 @@ void NodeService::onRingRepair(const net::RingRepair& repair) {
                       repair.queryId, "; standing down from the ring");
     return;
   }
-  if (!sim::repairRingOrder(state.ringOrder, repair.failedNode)) {
+  const protocol::core::RepairOutcome outcome =
+      applyRepair(state, repair.failedNode);
+  if (!outcome.applied) {
     return;  // already applied: the repair has circled the ring
   }
   metrics_.ringRepairs.inc();
@@ -513,9 +531,9 @@ void NodeService::onRingRepair(const net::RingRepair& repair) {
       {{"query_id", static_cast<std::int64_t>(repair.queryId)},
        {"node", self_},
        {"failed_node", repair.failedNode},
-       {"ring_size", state.ringOrder.size()}});
-  if (state.ringOrder.size() < 3) {
-    abortQuery(state, "ring shrank below 3 nodes after repair");
+       {"ring_size", ringOf(state).size()}});
+  if (outcome.belowFloor) {
+    abortQuery(state, "ring shrank below the privacy floor after repair");
     return;
   }
   // Forward so every survivor learns the new ring.
@@ -531,10 +549,10 @@ void NodeService::onRingRepair(const net::RingRepair& repair) {
 void NodeService::complete(std::uint64_t queryId, QueryState& state,
                            TopKVector result) {
   metrics_.queryLatencyMs.observe(elapsedMsSince(state.registeredAt));
-  if (state.node != nullptr) {
+  if (state.participant != nullptr) {
     // One flush per query keeps the per-step protocol hot path free of
     // atomics; see protocol::LocalAlgorithm::PassCounts.
-    const auto& passes = state.node->passCounts();
+    const auto& passes = state.participant->passCounts();
     metrics_.randomizedPasses.inc(passes.randomized);
     metrics_.realPasses.inc(passes.real);
     metrics_.passthroughPasses.inc(passes.passthrough);
@@ -555,7 +573,11 @@ void NodeService::complete(std::uint64_t queryId, QueryState& state,
   const bool inserted =
       completed_.insert_or_assign(queryId, std::move(presented)).second;
   if (inserted) completedOrder_.push_back(queryId);
+  if (state.trace != nullptr) {
+    completedTraces_.insert_or_assign(queryId, std::move(*state.trace));
+  }
   while (completed_.size() > options_.completedCap) {
+    completedTraces_.erase(completedOrder_.front());
     completed_.erase(completedOrder_.front());
     completedOrder_.pop_front();
   }
@@ -578,6 +600,14 @@ std::optional<TopKVector> NodeService::waitFor(
   });
   if (!done) return std::nullopt;
   return completed_.at(queryId);
+}
+
+std::optional<protocol::ExecutionTrace> NodeService::traceOf(
+    std::uint64_t queryId) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = completedTraces_.find(queryId);
+  if (it == completedTraces_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::size_t NodeService::activeQueries() const {

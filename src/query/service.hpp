@@ -16,9 +16,9 @@
 //   * survives fail-stop peer crashes and lost tokens: every node
 //     retransmits its last outbound message when a query stalls, and a
 //     successor that keeps refusing sends is spliced out of the ring
-//     (sim::repairRingOrder - the paper's predecessor/successor repair
-//     rule), with a RingRepair control message circulating the shrunken
-//     ring.  See docs/ROBUSTNESS.md for the failure model.
+//     (protocol::core::repairRing - the paper's predecessor/successor
+//     repair rule), with a RingRepair control message circulating the
+//     shrunken ring.  See docs/ROBUSTNESS.md for the failure model.
 //   * exposes initiate() returning a future, and resultOf() for queries
 //     this node merely participated in.
 //
@@ -37,6 +37,7 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -47,10 +48,13 @@
 #include "net/message.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
-#include "protocol/node.hpp"
+#include "protocol/core.hpp"
+#include "protocol/trace.hpp"
 #include "query/descriptor.hpp"
 
 namespace privtopk::query {
+
+class LocalParty;
 
 /// Robustness knobs for NodeService (see docs/ROBUSTNESS.md).
 struct ServiceOptions {
@@ -70,6 +74,10 @@ struct ServiceOptions {
   /// first (a long-running daemon must not leak one entry per query
   /// forever).
   std::size_t completedCap = 1024;
+  /// Record this node's protocol::ExecutionTrace for each ring query it
+  /// serves (own steps only - peers' vectors stay private).  Retrieve with
+  /// traceOf(); retained traces obey completedCap like results.
+  bool captureTraces = false;
 };
 
 class NodeService {
@@ -117,6 +125,12 @@ class NodeService {
   [[nodiscard]] std::optional<TopKVector> waitFor(
       std::uint64_t queryId, std::chrono::milliseconds timeout) const;
 
+  /// This node's recorded execution trace of a completed ring query.
+  /// Requires ServiceOptions::captureTraces; nullopt for aggregate
+  /// queries, evicted entries and unknown ids.
+  [[nodiscard]] std::optional<protocol::ExecutionTrace> traceOf(
+      std::uint64_t queryId) const;
+
   /// Number of queries currently in flight (registered, not completed).
   [[nodiscard]] std::size_t activeQueries() const;
 
@@ -133,12 +147,15 @@ class NodeService {
   /// Per-query participant state.
   struct QueryState {
     QueryDescriptor descriptor;
+    /// Ring for AGGREGATE queries only; ring queries track theirs inside
+    /// the core participant (see ringOf()).
     std::vector<NodeId> ringOrder;
     bool initiator = false;
-    Round rounds = 1;
 
-    // Top-k path.
-    std::unique_ptr<protocol::ProtocolNode> node;
+    // Ring path: the transport-agnostic protocol state machine.  Heap
+    // allocation keeps the trace sink pointer stable across map moves.
+    std::unique_ptr<protocol::core::Participant> participant;
+    std::unique_ptr<protocol::ExecutionTrace> trace;
 
     // Aggregate path (initiator keeps the masks).
     std::vector<std::uint64_t> masks;
@@ -162,9 +179,8 @@ class NodeService {
     std::chrono::steady_clock::time_point lastActivity;
     // Consecutive send failures to the current successor.
     int sendFailures = 0;
-    // Duplicate suppression: highest round processed (RoundToken) and
-    // whether the single secure-sum pass was already forwarded.
-    Round lastRoundSeen = 0;
+    // Duplicate suppression for the single secure-sum pass (the ring path
+    // suppresses duplicates inside the core participant).
     bool sumSeen = false;
     // Set when the query can no longer proceed (ring shrank below 3);
     // maintain() erases aborted entries.
@@ -181,6 +197,14 @@ class NodeService {
   void onResult(const net::ResultAnnouncement& result);
   void onRingRepair(const net::RingRepair& repair);
 
+  /// The query's live ring: the core participant's view for ring queries,
+  /// the locally tracked order for aggregates.
+  [[nodiscard]] static const std::vector<NodeId>& ringOf(
+      const QueryState& state);
+  /// Splices `dead` out of the query's ring (core participant or local
+  /// order).  Does not touch metrics or abort state.
+  [[nodiscard]] static protocol::core::RepairOutcome applyRepair(
+      QueryState& state, NodeId dead);
   [[nodiscard]] NodeId successorFor(const QueryState& state) const;
   /// Records `message` as the query's latest outbound payload and
   /// delivers it (with failure accounting and ring repair).
@@ -198,6 +222,10 @@ class NodeService {
   bool repairAfterDeadSuccessor(QueryState& state, NodeId dead);
   /// Marks the query unable to proceed and fails the initiator's future.
   void abortQuery(QueryState& state, const std::string& reason);
+  /// Builds the core participant (and optional trace sink) for a ring
+  /// query this node serves.
+  void buildParticipant(QueryState& state, const QueryDescriptor& descriptor,
+                        std::vector<NodeId> ringOrder, const LocalParty& party);
   void beginRounds(QueryState& state);
   void complete(std::uint64_t queryId, QueryState& state, TopKVector result);
 
@@ -235,6 +263,7 @@ class NodeService {
   mutable std::condition_variable completedCv_;
   std::map<std::uint64_t, QueryState> active_;
   std::map<std::uint64_t, TopKVector> completed_;
+  std::map<std::uint64_t, protocol::ExecutionTrace> completedTraces_;
   // Insertion order of completed_ entries, oldest first (LRU eviction).
   std::deque<std::uint64_t> completedOrder_;
 

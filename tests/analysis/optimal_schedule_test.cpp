@@ -8,7 +8,6 @@
 #include "data/generator.hpp"
 #include "privacy/lop.hpp"
 #include "protocol/local_algorithm.hpp"
-#include "protocol/node.hpp"
 #include "protocol/runner.hpp"
 #include "sim/ring.hpp"
 
@@ -112,17 +111,17 @@ TEST(OptimalSchedule, ProtocolConvergesUnderOptimalSchedule) {
     const auto values = data::generateValueSets(4, 1, dist, dataRng);
     const TopKVector truth = data::trueTopK(values, 1);
 
-    std::vector<protocol::ProtocolNode> nodes;
+    std::vector<std::unique_ptr<protocol::LocalAlgorithm>> algorithms;
     for (std::size_t i = 0; i < 4; ++i) {
-      nodes.emplace_back(static_cast<NodeId>(i), TopKVector{values[i][0]},
-                         std::make_unique<protocol::RandomizedMaxAlgorithm>(
-                             schedule, rng.fork(t * 10 + i), kPaperDomain));
+      algorithms.push_back(std::make_unique<protocol::RandomizedMaxAlgorithm>(
+          schedule, rng.fork(t * 10 + i), kPaperDomain));
+      algorithms.back()->reset(TopKVector{values[i][0]});
     }
     sim::RingTopology ring = sim::RingTopology::random(4, rng);
     TopKVector global = {kPaperDomain.min};
     for (Round r = 1; r <= rounds; ++r) {
       for (std::size_t pos = 0; pos < 4; ++pos) {
-        global = nodes[ring.at(pos)].onToken(r, global);
+        global = algorithms[ring.at(pos)]->step(global, r);
       }
     }
     if (global == truth) ++exact;

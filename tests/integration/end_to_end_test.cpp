@@ -133,11 +133,9 @@ TopKVector runOverTcp(const std::vector<std::vector<Value>>& values,
   for (std::size_t i = 0; i < n; ++i) rngs.push_back(rng.fork(i));
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(std::async(std::launch::async, [&, i] {
-      protocol::ProtocolNode node(
-          static_cast<NodeId>(i), locals[i],
-          protocol::makeLocalAlgorithm(cfg.kind, cfg.params, rngs[i]));
-      protocol::DistributedParticipant participant(std::move(node),
-                                                   *transports[i], cfg);
+      protocol::DistributedParticipant participant(static_cast<NodeId>(i),
+                                                   locals[i], *transports[i],
+                                                   cfg, rngs[i]);
       return participant.run();
     }));
   }

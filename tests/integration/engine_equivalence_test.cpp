@@ -1,0 +1,113 @@
+// Cross-engine equivalence: the synchronous runner, the event-driven
+// simulator and an in-process NodeService ring all drive the same
+// protocol::core::Participant, so under pinned randomness (explicit ring
+// order + per-node algorithm seeds, core::EngineOverrides) the three
+// engines must produce BIT-IDENTICAL result vectors.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "data/generator.hpp"
+#include "net/inproc.hpp"
+#include "protocol/runner.hpp"
+#include "protocol/sim_engine.hpp"
+#include "query/service.hpp"
+
+namespace privtopk::query {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kNodes = 4;
+
+// Seeding contract: a NodeService seeded S builds its FIRST ring query's
+// algorithm from Rng(S), which is exactly what EngineOverrides::nodeSeeds
+// makes the in-memory engines do.  Each scenario therefore runs on a
+// fresh cluster.
+const std::vector<std::uint64_t> kNodeSeeds = {9000, 9001, 9002, 9003};
+const std::vector<NodeId> kRing = {0, 1, 2, 3};
+
+QueryDescriptor makeDescriptor(std::uint64_t id, QueryType type,
+                               protocol::ProtocolKind kind, std::size_t k) {
+  QueryDescriptor d;
+  d.queryId = id;
+  d.type = type;
+  d.kind = kind;
+  d.tableName = "sales";
+  d.attribute = "revenue";
+  d.params.k = k;
+  d.params.rounds = 6;
+  return d;
+}
+
+void expectEnginesAgree(const QueryDescriptor& descriptor) {
+  data::FleetSpec spec;
+  spec.nodes = kNodes;
+  spec.rowsPerNode = 12;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng dataRng(42);
+  const auto dbs = data::generateFleet(spec, dataRng);
+  const auto values = data::fleetValues(dbs, "sales", "revenue");
+
+  protocol::ProtocolParams params = descriptor.params;
+  params.k = descriptor.effectiveK();
+
+  protocol::core::EngineOverrides overrides;
+  overrides.ringOrder = kRing;
+  overrides.nodeSeeds = kNodeSeeds;
+
+  // Engine 1: synchronous runner.
+  Rng runnerRng(7);
+  const protocol::RingQueryRunner runner(params, descriptor.kind);
+  const auto runnerOut = runner.run(values, runnerRng, overrides);
+
+  // Engine 2: virtual-time event simulator.
+  protocol::SimulatedRunConfig simCfg;
+  simCfg.params = params;
+  simCfg.kind = descriptor.kind;
+  simCfg.overrides = overrides;
+  Rng simRng(7);
+  const auto simOut = protocol::runSimulatedQuery(values, simCfg, simRng);
+  EXPECT_EQ(simOut.result, runnerOut.result) << "simulator diverged";
+
+  // Engine 3: a live NodeService ring over an in-process transport.
+  net::InProcTransport transport(kNodes);
+  std::vector<std::unique_ptr<NodeService>> services;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    services.push_back(std::make_unique<NodeService>(
+        static_cast<NodeId>(i), dbs[i], transport, kNodeSeeds[i]));
+    services.back()->start();
+  }
+  auto future = services.front()->initiate(descriptor, kRing);
+  ASSERT_EQ(future.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(future.get(), runnerOut.result) << "service initiator diverged";
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const auto result = services[i]->waitFor(descriptor.queryId, 5000ms);
+    ASSERT_TRUE(result.has_value()) << "service " << i << " never completed";
+    EXPECT_EQ(*result, runnerOut.result) << "service " << i << " diverged";
+  }
+  for (auto& s : services) s->stop();
+  transport.shutdown();
+}
+
+TEST(EngineEquivalence, NaiveTopK) {
+  expectEnginesAgree(makeDescriptor(1, QueryType::TopK,
+                                    protocol::ProtocolKind::Naive, 3));
+}
+
+TEST(EngineEquivalence, ProbabilisticMax) {
+  expectEnginesAgree(makeDescriptor(2, QueryType::Max,
+                                    protocol::ProtocolKind::Probabilistic, 1));
+}
+
+TEST(EngineEquivalence, ProbabilisticTopK) {
+  expectEnginesAgree(makeDescriptor(3, QueryType::TopK,
+                                    protocol::ProtocolKind::Probabilistic, 3));
+}
+
+}  // namespace
+}  // namespace privtopk::query

@@ -16,11 +16,12 @@ namespace {
 
 using namespace std::chrono_literals;
 
-ProtocolNode makeNode(NodeId id, TopKVector local, const DistributedConfig& cfg,
-                      std::uint64_t seed) {
+DistributedParticipant makeParticipant(NodeId id, TopKVector local,
+                                       net::Transport& transport,
+                                       const DistributedConfig& cfg,
+                                       std::uint64_t seed) {
   Rng rng(seed);
-  return ProtocolNode(id, std::move(local),
-                      makeLocalAlgorithm(cfg.kind, cfg.params, rng));
+  return DistributedParticipant(id, std::move(local), transport, cfg, rng);
 }
 
 DistributedConfig config(std::vector<NodeId> ring, std::size_t k = 1) {
@@ -36,26 +37,20 @@ DistributedConfig config(std::vector<NodeId> ring, std::size_t k = 1) {
 TEST(DistributedParticipant, ValidatesConfiguration) {
   net::InProcTransport transport(4);
   DistributedConfig tiny = config({0, 1});
-  EXPECT_THROW(DistributedParticipant(makeNode(0, {5}, tiny, 1), transport,
-                                      tiny),
-               ConfigError);
+  EXPECT_THROW(makeParticipant(0, {5}, transport, tiny, 1), ConfigError);
 
   DistributedConfig notOnRing = config({1, 2, 3});
-  EXPECT_THROW(DistributedParticipant(makeNode(0, {5}, notOnRing, 2),
-                                      transport, notOnRing),
-               ConfigError);
+  EXPECT_THROW(makeParticipant(0, {5}, transport, notOnRing, 2), ConfigError);
 
   DistributedConfig badParams = config({0, 1, 2});
   badParams.params.p0 = 7.0;
-  EXPECT_THROW(DistributedParticipant(makeNode(0, {5}, badParams, 3),
-                                      transport, badParams),
-               ConfigError);
+  EXPECT_THROW(makeParticipant(0, {5}, transport, badParams, 3), ConfigError);
 }
 
 TEST(DistributedParticipant, FollowerRejectsForeignQueryId) {
   net::InProcTransport transport(3);
   DistributedConfig cfg = config({0, 1, 2});
-  DistributedParticipant follower(makeNode(1, {5}, cfg, 4), transport, cfg);
+  DistributedParticipant follower = makeParticipant(1, {5}, transport, cfg, 4);
 
   transport.send(0, 1,
                  net::encodeMessage(net::RoundToken{/*queryId=*/999, 1, {3}}));
@@ -65,7 +60,7 @@ TEST(DistributedParticipant, FollowerRejectsForeignQueryId) {
 TEST(DistributedParticipant, FollowerRejectsMalformedPayload) {
   net::InProcTransport transport(3);
   DistributedConfig cfg = config({0, 1, 2});
-  DistributedParticipant follower(makeNode(1, {5}, cfg, 5), transport, cfg);
+  DistributedParticipant follower = makeParticipant(1, {5}, transport, cfg, 5);
 
   transport.send(0, 1, Bytes{0xde, 0xad, 0xbe, 0xef});
   EXPECT_THROW((void)follower.run(), ProtocolError);
@@ -74,7 +69,7 @@ TEST(DistributedParticipant, FollowerRejectsMalformedPayload) {
 TEST(DistributedParticipant, FollowerRejectsUnexpectedMessageType) {
   net::InProcTransport transport(3);
   DistributedConfig cfg = config({0, 1, 2});
-  DistributedParticipant follower(makeNode(1, {5}, cfg, 6), transport, cfg);
+  DistributedParticipant follower = makeParticipant(1, {5}, transport, cfg, 6);
 
   transport.send(0, 1, net::encodeMessage(net::RingRepair{cfg.queryId, 2, 0}));
   EXPECT_THROW((void)follower.run(), ProtocolError);
@@ -84,7 +79,7 @@ TEST(DistributedParticipant, TimesOutWithoutTraffic) {
   net::InProcTransport transport(3);
   DistributedConfig cfg = config({0, 1, 2});
   cfg.receiveTimeout = 50ms;
-  DistributedParticipant follower(makeNode(1, {5}, cfg, 7), transport, cfg);
+  DistributedParticipant follower = makeParticipant(1, {5}, transport, cfg, 7);
   EXPECT_THROW((void)follower.run(), TransportError);
 }
 
@@ -98,8 +93,8 @@ TEST(DistributedParticipant, RingRepairSkipsUnreachablePeer) {
   std::vector<TopKVector> locals = {{30}, {40}, {20}};
   for (NodeId id : {NodeId{0}, NodeId{1}, NodeId{2}}) {
     futures.push_back(std::async(std::launch::async, [&, id] {
-      DistributedParticipant participant(
-          makeNode(id, locals[id], cfg, 100 + id), transport, cfg);
+      DistributedParticipant participant =
+          makeParticipant(id, locals[id], transport, cfg, 100 + id);
       return participant.run();
     }));
   }
@@ -138,9 +133,8 @@ TEST(DistributedParticipant, RepairOverRealTcp) {
   std::vector<std::future<TopKVector>> futures;
   for (std::size_t i = 0; i < 3; ++i) {
     futures.push_back(std::async(std::launch::async, [&, i] {
-      DistributedParticipant participant(
-          makeNode(static_cast<NodeId>(i), locals[i], cfg, 200 + i),
-          *transports[i], cfg);
+      DistributedParticipant participant = makeParticipant(
+          static_cast<NodeId>(i), locals[i], *transports[i], cfg, 200 + i);
       return participant.run();
     }));
   }

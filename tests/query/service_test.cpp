@@ -206,6 +206,61 @@ TEST(NodeService, StaleQueriesGarbageCollected) {
   transport.shutdown();
 }
 
+TEST(NodeService, CaptureTracesRecordsThisNodesSteps) {
+  data::FleetSpec spec;
+  spec.nodes = 4;
+  spec.rowsPerNode = 10;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng rng(55);
+  const auto dbs = data::generateFleet(spec, rng);
+  net::InProcTransport transport(4);
+
+  ServiceOptions options;
+  options.captureTraces = true;
+  std::vector<std::unique_ptr<NodeService>> services;
+  for (std::size_t i = 0; i < 4; ++i) {
+    services.push_back(std::make_unique<NodeService>(
+        static_cast<NodeId>(i), dbs[i], transport, 400 + i, options));
+    services.back()->start();
+  }
+
+  const QueryDescriptor d = descriptor(90, QueryType::TopK, 2);
+  auto future = services[0]->initiate(d, {0, 1, 2, 3});
+  ASSERT_EQ(future.wait_for(5s), std::future_status::ready);
+  const TopKVector result = future.get();
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(services[i]->waitFor(90, 5000ms).has_value());
+    const auto trace = services[i]->traceOf(90);
+    ASSERT_TRUE(trace.has_value()) << "service " << i << " has no trace";
+    // Every node records exactly its own algorithm invocations: one per
+    // round (the controller's deal counts for the round it opens).
+    EXPECT_EQ(trace->steps.size(), static_cast<std::size_t>(trace->rounds));
+    for (const auto& step : trace->steps) {
+      EXPECT_EQ(step.node, static_cast<NodeId>(i));
+    }
+    EXPECT_EQ(trace->localVectors.at(i),
+              protocol::core::localTopK(
+                  data::fleetValues(dbs, "sales", "revenue")[i], 2));
+    if (i == 0) {
+      EXPECT_EQ(trace->result, result);
+    }
+  }
+
+  // Traces are opt-in: a default-option service records none, and
+  // aggregate queries never have one.
+  EXPECT_EQ(services[1]->traceOf(777), std::nullopt);
+  auto sumFuture = services[0]->initiate(descriptor(91, QueryType::Sum),
+                                         {0, 1, 2, 3});
+  ASSERT_EQ(sumFuture.wait_for(5s), std::future_status::ready);
+  (void)sumFuture.get();
+  EXPECT_EQ(services[0]->traceOf(91), std::nullopt);
+
+  for (auto& s : services) s->stop();
+  transport.shutdown();
+}
+
 TEST(NodeService, WorksOverTcp) {
   // Three services over real sockets.
   std::vector<net::TcpPeer> peers;

@@ -281,10 +281,8 @@ int cmdNode(int argc, const char* const* argv) {
   net::Transport& transport = *transportPtr;
 
   Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)) + self);
-  protocol::ProtocolNode node(
-      self, local, protocol::makeLocalAlgorithm(cfg.kind, cfg.params, rng));
-  protocol::DistributedParticipant participant(std::move(node), transport,
-                                               cfg);
+  protocol::DistributedParticipant participant(self, local, transport, cfg,
+                                               rng);
   std::printf("node %u joined ring, waiting for the protocol...\n", self);
   const TopKVector protocolResult = participant.run();
   const TopKVector result = query::presentResult(descriptor, protocolResult);
