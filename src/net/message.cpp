@@ -42,6 +42,9 @@ Bytes encodeMessage(const Message& message) {
     w.writeBlob(announce.descriptor);
     w.writeVarint(announce.ringOrder.size());
     for (NodeId id : announce.ringOrder) w.writeU32(id);
+    w.writeU64(announce.parentQueryId);
+    w.writeU8(announce.phase);
+    w.writeU32(announce.groupSize);
   }
   return w.take();
 }
@@ -92,6 +95,15 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       announce.ringOrder.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         announce.ringOrder.push_back(r.readU32());
+      }
+      announce.parentQueryId = r.readU64();
+      announce.phase = r.readU8();
+      announce.groupSize = r.readU32();
+      if (announce.phase > 2) {
+        throw ProtocolError("QueryAnnounce: unknown phase");
+      }
+      if ((announce.phase == 0) != (announce.parentQueryId == 0)) {
+        throw ProtocolError("QueryAnnounce: phase/parent mismatch");
       }
       if (!r.atEnd()) throw ProtocolError("QueryAnnounce: trailing bytes");
       return announce;

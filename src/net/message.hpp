@@ -62,6 +62,14 @@ struct QueryAnnounce {
   Bytes descriptor;
   std::vector<NodeId> ringOrder;
 
+  // Group-parallel execution (paper §4.2; docs/PROTOCOL.md §6).  A grouped
+  // query runs as phase-1 sub-queries (one per group ring) followed by a
+  // phase-2 merge ring of delegates; each phase announce names the parent
+  // query it serves.  Zero parentQueryId + phase 0 is a standalone query.
+  std::uint64_t parentQueryId = 0;
+  std::uint8_t phase = 0;      ///< 0 standalone, 1 group ring, 2 merge ring
+  std::uint32_t groupSize = 0; ///< parent's requested group size (echo)
+
   friend bool operator==(const QueryAnnounce&, const QueryAnnounce&) = default;
 };
 

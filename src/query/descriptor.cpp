@@ -36,6 +36,9 @@ bool QueryDescriptor::isBottom() const {
 void QueryDescriptor::validate() const {
   if (tableName.empty()) throw ConfigError("QueryDescriptor: empty table");
   if (attribute.empty()) throw ConfigError("QueryDescriptor: empty attribute");
+  if (groupSize != 0 && groupSize < 3) {
+    throw ConfigError("QueryDescriptor: groupSize must be 0 or >= 3");
+  }
   protocol::ProtocolParams effective = params;
   effective.k = effectiveK();
   effective.validate();
@@ -60,6 +63,7 @@ Bytes QueryDescriptor::encode() const {
   w.writeF64(params.epsilon);
   w.writeU8(params.remapEachRound ? 1 : 0);
   filter.encodeTo(w);
+  w.writeVarint(groupSize);
   return w.take();
 }
 
@@ -89,6 +93,7 @@ QueryDescriptor QueryDescriptor::decode(std::span<const std::uint8_t> bytes) {
   d.params.epsilon = r.readF64();
   d.params.remapEachRound = r.readU8() != 0;
   d.filter = Filter::decodeFrom(r);
+  d.groupSize = r.readVarint();
   if (!r.atEnd()) throw ProtocolError("QueryDescriptor: trailing bytes");
   d.validate();
   return d;
@@ -103,7 +108,7 @@ bool operator==(const QueryDescriptor& a, const QueryDescriptor& b) {
          a.params.rounds == b.params.rounds &&
          a.params.epsilon == b.params.epsilon &&
          a.params.remapEachRound == b.params.remapEachRound &&
-         a.filter == b.filter;
+         a.filter == b.filter && a.groupSize == b.groupSize;
 }
 
 }  // namespace privtopk::query

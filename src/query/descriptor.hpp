@@ -45,6 +45,13 @@ struct QueryDescriptor {
   /// input ("sales in a given category or time period", paper §2.1).
   Filter filter;
 
+  /// Group-parallel execution (paper §4.2): 0 runs the flat single-ring
+  /// protocol; >= 3 asks the initiating NodeService to partition the ring
+  /// into groups of about this size, run them in parallel, and merge via a
+  /// randomly-delegated second ring.  Rings too small for three groups
+  /// fall back to flat.  Ignored for aggregate queries.
+  std::size_t groupSize = 0;
+
   /// The k actually selected (1 for Max/Min regardless of params.k).
   [[nodiscard]] std::size_t effectiveK() const;
 

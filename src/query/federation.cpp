@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "protocol/core.hpp"
+#include "protocol/group.hpp"
 #include "protocol/secure_sum.hpp"
 
 namespace privtopk::query {
@@ -121,6 +122,20 @@ QueryOutcome Federation::execute(const QueryDescriptor& descriptor,
 
   protocol::ProtocolParams params = descriptor.params;
   params.k = descriptor.effectiveK();
+
+  if (descriptor.groupSize >= 3) {
+    // Group-parallel execution (paper §4.2): small rings in parallel, one
+    // delegate ring to merge.  No single ring sees every party, so there
+    // is no whole-run trace to return.
+    const protocol::GroupedRunResult run = protocol::runGrouped(
+        inputs, params, descriptor.kind, descriptor.groupSize, rng);
+    QueryOutcome outcome;
+    outcome.values = presentResult(descriptor, run.result);
+    outcome.rounds = params.rounds.value_or(0);
+    outcome.messages = run.totalMessages;
+    return outcome;
+  }
+
   const protocol::RingQueryRunner runner(params, descriptor.kind);
   protocol::RunResult run = runner.run(inputs, rng);
 

@@ -1,6 +1,8 @@
 #include "query/service.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -15,10 +17,29 @@ namespace {
 
 constexpr char kService[] = "service";
 
+/// Merge traffic held per grouped query while this delegate finishes its
+/// own phase-1 run; beyond this the sender's retransmission covers us.
+constexpr std::size_t kStashCap = 64;
+
+/// Sender placeholder for replayed stashed messages, whose transport-level
+/// origin was not recorded.  No ring ever contains it.
+constexpr NodeId kNoSender = std::numeric_limits<NodeId>::max();
+
+/// How often the receiver runs maintenance (stale GC + retransmission).
+/// Retransmit sends can block on slow links; running maintain() on every
+/// loop pass would throttle the receive rate below the arrival rate under
+/// a retransmission storm and the backlog would never drain (observed as
+/// a congestion collapse in the concurrency soak on single-core hosts).
+constexpr std::chrono::milliseconds kMaintainInterval{25};
+
 double elapsedMsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+std::uint64_t queryIdOf(const net::Message& message) {
+  return std::visit([](const auto& m) { return m.queryId; }, message);
 }
 
 }  // namespace
@@ -50,17 +71,31 @@ NodeService::Metrics::Metrics()
                                      {{"engine", kService}})),
       duplicatesDropped(obs::counter("privtopk.query.duplicates_dropped",
                                      {{"engine", kService}})),
+      resultReplays(obs::counter("privtopk.query.result_replays",
+                                 {{"engine", kService}})),
       aborted(obs::counter("privtopk.query.queries_aborted",
                            {{"engine", kService}})),
+      admissionsRejected(obs::counter("privtopk.query.admissions_rejected",
+                                      {{"engine", kService}})),
       activeQueries(obs::gauge("privtopk.query.active_queries",
                                {{"engine", kService}})),
+      inflightQueries(obs::gauge("privtopk.query.inflight_queries",
+                                 {{"engine", kService}})),
+      queueDepth(obs::gauge("privtopk.query.queue_depth",
+                            {{"engine", kService}})),
       queryLatencyMs(obs::histogram("privtopk.query.latency_ms",
                                     {{"engine", kService}},
                                     obs::defaultLatencyBucketsMs())),
       announceToFirstTokenMs(
           obs::histogram("privtopk.query.announce_to_first_token_ms",
                          {{"engine", kService}},
-                         obs::defaultLatencyBucketsMs())) {}
+                         obs::defaultLatencyBucketsMs())),
+      groupPhaseMs(obs::histogram("privtopk.query.group_phase_ms",
+                                  {{"engine", kService}},
+                                  obs::defaultLatencyBucketsMs())),
+      mergePhaseMs(obs::histogram("privtopk.query.merge_phase_ms",
+                                  {{"engine", kService}},
+                                  obs::defaultLatencyBucketsMs())) {}
 
 NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
                          net::Transport& transport, std::uint64_t seed,
@@ -74,7 +109,7 @@ NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
 NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
                          net::Transport& transport, std::uint64_t seed,
                          ServiceOptions options)
-    : self_(self), db_(&db), transport_(&transport), rng_(seed),
+    : self_(self), db_(&db), transport_(&transport), seed_(seed), rng_(seed),
       options_(options) {
   if (options_.completedCap == 0) {
     throw ConfigError("NodeService: completedCap must be >= 1");
@@ -82,6 +117,13 @@ NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
   if (options_.deadAfterFailures < 1) {
     throw ConfigError("NodeService: deadAfterFailures must be >= 1");
   }
+  if (options_.maxInflightInitiations == 0) {
+    throw ConfigError("NodeService: maxInflightInitiations must be >= 1");
+  }
+  if (options_.maxQueuedInitiations == 0) {
+    throw ConfigError("NodeService: maxQueuedInitiations must be >= 1");
+  }
+  options_.workerThreads = std::max<std::size_t>(1, options_.workerThreads);
 }
 
 NodeService::~NodeService() { stop(); }
@@ -89,22 +131,85 @@ NodeService::~NodeService() { stop(); }
 void NodeService::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  worker_ = std::thread([this] { workerLoop(); });
+  receiver_ = std::thread([this] { receiveLoop(); });
+  workers_.reserve(options_.workerThreads);
+  for (std::size_t i = 0; i < options_.workerThreads; ++i) {
+    workers_.emplace_back([this] { dispatchLoop(); });
+  }
 }
 
 void NodeService::stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
-  if (worker_.joinable()) worker_.join();
+  schedCv_.notify_all();
+  if (receiver_.joinable()) receiver_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // Deterministic drain: initiations that never began are rejected, begun
+  // ones fail - without this node's threads their rings cannot progress.
+  std::vector<std::promise<TopKVector>> rejected;
+  {
+    std::scoped_lock lock(schedMutex_);
+    for (auto& admission : admissionQueue_) {
+      metrics_.queueDepth.sub(1);
+      rejected.push_back(std::move(admission.promise));
+    }
+    admissionQueue_.clear();
+    for (auto& [key, items] : inbox_) {
+      for (auto& item : items) {
+        if (auto* admission = std::get_if<Admission>(&item)) {
+          inflightInitiations_.fetch_sub(1);
+          metrics_.inflightQueries.sub(1);
+          rejected.push_back(std::move(admission->promise));
+        }
+      }
+    }
+    inbox_.clear();
+    readyKeys_.clear();
+    busyKeys_.clear();
+    pendingIds_.clear();
+  }
+  for (auto& promise : rejected) {
+    promise.set_exception(std::make_exception_ptr(
+        TransportError("NodeService stopped before the query could run")));
+  }
+  std::scoped_lock lock(mutex_);
+  for (auto& [queryId, state] : active_) {
+    if (state.admitted) {
+      state.admitted = false;
+      inflightInitiations_.fetch_sub(1);
+      metrics_.inflightQueries.sub(1);
+    }
+    if (state.initiator && !state.promiseSettled) {
+      state.promiseSettled = true;
+      state.promise.set_exception(std::make_exception_ptr(
+          TransportError("NodeService stopped with the query in flight")));
+    }
+  }
 }
 
-void NodeService::workerLoop() {
+// ---------------------------------------------------------------------------
+// Scheduler: one receiver thread feeds a keyed run queue; dispatch workers
+// drain it one item per key at a time, so each query's messages apply in
+// arrival order while distinct queries progress in parallel.
+
+void NodeService::receiveLoop() {
+  auto lastMaintain = std::chrono::steady_clock::now();
   while (running_.load()) {
     const auto envelope = transport_->receive(self_, 50ms);
-    maintain();
+    const auto now = std::chrono::steady_clock::now();
+    if (now - lastMaintain >= kMaintainInterval) {
+      lastMaintain = now;
+      maintain();
+    }
     if (!envelope) continue;
     try {
-      dispatch(*envelope);
+      net::Message message = net::decodeMessage(envelope->payload);
+      const std::uint64_t key = queryIdOf(message);
+      enqueueWork(key, WorkItem{Inbound{envelope->from, std::move(message)}});
     } catch (const Error& e) {
       // Hostile or stale traffic must not take the service down.
       metrics_.droppedMessages.inc();
@@ -114,55 +219,226 @@ void NodeService::workerLoop() {
   }
 }
 
-void NodeService::maintain() {
-  const auto now = std::chrono::steady_clock::now();
-  std::scoped_lock lock(mutex_);
-  for (auto it = active_.begin(); it != active_.end();) {
-    QueryState& state = it->second;
-    const bool stale = now - state.registeredAt >= options_.staleAfter;
-    if (state.aborted || stale) {
-      if (!state.aborted) {
-        PRIVTOPK_LOG_WARN("service ", self_,
-                          ": garbage-collecting stale query ", it->first);
-        metrics_.stalePurged.inc();
-      }
-      metrics_.activeQueries.sub(1);
-      if (state.initiator && !state.promiseSettled) {
-        state.promiseSettled = true;
-        state.promise.set_exception(std::make_exception_ptr(
-            TransportError("query timed out waiting for the ring")));
-      }
-      it = active_.erase(it);
-      continue;
-    }
-    if (options_.retransmitAfter.count() > 0 && !state.lastMessage.empty() &&
-        now - state.lastActivity >= options_.retransmitAfter) {
-      state.lastActivity = now;
-      retransmit(state);
-    }
-    ++it;
+void NodeService::dispatchLoop() {
+  while (true) {
+    auto work = popWork();
+    if (!work) return;
+    runWorkItem(work->first, work->second);
+    finishKey(work->first);
   }
 }
 
-void NodeService::dispatch(const net::Envelope& envelope) {
-  const net::Message message = net::decodeMessage(envelope.payload);
-  std::scoped_lock lock(mutex_);
-  if (const auto* announce = std::get_if<net::QueryAnnounce>(&message)) {
-    onAnnounce(*announce);
-  } else if (const auto* token = std::get_if<net::RoundToken>(&message)) {
-    onRoundToken(*token);
-  } else if (const auto* sum = std::get_if<net::SumToken>(&message)) {
-    onSumToken(*sum);
-  } else if (const auto* result =
-                 std::get_if<net::ResultAnnouncement>(&message)) {
-    onResult(*result);
-  } else if (const auto* repair = std::get_if<net::RingRepair>(&message)) {
-    onRingRepair(*repair);
-  } else {
-    metrics_.droppedMessages.inc();
-    PRIVTOPK_LOG_WARN("service ", self_, ": ignoring unknown message");
+void NodeService::enqueueWork(std::uint64_t key, WorkItem item) {
+  {
+    std::scoped_lock lock(schedMutex_);
+    inbox_[key].push_back(std::move(item));
+    if (!busyKeys_.contains(key)) readyKeys_.insert(key);
+  }
+  schedCv_.notify_one();
+}
+
+void NodeService::admitPending() {
+  while (!admissionQueue_.empty() &&
+         inflightInitiations_.load() < options_.maxInflightInitiations) {
+    Admission admission = std::move(admissionQueue_.front());
+    admissionQueue_.pop_front();
+    metrics_.queueDepth.sub(1);
+    inflightInitiations_.fetch_add(1);
+    metrics_.inflightQueries.add(1);
+    const std::uint64_t key = admission.descriptor.queryId;
+    inbox_[key].push_back(WorkItem{std::move(admission)});
+    if (!busyKeys_.contains(key)) readyKeys_.insert(key);
   }
 }
+
+void NodeService::releaseInflightSlot() {
+  inflightInitiations_.fetch_sub(1);
+  metrics_.inflightQueries.sub(1);
+  // A waiting worker admits the next queued initiation; busy workers pass
+  // through admitPending() on their next popWork().
+  schedCv_.notify_all();
+}
+
+std::optional<std::pair<std::uint64_t, NodeService::WorkItem>>
+NodeService::popWork() {
+  std::unique_lock lock(schedMutex_);
+  while (running_.load()) {
+    admitPending();
+    if (!readyKeys_.empty()) {
+      const std::uint64_t key = *readyKeys_.begin();
+      readyKeys_.erase(readyKeys_.begin());
+      busyKeys_.insert(key);
+      auto& queue = inbox_[key];
+      WorkItem item = std::move(queue.front());
+      queue.pop_front();
+      if (queue.empty()) inbox_.erase(key);
+      return std::make_pair(key, std::move(item));
+    }
+    schedCv_.wait_for(lock, 50ms);
+  }
+  return std::nullopt;
+}
+
+void NodeService::finishKey(std::uint64_t key) {
+  bool moreWork = false;
+  {
+    std::scoped_lock lock(schedMutex_);
+    busyKeys_.erase(key);
+    if (inbox_.contains(key)) {
+      readyKeys_.insert(key);
+      moreWork = true;
+    }
+  }
+  if (moreWork) schedCv_.notify_one();
+}
+
+void NodeService::runWorkItem(std::uint64_t key, WorkItem& item) {
+  std::vector<Outbound> out;
+  std::deque<Completion> done;
+  if (auto* admission = std::get_if<Admission>(&item)) {
+    performInitiation(*admission, out);
+  } else {
+    const auto& inbound = std::get<Inbound>(item);
+    std::scoped_lock lock(mutex_);
+    try {
+      handleMessage(inbound.from, inbound.message, out, done);
+    } catch (const Error& e) {
+      metrics_.droppedMessages.inc();
+      PRIVTOPK_LOG_WARN("service ", self_, ": dropped message for query ",
+                        key, ": ", e.what());
+    }
+  }
+  // Flush sends before applying each completion: a finished query's final
+  // forward (and a merge delegate's dissemination) must leave while the
+  // state is still registered, or the successor resolution would fail.
+  while (true) {
+    flushOutbound(out);
+    if (done.empty()) break;
+    Completion completion = std::move(done.front());
+    done.pop_front();
+    std::scoped_lock lock(mutex_);
+    applyCompletion(std::move(completion), out, done);
+  }
+}
+
+void NodeService::maintain() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Outbound> out;
+  std::size_t releasedSlots = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto it = active_.begin(); it != active_.end();) {
+      QueryState& state = it->second;
+      const bool stale = now - state.registeredAt >= options_.staleAfter;
+      if (state.aborted || stale) {
+        if (!state.aborted) {
+          PRIVTOPK_LOG_WARN("service ", self_,
+                            ": garbage-collecting stale query ", it->first);
+          metrics_.stalePurged.inc();
+        }
+        metrics_.activeQueries.sub(1);
+        if (state.initiator && !state.promiseSettled) {
+          state.promiseSettled = true;
+          state.promise.set_exception(std::make_exception_ptr(
+              TransportError("query timed out waiting for the ring")));
+        }
+        if (state.admitted) {
+          state.admitted = false;
+          ++releasedSlots;
+        }
+        if (state.isParent) {
+          mergeParents_.erase(state.mergeId);
+          stashed_.erase(it->first);
+        }
+        it = active_.erase(it);
+        continue;
+      }
+      if (options_.retransmitAfter.count() > 0 && !state.lastMessage.empty() &&
+          now - state.lastActivity >= options_.retransmitAfter) {
+        state.lastActivity = now;
+        metrics_.retransmits.inc();
+        PRIVTOPK_LOG_WARN("service ", self_, ": retransmitting query ",
+                          it->first, " to successor ", successorFor(state));
+        // The successor may have missed the announce as well (it died on a
+        // predecessor's link); duplicates are suppressed on arrival.
+        if (!state.announceWire.empty() &&
+            state.announceWire != state.lastMessage) {
+          out.push_back(Outbound{it->first, state.announceWire, 0, false});
+        }
+        out.push_back(Outbound{it->first, state.lastMessage, 0, false});
+      }
+      ++it;
+    }
+  }
+  for (std::size_t i = 0; i < releasedSlots; ++i) releaseInflightSlot();
+  flushOutbound(out);
+}
+
+// ---------------------------------------------------------------------------
+// Sends.
+
+void NodeService::queueSend(QueryState& state, const net::Message& message,
+                            std::vector<Outbound>& out) {
+  state.lastMessage = net::encodeMessage(message);
+  if (std::holds_alternative<net::QueryAnnounce>(message)) {
+    state.announceWire = state.lastMessage;
+  }
+  state.lastActivity = std::chrono::steady_clock::now();
+  out.push_back(
+      Outbound{state.descriptor.queryId, state.lastMessage, 0, false});
+}
+
+void NodeService::flushOutbound(std::vector<Outbound>& out) {
+  // Index loop: ring repair may append repair notifies while we iterate.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Outbound item = out[i];
+    if (item.direct) {
+      // One-shot, best-effort (group fan-out, repair notifies); the
+      // regular retransmission machinery covers losses.
+      try {
+        transport_->send(self_, item.target, item.wire);
+      } catch (const TransportError& e) {
+        PRIVTOPK_LOG_WARN("service ", self_, ": direct send to ", item.target,
+                          " failed: ", e.what());
+      }
+      continue;
+    }
+    while (true) {
+      NodeId succ = 0;
+      {
+        std::scoped_lock lock(mutex_);
+        const auto it = active_.find(item.queryId);
+        if (it == active_.end() || it->second.aborted) break;
+        succ = successorFor(it->second);
+      }
+      try {
+        transport_->send(self_, succ, item.wire);
+        std::scoped_lock lock(mutex_);
+        const auto it = active_.find(item.queryId);
+        if (it != active_.end()) it->second.sendFailures = 0;
+        break;
+      } catch (const TransportError& e) {
+        std::scoped_lock lock(mutex_);
+        const auto it = active_.find(item.queryId);
+        if (it == active_.end() || it->second.aborted) break;
+        QueryState& state = it->second;
+        ++state.sendFailures;
+        PRIVTOPK_LOG_WARN("service ", self_, ": send to ", succ, " failed (",
+                          state.sendFailures, "): ", e.what());
+        if (state.sendFailures < options_.deadAfterFailures) {
+          // Not yet condemned: the retransmission deadline retries later.
+          break;
+        }
+        if (!repairAfterDeadSuccessor(state, succ, out)) break;
+        // Ring repaired; retry toward the new successor.
+      }
+    }
+  }
+  out.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Ring bookkeeping.
 
 const std::vector<NodeId>& NodeService::ringOf(const QueryState& state) {
   return state.participant ? state.participant->ringOrder() : state.ringOrder;
@@ -178,11 +454,12 @@ NodeId NodeService::successorFor(const QueryState& state) const {
   return protocol::core::ringSuccessor(ringOf(state), self_);
 }
 
-bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead) {
+bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead,
+                                           std::vector<Outbound>& out) {
   metrics_.peersDeclaredDead.inc();
   PRIVTOPK_LOG_WARN("service ", self_, ": declaring successor ", dead,
-                    " dead for query ", state.descriptor.queryId,
-                    " after ", state.sendFailures, " send failures");
+                    " dead for query ", state.descriptor.queryId, " after ",
+                    state.sendFailures, " send failures");
   const protocol::core::RepairOutcome outcome = applyRepair(state, dead);
   state.sendFailures = 0;
   metrics_.ringRepairs.inc();
@@ -200,59 +477,11 @@ bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead) {
   // node that already applied the repair, and a node whose own successor
   // is dead detects and repairs independently.
   const NodeId next = successorFor(state);
-  try {
-    transport_->send(self_, next,
-                     net::encodeMessage(net::RingRepair{
-                         state.descriptor.queryId, dead, next}));
-  } catch (const TransportError& e) {
-    PRIVTOPK_LOG_WARN("service ", self_, ": ring-repair notify to ", next,
-                      " failed: ", e.what());
-  }
+  out.push_back(Outbound{state.descriptor.queryId,
+                         net::encodeMessage(net::RingRepair{
+                             state.descriptor.queryId, dead, next}),
+                         next, true});
   return true;
-}
-
-bool NodeService::deliver(QueryState& state, const Bytes& wire) {
-  while (!state.aborted) {
-    const NodeId succ = successorFor(state);
-    try {
-      transport_->send(self_, succ, wire);
-      state.sendFailures = 0;
-      return true;
-    } catch (const TransportError& e) {
-      ++state.sendFailures;
-      PRIVTOPK_LOG_WARN("service ", self_, ": send to ", succ,
-                        " failed (", state.sendFailures, "): ", e.what());
-      if (state.sendFailures < options_.deadAfterFailures) {
-        // Not yet condemned: the retransmission deadline retries later.
-        return false;
-      }
-      if (!repairAfterDeadSuccessor(state, succ)) return false;
-      // Ring repaired; retry toward the new successor.
-    }
-  }
-  return false;
-}
-
-void NodeService::send(QueryState& state, const net::Message& message) {
-  state.lastMessage = net::encodeMessage(message);
-  if (std::holds_alternative<net::QueryAnnounce>(message)) {
-    state.announceWire = state.lastMessage;
-  }
-  state.lastActivity = std::chrono::steady_clock::now();
-  deliver(state, state.lastMessage);
-}
-
-void NodeService::retransmit(QueryState& state) {
-  metrics_.retransmits.inc();
-  PRIVTOPK_LOG_WARN("service ", self_, ": retransmitting query ",
-                    state.descriptor.queryId, " to successor ",
-                    successorFor(state));
-  // The successor may have missed the announce as well (it died on a
-  // predecessor's link); duplicates are suppressed on arrival.
-  if (!state.announceWire.empty() && state.announceWire != state.lastMessage) {
-    if (!deliver(state, state.announceWire)) return;
-  }
-  deliver(state, state.lastMessage);
 }
 
 void NodeService::abortQuery(QueryState& state, const std::string& reason) {
@@ -268,6 +497,9 @@ void NodeService::abortQuery(QueryState& state, const std::string& reason) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Initiation.
+
 std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
                                               std::vector<NodeId> ringOrder) {
   descriptor.validate();
@@ -278,30 +510,95 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
     throw ConfigError("NodeService::initiate: initiator must be first on "
                       "the ring");
   }
-
-  std::scoped_lock lock(mutex_);
-  if (active_.contains(descriptor.queryId) ||
-      completed_.contains(descriptor.queryId)) {
-    throw ConfigError("NodeService::initiate: duplicate query id");
+  if (!running_.load()) {
+    throw ConfigError("NodeService::initiate: service is not running");
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    if (active_.contains(descriptor.queryId) ||
+        completed_.contains(descriptor.queryId)) {
+      throw ConfigError("NodeService::initiate: duplicate query id");
+    }
   }
 
+  Admission admission;
+  admission.descriptor = std::move(descriptor);
+  admission.ringOrder = std::move(ringOrder);
+  std::future<TopKVector> future = admission.promise.get_future();
+  {
+    std::scoped_lock lock(schedMutex_);
+    if (pendingIds_.contains(admission.descriptor.queryId)) {
+      throw ConfigError("NodeService::initiate: duplicate query id");
+    }
+    if (admissionQueue_.size() >= options_.maxQueuedInitiations) {
+      metrics_.admissionsRejected.inc();
+      throw TransportError("NodeService::initiate: admission queue is full");
+    }
+    pendingIds_.insert(admission.descriptor.queryId);
+    admissionQueue_.push_back(std::move(admission));
+    metrics_.queueDepth.add(1);
+  }
+  schedCv_.notify_one();
+  return future;
+}
+
+void NodeService::performInitiation(Admission& admission,
+                                    std::vector<Outbound>& out) {
+  const std::uint64_t queryId = admission.descriptor.queryId;
+  try {
+    {
+      std::scoped_lock lock(mutex_);
+      if (active_.contains(queryId) || completed_.contains(queryId)) {
+        throw ConfigError("NodeService::initiate: duplicate query id");
+      }
+    }
+    const QueryDescriptor& descriptor = admission.descriptor;
+    const bool grouped =
+        !descriptor.isAggregate() && descriptor.groupSize >= 3 &&
+        admission.ringOrder.size() / descriptor.groupSize >= 3;
+    if (grouped) {
+      beginGrouped(admission, out);
+    } else {
+      beginFlat(admission, out);
+    }
+    std::scoped_lock lock(schedMutex_);
+    pendingIds_.erase(queryId);
+  } catch (...) {
+    try {
+      admission.promise.set_exception(std::current_exception());
+    } catch (const std::future_error&) {
+      // stop() settled it already.
+    }
+    {
+      std::scoped_lock lock(schedMutex_);
+      pendingIds_.erase(queryId);
+    }
+    releaseInflightSlot();
+  }
+}
+
+void NodeService::beginFlat(Admission& admission, std::vector<Outbound>& out) {
+  const QueryDescriptor descriptor = admission.descriptor;
+  std::scoped_lock lock(mutex_);
   QueryState state;
   state.descriptor = descriptor;
   state.initiator = true;
+  state.admitted = true;
   state.registeredAt = std::chrono::steady_clock::now();
   state.lastActivity = state.registeredAt;
 
   const LocalParty party(*db_);
   if (descriptor.isAggregate()) {
-    state.ringOrder = std::move(ringOrder);
+    state.ringOrder = std::move(admission.ringOrder);
     state.addends = party.localAggregate(descriptor);
     state.masks.resize(state.addends.size());
     for (auto& m : state.masks) m = rng_.next();
   } else {
-    buildParticipant(state, descriptor, std::move(ringOrder), party);
+    buildParticipant(state, descriptor, std::move(admission.ringOrder),
+                     party.localInput(descriptor), rng_);
   }
+  state.promise = std::move(admission.promise);
 
-  std::future<TopKVector> future = state.promise.get_future();
   const auto [it, inserted] =
       active_.emplace(descriptor.queryId, std::move(state));
   (void)inserted;
@@ -317,16 +614,101 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
 
   // Announce first (FIFO links deliver it ahead of the round token on
   // every hop), then start the protocol immediately.
-  send(registered, net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
-                                      ringOf(registered)});
-  if (!registered.aborted) beginRounds(registered);
-  return future;
+  queueSend(registered,
+            net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
+                               ringOf(registered)},
+            out);
+  beginRounds(registered, out);
+}
+
+void NodeService::beginGrouped(Admission& admission,
+                               std::vector<Outbound>& out) {
+  const QueryDescriptor descriptor = admission.descriptor;
+  const std::uint64_t parentId = descriptor.queryId;
+  const auto groupSizeWire = static_cast<std::uint32_t>(descriptor.groupSize);
+
+  // The partition and delegate selection are a pure function of this
+  // node's seed and the query id, so the runner/simulator can replay the
+  // exact grouping (protocol::GroupPlan).
+  Rng layoutRng(protocol::groupLayoutSeed(seed_, parentId));
+  const protocol::GroupLayout layout = protocol::makeGroupLayout(
+      admission.ringOrder, self_, descriptor.groupSize, layoutRng);
+
+  std::scoped_lock lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+
+  // Parent entry: owns the initiator promise and tracks the two phases.
+  // Its ring is this node's own group ring - the final-result
+  // dissemination path.
+  QueryState parent;
+  parent.descriptor = descriptor;
+  parent.ringOrder = layout.groups.front();
+  parent.initiator = true;
+  parent.admitted = true;
+  parent.isParent = true;
+  parent.isCoordinator = true;
+  parent.isDelegate = true;
+  parent.mergeId = protocol::mergeQueryId(parentId);
+  parent.layout = layout;
+  parent.promise = std::move(admission.promise);
+  parent.registeredAt = now;
+  parent.lastActivity = now;
+  mergeParents_[parent.mergeId] = parentId;
+  active_.emplace(parentId, std::move(parent));
+  metrics_.initiated.inc();
+  metrics_.activeQueries.add(1);
+  obs::EventTracer::global().event(
+      "event", "query_initiated",
+      {{"query_id", static_cast<std::int64_t>(parentId)},
+       {"node", self_},
+       {"groups", layout.groups.size()}});
+
+  // Phase-1 fan-out: hand each remote group's announce straight to its
+  // delegate, which forwards it and opens the ring (delegated start).
+  for (std::size_t g = 1; g < layout.groups.size(); ++g) {
+    QueryDescriptor sub = descriptor;
+    sub.queryId = protocol::groupSubQueryId(parentId, g);
+    sub.groupSize = 0;
+    out.push_back(Outbound{
+        sub.queryId,
+        net::encodeMessage(net::QueryAnnounce{sub.queryId, sub.encode(),
+                                              layout.groups[g], parentId, 1,
+                                              groupSizeWire}),
+        layout.groups[g].front(), true});
+  }
+
+  // Our own group's phase-1 ring, with this node as its delegate.
+  QueryDescriptor sub = descriptor;
+  sub.queryId = protocol::groupSubQueryId(parentId, 0);
+  sub.groupSize = 0;
+  QueryState state;
+  state.descriptor = sub;
+  state.initiator = true;
+  state.promiseSettled = true;  // the result flows to the parent entry
+  state.parentId = parentId;
+  state.phase = 1;
+  state.registeredAt = now;
+  state.lastActivity = now;
+  const LocalParty party(*db_);
+  Rng phaseRng(protocol::groupPhaseSeed(seed_, parentId, 1));
+  buildParticipant(state, sub, layout.groups.front(),
+                   party.localInput(sub), phaseRng);
+  const auto [it, inserted] = active_.emplace(sub.queryId, std::move(state));
+  (void)inserted;
+  metrics_.activeQueries.add(1);
+  QueryState& registered = it->second;
+  queueSend(registered,
+            net::QueryAnnounce{sub.queryId, sub.encode(),
+                               layout.groups.front(), parentId, 1,
+                               groupSizeWire},
+            out);
+  beginRounds(registered, out);
 }
 
 void NodeService::buildParticipant(QueryState& state,
                                    const QueryDescriptor& descriptor,
                                    std::vector<NodeId> ringOrder,
-                                   const LocalParty& party) {
+                                   TopKVector localInput, Rng& algRng) {
   auto params = descriptor.params;
   params.k = descriptor.effectiveK();
   if (options_.captureTraces) {
@@ -340,11 +722,11 @@ void NodeService::buildParticipant(QueryState& state,
   cfg.params = params;
   cfg.trace = state.trace.get();
   state.participant = std::make_unique<protocol::core::Participant>(
-      std::move(cfg), party.localInput(descriptor),
-      protocol::core::makeLocalAlgorithm(descriptor.kind, params, rng_));
+      std::move(cfg), std::move(localInput),
+      protocol::core::makeLocalAlgorithm(descriptor.kind, params, algRng));
 }
 
-void NodeService::beginRounds(QueryState& state) {
+void NodeService::beginRounds(QueryState& state, std::vector<Outbound>& out) {
   const auto& descriptor = state.descriptor;
   if (descriptor.isAggregate()) {
     std::vector<std::int64_t> sums(state.addends.size());
@@ -352,14 +734,41 @@ void NodeService::beginRounds(QueryState& state) {
       sums[i] = static_cast<std::int64_t>(
           state.masks[i] + static_cast<std::uint64_t>(state.addends[i]));
     }
-    send(state, net::SumToken{descriptor.queryId, 1, std::move(sums)});
+    queueSend(state, net::SumToken{descriptor.queryId, 1, std::move(sums)},
+              out);
     return;
   }
   const protocol::core::Actions actions = state.participant->onStart();
-  if (actions.sendToken) send(state, *actions.sendToken);
+  if (actions.sendToken) queueSend(state, *actions.sendToken, out);
 }
 
-void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
+// ---------------------------------------------------------------------------
+// Message handlers (mutex_ held).
+
+void NodeService::handleMessage(NodeId from, const net::Message& message,
+                                std::vector<Outbound>& out,
+                                std::deque<Completion>& done) {
+  if (const auto* announce = std::get_if<net::QueryAnnounce>(&message)) {
+    onAnnounce(*announce, out, done);
+  } else if (const auto* token = std::get_if<net::RoundToken>(&message)) {
+    onRoundToken(from, *token, out, done);
+  } else if (const auto* sum = std::get_if<net::SumToken>(&message)) {
+    onSumToken(from, *sum, out, done);
+  } else if (const auto* result =
+                 std::get_if<net::ResultAnnouncement>(&message)) {
+    onResult(*result, out, done);
+  } else if (const auto* repair = std::get_if<net::RingRepair>(&message)) {
+    onRingRepair(*repair, out);
+  } else {
+    metrics_.droppedMessages.inc();
+    PRIVTOPK_LOG_WARN("service ", self_, ": ignoring unknown message");
+  }
+}
+
+void NodeService::onAnnounce(const net::QueryAnnounce& announce,
+                             std::vector<Outbound>& out,
+                             std::deque<Completion>& done) {
+  (void)done;
   if (active_.contains(announce.queryId) ||
       completed_.contains(announce.queryId)) {
     return;  // our own announce circled back, or a duplicate
@@ -375,9 +784,18 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   if (!protocol::core::onRing(announce.ringOrder, self_)) {
     throw ProtocolError("QueryAnnounce: this node is not on the ring");
   }
+  if (announce.phase != 0 && descriptor.isAggregate()) {
+    throw ProtocolError("QueryAnnounce: aggregate queries cannot be grouped");
+  }
+  if (announce.phase == 2) {
+    onMergeAnnounce(announce, descriptor, out);
+    return;
+  }
 
   QueryState state;
   state.descriptor = descriptor;
+  state.parentId = announce.parentQueryId;
+  state.phase = announce.phase;
   state.registeredAt = std::chrono::steady_clock::now();
   state.lastActivity = state.registeredAt;
 
@@ -385,8 +803,17 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   if (descriptor.isAggregate()) {
     state.ringOrder = announce.ringOrder;
     state.addends = party.localAggregate(descriptor);
+  } else if (announce.phase == 1) {
+    // Grouped sub-query: the algorithm seed is a pure derivation from this
+    // node's seed and the parent id, not a draw from rng_, so grouped runs
+    // replay deterministically regardless of concurrent traffic.
+    Rng phaseRng(
+        protocol::groupPhaseSeed(seed_, announce.parentQueryId, 1));
+    buildParticipant(state, descriptor, announce.ringOrder,
+                     party.localInput(descriptor), phaseRng);
   } else {
-    buildParticipant(state, descriptor, announce.ringOrder, party);
+    buildParticipant(state, descriptor, announce.ringOrder,
+                     party.localInput(descriptor), rng_);
   }
 
   const auto [it, inserted] =
@@ -394,12 +821,89 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce) {
   (void)inserted;
   metrics_.participated.inc();
   metrics_.activeQueries.add(1);
-  send(it->second, announce);  // keep the announce circling
+  if (announce.phase == 1) registerParentFollower(announce, descriptor);
+  queueSend(it->second, announce, out);  // keep the announce circling
+  // Delegated start (§4.2): the coordinator handed this announce straight
+  // to the group's front node, which opens the ring.  FIFO links keep the
+  // forwarded announce ahead of the first token on every hop.
+  if (announce.phase == 1 && announce.ringOrder.front() == self_) {
+    beginRounds(it->second, out);
+  }
 }
 
-void NodeService::onRoundToken(const net::RoundToken& token) {
+void NodeService::registerParentFollower(const net::QueryAnnounce& announce,
+                                         const QueryDescriptor& subDescriptor) {
+  const std::uint64_t parentId = announce.parentQueryId;
+  if (active_.contains(parentId) || completed_.contains(parentId)) return;
+  QueryState parent;
+  parent.descriptor = subDescriptor;
+  parent.descriptor.queryId = parentId;
+  parent.descriptor.groupSize = announce.groupSize;
+  parent.ringOrder = announce.ringOrder;  // group ring: dissemination path
+  parent.isParent = true;
+  parent.isDelegate = announce.ringOrder.front() == self_;
+  parent.mergeId = protocol::mergeQueryId(parentId);
+  parent.registeredAt = std::chrono::steady_clock::now();
+  parent.lastActivity = parent.registeredAt;
+  mergeParents_[parent.mergeId] = parentId;
+  active_.emplace(parentId, std::move(parent));
+  metrics_.participated.inc();
+  metrics_.activeQueries.add(1);
+}
+
+void NodeService::onMergeAnnounce(const net::QueryAnnounce& announce,
+                                  const QueryDescriptor& descriptor,
+                                  std::vector<Outbound>& out) {
+  const auto parentIt = active_.find(announce.parentQueryId);
+  if (parentIt == active_.end() || !parentIt->second.isParent) {
+    metrics_.droppedMessages.inc();
+    PRIVTOPK_LOG_WARN("service ", self_,
+                      ": merge announce for unknown grouped query ",
+                      announce.parentQueryId);
+    return;
+  }
+  QueryState& parent = parentIt->second;
+  if (announce.queryId != parent.mergeId) {
+    throw ProtocolError("QueryAnnounce: unexpected merge query id");
+  }
+  if (!parent.groupRaw) {
+    // Our own group has not finished phase 1 yet; hold the announce until
+    // the group result (this delegate's merge-ring input) exists.
+    auto& stash = stashed_[announce.parentQueryId];
+    if (stash.size() >= kStashCap) {
+      metrics_.droppedMessages.inc();
+      return;
+    }
+    stash.push_back(net::Message{announce});
+    return;
+  }
+
+  QueryState state;
+  state.descriptor = descriptor;
+  state.parentId = announce.parentQueryId;
+  state.phase = 2;
+  state.promiseSettled = true;  // the result flows to the parent entry
+  state.registeredAt = std::chrono::steady_clock::now();
+  state.lastActivity = state.registeredAt;
+  Rng phaseRng(
+      protocol::groupPhaseSeed(seed_, announce.parentQueryId, 2));
+  buildParticipant(state, descriptor, announce.ringOrder, *parent.groupRaw,
+                   phaseRng);
+  const auto [it, inserted] =
+      active_.emplace(announce.queryId, std::move(state));
+  (void)inserted;
+  metrics_.participated.inc();
+  metrics_.activeQueries.add(1);
+  queueSend(it->second, announce, out);
+}
+
+void NodeService::onRoundToken(NodeId from, const net::RoundToken& token,
+                               std::vector<Outbound>& out,
+                               std::deque<Completion>& done) {
   const auto it = active_.find(token.queryId);
   if (it == active_.end()) {
+    if (maybeStashMergeTraffic(token.queryId, net::Message{token})) return;
+    if (replayCompletedResult(token.queryId, from, out)) return;
     metrics_.droppedMessages.inc();
     PRIVTOPK_LOG_WARN("service ", self_, ": token for unknown query ",
                       token.queryId);
@@ -436,17 +940,20 @@ void NodeService::onRoundToken(const net::RoundToken& token) {
        {"node", self_}});
 
   if (actions.roundClosed) metrics_.roundsExecuted.inc();
-  if (actions.sendToken) send(state, *actions.sendToken);
+  if (actions.sendToken) queueSend(state, *actions.sendToken, out);
   if (actions.sendResult) {
     const TopKVector result = actions.sendResult->result;
-    send(state, *actions.sendResult);
-    complete(token.queryId, state, result);
+    queueSend(state, *actions.sendResult, out);
+    done.push_back(Completion{token.queryId, result});
   }
 }
 
-void NodeService::onSumToken(const net::SumToken& token) {
+void NodeService::onSumToken(NodeId from, const net::SumToken& token,
+                             std::vector<Outbound>& out,
+                             std::deque<Completion>& done) {
   const auto it = active_.find(token.queryId);
   if (it == active_.end()) {
+    if (replayCompletedResult(token.queryId, from, out)) return;
     metrics_.droppedMessages.inc();
     PRIVTOPK_LOG_WARN("service ", self_, ": sum token for unknown query ",
                       token.queryId);
@@ -471,8 +978,8 @@ void NodeService::onSumToken(const net::SumToken& token) {
       totals[i] = static_cast<std::int64_t>(
           static_cast<std::uint64_t>(token.sums[i]) - state.masks[i]);
     }
-    send(state, net::ResultAnnouncement{token.queryId, totals});
-    complete(token.queryId, state, std::move(totals));
+    queueSend(state, net::ResultAnnouncement{token.queryId, totals}, out);
+    done.push_back(Completion{token.queryId, std::move(totals)});
     return;
   }
   // Add our addends mod 2^64 and pass along.
@@ -482,14 +989,19 @@ void NodeService::onSumToken(const net::SumToken& token) {
         static_cast<std::uint64_t>(sums[i]) +
         static_cast<std::uint64_t>(state.addends[i]));
   }
-  send(state, net::SumToken{token.queryId, token.round, std::move(sums)});
+  queueSend(state, net::SumToken{token.queryId, token.round, std::move(sums)},
+            out);
 }
 
-void NodeService::onResult(const net::ResultAnnouncement& result) {
+void NodeService::onResult(const net::ResultAnnouncement& result,
+                           std::vector<Outbound>& out,
+                           std::deque<Completion>& done) {
   const auto it = active_.find(result.queryId);
   if (it == active_.end()) {
     // Already completed here (initiator's own announce returning, or a
-    // duplicate): stop the circulation.
+    // duplicate): stop the circulation - unless it is merge traffic that
+    // raced ahead of our own phase-1 run.
+    (void)maybeStashMergeTraffic(result.queryId, net::Message{result});
     return;
   }
   QueryState& state = it->second;
@@ -498,15 +1010,40 @@ void NodeService::onResult(const net::ResultAnnouncement& result) {
     const protocol::core::Actions actions =
         state.participant->onResult(result.result);
     if (actions.duplicate || !actions.sendResult) return;
-    send(state, *actions.sendResult);  // forward once before completing
-    complete(result.queryId, state, state.participant->result());
+    // Forward once before completing.
+    queueSend(state, *actions.sendResult, out);
+    done.push_back(Completion{result.queryId, state.participant->result()});
     return;
   }
-  send(state, result);  // forward once before completing
-  complete(result.queryId, state, result.result);
+  // Aggregate follower, or a grouped parent receiving the disseminated
+  // final result on its group ring: forward once before completing.
+  queueSend(state, result, out);
+  done.push_back(Completion{result.queryId, result.result});
 }
 
-void NodeService::onRingRepair(const net::RingRepair& repair) {
+bool NodeService::replayCompletedResult(std::uint64_t queryId, NodeId from,
+                                        std::vector<Outbound>& out) {
+  const auto it = completedReplay_.find(queryId);
+  if (it == completedReplay_.end()) return false;
+  const CompletedReplay& replay = it->second;
+  // The result was only ever disseminated around the query's ring; a
+  // token from outside it is hostile or confused, not a stranded peer.
+  if (std::find(replay.ring.begin(), replay.ring.end(), from) ==
+      replay.ring.end()) {
+    return false;
+  }
+  metrics_.resultReplays.inc();
+  PRIVTOPK_LOG_WARN("service ", self_, ": replaying result of query ",
+                    queryId, " to stranded ring member ", from);
+  out.push_back(Outbound{
+      queryId,
+      net::encodeMessage(net::ResultAnnouncement{queryId, replay.raw}), from,
+      true});
+  return true;
+}
+
+void NodeService::onRingRepair(const net::RingRepair& repair,
+                               std::vector<Outbound>& out) {
   const auto it = active_.find(repair.queryId);
   if (it == active_.end()) return;  // unknown or already completed
   QueryState& state = it->second;
@@ -537,17 +1074,135 @@ void NodeService::onRingRepair(const net::RingRepair& repair) {
     return;
   }
   // Forward so every survivor learns the new ring.
-  try {
-    transport_->send(self_, successorFor(state),
-                     net::encodeMessage(net::Message{repair}));
-  } catch (const TransportError& e) {
-    PRIVTOPK_LOG_WARN("service ", self_, ": ring-repair forward failed: ",
-                      e.what());
+  out.push_back(Outbound{repair.queryId,
+                         net::encodeMessage(net::Message{repair}),
+                         successorFor(state), true});
+}
+
+// ---------------------------------------------------------------------------
+// Grouped phase hand-off.
+
+bool NodeService::maybeStashMergeTraffic(std::uint64_t queryId,
+                                         const net::Message& message) {
+  const auto parentRef = mergeParents_.find(queryId);
+  if (parentRef == mergeParents_.end()) return false;
+  const auto parentIt = active_.find(parentRef->second);
+  if (parentIt == active_.end() || !parentIt->second.isParent) return false;
+  auto& stash = stashed_[parentRef->second];
+  if (stash.size() >= kStashCap) {
+    metrics_.droppedMessages.inc();
+    return true;
+  }
+  stash.push_back(message);
+  return true;
+}
+
+void NodeService::replayStashed(std::uint64_t parentId,
+                                std::vector<Outbound>& out,
+                                std::deque<Completion>& done) {
+  const auto it = stashed_.find(parentId);
+  if (it == stashed_.end()) return;
+  // Extract before replaying: a message that still cannot be processed
+  // re-stashes itself instead of looping.
+  std::vector<net::Message> pending = std::move(it->second);
+  stashed_.erase(it);
+  for (const net::Message& message : pending) {
+    try {
+      // The stash does not record senders; no ring contains the sentinel,
+      // so a replayed message can never trigger a completed-result reply
+      // (its query is live - the stash dies with the parent otherwise).
+      handleMessage(kNoSender, message, out, done);
+    } catch (const Error& e) {
+      metrics_.droppedMessages.inc();
+      PRIVTOPK_LOG_WARN("service ", self_, ": dropped stashed message: ",
+                        e.what());
+    }
   }
 }
 
-void NodeService::complete(std::uint64_t queryId, QueryState& state,
-                           TopKVector result) {
+void NodeService::onGroupPhaseDone(
+    std::uint64_t parentId, TopKVector raw,
+    std::chrono::steady_clock::time_point startedAt,
+    std::vector<Outbound>& out, std::deque<Completion>& done) {
+  const auto it = active_.find(parentId);
+  if (it == active_.end()) return;
+  QueryState& parent = it->second;
+  if (parent.aborted || parent.groupRaw) return;
+  metrics_.groupPhaseMs.observe(elapsedMsSince(startedAt));
+  parent.groupRaw = std::move(raw);
+  parent.lastActivity = std::chrono::steady_clock::now();
+  obs::EventTracer::global().event(
+      "event", "group_phase_done",
+      {{"query_id", static_cast<std::int64_t>(parentId)}, {"node", self_}});
+  if (parent.isCoordinator) startMergePhase(parent, out);
+  replayStashed(parentId, out, done);
+}
+
+void NodeService::startMergePhase(QueryState& parent,
+                                  std::vector<Outbound>& out) {
+  const std::uint64_t parentId = parent.descriptor.queryId;
+  QueryDescriptor merged = parent.descriptor;
+  merged.queryId = parent.mergeId;
+  merged.groupSize = 0;
+
+  QueryState state;
+  state.descriptor = merged;
+  state.initiator = true;
+  state.promiseSettled = true;  // the result flows to the parent entry
+  state.parentId = parentId;
+  state.phase = 2;
+  state.registeredAt = std::chrono::steady_clock::now();
+  state.lastActivity = state.registeredAt;
+  Rng phaseRng(protocol::groupPhaseSeed(seed_, parentId, 2));
+  buildParticipant(state, merged, parent.layout.mergeRing, *parent.groupRaw,
+                   phaseRng);
+  const auto [it, inserted] = active_.emplace(merged.queryId, std::move(state));
+  (void)inserted;
+  metrics_.activeQueries.add(1);
+  QueryState& registered = it->second;
+  queueSend(registered,
+            net::QueryAnnounce{
+                merged.queryId, merged.encode(), parent.layout.mergeRing,
+                parentId, 2,
+                static_cast<std::uint32_t>(parent.descriptor.groupSize)},
+            out);
+  beginRounds(registered, out);
+}
+
+void NodeService::onMergePhaseDone(
+    std::uint64_t parentId, TopKVector raw,
+    std::chrono::steady_clock::time_point startedAt,
+    std::vector<Outbound>& out, std::deque<Completion>& done) {
+  const auto it = active_.find(parentId);
+  if (it == active_.end()) return;
+  QueryState& parent = it->second;
+  if (parent.aborted) return;
+  metrics_.mergePhaseMs.observe(elapsedMsSince(startedAt));
+  obs::EventTracer::global().event(
+      "event", "merge_phase_done",
+      {{"query_id", static_cast<std::int64_t>(parentId)}, {"node", self_}});
+  // Disseminate the final result around this delegate's group ring; every
+  // member completes the parent on receipt (onResult's forward-once
+  // branch), and this node completes it right here.
+  queueSend(parent, net::ResultAnnouncement{parentId, raw}, out);
+  done.push_back(Completion{parentId, std::move(raw)});
+}
+
+// ---------------------------------------------------------------------------
+// Completion.
+
+void NodeService::applyCompletion(Completion completion,
+                                  std::vector<Outbound>& out,
+                                  std::deque<Completion>& done) {
+  const auto it = active_.find(completion.queryId);
+  if (it == active_.end()) return;
+  QueryState& state = it->second;
+
+  const std::uint64_t parentId = state.parentId;
+  const std::uint8_t phase = state.phase;
+  const auto startedAt = state.registeredAt;
+  bool releaseSlot = false;
+
   metrics_.queryLatencyMs.observe(elapsedMsSince(state.registeredAt));
   if (state.participant != nullptr) {
     // One flush per query keeps the per-step protocol hot path free of
@@ -561,29 +1216,54 @@ void NodeService::complete(std::uint64_t queryId, QueryState& state,
   metrics_.activeQueries.sub(1);
   obs::EventTracer::global().event(
       "event", "query_completed",
-      {{"query_id", static_cast<std::int64_t>(queryId)},
+      {{"query_id", static_cast<std::int64_t>(completion.queryId)},
        {"node", self_},
        {"initiator", state.initiator ? 1 : 0}});
 
-  TopKVector presented = presentResult(state.descriptor, std::move(result));
+  TopKVector presented = presentResult(state.descriptor, completion.raw);
   if (state.initiator && !state.promiseSettled) {
     state.promiseSettled = true;
     state.promise.set_value(presented);
   }
   const bool inserted =
-      completed_.insert_or_assign(queryId, std::move(presented)).second;
-  if (inserted) completedOrder_.push_back(queryId);
+      completed_.insert_or_assign(completion.queryId, std::move(presented))
+          .second;
+  if (inserted) completedOrder_.push_back(completion.queryId);
+  completedReplay_.insert_or_assign(
+      completion.queryId, CompletedReplay{completion.raw, ringOf(state)});
   if (state.trace != nullptr) {
-    completedTraces_.insert_or_assign(queryId, std::move(*state.trace));
+    completedTraces_.insert_or_assign(completion.queryId,
+                                      std::move(*state.trace));
   }
   while (completed_.size() > options_.completedCap) {
     completedTraces_.erase(completedOrder_.front());
+    completedReplay_.erase(completedOrder_.front());
     completed_.erase(completedOrder_.front());
     completedOrder_.pop_front();
   }
-  active_.erase(queryId);
+  if (state.admitted) {
+    state.admitted = false;
+    releaseSlot = true;
+  }
+  if (state.isParent) {
+    mergeParents_.erase(state.mergeId);
+    stashed_.erase(completion.queryId);
+  }
+  active_.erase(it);
   completedCv_.notify_all();
+
+  if (releaseSlot) releaseInflightSlot();
+  if (phase == 1) {
+    onGroupPhaseDone(parentId, std::move(completion.raw), startedAt, out,
+                     done);
+  } else if (phase == 2) {
+    onMergePhaseDone(parentId, std::move(completion.raw), startedAt, out,
+                     done);
+  }
 }
+
+// ---------------------------------------------------------------------------
+// Queries about queries.
 
 std::optional<TopKVector> NodeService::resultOf(std::uint64_t queryId) const {
   std::scoped_lock lock(mutex_);

@@ -13,6 +13,17 @@
 //   * runs top-k/bottom-k/max/min queries through the paper's randomized
 //     ring protocol and sum/count/average queries through the masked
 //     secure-sum pass;
+//   * executes §4.2 group-parallel queries (QueryDescriptor::groupSize):
+//     the initiator partitions the ring into group rings that run phase-1
+//     sub-queries in parallel, then merges the group results over a
+//     randomly-delegated phase-2 ring (docs/PROTOCOL.md §6);
+//   * schedules work on a small pool: one receiver thread decodes and
+//     enqueues, workerThreads dispatcher threads drain a keyed run queue
+//     (per-query FIFO order is preserved; distinct queries - including
+//     the group rings of one grouped query - progress in parallel), and
+//     initiations pass through a bounded admission queue with an
+//     in-flight cap (initiate() throws TransportError when the queue is
+//     full);
 //   * survives fail-stop peer crashes and lost tokens: every node
 //     retransmits its last outbound message when a query stalls, and a
 //     successor that keeps refusing sends is spliced out of the ring
@@ -24,10 +35,11 @@
 //
 // Ordering assumption: links are FIFO per sender (both InProcTransport and
 // TcpTransport guarantee this), so a query's announce always arrives
-// before its first round token.  Retransmission can introduce duplicates;
-// they are suppressed by per-query round tracking.  Malformed or unknown
-// traffic is logged and dropped - a hostile peer cannot take the service
-// down.
+// before its first round token - including delegated-start group rings,
+// where the delegate forwards the announce before emitting its first
+// token.  Retransmission can introduce duplicates; they are suppressed by
+// per-query round tracking.  Malformed or unknown traffic is logged and
+// dropped - a hostile peer cannot take the service down.
 
 #pragma once
 
@@ -40,7 +52,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -49,6 +63,7 @@
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "protocol/core.hpp"
+#include "protocol/group.hpp"
 #include "protocol/trace.hpp"
 #include "query/descriptor.hpp"
 
@@ -56,7 +71,7 @@ namespace privtopk::query {
 
 class LocalParty;
 
-/// Robustness knobs for NodeService (see docs/ROBUSTNESS.md).
+/// Robustness + scheduling knobs for NodeService (see docs/ROBUSTNESS.md).
 struct ServiceOptions {
   /// In-flight queries older than this are garbage-collected; initiators
   /// see their future fail with TransportError.  This is the final
@@ -78,6 +93,16 @@ struct ServiceOptions {
   /// serves (own steps only - peers' vectors stay private).  Retrieve with
   /// traceOf(); retained traces obey completedCap like results.
   bool captureTraces = false;
+  /// Dispatcher threads draining the keyed run queue.  Messages of one
+  /// query are always processed in arrival order regardless of the count;
+  /// more threads only add cross-query parallelism.
+  std::size_t workerThreads = 2;
+  /// Initiations admitted to run concurrently from this node; the rest
+  /// wait in the admission queue.
+  std::size_t maxInflightInitiations = 8;
+  /// Bound on initiations waiting for an in-flight slot; when the queue is
+  /// full initiate() throws TransportError (backpressure).
+  std::size_t maxQueuedInitiations = 64;
 };
 
 class NodeService {
@@ -102,16 +127,23 @@ class NodeService {
   NodeService(const NodeService&) = delete;
   NodeService& operator=(const NodeService&) = delete;
 
-  /// Starts the worker thread.  Idempotent.
+  /// Starts the receiver + dispatcher threads.  Idempotent.
   void start();
 
-  /// Stops the worker thread (does not shut the transport down).
+  /// Stops the threads and drains deterministically: initiations still in
+  /// the admission queue (or admitted but not yet begun) are rejected with
+  /// TransportError, and the futures of begun-but-unfinished initiations
+  /// fail - the ring cannot progress without this node's threads.  Does
+  /// not shut the transport down.
   void stop();
 
   /// Initiates `descriptor` with this node as the starting node.
   /// `ringOrder` must contain this node first and every participant once.
-  /// Returns a future resolving to the result in the query's natural
-  /// presentation order.
+  /// The query enters the bounded admission queue (TransportError when
+  /// full; ConfigError when the service is not running); a descriptor with
+  /// groupSize >= 3 and enough nodes for three groups runs group-parallel
+  /// (§4.2).  Returns a future resolving to the result in the query's
+  /// natural presentation order.
   [[nodiscard]] std::future<TopKVector> initiate(QueryDescriptor descriptor,
                                                  std::vector<NodeId> ringOrder);
 
@@ -132,6 +164,8 @@ class NodeService {
       std::uint64_t queryId) const;
 
   /// Number of queries currently in flight (registered, not completed).
+  /// A grouped query counts its parent entry and each locally served
+  /// phase sub-query.
   [[nodiscard]] std::size_t activeQueries() const;
 
   /// Number of retained completed results (bounded by completedCap).
@@ -147,8 +181,10 @@ class NodeService {
   /// Per-query participant state.
   struct QueryState {
     QueryDescriptor descriptor;
-    /// Ring for AGGREGATE queries only; ring queries track theirs inside
-    /// the core participant (see ringOf()).
+    /// Ring for AGGREGATE queries and grouped PARENT entries (the parent's
+    /// ring is this node's group ring, the final-result dissemination
+    /// path); ring queries track theirs inside the core participant (see
+    /// ringOf()).
     std::vector<NodeId> ringOrder;
     bool initiator = false;
 
@@ -164,10 +200,31 @@ class NodeService {
     // Initiator bookkeeping.
     std::promise<TopKVector> promise;
     bool promiseSettled = false;
+    /// Holds one of the maxInflightInitiations slots (released when the
+    /// query completes, aborts or is garbage-collected).
+    bool admitted = false;
 
     std::chrono::steady_clock::time_point registeredAt;
     // Follower-side announce -> first round-token latency observation.
     bool firstTokenSeen = false;
+
+    // --- Grouped two-phase state (paper §4.2; docs/PROTOCOL.md §6) ---
+    /// Parent query id on phase sub-queries (0 on flat queries/parents).
+    std::uint64_t parentId = 0;
+    /// 0 = flat query or parent entry, 1 = group ring, 2 = merge ring.
+    std::uint8_t phase = 0;
+    /// Parent-entry flags: registered under the PARENT query id on every
+    /// member of a grouped query.
+    bool isParent = false;
+    bool isCoordinator = false;
+    /// The front node of its group ring joins the merge ring.
+    bool isDelegate = false;
+    /// Expected phase-2 query id (parents only; see protocol::mergeQueryId).
+    std::uint64_t mergeId = 0;
+    /// Raw (protocol-space) phase-1 group result - the merge-ring input.
+    std::optional<TopKVector> groupRaw;
+    /// Full grouping, coordinator only.
+    protocol::GroupLayout layout;
 
     // --- Robustness state (docs/ROBUSTNESS.md) ---
     // Wire copies for retransmission: the announce this node circulated
@@ -187,18 +244,123 @@ class NodeService {
     bool aborted = false;
   };
 
-  void workerLoop();
+  /// A queued initiation (initiate() hands the promise over; the dispatch
+  /// worker that runs the admission registers the query and sends the
+  /// announce).
+  struct Admission {
+    QueryDescriptor descriptor;
+    std::vector<NodeId> ringOrder;
+    std::promise<TopKVector> promise;
+  };
+
+  /// A send recorded under the state lock and performed outside it (the
+  /// transport may block; holding mutex_ across sends would serialize all
+  /// queries behind one slow link).
+  struct Outbound {
+    std::uint64_t queryId = 0;
+    Bytes wire;
+    /// direct: one-shot best-effort send to `target` (group fan-out,
+    /// repair notifies).  Otherwise the wire goes to the query's CURRENT
+    /// ring successor with failure accounting + ring repair.
+    NodeId target = 0;
+    bool direct = false;
+  };
+
+  /// A query that finished its protocol; applied after the outbound batch
+  /// flushes so the final forward leaves while the state is still alive.
+  struct Completion {
+    std::uint64_t queryId = 0;
+    TopKVector raw;  ///< protocol-space result (pre-presentation)
+  };
+
+  /// What a retired query leaves behind for recovery: its raw
+  /// (protocol-space) result and the ring it ran on, so a ring member
+  /// whose ResultAnnouncement hop was lost can be answered when its
+  /// retransmission arrives here (see replayCompletedResult).
+  struct CompletedReplay {
+    TopKVector raw;
+    std::vector<NodeId> ring;
+  };
+
+  /// A decoded message plus its transport-level sender (the sender is
+  /// needed to answer retransmissions for already-retired queries).
+  struct Inbound {
+    NodeId from = 0;
+    net::Message message;
+  };
+
+  using WorkItem = std::variant<Inbound, Admission>;
+
+  // Threads.
+  void receiveLoop();
+  void dispatchLoop();
+
+  // Keyed run queue (schedMutex_): per-query serial, cross-query parallel.
+  void enqueueWork(std::uint64_t key, WorkItem item);
+  [[nodiscard]] std::optional<std::pair<std::uint64_t, WorkItem>> popWork();
+  void finishKey(std::uint64_t key);
+  /// Moves queued admissions into the run queue while in-flight slots are
+  /// free.  schedMutex_ must be held.
+  void admitPending();
+  void releaseInflightSlot();
+
+  /// Processes one work item: handle/initiate, flush sends, apply
+  /// completions (which may queue more sends) until quiescent.
+  void runWorkItem(std::uint64_t key, WorkItem& item);
+
   /// Stale-query GC + retransmission deadlines + aborted-query sweep.
   void maintain();
-  void dispatch(const net::Envelope& envelope);
-  void onAnnounce(const net::QueryAnnounce& announce);
-  void onRoundToken(const net::RoundToken& token);
-  void onSumToken(const net::SumToken& token);
-  void onResult(const net::ResultAnnouncement& result);
-  void onRingRepair(const net::RingRepair& repair);
+
+  // Message handlers.  mutex_ held; sends are queued on `out`, finished
+  // queries on `done`.
+  void handleMessage(NodeId from, const net::Message& message,
+                     std::vector<Outbound>& out, std::deque<Completion>& done);
+  void onAnnounce(const net::QueryAnnounce& announce,
+                  std::vector<Outbound>& out, std::deque<Completion>& done);
+  void onMergeAnnounce(const net::QueryAnnounce& announce,
+                       const QueryDescriptor& descriptor,
+                       std::vector<Outbound>& out);
+  void onRoundToken(NodeId from, const net::RoundToken& token,
+                    std::vector<Outbound>& out, std::deque<Completion>& done);
+  void onSumToken(NodeId from, const net::SumToken& token,
+                  std::vector<Outbound>& out, std::deque<Completion>& done);
+  void onResult(const net::ResultAnnouncement& result,
+                std::vector<Outbound>& out, std::deque<Completion>& done);
+  void onRingRepair(const net::RingRepair& repair, std::vector<Outbound>& out);
+  /// Answers a token for a query this node already retired by replaying
+  /// the stored ResultAnnouncement straight back to the sender (ring
+  /// members only): a follower whose dissemination hop was lost would
+  /// otherwise retransmit into completed peers until the stale GC.
+  /// Returns true when a replay was queued.  mutex_ held.
+  bool replayCompletedResult(std::uint64_t queryId, NodeId from,
+                             std::vector<Outbound>& out);
+
+  // Initiation (runs on a dispatch worker).
+  void performInitiation(Admission& admission, std::vector<Outbound>& out);
+  void beginFlat(Admission& admission, std::vector<Outbound>& out);
+  void beginGrouped(Admission& admission, std::vector<Outbound>& out);
+
+  // Grouped orchestration (mutex_ held).
+  void registerParentFollower(const net::QueryAnnounce& announce,
+                              const QueryDescriptor& subDescriptor);
+  void startMergePhase(QueryState& parent, std::vector<Outbound>& out);
+  void onGroupPhaseDone(std::uint64_t parentId, TopKVector raw,
+                        std::chrono::steady_clock::time_point startedAt,
+                        std::vector<Outbound>& out,
+                        std::deque<Completion>& done);
+  void onMergePhaseDone(std::uint64_t parentId, TopKVector raw,
+                        std::chrono::steady_clock::time_point startedAt,
+                        std::vector<Outbound>& out,
+                        std::deque<Completion>& done);
+  /// Queues merge-phase traffic that raced ahead of this delegate's own
+  /// phase-1 completion; returns false when the message is not stashable.
+  bool maybeStashMergeTraffic(std::uint64_t queryId,
+                              const net::Message& message);
+  void replayStashed(std::uint64_t parentId, std::vector<Outbound>& out,
+                     std::deque<Completion>& done);
 
   /// The query's live ring: the core participant's view for ring queries,
-  /// the locally tracked order for aggregates.
+  /// the locally tracked order for aggregates and parent entries.
   [[nodiscard]] static const std::vector<NodeId>& ringOf(
       const QueryState& state);
   /// Splices `dead` out of the query's ring (core participant or local
@@ -206,28 +368,34 @@ class NodeService {
   [[nodiscard]] static protocol::core::RepairOutcome applyRepair(
       QueryState& state, NodeId dead);
   [[nodiscard]] NodeId successorFor(const QueryState& state) const;
-  /// Records `message` as the query's latest outbound payload and
-  /// delivers it (with failure accounting and ring repair).
-  void send(QueryState& state, const net::Message& message);
-  /// Re-sends the recorded announce + last message after a stall.
-  void retransmit(QueryState& state);
-  /// One delivery attempt to the current successor; counts consecutive
-  /// failures and, at the threshold, splices the successor out of the
-  /// ring and retries toward the next live node.  Returns false when the
-  /// message could not be delivered (yet).
-  bool deliver(QueryState& state, const Bytes& wire);
-  /// Declares `dead` failed: repairs the ring, announces the repair, and
-  /// aborts the query when fewer than 3 nodes remain.  Returns true when
-  /// the query can continue.
-  bool repairAfterDeadSuccessor(QueryState& state, NodeId dead);
+
+  /// Records `message` as the query's latest outbound payload and queues
+  /// it for the successor (delivered by flushOutbound with failure
+  /// accounting and ring repair).  mutex_ held.
+  void queueSend(QueryState& state, const net::Message& message,
+                 std::vector<Outbound>& out);
+  /// Performs the queued sends.  mutex_ must NOT be held (it is taken
+  /// per-item to resolve the current successor / count failures).
+  void flushOutbound(std::vector<Outbound>& out);
+  /// Declares `dead` failed: repairs the ring, queues the repair notify,
+  /// and aborts the query when fewer than 3 nodes remain.  Returns true
+  /// when the query can continue.  mutex_ held.
+  bool repairAfterDeadSuccessor(QueryState& state, NodeId dead,
+                                std::vector<Outbound>& out);
   /// Marks the query unable to proceed and fails the initiator's future.
   void abortQuery(QueryState& state, const std::string& reason);
   /// Builds the core participant (and optional trace sink) for a ring
-  /// query this node serves.
+  /// query this node serves.  `algRng` seeds the local algorithm: the
+  /// service's own stream for flat queries, a derived per-phase stream for
+  /// grouped sub-queries (protocol::groupPhaseSeed).
   void buildParticipant(QueryState& state, const QueryDescriptor& descriptor,
-                        std::vector<NodeId> ringOrder, const LocalParty& party);
-  void beginRounds(QueryState& state);
-  void complete(std::uint64_t queryId, QueryState& state, TopKVector result);
+                        std::vector<NodeId> ringOrder, TopKVector localInput,
+                        Rng& algRng);
+  void beginRounds(QueryState& state, std::vector<Outbound>& out);
+  /// Retires a finished query: metrics, presentation, promise, completed
+  /// cache, grouped phase hand-off.  mutex_ held.
+  void applyCompletion(Completion completion, std::vector<Outbound>& out,
+                       std::deque<Completion>& done);
 
   /// Cached global-metric cells (see docs/OBSERVABILITY.md for the
   /// catalog); registration happens once at service construction.
@@ -245,16 +413,23 @@ class NodeService {
     obs::Counter& ringRepairs;
     obs::Counter& peersDeclaredDead;
     obs::Counter& duplicatesDropped;
+    obs::Counter& resultReplays;
     obs::Counter& aborted;
+    obs::Counter& admissionsRejected;
     obs::Gauge& activeQueries;
+    obs::Gauge& inflightQueries;
+    obs::Gauge& queueDepth;
     obs::Histogram& queryLatencyMs;
     obs::Histogram& announceToFirstTokenMs;
+    obs::Histogram& groupPhaseMs;
+    obs::Histogram& mergePhaseMs;
     Metrics();
   };
 
   NodeId self_;
   const data::PrivateDatabase* db_;
   net::Transport* transport_;
+  std::uint64_t seed_;
   Rng rng_;
   ServiceOptions options_;
   Metrics metrics_;
@@ -263,11 +438,34 @@ class NodeService {
   mutable std::condition_variable completedCv_;
   std::map<std::uint64_t, QueryState> active_;
   std::map<std::uint64_t, TopKVector> completed_;
+  /// Replay state for retired queries (evicted in lockstep with
+  /// completed_).
+  std::map<std::uint64_t, CompletedReplay> completedReplay_;
   std::map<std::uint64_t, protocol::ExecutionTrace> completedTraces_;
   // Insertion order of completed_ entries, oldest first (LRU eviction).
   std::deque<std::uint64_t> completedOrder_;
+  /// merge query id -> parent query id, for stashing merge traffic that
+  /// arrives before this delegate finished its phase-1 run.
+  std::map<std::uint64_t, std::uint64_t> mergeParents_;
+  /// parent query id -> merge traffic waiting for the group result.
+  std::map<std::uint64_t, std::vector<net::Message>> stashed_;
 
-  std::thread worker_;
+  // Scheduler state.  Lock order: never hold mutex_ and schedMutex_
+  // together (each is always taken and released independently).
+  mutable std::mutex schedMutex_;
+  std::condition_variable schedCv_;
+  std::map<std::uint64_t, std::deque<WorkItem>> inbox_;
+  std::set<std::uint64_t> readyKeys_;  // non-empty inbox, not being run
+  std::set<std::uint64_t> busyKeys_;
+  std::deque<Admission> admissionQueue_;
+  /// Ids queued or admitted but not yet registered in active_, so
+  /// initiate() rejects duplicates deterministically before the dispatch
+  /// worker runs the admission.
+  std::set<std::uint64_t> pendingIds_;
+  std::atomic<std::size_t> inflightInitiations_{0};
+
+  std::thread receiver_;
+  std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 };
 

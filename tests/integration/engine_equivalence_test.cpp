@@ -12,6 +12,7 @@
 
 #include "data/generator.hpp"
 #include "net/inproc.hpp"
+#include "protocol/group.hpp"
 #include "protocol/runner.hpp"
 #include "protocol/sim_engine.hpp"
 #include "query/service.hpp"
@@ -94,6 +95,97 @@ void expectEnginesAgree(const QueryDescriptor& descriptor) {
   transport.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Grouped execution (§4.2): the distributed two-phase run is a pure
+// function of the coordinator seed (group layout), the member seeds
+// (per-phase algorithm streams) and the parent query id, so
+// runGroupedWithPlan / runGroupedSimulatedWithPlan can replay it exactly.
+
+constexpr std::size_t kGroupNodes = 9;
+const std::vector<std::uint64_t> kGroupSeeds = {9100, 9101, 9102, 9103, 9104,
+                                                9105, 9106, 9107, 9108};
+const std::vector<NodeId> kGroupRing = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+
+QueryDescriptor makeGroupedDescriptor(std::uint64_t id, QueryType type,
+                                      protocol::ProtocolKind kind,
+                                      std::size_t k) {
+  QueryDescriptor d = makeDescriptor(id, type, kind, k);
+  d.groupSize = 3;
+  return d;
+}
+
+// Rebuilds the exact plan the coordinating NodeService derives: same
+// layout Rng, per-member phase-1 seeds, per-delegate phase-2 seeds.  Node
+// ids double as value-set indices because kGroupRing is the identity.
+protocol::GroupPlan planFor(const QueryDescriptor& descriptor) {
+  Rng layoutRng(
+      protocol::groupLayoutSeed(kGroupSeeds.front(), descriptor.queryId));
+  const protocol::GroupLayout layout = protocol::makeGroupLayout(
+      kGroupRing, kGroupRing.front(), descriptor.groupSize, layoutRng);
+  protocol::GroupPlan plan;
+  for (const auto& group : layout.groups) {
+    std::vector<std::size_t> members;
+    std::vector<std::uint64_t> seeds;
+    for (NodeId node : group) {
+      members.push_back(node);
+      seeds.push_back(
+          protocol::groupPhaseSeed(kGroupSeeds[node], descriptor.queryId, 1));
+    }
+    plan.groups.push_back(std::move(members));
+    plan.groupSeeds.push_back(std::move(seeds));
+    plan.mergeSeeds.push_back(protocol::groupPhaseSeed(
+        kGroupSeeds[group.front()], descriptor.queryId, 2));
+  }
+  return plan;
+}
+
+void expectGroupedEnginesAgree(const QueryDescriptor& descriptor) {
+  data::FleetSpec spec;
+  spec.nodes = kGroupNodes;
+  spec.rowsPerNode = 12;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng dataRng(42);
+  const auto dbs = data::generateFleet(spec, dataRng);
+  const auto values = data::fleetValues(dbs, "sales", "revenue");
+
+  protocol::ProtocolParams params = descriptor.params;
+  params.k = descriptor.effectiveK();
+  const protocol::GroupPlan plan = planFor(descriptor);
+
+  // Engine 1: synchronous runner replaying the plan.
+  Rng runnerRng(7);
+  const auto runnerOut = protocol::runGroupedWithPlan(
+      values, params, descriptor.kind, plan, runnerRng);
+
+  // Engine 2: event simulator replaying the plan.
+  Rng simRng(7);
+  const auto simOut = protocol::runGroupedSimulatedWithPlan(
+      values, params, descriptor.kind, plan, nullptr, simRng);
+  EXPECT_EQ(simOut.result, runnerOut.result) << "grouped simulator diverged";
+
+  // Engine 3: a live 9-node NodeService cluster running the two-phase
+  // protocol over net::Transport.
+  net::InProcTransport transport(kGroupNodes);
+  std::vector<std::unique_ptr<NodeService>> services;
+  for (std::size_t i = 0; i < kGroupNodes; ++i) {
+    services.push_back(std::make_unique<NodeService>(
+        static_cast<NodeId>(i), dbs[i], transport, kGroupSeeds[i]));
+    services.back()->start();
+  }
+  auto future = services.front()->initiate(descriptor, kGroupRing);
+  ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(future.get(), runnerOut.result)
+      << "grouped service initiator diverged";
+  for (std::size_t i = 0; i < kGroupNodes; ++i) {
+    const auto result = services[i]->waitFor(descriptor.queryId, 10000ms);
+    ASSERT_TRUE(result.has_value()) << "service " << i << " never completed";
+    EXPECT_EQ(*result, runnerOut.result) << "service " << i << " diverged";
+  }
+  for (auto& s : services) s->stop();
+  transport.shutdown();
+}
+
 TEST(EngineEquivalence, NaiveTopK) {
   expectEnginesAgree(makeDescriptor(1, QueryType::TopK,
                                     protocol::ProtocolKind::Naive, 3));
@@ -107,6 +199,21 @@ TEST(EngineEquivalence, ProbabilisticMax) {
 TEST(EngineEquivalence, ProbabilisticTopK) {
   expectEnginesAgree(makeDescriptor(3, QueryType::TopK,
                                     protocol::ProtocolKind::Probabilistic, 3));
+}
+
+TEST(EngineEquivalence, GroupedNaiveTopK) {
+  expectGroupedEnginesAgree(makeGroupedDescriptor(
+      11, QueryType::TopK, protocol::ProtocolKind::Naive, 3));
+}
+
+TEST(EngineEquivalence, GroupedProbabilisticMax) {
+  expectGroupedEnginesAgree(makeGroupedDescriptor(
+      12, QueryType::Max, protocol::ProtocolKind::Probabilistic, 1));
+}
+
+TEST(EngineEquivalence, GroupedProbabilisticTopK) {
+  expectGroupedEnginesAgree(makeGroupedDescriptor(
+      13, QueryType::TopK, protocol::ProtocolKind::Probabilistic, 3));
 }
 
 }  // namespace

@@ -46,6 +46,47 @@ TEST(Message, NegativeValuesSurvive) {
   EXPECT_EQ(std::get<RoundToken>(decoded).vector, (TopKVector{-10000, -1}));
 }
 
+TEST(Message, QueryAnnounceRoundTrip) {
+  const QueryAnnounce announce{21, Bytes{0x01, 0x02, 0x03}, {2, 0, 1}};
+  const Message decoded = decodeMessage(encodeMessage(announce));
+  ASSERT_TRUE(std::holds_alternative<QueryAnnounce>(decoded));
+  EXPECT_EQ(std::get<QueryAnnounce>(decoded), announce);
+}
+
+TEST(Message, GroupedAnnounceRoundTrip) {
+  QueryAnnounce announce{22, Bytes{0xaa}, {4, 5, 6}};
+  announce.parentQueryId = 99;
+  announce.phase = 1;
+  announce.groupSize = 3;
+  const Message decoded = decodeMessage(encodeMessage(announce));
+  ASSERT_TRUE(std::holds_alternative<QueryAnnounce>(decoded));
+  EXPECT_EQ(std::get<QueryAnnounce>(decoded), announce);
+
+  announce.phase = 2;  // merge ring
+  EXPECT_EQ(std::get<QueryAnnounce>(decodeMessage(encodeMessage(announce))),
+            announce);
+}
+
+TEST(Message, GroupedAnnounceValidation) {
+  // Unknown phase values are rejected at decode time.
+  QueryAnnounce badPhase{23, Bytes{0x01}, {0, 1, 2}};
+  badPhase.parentQueryId = 7;
+  badPhase.phase = 3;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(badPhase)), ProtocolError);
+
+  // A phase sub-query must name its parent, and a standalone query must
+  // not.
+  QueryAnnounce orphanPhase{24, Bytes{0x01}, {0, 1, 2}};
+  orphanPhase.phase = 1;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(orphanPhase)),
+               ProtocolError);
+
+  QueryAnnounce strayParent{25, Bytes{0x01}, {0, 1, 2}};
+  strayParent.parentQueryId = 9;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(strayParent)),
+               ProtocolError);
+}
+
 TEST(Message, UnknownTagRejected) {
   Bytes bogus = {0x7f, 0x00};
   EXPECT_THROW((void)decodeMessage(bogus), ProtocolError);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <numeric>
+
 #include "common/error.hpp"
 #include "data/generator.hpp"
 
@@ -109,6 +112,146 @@ TEST(RunGrouped, ManyTrialsAlwaysExact) {
     const auto values = data::generateValueSets(20, 8, dist, dataRng);
     const GroupedRunResult res = runGrouped(values, exactParams(4), 4, rng);
     EXPECT_EQ(res.result, data::trueTopK(values, 4)) << "trial " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: with p0 = 0 the probabilistic protocol never
+// randomizes, so grouped execution - any partition, any group size - must
+// equal the flat naive top-k (the true top-k) EXACTLY.
+
+ProtocolParams neverRandomize(std::size_t k) {
+  ProtocolParams p;
+  p.k = k;
+  p.p0 = 0.0;
+  p.rounds = 4;
+  return p;
+}
+
+/// An arbitrary (not layout-derived) partition: shuffled indices dealt
+/// round-robin into `groups` buckets, with pinned per-member seeds.
+GroupPlan randomPlan(std::size_t n, std::size_t groups, Rng& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  GroupPlan plan;
+  plan.groups.resize(groups);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.groups[i % groups].push_back(perm[i]);
+  }
+  for (const auto& group : plan.groups) {
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t member : group) {
+      seeds.push_back(splitmix64(0xABCD + member));
+    }
+    plan.groupSeeds.push_back(std::move(seeds));
+    plan.mergeSeeds.push_back(splitmix64(0x5EED + group.front()));
+  }
+  return plan;
+}
+
+TEST(RunGroupedProperty, ArbitraryPartitionEqualsFlatTruth) {
+  data::UniformDistribution dist;
+  Rng dataRng(30);
+  Rng rng(31);
+  for (std::size_t groups = 3; groups <= 6; ++groups) {
+    const auto values = data::generateValueSets(3 * groups + 2, 7, dist,
+                                                dataRng);
+    const GroupPlan plan = randomPlan(values.size(), groups, rng);
+    const GroupedRunResult res = runGroupedWithPlan(
+        values, neverRandomize(3), ProtocolKind::Probabilistic, plan, rng);
+    EXPECT_EQ(res.result, data::trueTopK(values, 3)) << groups << " groups";
+    EXPECT_EQ(res.groups, groups);
+  }
+}
+
+TEST(RunGroupedProperty, PlanReplayMatchesSimulatedReplay) {
+  data::UniformDistribution dist;
+  Rng dataRng(32);
+  const auto values = data::generateValueSets(13, 6, dist, dataRng);
+  Rng planRng(33);
+  const GroupPlan plan = randomPlan(values.size(), 4, planRng);
+  ProtocolParams params = exactParams(2);
+  Rng runnerRng(7);
+  const GroupedRunResult runnerOut = runGroupedWithPlan(
+      values, params, ProtocolKind::Probabilistic, plan, runnerRng);
+  Rng simRng(7);
+  const GroupedSimulatedResult simOut = runGroupedSimulatedWithPlan(
+      values, params, ProtocolKind::Probabilistic, plan, nullptr, simRng);
+  // Pinned seeds: the two replay engines must agree bit-for-bit.
+  EXPECT_EQ(simOut.result, runnerOut.result);
+  EXPECT_EQ(simOut.groups, runnerOut.groups);
+}
+
+TEST(RunGroupedProperty, FuzzRandomShapesAlwaysExact) {
+  data::UniformDistribution dist;
+  Rng shapeRng(40);
+  Rng dataRng(41);
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 9 + shapeRng.index(32);             // 9..40
+    const std::size_t k = 1 + shapeRng.index(5);              // 1..5
+    const std::size_t groupSize = 3 + shapeRng.index(n - 2);  // 3..n
+    const auto values = data::generateValueSets(n, k + 3, dist, dataRng);
+    const GroupedRunResult res =
+        runGrouped(values, neverRandomize(k), ProtocolKind::Probabilistic,
+                   groupSize, rng);
+    EXPECT_EQ(res.result, data::trueTopK(values, k))
+        << "trial " << trial << ": n=" << n << " k=" << k
+        << " groupSize=" << groupSize;
+  }
+}
+
+TEST(GroupPlanValidation, RejectsBadPlans) {
+  data::UniformDistribution dist;
+  Rng dataRng(50);
+  const auto values = data::generateValueSets(9, 4, dist, dataRng);
+  Rng rng(51);
+  const ProtocolParams params = exactParams(1);
+
+  GroupPlan tooFew;
+  tooFew.groups = {{0, 1, 2, 3}, {4, 5, 6, 7, 8}};
+  EXPECT_THROW((void)runGroupedWithPlan(values, params,
+                                        ProtocolKind::Probabilistic, tooFew,
+                                        rng),
+               ConfigError);
+
+  GroupPlan overlap;
+  overlap.groups = {{0, 1, 2}, {2, 3, 4}, {5, 6, 7}};
+  EXPECT_THROW((void)runGroupedWithPlan(values, params,
+                                        ProtocolKind::Probabilistic, overlap,
+                                        rng),
+               ConfigError);
+
+  GroupPlan gap;
+  gap.groups = {{0, 1, 2}, {3, 4, 5}, {6, 7}};
+  EXPECT_THROW((void)runGroupedWithPlan(values, params,
+                                        ProtocolKind::Probabilistic, gap,
+                                        rng),
+               ConfigError);
+}
+
+TEST(MakeGroupLayout, PartitionsEveryNodeWithDelegates) {
+  std::vector<NodeId> nodes(17);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  Rng rng(60);
+  const GroupLayout layout = makeGroupLayout(nodes, 5, 4, rng);
+  ASSERT_EQ(layout.groups.size(), 4u);
+  EXPECT_EQ(layout.groups.front().front(), 5u);  // coordinator leads
+  EXPECT_EQ(layout.mergeRing.size(), layout.groups.size());
+  EXPECT_EQ(layout.mergeRing.front(), 5u);
+  std::vector<bool> seen(nodes.size(), false);
+  for (std::size_t g = 0; g < layout.groups.size(); ++g) {
+    EXPECT_GE(layout.groups[g].size(), 3u);
+    EXPECT_EQ(layout.mergeRing[g], layout.groups[g].front());
+    for (NodeId node : layout.groups[g]) {
+      ASSERT_LT(node, seen.size());
+      EXPECT_FALSE(seen[node]) << "node " << node << " in two groups";
+      seen[node] = true;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "node " << i << " unassigned";
   }
 }
 

@@ -97,6 +97,7 @@ query::QueryDescriptor descriptorFromArgs(const ArgParser& args) {
   if (args.has("rounds")) {
     d.params.rounds = static_cast<Round>(args.getInt("rounds", 5));
   }
+  d.groupSize = static_cast<std::size_t>(args.getInt("group-size", 0));
 
   const std::string type = args.getString("type", "topk");
   if (type == "topk") d.type = query::QueryType::TopK;
@@ -186,7 +187,7 @@ int cmdQuery(int argc, const char* const* argv) {
       argc, argv,
       {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
        "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
-       "query-id", "verbose", "filter"});
+       "query-id", "verbose", "filter", "group-size"});
   const auto files = args.getList("csv");
   if (files.size() < 3) {
     throw ConfigError("--csv needs at least 3 comma-separated files "
@@ -227,7 +228,8 @@ int cmdNode(int argc, const char* const* argv) {
       argc, argv,
       {"self", "peers", "ring", "csv", "schema", "table", "attribute", "type",
        "k", "p0", "d", "epsilon", "rounds", "seed", "domain-min",
-       "domain-max", "query-id", "encrypt", "timeout-ms", "fault-spec"});
+       "domain-max", "query-id", "encrypt", "timeout-ms", "fault-spec",
+       "group-size"});
   const auto self = static_cast<NodeId>(args.getInt("self", 0));
   const query::QueryDescriptor descriptor = descriptorFromArgs(args);
 
@@ -260,7 +262,6 @@ int cmdNode(int argc, const char* const* argv) {
   data::PrivateDatabase db("self");
   db.addTable(descriptor.tableName,
               data::loadCsvFile(args.getString("csv"), schema));
-  const TopKVector local = query::LocalParty(db).localInput(descriptor);
 
   net::TcpOptions tcpOptions;
   tcpOptions.encrypt = args.getBool("encrypt");
@@ -280,7 +281,42 @@ int cmdNode(int argc, const char* const* argv) {
   }
   net::Transport& transport = *transportPtr;
 
-  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)) + self);
+  const auto seed =
+      static_cast<std::uint64_t>(args.getInt("seed", 42)) + self;
+
+  if (descriptor.groupSize >= 3) {
+    // Group-parallel execution (§4.2) needs the multi-query NodeService:
+    // every node may serve a group ring, the merge ring and the parent
+    // query at once.  The ring's first node initiates; everyone else
+    // waits for the disseminated final result.
+    query::ServiceOptions serviceOptions;
+    serviceOptions.staleAfter = cfg.receiveTimeout;
+    query::NodeService service(self, db, transport, seed, serviceOptions);
+    service.start();
+    std::printf("node %u joined grouped ring, waiting for the protocol...\n",
+                self);
+    TopKVector result;
+    if (cfg.ringOrder.front() == self) {
+      auto future = service.initiate(descriptor, cfg.ringOrder);
+      if (future.wait_for(cfg.receiveTimeout) != std::future_status::ready) {
+        throw TransportError("node: grouped query did not complete in time");
+      }
+      result = future.get();
+    } else {
+      const auto got = service.waitFor(descriptor.queryId, cfg.receiveTimeout);
+      if (!got) {
+        throw TransportError("node: grouped query did not complete in time");
+      }
+      result = *got;
+    }
+    std::printf("result: %s\n", toString(result).c_str());
+    service.stop();
+    transport.shutdown();
+    return 0;
+  }
+
+  const TopKVector local = query::LocalParty(db).localInput(descriptor);
+  Rng rng(seed);
   protocol::DistributedParticipant participant(self, local, transport, cfg,
                                                rng);
   std::printf("node %u joined ring, waiting for the protocol...\n", self);
@@ -301,7 +337,7 @@ int cmdMetrics(int argc, const char* const* argv) {
       argc, argv,
       {"parties", "rows", "dist", "type", "k", "protocol", "p0", "d",
        "epsilon", "rounds", "seed", "domain-min", "domain-max", "query-id",
-       "format", "trace", "fault-spec"});
+       "format", "trace", "fault-spec", "group-size"});
   const auto n = static_cast<std::size_t>(args.getInt("parties", 4));
   if (n < 3) throw ConfigError("metrics: --parties must be >= 3");
   const std::string format = args.getString("format", "both");
@@ -391,7 +427,7 @@ int cmdRecordTraces(int argc, const char* const* argv) {
       argc, argv,
       {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
        "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
-       "query-id", "filter", "trials", "threads", "out"});
+       "query-id", "filter", "trials", "threads", "out", "group-size"});
   const auto files = args.getList("csv");
   if (files.size() < 3) {
     throw ConfigError("--csv needs at least 3 comma-separated files");
@@ -402,6 +438,11 @@ int cmdRecordTraces(int argc, const char* const* argv) {
   descriptor.filter = query::Filter::parse(args.getString("filter", ""));
   if (descriptor.isAggregate()) {
     throw ConfigError("record-traces: aggregate queries have no ring trace");
+  }
+  if (descriptor.groupSize != 0) {
+    throw ConfigError(
+        "record-traces: grouped execution has no single-ring trace "
+        "(drop --group-size)");
   }
 
   std::vector<data::PrivateDatabase> parties;
