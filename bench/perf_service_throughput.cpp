@@ -1,20 +1,25 @@
 // Service-layer throughput: queries/sec of a 9-node in-process NodeService
-// cluster as a function of the initiator's in-flight admission cap and the
-// §4.2 group size.  The concurrent-query scheduler should scale throughput
-// with the in-flight budget (overlapping rings pipeline on the worker
-// pool), and grouping trades per-query latency for smaller rings.
+// cluster as a function of the initiator's in-flight admission cap, the
+// §4.2 group size and the tracing mode.  The concurrent-query scheduler
+// should scale throughput with the in-flight budget (overlapping rings
+// pipeline on the worker pool), grouping trades per-query latency for
+// smaller rings, and tracing-off must sit within noise of the pre-tracing
+// baseline (the wire context costs two zero bytes and one branch).
 
 #include <benchmark/benchmark.h>
 
 #include <future>
 #include <memory>
 #include <numeric>
+#include <ostream>
+#include <streambuf>
 #include <vector>
 
 #include "support/bench_json.hpp"
 
 #include "data/generator.hpp"
 #include "net/inproc.hpp"
+#include "obs/trace.hpp"
 #include "query/service.hpp"
 
 using namespace privtopk;
@@ -24,11 +29,31 @@ namespace {
 constexpr std::size_t kNodes = 9;
 constexpr std::size_t kQueriesPerBatch = 24;
 
+/// Tracing-mode axis: what the overhead bench compares.
+enum TraceMode : int {
+  kTraceOff = 0,       ///< no contexts on the wire (baseline)
+  kTraceJsonLines = 1, ///< spans serialized to a discarded JSON stream
+  kTraceRingBuffer = 2 ///< spans retained in the per-node ring buffer
+};
+
+/// Swallows writes so the JSON-lines mode measures serialization +
+/// tracer locking, not disk.
+struct NullBuffer final : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+
 /// One benchmark iteration = a batch of naive top-k queries initiated from
 /// node 0; the in-flight cap decides how many overlap.
 void BM_ServiceThroughput(benchmark::State& state) {
   const auto inflight = static_cast<std::size_t>(state.range(0));
   const auto groupSize = static_cast<std::size_t>(state.range(1));
+  const auto traceMode = static_cast<TraceMode>(state.range(2));
+
+  NullBuffer nullBuffer;
+  std::ostream nullStream(&nullBuffer);
+  if (traceMode == kTraceJsonLines) {
+    obs::EventTracer::global().enable(&nullStream);
+  }
 
   data::FleetSpec spec;
   spec.nodes = kNodes;
@@ -47,6 +72,8 @@ void BM_ServiceThroughput(benchmark::State& state) {
   // announce; the dropped message is recovered by retransmission, so a
   // short deadline keeps that recovery off the measured critical path.
   options.retransmitAfter = std::chrono::milliseconds(50);
+  options.traceQueries = traceMode != kTraceOff;
+  options.spanRingCapacity = traceMode == kTraceRingBuffer ? 8192 : 0;
   std::vector<std::unique_ptr<query::NodeService>> services;
   for (std::size_t i = 0; i < kNodes; ++i) {
     services.push_back(std::make_unique<query::NodeService>(
@@ -82,24 +109,31 @@ void BM_ServiceThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(kQueriesPerBatch));
   state.counters["inflight"] = static_cast<double>(inflight);
   state.counters["group_size"] = static_cast<double>(groupSize);
+  state.counters["trace_mode"] = static_cast<double>(traceMode);
   state.counters["queries_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations() * kQueriesPerBatch),
       benchmark::Counter::kIsRate);
 
   for (auto& s : services) s->stop();
   transport.shutdown();
+  if (traceMode == kTraceJsonLines) obs::EventTracer::global().disable();
 }
 // The initiator thread spends the batch blocked on futures while the
 // worker pool does the protocol work, so rates must be wall-clock based.
 BENCHMARK(BM_ServiceThroughput)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond)
-    ->Args({1, 0})
-    ->Args({2, 0})
-    ->Args({4, 0})
-    ->Args({8, 0})
-    ->Args({1, 3})
-    ->Args({4, 3});
+    ->Args({1, 0, kTraceOff})
+    ->Args({2, 0, kTraceOff})
+    ->Args({4, 0, kTraceOff})
+    ->Args({8, 0, kTraceOff})
+    ->Args({1, 3, kTraceOff})
+    ->Args({4, 3, kTraceOff})
+    // Tracing-overhead sweep at one representative operating point.
+    ->Args({4, 0, kTraceJsonLines})
+    ->Args({4, 0, kTraceRingBuffer})
+    ->Args({4, 3, kTraceJsonLines})
+    ->Args({4, 3, kTraceRingBuffer});
 
 }  // namespace
 

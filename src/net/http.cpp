@@ -1,0 +1,183 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "net/socket_util.hpp"
+
+namespace privtopk::net {
+
+namespace {
+
+/// Headers larger than this are rejected; scrape requests are tiny.
+constexpr std::size_t kMaxHeaderBytes = 8 * 1024;
+
+void setSocketTimeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+const char* reasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void writeResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     reasonPhrase(response.status) +
+                     "\r\nContent-Type: " + response.contentType +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  writeAll(fd, reinterpret_cast<const std::uint8_t*>(head.data()),
+           head.size());
+  writeAll(fd, reinterpret_cast<const std::uint8_t*>(response.body.data()),
+           response.body.size());
+}
+
+/// Reads until the blank line ending the request head; nullopt on EOF,
+/// timeout or an oversized head.
+std::optional<std::string> readHead(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > kMaxHeaderBytes) return std::nullopt;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  return head;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::uint16_t port, HttpHandler handler)
+    : handler_(std::move(handler)) {
+  listenFd_.store(makeListener(port, port_), std::memory_order_relaxed);
+  thread_ = std::thread([this] { serveLoop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  const int fd = listenFd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::serveLoop() {
+  while (!stopped_.load()) {
+    const int fd = ::accept(listenFd_.load(std::memory_order_relaxed),
+                            nullptr, nullptr);
+    if (fd < 0) {
+      if (stopped_.load()) return;
+      if (errno == EINTR) continue;
+      PRIVTOPK_LOG_WARN("http accept failed: ", std::strerror(errno));
+      return;
+    }
+    setSocketTimeouts(fd, std::chrono::milliseconds(2000));
+    try {
+      serveConnection(fd);
+    } catch (const Error&) {
+      // A dropped scraper is not a server problem.
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::serveConnection(int fd) {
+  const std::optional<std::string> head = readHead(fd);
+  if (!head) return;
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t lineEnd = head->find("\r\n");
+  const std::size_t sp1 = head->find(' ');
+  if (sp1 == std::string::npos || sp1 > lineEnd) {
+    writeResponse(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  const std::size_t sp2 = head->find(' ', sp1 + 1);
+  HttpRequest request;
+  request.method = head->substr(0, sp1);
+  request.target = head->substr(
+      sp1 + 1,
+      (sp2 == std::string::npos || sp2 > lineEnd ? lineEnd : sp2) - sp1 - 1);
+  if (request.method != "GET") {
+    writeResponse(fd, {405, "text/plain; charset=utf-8",
+                       "only GET is supported\n"});
+    return;
+  }
+  writeResponse(fd, handler_(request));
+}
+
+std::optional<std::string> httpGet(const std::string& host,
+                                   std::uint16_t port,
+                                   const std::string& target,
+                                   std::chrono::milliseconds timeout) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return std::nullopt;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  setSocketTimeouts(fd, timeout);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  try {
+    writeAll(fd, reinterpret_cast<const std::uint8_t*>(request.data()),
+             request.size());
+  } catch (const Error&) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  // The server closes after one response; read to EOF.
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t headEnd = raw.find("\r\n\r\n");
+  if (headEnd == std::string::npos) return std::nullopt;
+  // Status line: HTTP/1.x SP CODE SP REASON.
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || raw.compare(sp + 1, 3, "200") != 0) {
+    return std::nullopt;
+  }
+  return raw.substr(headEnd + 4);
+}
+
+}  // namespace privtopk::net

@@ -1,0 +1,70 @@
+// Minimal embedded HTTP/1.0 server for observability endpoints.
+//
+// Deliberately tiny: GET-only, loopback-only (via net::makeListener),
+// Connection: close, one accept-loop thread serving requests inline with
+// short socket timeouts.  That is the right shape for a scrape target
+// (/metrics, /healthz, /queries, /trace/<id>) - a handful of requests per
+// second from curl or Prometheus - and keeps the query path completely
+// decoupled: a slow scraper can stall at most the scrape thread.
+//
+// httpGet() is the matching client, used by `privtopk trace-view` to pull
+// span dumps off live nodes and by tests.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace privtopk::net {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // path as sent, e.g. "/trace/42"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.  Throws
+  /// TransportError when the port cannot be bound.
+  HttpServer(std::uint16_t port, HttpHandler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the serve thread.  Idempotent.
+  void stop();
+
+ private:
+  void serveLoop();
+  void serveConnection(int fd);
+
+  HttpHandler handler_;
+  std::uint16_t port_ = 0;
+  std::atomic<int> listenFd_{-1};
+  std::atomic<bool> stopped_{false};
+  std::thread thread_;
+};
+
+/// One-shot GET against a loopback server.  Returns the body on HTTP 200,
+/// nullopt on connect failure, timeout, or any other status.
+std::optional<std::string> httpGet(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+}  // namespace privtopk::net

@@ -12,6 +12,23 @@ enum class Tag : std::uint8_t {
   QueryAnnounce = 5,
 };
 
+/// Trace context rides at the end of every message as two varints; both
+/// are 1 byte when tracing is off.
+void writeContext(ByteWriter& w, const obs::TraceContext& ctx) {
+  w.writeVarint(ctx.traceId);
+  w.writeVarint(ctx.parentSpanId);
+}
+
+obs::TraceContext readContext(ByteReader& r) {
+  obs::TraceContext ctx;
+  ctx.traceId = r.readVarint();
+  ctx.parentSpanId = r.readVarint();
+  if (ctx.parentSpanId != 0 && ctx.traceId == 0) {
+    throw ProtocolError("trace context: parent span without trace id");
+  }
+  return ctx;
+}
+
 }  // namespace
 
 Bytes encodeMessage(const Message& message) {
@@ -21,20 +38,24 @@ Bytes encodeMessage(const Message& message) {
     w.writeU64(token->queryId);
     w.writeU32(token->round);
     w.writeValueVector(token->vector);
+    writeContext(w, token->ctx);
   } else if (const auto* result = std::get_if<ResultAnnouncement>(&message)) {
     w.writeU8(static_cast<std::uint8_t>(Tag::ResultAnnouncement));
     w.writeU64(result->queryId);
     w.writeValueVector(result->result);
+    writeContext(w, result->ctx);
   } else if (const auto* repair = std::get_if<RingRepair>(&message)) {
     w.writeU8(static_cast<std::uint8_t>(Tag::RingRepair));
     w.writeU64(repair->queryId);
     w.writeU32(repair->failedNode);
     w.writeU32(repair->newSuccessor);
+    writeContext(w, repair->ctx);
   } else if (const auto* sum = std::get_if<SumToken>(&message)) {
     w.writeU8(static_cast<std::uint8_t>(Tag::SumToken));
     w.writeU64(sum->queryId);
     w.writeU32(sum->round);
     w.writeValueVector(sum->sums);
+    writeContext(w, sum->ctx);
   } else {
     const auto& announce = std::get<QueryAnnounce>(message);
     w.writeU8(static_cast<std::uint8_t>(Tag::QueryAnnounce));
@@ -45,6 +66,7 @@ Bytes encodeMessage(const Message& message) {
     w.writeU64(announce.parentQueryId);
     w.writeU8(announce.phase);
     w.writeU32(announce.groupSize);
+    writeContext(w, announce.ctx);
   }
   return w.take();
 }
@@ -58,6 +80,7 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       token.queryId = r.readU64();
       token.round = r.readU32();
       token.vector = r.readValueVector();
+      token.ctx = readContext(r);
       if (!r.atEnd()) throw ProtocolError("RoundToken: trailing bytes");
       return token;
     }
@@ -65,6 +88,7 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       ResultAnnouncement result;
       result.queryId = r.readU64();
       result.result = r.readValueVector();
+      result.ctx = readContext(r);
       if (!r.atEnd()) throw ProtocolError("ResultAnnouncement: trailing bytes");
       return result;
     }
@@ -73,6 +97,7 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       repair.queryId = r.readU64();
       repair.failedNode = r.readU32();
       repair.newSuccessor = r.readU32();
+      repair.ctx = readContext(r);
       if (!r.atEnd()) throw ProtocolError("RingRepair: trailing bytes");
       return repair;
     }
@@ -81,6 +106,7 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       sum.queryId = r.readU64();
       sum.round = r.readU32();
       sum.sums = r.readValueVector();
+      sum.ctx = readContext(r);
       if (!r.atEnd()) throw ProtocolError("SumToken: trailing bytes");
       return sum;
     }
@@ -99,6 +125,7 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       announce.parentQueryId = r.readU64();
       announce.phase = r.readU8();
       announce.groupSize = r.readU32();
+      announce.ctx = readContext(r);
       if (announce.phase > 2) {
         throw ProtocolError("QueryAnnounce: unknown phase");
       }

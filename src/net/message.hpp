@@ -3,6 +3,10 @@
 // Every message carries a query id so concurrent queries can share links.
 // Framing/encryption is the transport's job; this layer is the typed
 // payload codec (see common/serialization.hpp for the encoding rules).
+//
+// Every message also carries an obs::TraceContext as two trailing varints
+// (trace id, parent span id) so distributed traces survive node hops.  A
+// zero trace id means tracing is off and costs two bytes per message.
 
 #pragma once
 
@@ -11,6 +15,7 @@
 
 #include "common/serialization.hpp"
 #include "common/types.hpp"
+#include "obs/context.hpp"
 
 namespace privtopk::net {
 
@@ -19,6 +24,7 @@ struct RoundToken {
   std::uint64_t queryId = 0;
   Round round = 1;
   TopKVector vector;
+  obs::TraceContext ctx{};
 
   friend bool operator==(const RoundToken&, const RoundToken&) = default;
 };
@@ -28,6 +34,7 @@ struct RoundToken {
 struct ResultAnnouncement {
   std::uint64_t queryId = 0;
   TopKVector result;
+  obs::TraceContext ctx{};
 
   friend bool operator==(const ResultAnnouncement&,
                          const ResultAnnouncement&) = default;
@@ -39,6 +46,7 @@ struct RingRepair {
   std::uint64_t queryId = 0;
   NodeId failedNode = 0;
   NodeId newSuccessor = 0;
+  obs::TraceContext ctx{};
 
   friend bool operator==(const RingRepair&, const RingRepair&) = default;
 };
@@ -49,6 +57,7 @@ struct SumToken {
   std::uint64_t queryId = 0;
   Round round = 1;
   std::vector<std::int64_t> sums;  // one accumulator per counter
+  obs::TraceContext ctx{};
 
   friend bool operator==(const SumToken&, const SumToken&) = default;
 };
@@ -69,6 +78,7 @@ struct QueryAnnounce {
   std::uint64_t parentQueryId = 0;
   std::uint8_t phase = 0;      ///< 0 standalone, 1 group ring, 2 merge ring
   std::uint32_t groupSize = 0; ///< parent's requested group size (echo)
+  obs::TraceContext ctx{};
 
   friend bool operator==(const QueryAnnounce&, const QueryAnnounce&) = default;
 };

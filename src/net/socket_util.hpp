@@ -1,0 +1,28 @@
+// Low-level loopback socket helpers shared by the TCP transport and the
+// embedded HTTP scrape server: exact-length reads/writes with EINTR retry
+// and a loopback listener factory that reports its bound port (so callers
+// can ask for port 0 and discover the ephemeral port the kernel picked).
+//
+// All failures surface as TransportError.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privtopk::net {
+
+/// Writes all of `data` to `fd`, retrying on partial writes and EINTR.
+/// Sends with MSG_NOSIGNAL so a dead peer yields an error, not SIGPIPE.
+void writeAll(int fd, const std::uint8_t* data, std::size_t len);
+
+/// Reads exactly `len` bytes; returns false on orderly EOF before the
+/// first byte, throws on mid-read EOF or errors.
+bool readAll(int fd, std::uint8_t* data, std::size_t len);
+
+/// Creates a loopback (127.0.0.1) listener on `port` (0 = ephemeral) with
+/// SO_REUSEADDR; writes the actual port to `boundPort` and returns the fd.
+int makeListener(std::uint16_t port, std::uint16_t& boundPort,
+                 int backlog = 16);
+
+}  // namespace privtopk::net

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "net/socket_util.hpp"
 
 namespace privtopk::net {
 
@@ -23,40 +24,6 @@ const obs::Labels kTcpLabels{{"transport", "tcp"}};
 struct FrameTooLarge final : TransportError {
   using TransportError::TransportError;
 };
-
-/// Writes all of `data`, retrying on partial writes and EINTR.
-void writeAll(int fd, const std::uint8_t* data, std::size_t len) {
-  std::size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw TransportError(std::string("tcp send failed: ") +
-                           std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-/// Reads exactly `len` bytes; returns false on orderly EOF at a frame
-/// boundary, throws on mid-frame EOF or errors.
-bool readAll(int fd, std::uint8_t* data, std::size_t len) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, data + got, len - got, 0);
-    if (n == 0) {
-      if (got == 0) return false;
-      throw TransportError("tcp connection closed mid-frame");
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw TransportError(std::string("tcp recv failed: ") +
-                           std::strerror(errno));
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 void writeFrame(int fd, std::span<const std::uint8_t> payload) {
   // Mirror of readFrame's cap: an oversized frame would be accepted by the
@@ -85,33 +52,6 @@ std::optional<Bytes> readFrame(int fd) {
     throw TransportError("tcp connection closed mid-frame");
   }
   return payload;
-}
-
-int makeListener(std::uint16_t port, std::uint16_t& boundPort) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw TransportError("tcp: socket() failed");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    throw TransportError(std::string("tcp: bind failed: ") +
-                         std::strerror(errno));
-  }
-  if (::listen(fd, 16) != 0) {
-    ::close(fd);
-    throw TransportError("tcp: listen failed");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    boundPort = ntohs(bound.sin_port);
-  }
-  return fd;
 }
 
 }  // namespace

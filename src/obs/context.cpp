@@ -1,0 +1,40 @@
+#include "obs/context.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace privtopk::obs {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t processBase() {
+  // Pid + wall-clock entropy: distinct node processes started within the
+  // same nanosecond on the same pid would have to collide, which cannot
+  // happen on one host.
+  static const std::uint64_t base = mix64(
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      static_cast<std::uint64_t>(
+          std::chrono::system_clock::now().time_since_epoch().count()));
+  return base;
+}
+
+}  // namespace
+
+std::uint64_t allocateSpanId() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = mix64(
+      processBase() + counter.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+}  // namespace privtopk::obs

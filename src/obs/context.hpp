@@ -1,0 +1,35 @@
+// Distributed trace context (docs/OBSERVABILITY.md §Tracing).
+//
+// A TraceContext rides on every wire message as two trailing varints
+// (trace_id, parent_span_id).  traceId == 0 means "tracing off": the two
+// fields cost one zero byte each and every span-emission path is skipped
+// after a single branch, so untraced queries pay nothing measurable.
+//
+// Span ids are allocated from a process-unique stream: a splitmix64-mixed
+// per-process base (pid + wall-clock entropy) plus a counter, so spans
+// emitted by distinct node processes of one federation never collide and
+// a cross-node trace can be merged by id alone (tools `trace-view`).
+
+#pragma once
+
+#include <cstdint>
+
+namespace privtopk::obs {
+
+struct TraceContext {
+  /// Identifies one end-to-end query execution; 0 = tracing off.
+  std::uint64_t traceId = 0;
+  /// Span id of the causal parent (the hop that produced this message);
+  /// 0 = root.
+  std::uint64_t parentSpanId = 0;
+
+  [[nodiscard]] bool active() const { return traceId != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Allocates a nonzero process-unique id (used for both trace ids and span
+/// ids).  Thread-safe; one relaxed atomic increment.
+[[nodiscard]] std::uint64_t allocateSpanId();
+
+}  // namespace privtopk::obs

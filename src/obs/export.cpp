@@ -45,6 +45,22 @@ std::string escapeJson(const std::string& s) {
   return out;
 }
 
+/// Label values must escape backslash, double quote and newline per the
+/// Prometheus text exposition format.
+std::string promEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// Renders {label="value",...} including the extra `le` pair when given.
 std::string promLabels(const Labels& labels, const std::string* le = nullptr) {
   if (labels.empty() && le == nullptr) return "";
@@ -53,7 +69,7 @@ std::string promLabels(const Labels& labels, const std::string* le = nullptr) {
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
     first = false;
-    out += promName(k) + "=\"" + v + "\"";
+    out += promName(k) + "=\"" + promEscape(v) + "\"";
   }
   if (le != nullptr) {
     if (!first) out += ',';
@@ -94,7 +110,11 @@ std::string renderPrometheus(const MetricsSnapshot& snapshot) {
       }
       os << name << "_sum" << promLabels(m.labels) << ' '
          << formatDouble(m.sum) << '\n';
-      os << name << "_count" << promLabels(m.labels) << ' ' << m.count << '\n';
+      // _count is rendered from the same bucket snapshot as +Inf rather
+      // than the separately-read count field, so the two always agree
+      // even if observations raced the snapshot.
+      os << name << "_count" << promLabels(m.labels) << ' ' << cumulative
+         << '\n';
     } else {
       os << name << promLabels(m.labels) << ' ' << m.value << '\n';
     }

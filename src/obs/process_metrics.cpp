@@ -1,0 +1,67 @@
+#include "obs/process_metrics.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+#ifndef PRIVTOPK_VERSION
+#define PRIVTOPK_VERSION "unknown"
+#endif
+#ifndef PRIVTOPK_GIT_SHA
+#define PRIVTOPK_GIT_SHA "unknown"
+#endif
+
+namespace privtopk::obs {
+
+namespace {
+
+struct ProcessCells {
+  Gauge& uptime;
+  Gauge& rss;
+  std::chrono::steady_clock::time_point start;
+};
+
+std::atomic<ProcessCells*> g_cells{nullptr};
+
+/// Resident set size in bytes from /proc/self/statm (field 2, pages).
+std::int64_t rssBytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  long size = 0;
+  long resident = 0;
+  const int got = std::fscanf(statm, "%ld %ld", &size, &resident);
+  std::fclose(statm);
+  if (got != 2) return 0;
+  return static_cast<std::int64_t>(resident) * sysconf(_SC_PAGESIZE);
+}
+
+}  // namespace
+
+void registerProcessMetrics() {
+  if (g_cells.load(std::memory_order_acquire) != nullptr) return;
+  static ProcessCells cells{
+      gauge("privtopk.node.uptime_seconds"),
+      gauge("privtopk.node.rss_bytes"),
+      std::chrono::steady_clock::now(),
+  };
+  gauge("privtopk.node.build_info", {{"version", PRIVTOPK_VERSION},
+                                     {"git_sha", PRIVTOPK_GIT_SHA}})
+      .set(1);
+  cells.rss.set(rssBytes());
+  g_cells.store(&cells, std::memory_order_release);
+}
+
+void updateProcessMetrics() {
+  ProcessCells* cells = g_cells.load(std::memory_order_acquire);
+  if (cells == nullptr) return;
+  cells->uptime.set(std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::steady_clock::now() - cells->start)
+                        .count());
+  cells->rss.set(rssBytes());
+}
+
+}  // namespace privtopk::obs

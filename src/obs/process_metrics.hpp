@@ -1,0 +1,23 @@
+// Process-level gauges every long-lived node exports alongside its
+// query metrics: build identity, uptime, and resident set size.
+//
+// registerProcessMetrics() is idempotent - NodeService calls it at start()
+// and several services in one process share the same cells.  The gauges
+// are sampled (not push-updated); call updateProcessMetrics() before each
+// scrape or on the maintenance tick.
+
+#pragma once
+
+namespace privtopk::obs {
+
+/// Registers `privtopk.node.build_info` (constant 1, labeled with the
+/// version and git sha baked in at compile time), `privtopk.node.
+/// uptime_seconds` and `privtopk.node.rss_bytes`.  Safe to call from any
+/// number of services; only the first call creates the cells.
+void registerProcessMetrics();
+
+/// Refreshes uptime and RSS.  RSS comes from /proc/self/statm and is left
+/// at 0 on platforms without procfs.  No-op before registerProcessMetrics.
+void updateProcessMetrics();
+
+}  // namespace privtopk::obs

@@ -1,0 +1,58 @@
+#include "obs/span_buffer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace privtopk::obs {
+
+SpanRingBuffer::SpanRingBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void SpanRingBuffer::recordSpan(const SpanRecord& span) {
+  std::scoped_lock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+    return;
+  }
+  ring_[next_] = span;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> SpanRingBuffer::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: the slot about to be overwritten holds the oldest span.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanRingBuffer::forQuery(std::uint64_t queryId) const {
+  const std::vector<SpanRecord> all = snapshot();
+  std::set<std::uint64_t> traces;
+  for (const SpanRecord& span : all) {
+    if (span.queryId == queryId) traces.insert(span.traceId);
+  }
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : all) {
+    if (traces.contains(span.traceId)) out.push_back(span);
+  }
+  return out;
+}
+
+std::size_t SpanRingBuffer::size() const {
+  std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t SpanRingBuffer::dropped() const {
+  std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace privtopk::obs

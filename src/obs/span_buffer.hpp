@@ -1,0 +1,48 @@
+// Bounded in-memory span ring buffer: the per-node TraceSink behind a
+// NodeService's /trace/<query_id> endpoint and `trace-view` span dumps.
+//
+// A live daemon cannot retain spans forever; the buffer keeps the most
+// recent `capacity` spans and counts what it had to drop.  recordSpan is a
+// short critical section (one slot assignment), safe from any number of
+// scheduler workers; snapshots copy out under the same mutex.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace privtopk::obs {
+
+class SpanRingBuffer final : public TraceSink {
+ public:
+  /// Throws nothing; a zero capacity is clamped to 1.
+  explicit SpanRingBuffer(std::size_t capacity);
+
+  void recordSpan(const SpanRecord& span) override;
+
+  /// All retained spans, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Every retained span belonging to a trace that touched `queryId`
+  /// (grouped queries spread one trace over the parent id and its phase
+  /// sub-query ids; matching by trace id returns the whole tree).
+  [[nodiscard]] std::vector<SpanRecord> forQuery(std::uint64_t queryId) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Spans evicted to make room since construction.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;    // slot the next span overwrites once full
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace privtopk::obs

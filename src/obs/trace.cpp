@@ -24,6 +24,27 @@ void EventTracer::event(std::string_view kind, std::string_view name,
   write(kind, name, fields.begin(), fields.size(), nullptr);
 }
 
+void EventTracer::span(const SpanRecord& record) {
+  if (!enabled()) return;
+  const std::string line = renderSpanJson(record) + "\n";
+  std::scoped_lock lock(mutex_);
+  if (sink_ == nullptr) return;
+  (*sink_) << line;
+}
+
+std::string renderSpanJson(const SpanRecord& span) {
+  std::ostringstream os;
+  os << "{\"ts_ns\":" << (span.startNs + span.durNs)
+     << ",\"kind\":\"span\",\"name\":\"" << span.name << "\",\"trace_id\":\""
+     << span.traceId << "\",\"span_id\":\"" << span.spanId
+     << "\",\"parent_span_id\":\"" << span.parentSpanId
+     << "\",\"query_id\":" << span.queryId << ",\"node\":" << span.node
+     << ",\"round\":" << span.round << ",\"start_ns\":" << span.startNs
+     << ",\"dur_ns\":" << span.durNs << ",\"queue_ns\":" << span.queueNs
+     << '}';
+  return os.str();
+}
+
 void EventTracer::write(std::string_view kind, std::string_view name,
                         const TraceField* fields, std::size_t fieldCount,
                         const std::int64_t* durNs) {

@@ -25,6 +25,7 @@
 #include <initializer_list>
 #include <mutex>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <utility>
 
@@ -32,6 +33,38 @@ namespace privtopk::obs {
 
 /// Optional integer fields attached to an event ({"query_id", 7}, ...).
 using TraceField = std::pair<std::string_view, std::int64_t>;
+
+/// One completed span of a distributed trace (docs/OBSERVABILITY.md
+/// §Span schema).  Timestamps are process-local steady_clock nanoseconds;
+/// `trace-view` aligns them across nodes at merge time.
+struct SpanRecord {
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
+  std::uint64_t parentSpanId = 0;  ///< 0 = root span
+  std::string name;                ///< "ring_round", "announce_handled", ...
+  std::uint64_t queryId = 0;
+  std::uint32_t node = 0;
+  std::uint32_t round = 0;
+  std::int64_t startNs = 0;  ///< steady_clock ns, process-local epoch
+  std::int64_t durNs = 0;
+  std::int64_t queueNs = 0;  ///< scheduler queue wait before handling
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// Destination for completed spans.  Implementations must be thread-safe:
+/// scheduler workers of one NodeService emit concurrently.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void recordSpan(const SpanRecord& span) = 0;
+};
+
+/// Renders one span as a JSON line (the `{"kind":"span",...}` schema that
+/// EventTracer streams and parseSpanJsonLine reads back).  Span/trace ids
+/// are rendered as decimal strings so 64-bit ids survive JSON consumers
+/// that parse numbers as doubles.
+[[nodiscard]] std::string renderSpanJson(const SpanRecord& span);
 
 class EventTracer {
  public:
@@ -48,6 +81,10 @@ class EventTracer {
   /// Emits one event line.  No-op while disabled.
   void event(std::string_view kind, std::string_view name,
              std::initializer_list<TraceField> fields = {});
+
+  /// Emits one completed span as a JSON line (TraceSink-compatible entry
+  /// point for the stream sink).  No-op while disabled.
+  void span(const SpanRecord& span);
 
   /// Monotonic timestamp in nanoseconds.
   [[nodiscard]] static std::int64_t nowNs() {

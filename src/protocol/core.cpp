@@ -93,6 +93,7 @@ Participant::Participant(ParticipantConfig config, TopKVector localTopK,
       ringOrder_(std::move(config.ringOrder)),
       params_(std::move(config.params)),
       trace_(config.trace),
+      spanSink_(config.spanSink),
       local_(std::move(localTopK)),
       algorithm_(std::move(algorithm)) {
   params_.validate();
@@ -124,34 +125,64 @@ TopKVector Participant::process(Round round, const TopKVector& input) {
   return output;
 }
 
-Actions Participant::finish(Actions actions, const TopKVector& result) {
+Actions Participant::finish(Actions actions, const TopKVector& result,
+                            const obs::TraceContext& ctx) {
   result_ = result;
   completed_ = true;
   if (trace_ != nullptr) trace_->result = result_;
   actions.completed = true;
-  actions.sendResult = net::ResultAnnouncement{queryId_, result_};
+  actions.sendResult = net::ResultAnnouncement{queryId_, result_, ctx};
   return actions;
 }
 
-Actions Participant::onStart() {
+obs::TraceContext Participant::emitSpan(const obs::TraceContext& in,
+                                        const char* name, Round round,
+                                        std::int64_t startNs,
+                                        std::int64_t queueNs) {
+  if (spanSink_ == nullptr || !in.active()) return in;
+  obs::SpanRecord span;
+  span.traceId = in.traceId;
+  span.spanId = obs::allocateSpanId();
+  span.parentSpanId = in.parentSpanId;
+  span.name = name;
+  span.queryId = queryId_;
+  span.node = self_;
+  span.round = round;
+  span.startNs = startNs;
+  span.durNs = obs::EventTracer::nowNs() - startNs;
+  span.queueNs = queueNs;
+  spanSink_->recordSpan(span);
+  return obs::TraceContext{in.traceId, span.spanId};
+}
+
+Actions Participant::onStart(obs::TraceContext ctx) {
   if (!isStart()) {
     throw Error("core::Participant: onStart on a non-start node");
   }
   if (started_) throw Error("core::Participant: query already started");
   started_ = true;
+  const std::int64_t t0 = spanSink_ != nullptr && ctx.active()
+                              ? obs::EventTracer::nowNs()
+                              : 0;
   // Initial global vector: k copies of the domain minimum (§3.4).
   const TopKVector initial(params_.k, params_.domain.min);
   Actions actions;
-  actions.sendToken = net::RoundToken{queryId_, 1, process(1, initial)};
+  TopKVector out = process(1, initial);
+  actions.sendToken = net::RoundToken{queryId_, 1, std::move(out),
+                                      emitSpan(ctx, "ring_round", 1, t0, 0)};
   return actions;
 }
 
-Actions Participant::onToken(Round round, const TopKVector& vector) {
+Actions Participant::onToken(Round round, const TopKVector& vector,
+                             obs::TraceContext ctx, std::int64_t queueNs) {
   Actions actions;
   if (completed_ || aborted_) {
     actions.duplicate = true;
     return actions;
   }
+  const std::int64_t t0 = spanSink_ != nullptr && ctx.active()
+                              ? obs::EventTracer::nowNs()
+                              : 0;
   if (isStart()) {
     // The token circled back: close the round it carries.  A repair may
     // have promoted this node mid-round, in which case it legitimately
@@ -163,28 +194,41 @@ Actions Participant::onToken(Round round, const TopKVector& vector) {
     }
     actions.roundClosed = true;
     lastClosed_ = round;
-    if (round >= rounds_) return finish(actions, vector);
+    if (round >= rounds_) {
+      return finish(actions, vector,
+                    emitSpan(ctx, "ring_round", round, t0, queueNs));
+    }
+    TopKVector out = process(round + 1, vector);
     actions.sendToken =
-        net::RoundToken{queryId_, round + 1, process(round + 1, vector)};
+        net::RoundToken{queryId_, round + 1, std::move(out),
+                        emitSpan(ctx, "ring_round", round + 1, t0, queueNs)};
     return actions;
   }
   if (round <= lastProcessed_) {
     actions.duplicate = true;  // pass-once semantics per round
     return actions;
   }
-  actions.sendToken = net::RoundToken{queryId_, round, process(round, vector)};
+  TopKVector out = process(round, vector);
+  actions.sendToken =
+      net::RoundToken{queryId_, round, std::move(out),
+                      emitSpan(ctx, "ring_round", round, t0, queueNs)};
   return actions;
 }
 
-Actions Participant::onResult(const TopKVector& result) {
+Actions Participant::onResult(const TopKVector& result,
+                              obs::TraceContext ctx) {
   Actions actions;
   if (completed_ || aborted_) {
     actions.completed = completed_;
     actions.duplicate = true;
     return actions;
   }
+  const std::int64_t t0 = spanSink_ != nullptr && ctx.active()
+                              ? obs::EventTracer::nowNs()
+                              : 0;
   // Forward once; the announcement dies when it reaches the start node.
-  return finish(actions, result);
+  return finish(actions, result,
+                emitSpan(ctx, "result_dissemination", 0, t0, 0));
 }
 
 RepairOutcome Participant::onPeerDead(NodeId failed) {

@@ -34,6 +34,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 #include "protocol/local_algorithm.hpp"
 #include "protocol/params.hpp"
 #include "protocol/trace.hpp"
@@ -146,6 +148,13 @@ struct ParticipantConfig {
   /// participants of one run (in-memory engines) or private to this node
   /// (distributed engines).  Must outlive the Participant.
   ExecutionTrace* trace = nullptr;
+  /// Optional distributed-tracing sink.  When set and an input carries an
+  /// active obs::TraceContext, every processed input emits one child span
+  /// ("ring_round" / "result_dissemination") and the outgoing message is
+  /// stamped with the child context, extending the cross-node chain.  A
+  /// null sink or an inactive context costs nothing - the context just
+  /// passes through.  Must outlive the Participant.
+  obs::TraceSink* spanSink = nullptr;
 };
 
 /// Effects returned by every input; the driver performs the I/O.
@@ -187,14 +196,22 @@ class Participant {
 
   /// Starts the query (start node only): processes round 1 over the
   /// initial global vector (k copies of the domain minimum, §3.4).
-  [[nodiscard]] Actions onStart();
+  /// `ctx` is the initiator's trace context (see ParticipantConfig::
+  /// spanSink); the default keeps sink-less drivers unchanged.
+  [[nodiscard]] Actions onStart(obs::TraceContext ctx = {});
 
-  /// A RoundToken arrived carrying `vector` for `round`.
-  [[nodiscard]] Actions onToken(Round round, const TopKVector& vector);
+  /// A RoundToken arrived carrying `vector` for `round`.  `ctx` is the
+  /// context the token carried on the wire and `queueNs` the time it
+  /// waited in the driver's scheduler before this call (recorded on the
+  /// emitted span).
+  [[nodiscard]] Actions onToken(Round round, const TopKVector& vector,
+                                obs::TraceContext ctx = {},
+                                std::int64_t queueNs = 0);
 
   /// A ResultAnnouncement arrived.  Followers adopt the result and forward
   /// the announcement once; a completed node reports a duplicate.
-  [[nodiscard]] Actions onResult(const TopKVector& result);
+  [[nodiscard]] Actions onResult(const TopKVector& result,
+                                 obs::TraceContext ctx = {});
 
   /// `failed` was detected dead: splice it out (§3.2 repair).  Sets the
   /// aborted state when the survivors fall below the privacy floor.
@@ -233,13 +250,21 @@ class Participant {
  private:
   /// One local-algorithm invocation + the RecordTraceStep effect.
   [[nodiscard]] TopKVector process(Round round, const TopKVector& input);
-  Actions finish(Actions actions, const TopKVector& result);
+  Actions finish(Actions actions, const TopKVector& result,
+                 const obs::TraceContext& ctx);
+  /// Records one child span of `in` and returns the child context for the
+  /// outgoing message; passes `in` through untouched when the sink is null
+  /// or the context inactive.
+  obs::TraceContext emitSpan(const obs::TraceContext& in, const char* name,
+                             Round round, std::int64_t startNs,
+                             std::int64_t queueNs);
 
   std::uint64_t queryId_ = 0;
   NodeId self_ = 0;
   std::vector<NodeId> ringOrder_;
   ProtocolParams params_;
   ExecutionTrace* trace_ = nullptr;
+  obs::TraceSink* spanSink_ = nullptr;
   TopKVector local_;
   std::unique_ptr<LocalAlgorithm> algorithm_;
   Round rounds_ = 1;

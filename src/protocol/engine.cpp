@@ -47,6 +47,7 @@ core::ParticipantConfig coreConfig(NodeId self,
   cfg.kind = config.kind;
   cfg.params = config.params;
   cfg.trace = config.trace;
+  cfg.spanSink = config.spanSink;
   return cfg;
 }
 
@@ -115,7 +116,8 @@ TopKVector DistributedParticipant::run() {
       if (core_.isStart() && token->round != core_.lastProcessedRound()) {
         throw ProtocolError("start node: unexpected message mid-round");
       }
-      const core::Actions actions = core_.onToken(token->round, token->vector);
+      const core::Actions actions =
+          core_.onToken(token->round, token->vector, token->ctx);
       if (actions.duplicate) {
         throw ProtocolError("participant: duplicate round token");
       }
@@ -129,7 +131,7 @@ TopKVector DistributedParticipant::run() {
       if (core_.isStart()) {
         throw ProtocolError("start node: unexpected message mid-round");
       }
-      perform(core_.onResult(announce->result));
+      perform(core_.onResult(announce->result, announce->ctx));
     } else {
       throw ProtocolError("participant: unexpected message type");
     }

@@ -44,6 +44,11 @@ struct DistributedConfig {
   /// (its own steps only - peers' intermediate vectors stay private).
   /// Must outlive the participant.
   ExecutionTrace* trace = nullptr;
+  /// Optional distributed-tracing span sink; the wire trace context of
+  /// received tokens/announcements is forwarded into the core so this
+  /// node extends the cross-node span chain.  Must outlive the
+  /// participant.
+  obs::TraceSink* spanSink = nullptr;
 };
 
 class DistributedParticipant {

@@ -1,11 +1,16 @@
 #include "query/service.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
+#include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/export.hpp"
+#include "obs/process_metrics.hpp"
 #include "obs/trace.hpp"
 #include "query/federation.hpp"
 
@@ -35,6 +40,14 @@ constexpr std::chrono::milliseconds kMaintainInterval{25};
 double elapsedMsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// steady_clock time point -> the EventTracer::nowNs timebase, so phase
+/// spans can start at the moment their state was registered.
+std::int64_t toTraceNs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
       .count();
 }
 
@@ -124,6 +137,11 @@ NodeService::NodeService(NodeId self, const data::PrivateDatabase& db,
     throw ConfigError("NodeService: maxQueuedInitiations must be >= 1");
   }
   options_.workerThreads = std::max<std::size_t>(1, options_.workerThreads);
+  if (options_.spanRingCapacity > 0) {
+    spanBuffer_ =
+        std::make_unique<obs::SpanRingBuffer>(options_.spanRingCapacity);
+  }
+  spanFan_.buffer = spanBuffer_.get();
 }
 
 NodeService::~NodeService() { stop(); }
@@ -131,16 +149,23 @@ NodeService::~NodeService() { stop(); }
 void NodeService::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
+  obs::registerProcessMetrics();
   receiver_ = std::thread([this] { receiveLoop(); });
   workers_.reserve(options_.workerThreads);
   for (std::size_t i = 0; i < options_.workerThreads; ++i) {
     workers_.emplace_back([this] { dispatchLoop(); });
+  }
+  if (options_.httpPort) {
+    http_ = std::make_unique<net::HttpServer>(
+        *options_.httpPort,
+        [this](const net::HttpRequest& request) { return handleHttp(request); });
   }
 }
 
 void NodeService::stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
+  http_.reset();
   schedCv_.notify_all();
   if (receiver_.joinable()) receiver_.join();
   for (auto& worker : workers_) {
@@ -209,7 +234,8 @@ void NodeService::receiveLoop() {
     try {
       net::Message message = net::decodeMessage(envelope->payload);
       const std::uint64_t key = queryIdOf(message);
-      enqueueWork(key, WorkItem{Inbound{envelope->from, std::move(message)}});
+      enqueueWork(key, WorkItem{Inbound{envelope->from, std::move(message),
+                                        obs::EventTracer::nowNs()}});
     } catch (const Error& e) {
       // Hostile or stale traffic must not take the service down.
       metrics_.droppedMessages.inc();
@@ -299,9 +325,13 @@ void NodeService::runWorkItem(std::uint64_t key, WorkItem& item) {
     performInitiation(*admission, out);
   } else {
     const auto& inbound = std::get<Inbound>(item);
+    const std::int64_t queueNs =
+        inbound.receivedAtNs > 0
+            ? obs::EventTracer::nowNs() - inbound.receivedAtNs
+            : 0;
     std::scoped_lock lock(mutex_);
     try {
-      handleMessage(inbound.from, inbound.message, out, done);
+      handleMessage(inbound.from, inbound.message, queueNs, out, done);
     } catch (const Error& e) {
       metrics_.droppedMessages.inc();
       PRIVTOPK_LOG_WARN("service ", self_, ": dropped message for query ",
@@ -322,6 +352,7 @@ void NodeService::runWorkItem(std::uint64_t key, WorkItem& item) {
 }
 
 void NodeService::maintain() {
+  obs::updateProcessMetrics();
   const auto now = std::chrono::steady_clock::now();
   std::vector<Outbound> out;
   std::size_t releasedSlots = 0;
@@ -456,6 +487,8 @@ NodeId NodeService::successorFor(const QueryState& state) const {
 
 bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead,
                                            std::vector<Outbound>& out) {
+  const std::int64_t t0 =
+      state.traceCtx.active() ? obs::EventTracer::nowNs() : 0;
   metrics_.peersDeclaredDead.inc();
   PRIVTOPK_LOG_WARN("service ", self_, ": declaring successor ", dead,
                     " dead for query ", state.descriptor.queryId, " after ",
@@ -477,10 +510,13 @@ bool NodeService::repairAfterDeadSuccessor(QueryState& state, NodeId dead,
   // node that already applied the repair, and a node whose own successor
   // is dead detects and repairs independently.
   const NodeId next = successorFor(state);
-  out.push_back(Outbound{state.descriptor.queryId,
-                         net::encodeMessage(net::RingRepair{
-                             state.descriptor.queryId, dead, next}),
-                         next, true});
+  out.push_back(
+      Outbound{state.descriptor.queryId,
+               net::encodeMessage(net::RingRepair{
+                   state.descriptor.queryId, dead, next,
+                   emitServiceSpan(state.traceCtx, "repair",
+                                   state.descriptor.queryId, 0, t0, 0)}),
+               next, true});
   return true;
 }
 
@@ -586,6 +622,14 @@ void NodeService::beginFlat(Admission& admission, std::vector<Outbound>& out) {
   state.admitted = true;
   state.registeredAt = std::chrono::steady_clock::now();
   state.lastActivity = state.registeredAt;
+  if (options_.traceQueries) {
+    // The root "query" span is emitted at completion under the reserved
+    // id, so every hop's span chains off a span that will exist.
+    state.traceCtx.traceId = obs::allocateSpanId();
+    state.rootSpanId = obs::allocateSpanId();
+    state.traceCtx.parentSpanId = state.rootSpanId;
+    state.traceStartNs = obs::EventTracer::nowNs();
+  }
 
   const LocalParty party(*db_);
   if (descriptor.isAggregate()) {
@@ -616,7 +660,8 @@ void NodeService::beginFlat(Admission& admission, std::vector<Outbound>& out) {
   // every hop), then start the protocol immediately.
   queueSend(registered,
             net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
-                               ringOf(registered)},
+                               ringOf(registered), 0, 0, 0,
+                               registered.traceCtx},
             out);
   beginRounds(registered, out);
 }
@@ -653,6 +698,13 @@ void NodeService::beginGrouped(Admission& admission,
   parent.promise = std::move(admission.promise);
   parent.registeredAt = now;
   parent.lastActivity = now;
+  if (options_.traceQueries) {
+    parent.traceCtx.traceId = obs::allocateSpanId();
+    parent.rootSpanId = obs::allocateSpanId();
+    parent.traceCtx.parentSpanId = parent.rootSpanId;
+    parent.traceStartNs = obs::EventTracer::nowNs();
+  }
+  const obs::TraceContext rootCtx = parent.traceCtx;
   mergeParents_[parent.mergeId] = parentId;
   active_.emplace(parentId, std::move(parent));
   metrics_.initiated.inc();
@@ -673,7 +725,7 @@ void NodeService::beginGrouped(Admission& admission,
         sub.queryId,
         net::encodeMessage(net::QueryAnnounce{sub.queryId, sub.encode(),
                                               layout.groups[g], parentId, 1,
-                                              groupSizeWire}),
+                                              groupSizeWire, rootCtx}),
         layout.groups[g].front(), true});
   }
 
@@ -689,6 +741,7 @@ void NodeService::beginGrouped(Admission& admission,
   state.phase = 1;
   state.registeredAt = now;
   state.lastActivity = now;
+  state.traceCtx = rootCtx;
   const LocalParty party(*db_);
   Rng phaseRng(protocol::groupPhaseSeed(seed_, parentId, 1));
   buildParticipant(state, sub, layout.groups.front(),
@@ -700,7 +753,7 @@ void NodeService::beginGrouped(Admission& admission,
   queueSend(registered,
             net::QueryAnnounce{sub.queryId, sub.encode(),
                                layout.groups.front(), parentId, 1,
-                               groupSizeWire},
+                               groupSizeWire, rootCtx},
             out);
   beginRounds(registered, out);
 }
@@ -721,6 +774,7 @@ void NodeService::buildParticipant(QueryState& state,
   cfg.kind = descriptor.kind;
   cfg.params = params;
   cfg.trace = state.trace.get();
+  cfg.spanSink = &spanFan_;  // zero-cost while the query carries no context
   state.participant = std::make_unique<protocol::core::Participant>(
       std::move(cfg), std::move(localInput),
       protocol::core::makeLocalAlgorithm(descriptor.kind, params, algRng));
@@ -734,11 +788,14 @@ void NodeService::beginRounds(QueryState& state, std::vector<Outbound>& out) {
       sums[i] = static_cast<std::int64_t>(
           state.masks[i] + static_cast<std::uint64_t>(state.addends[i]));
     }
-    queueSend(state, net::SumToken{descriptor.queryId, 1, std::move(sums)},
+    queueSend(state,
+              net::SumToken{descriptor.queryId, 1, std::move(sums),
+                            state.traceCtx},
               out);
     return;
   }
-  const protocol::core::Actions actions = state.participant->onStart();
+  const protocol::core::Actions actions =
+      state.participant->onStart(state.traceCtx);
   if (actions.sendToken) queueSend(state, *actions.sendToken, out);
 }
 
@@ -746,17 +803,18 @@ void NodeService::beginRounds(QueryState& state, std::vector<Outbound>& out) {
 // Message handlers (mutex_ held).
 
 void NodeService::handleMessage(NodeId from, const net::Message& message,
+                                std::int64_t queueNs,
                                 std::vector<Outbound>& out,
                                 std::deque<Completion>& done) {
   if (const auto* announce = std::get_if<net::QueryAnnounce>(&message)) {
-    onAnnounce(*announce, out, done);
+    onAnnounce(*announce, queueNs, out, done);
   } else if (const auto* token = std::get_if<net::RoundToken>(&message)) {
-    onRoundToken(from, *token, out, done);
+    onRoundToken(from, *token, queueNs, out, done);
   } else if (const auto* sum = std::get_if<net::SumToken>(&message)) {
-    onSumToken(from, *sum, out, done);
+    onSumToken(from, *sum, queueNs, out, done);
   } else if (const auto* result =
                  std::get_if<net::ResultAnnouncement>(&message)) {
-    onResult(*result, out, done);
+    onResult(*result, queueNs, out, done);
   } else if (const auto* repair = std::get_if<net::RingRepair>(&message)) {
     onRingRepair(*repair, out);
   } else {
@@ -766,13 +824,15 @@ void NodeService::handleMessage(NodeId from, const net::Message& message,
 }
 
 void NodeService::onAnnounce(const net::QueryAnnounce& announce,
-                             std::vector<Outbound>& out,
+                             std::int64_t queueNs, std::vector<Outbound>& out,
                              std::deque<Completion>& done) {
   (void)done;
   if (active_.contains(announce.queryId) ||
       completed_.contains(announce.queryId)) {
     return;  // our own announce circled back, or a duplicate
   }
+  const std::int64_t t0 =
+      announce.ctx.active() ? obs::EventTracer::nowNs() : 0;
   const QueryDescriptor descriptor =
       QueryDescriptor::decode(announce.descriptor);
   if (descriptor.queryId != announce.queryId) {
@@ -788,7 +848,7 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce,
     throw ProtocolError("QueryAnnounce: aggregate queries cannot be grouped");
   }
   if (announce.phase == 2) {
-    onMergeAnnounce(announce, descriptor, out);
+    onMergeAnnounce(announce, descriptor, queueNs, out);
     return;
   }
 
@@ -821,8 +881,15 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce,
   (void)inserted;
   metrics_.participated.inc();
   metrics_.activeQueries.add(1);
-  if (announce.phase == 1) registerParentFollower(announce, descriptor);
-  queueSend(it->second, announce, out);  // keep the announce circling
+  // One "announce_handled" span per hop; the forwarded announce carries
+  // the child context so the next hop chains off this one.
+  const obs::TraceContext child = emitServiceSpan(
+      announce.ctx, "announce_handled", announce.queryId, 0, t0, queueNs);
+  it->second.traceCtx = child;
+  if (announce.phase == 1) registerParentFollower(announce, descriptor, child);
+  net::QueryAnnounce forwarded = announce;  // keep the announce circling
+  forwarded.ctx = child;
+  queueSend(it->second, forwarded, out);
   // Delegated start (§4.2): the coordinator handed this announce straight
   // to the group's front node, which opens the ring.  FIFO links keep the
   // forwarded announce ahead of the first token on every hop.
@@ -832,7 +899,8 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce,
 }
 
 void NodeService::registerParentFollower(const net::QueryAnnounce& announce,
-                                         const QueryDescriptor& subDescriptor) {
+                                         const QueryDescriptor& subDescriptor,
+                                         const obs::TraceContext& ctx) {
   const std::uint64_t parentId = announce.parentQueryId;
   if (active_.contains(parentId) || completed_.contains(parentId)) return;
   QueryState parent;
@@ -840,6 +908,7 @@ void NodeService::registerParentFollower(const net::QueryAnnounce& announce,
   parent.descriptor.queryId = parentId;
   parent.descriptor.groupSize = announce.groupSize;
   parent.ringOrder = announce.ringOrder;  // group ring: dissemination path
+  parent.traceCtx = ctx;
   parent.isParent = true;
   parent.isDelegate = announce.ringOrder.front() == self_;
   parent.mergeId = protocol::mergeQueryId(parentId);
@@ -853,7 +922,10 @@ void NodeService::registerParentFollower(const net::QueryAnnounce& announce,
 
 void NodeService::onMergeAnnounce(const net::QueryAnnounce& announce,
                                   const QueryDescriptor& descriptor,
+                                  std::int64_t queueNs,
                                   std::vector<Outbound>& out) {
+  const std::int64_t t0 =
+      announce.ctx.active() ? obs::EventTracer::nowNs() : 0;
   const auto parentIt = active_.find(announce.parentQueryId);
   if (parentIt == active_.end() || !parentIt->second.isParent) {
     metrics_.droppedMessages.inc();
@@ -894,10 +966,16 @@ void NodeService::onMergeAnnounce(const net::QueryAnnounce& announce,
   (void)inserted;
   metrics_.participated.inc();
   metrics_.activeQueries.add(1);
-  queueSend(it->second, announce, out);
+  const obs::TraceContext child = emitServiceSpan(
+      announce.ctx, "announce_handled", announce.queryId, 0, t0, queueNs);
+  it->second.traceCtx = child;
+  net::QueryAnnounce forwarded = announce;
+  forwarded.ctx = child;
+  queueSend(it->second, forwarded, out);
 }
 
 void NodeService::onRoundToken(NodeId from, const net::RoundToken& token,
+                               std::int64_t queueNs,
                                std::vector<Outbound>& out,
                                std::deque<Completion>& done) {
   const auto it = active_.find(token.queryId);
@@ -918,8 +996,12 @@ void NodeService::onRoundToken(NodeId from, const net::RoundToken& token,
                       token.queryId);
     return;
   }
+  // The core emits the "ring_round" span and stamps the outgoing token;
+  // the state context tracks the chain for service-side spans (repair).
+  if (token.ctx.active()) state.traceCtx = token.ctx;
   const protocol::core::Actions actions =
-      state.participant->onToken(token.round, token.vector);
+      state.participant->onToken(token.round, token.vector, token.ctx,
+                                 queueNs);
   if (actions.duplicate) {
     // A retransmitted token we already processed: pass-once semantics.
     metrics_.duplicatesDropped.inc();
@@ -949,7 +1031,7 @@ void NodeService::onRoundToken(NodeId from, const net::RoundToken& token,
 }
 
 void NodeService::onSumToken(NodeId from, const net::SumToken& token,
-                             std::vector<Outbound>& out,
+                             std::int64_t queueNs, std::vector<Outbound>& out,
                              std::deque<Completion>& done) {
   const auto it = active_.find(token.queryId);
   if (it == active_.end()) {
@@ -968,6 +1050,7 @@ void NodeService::onSumToken(NodeId from, const net::SumToken& token,
   if (token.sums.size() != state.addends.size()) {
     throw ProtocolError("SumToken: counter count mismatch");
   }
+  const std::int64_t t0 = token.ctx.active() ? obs::EventTracer::nowNs() : 0;
   state.sumSeen = true;
   state.lastActivity = std::chrono::steady_clock::now();
 
@@ -978,7 +1061,11 @@ void NodeService::onSumToken(NodeId from, const net::SumToken& token,
       totals[i] = static_cast<std::int64_t>(
           static_cast<std::uint64_t>(token.sums[i]) - state.masks[i]);
     }
-    queueSend(state, net::ResultAnnouncement{token.queryId, totals}, out);
+    state.traceCtx = emitServiceSpan(token.ctx, "sum_pass", token.queryId,
+                                     token.round, t0, queueNs);
+    queueSend(state,
+              net::ResultAnnouncement{token.queryId, totals, state.traceCtx},
+              out);
     done.push_back(Completion{token.queryId, std::move(totals)});
     return;
   }
@@ -989,12 +1076,16 @@ void NodeService::onSumToken(NodeId from, const net::SumToken& token,
         static_cast<std::uint64_t>(sums[i]) +
         static_cast<std::uint64_t>(state.addends[i]));
   }
-  queueSend(state, net::SumToken{token.queryId, token.round, std::move(sums)},
+  state.traceCtx = emitServiceSpan(token.ctx, "sum_pass", token.queryId,
+                                   token.round, t0, queueNs);
+  queueSend(state,
+            net::SumToken{token.queryId, token.round, std::move(sums),
+                          state.traceCtx},
             out);
 }
 
 void NodeService::onResult(const net::ResultAnnouncement& result,
-                           std::vector<Outbound>& out,
+                           std::int64_t queueNs, std::vector<Outbound>& out,
                            std::deque<Completion>& done) {
   const auto it = active_.find(result.queryId);
   if (it == active_.end()) {
@@ -1007,8 +1098,11 @@ void NodeService::onResult(const net::ResultAnnouncement& result,
   QueryState& state = it->second;
   if (state.aborted) return;
   if (state.participant) {
+    // The core emits the "result_dissemination" span and stamps the
+    // forwarded announcement.
+    if (result.ctx.active()) state.traceCtx = result.ctx;
     const protocol::core::Actions actions =
-        state.participant->onResult(result.result);
+        state.participant->onResult(result.result, result.ctx);
     if (actions.duplicate || !actions.sendResult) return;
     // Forward once before completing.
     queueSend(state, *actions.sendResult, out);
@@ -1017,7 +1111,12 @@ void NodeService::onResult(const net::ResultAnnouncement& result,
   }
   // Aggregate follower, or a grouped parent receiving the disseminated
   // final result on its group ring: forward once before completing.
-  queueSend(state, result, out);
+  const std::int64_t t0 = result.ctx.active() ? obs::EventTracer::nowNs() : 0;
+  state.traceCtx = emitServiceSpan(result.ctx, "result_dissemination",
+                                   result.queryId, 0, t0, queueNs);
+  net::ResultAnnouncement forwarded = result;
+  forwarded.ctx = state.traceCtx;
+  queueSend(state, forwarded, out);
   done.push_back(Completion{result.queryId, result.result});
 }
 
@@ -1035,10 +1134,12 @@ bool NodeService::replayCompletedResult(std::uint64_t queryId, NodeId from,
   metrics_.resultReplays.inc();
   PRIVTOPK_LOG_WARN("service ", self_, ": replaying result of query ",
                     queryId, " to stranded ring member ", from);
+  // Replays carry no trace context: the trace chain of the retired query
+  // ended at its completion, and a fabricated parent would dangle.
   out.push_back(Outbound{
       queryId,
-      net::encodeMessage(net::ResultAnnouncement{queryId, replay.raw}), from,
-      true});
+      net::encodeMessage(net::ResultAnnouncement{queryId, replay.raw, {}}),
+      from, true});
   return true;
 }
 
@@ -1048,6 +1149,10 @@ void NodeService::onRingRepair(const net::RingRepair& repair,
   if (it == active_.end()) return;  // unknown or already completed
   QueryState& state = it->second;
   if (state.aborted) return;
+  const std::int64_t t0 =
+      repair.ctx.active() || state.traceCtx.active()
+          ? obs::EventTracer::nowNs()
+          : 0;
   if (repair.failedNode == self_) {
     // We are demonstrably alive; a partitioned peer condemned us.  Keep
     // running - the shrunken ring proceeds without us.
@@ -1074,8 +1179,12 @@ void NodeService::onRingRepair(const net::RingRepair& repair,
     return;
   }
   // Forward so every survivor learns the new ring.
+  net::RingRepair forwarded = repair;
+  forwarded.ctx = emitServiceSpan(
+      repair.ctx.active() ? repair.ctx : state.traceCtx, "repair",
+      repair.queryId, 0, t0, 0);
   out.push_back(Outbound{repair.queryId,
-                         net::encodeMessage(net::Message{repair}),
+                         net::encodeMessage(net::Message{forwarded}),
                          successorFor(state), true});
 }
 
@@ -1111,7 +1220,7 @@ void NodeService::replayStashed(std::uint64_t parentId,
       // The stash does not record senders; no ring contains the sentinel,
       // so a replayed message can never trigger a completed-result reply
       // (its query is live - the stash dies with the parent otherwise).
-      handleMessage(kNoSender, message, out, done);
+      handleMessage(kNoSender, message, 0, out, done);
     } catch (const Error& e) {
       metrics_.droppedMessages.inc();
       PRIVTOPK_LOG_WARN("service ", self_, ": dropped stashed message: ",
@@ -1134,6 +1243,10 @@ void NodeService::onGroupPhaseDone(
   obs::EventTracer::global().event(
       "event", "group_phase_done",
       {{"query_id", static_cast<std::int64_t>(parentId)}, {"node", self_}});
+  // Phase span covering this node's whole group ring run; subsequent
+  // merge-phase spans chain off it.
+  parent.traceCtx = emitServiceSpan(parent.traceCtx, "group_phase", parentId,
+                                    1, toTraceNs(startedAt), 0);
   if (parent.isCoordinator) startMergePhase(parent, out);
   replayStashed(parentId, out, done);
 }
@@ -1153,6 +1266,7 @@ void NodeService::startMergePhase(QueryState& parent,
   state.phase = 2;
   state.registeredAt = std::chrono::steady_clock::now();
   state.lastActivity = state.registeredAt;
+  state.traceCtx = parent.traceCtx;
   Rng phaseRng(protocol::groupPhaseSeed(seed_, parentId, 2));
   buildParticipant(state, merged, parent.layout.mergeRing, *parent.groupRaw,
                    phaseRng);
@@ -1164,7 +1278,8 @@ void NodeService::startMergePhase(QueryState& parent,
             net::QueryAnnounce{
                 merged.queryId, merged.encode(), parent.layout.mergeRing,
                 parentId, 2,
-                static_cast<std::uint32_t>(parent.descriptor.groupSize)},
+                static_cast<std::uint32_t>(parent.descriptor.groupSize),
+                parent.traceCtx},
             out);
   beginRounds(registered, out);
 }
@@ -1181,10 +1296,13 @@ void NodeService::onMergePhaseDone(
   obs::EventTracer::global().event(
       "event", "merge_phase_done",
       {{"query_id", static_cast<std::int64_t>(parentId)}, {"node", self_}});
+  parent.traceCtx = emitServiceSpan(parent.traceCtx, "merge_phase", parentId,
+                                    2, toTraceNs(startedAt), 0);
   // Disseminate the final result around this delegate's group ring; every
   // member completes the parent on receipt (onResult's forward-once
   // branch), and this node completes it right here.
-  queueSend(parent, net::ResultAnnouncement{parentId, raw}, out);
+  queueSend(parent, net::ResultAnnouncement{parentId, raw, parent.traceCtx},
+            out);
   done.push_back(Completion{parentId, std::move(raw)});
 }
 
@@ -1219,6 +1337,19 @@ void NodeService::applyCompletion(Completion completion,
       {{"query_id", static_cast<std::int64_t>(completion.queryId)},
        {"node", self_},
        {"initiator", state.initiator ? 1 : 0}});
+  if (state.rootSpanId != 0 && state.traceCtx.active()) {
+    // The root "query" span, under the id reserved at initiation so every
+    // hop's spans already chain off it.
+    obs::SpanRecord span;
+    span.traceId = state.traceCtx.traceId;
+    span.spanId = state.rootSpanId;
+    span.name = "query";
+    span.queryId = completion.queryId;
+    span.node = self_;
+    span.startNs = state.traceStartNs;
+    span.durNs = obs::EventTracer::nowNs() - state.traceStartNs;
+    spanFan_.recordSpan(span);
+  }
 
   TopKVector presented = presentResult(state.descriptor, completion.raw);
   if (state.initiator && !state.promiseSettled) {
@@ -1302,6 +1433,140 @@ std::size_t NodeService::completedQueries() const {
 
 obs::MetricsSnapshot NodeService::metricsSnapshot() const {
   return obs::MetricsRegistry::global().snapshot();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing + scrape endpoint.
+
+void NodeService::SpanFan::recordSpan(const obs::SpanRecord& span) {
+  if (buffer != nullptr) buffer->recordSpan(span);
+  obs::EventTracer::global().span(span);
+}
+
+obs::TraceContext NodeService::emitServiceSpan(const obs::TraceContext& in,
+                                               const char* name,
+                                               std::uint64_t queryId,
+                                               std::uint32_t round,
+                                               std::int64_t startNs,
+                                               std::int64_t queueNs) {
+  if (!in.active()) return in;
+  obs::SpanRecord span;
+  span.traceId = in.traceId;
+  span.spanId = obs::allocateSpanId();
+  span.parentSpanId = in.parentSpanId;
+  span.name = name;
+  span.queryId = queryId;
+  span.node = self_;
+  span.round = round;
+  span.startNs = startNs;
+  span.durNs = obs::EventTracer::nowNs() - startNs;
+  span.queueNs = queueNs;
+  spanFan_.recordSpan(span);
+  return obs::TraceContext{in.traceId, span.spanId};
+}
+
+std::uint16_t NodeService::httpPort() const {
+  return http_ ? http_->port() : 0;
+}
+
+std::vector<obs::SpanRecord> NodeService::spans() const {
+  if (!spanBuffer_) return {};
+  return spanBuffer_->snapshot();
+}
+
+std::vector<obs::SpanRecord> NodeService::spansForQuery(
+    std::uint64_t queryId) const {
+  if (!spanBuffer_) return {};
+  return spanBuffer_->forQuery(queryId);
+}
+
+std::string NodeService::queriesJson() const {
+  std::ostringstream os;
+  std::scoped_lock lock(mutex_);
+  os << "{\"node\":" << self_ << ",\"active\":[";
+  bool first = true;
+  for (const auto& [queryId, state] : active_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"query_id\":" << queryId << ",\"kind\":\""
+       << (state.descriptor.isAggregate() ? "aggregate" : "ring")
+       << "\",\"phase\":" << static_cast<int>(state.phase)
+       << ",\"initiator\":" << (state.initiator ? "true" : "false")
+       << ",\"parent_id\":" << state.parentId
+       << ",\"ring_size\":" << ringOf(state).size()
+       << ",\"age_ms\":" << elapsedMsSince(state.registeredAt)
+       << ",\"trace_id\":\"" << state.traceCtx.traceId << "\"}";
+  }
+  os << "],\"completed\":[";
+  // The most recent retirements, oldest first (the full cache can hold
+  // ServiceOptions::completedCap entries - too much for a scrape body).
+  constexpr std::size_t kRecentCompleted = 32;
+  const std::size_t start = completedOrder_.size() > kRecentCompleted
+                                ? completedOrder_.size() - kRecentCompleted
+                                : 0;
+  for (std::size_t i = start; i < completedOrder_.size(); ++i) {
+    if (i > start) os << ',';
+    const std::uint64_t queryId = completedOrder_[i];
+    os << "{\"query_id\":" << queryId;
+    const auto it = completed_.find(queryId);
+    if (it != completed_.end()) {
+      os << ",\"result_size\":" << it->second.size();
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+net::HttpResponse NodeService::handleHttp(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  if (request.target == "/healthz") {
+    response.body = "ok\n";
+    return response;
+  }
+  if (request.target == "/metrics") {
+    obs::updateProcessMetrics();
+    response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::renderPrometheus(metricsSnapshot());
+    return response;
+  }
+  if (request.target == "/queries") {
+    response.contentType = "application/json";
+    response.body = queriesJson();
+    return response;
+  }
+  constexpr std::string_view kTrace = "/trace";
+  if (request.target.rfind(kTrace, 0) == 0) {
+    std::vector<obs::SpanRecord> selected;
+    if (request.target.size() == kTrace.size()) {
+      selected = spans();
+    } else if (request.target[kTrace.size()] == '/') {
+      const std::string idText = request.target.substr(kTrace.size() + 1);
+      char* end = nullptr;
+      const std::uint64_t queryId = std::strtoull(idText.c_str(), &end, 10);
+      if (idText.empty() || end == nullptr || *end != '\0') {
+        response.status = 400;
+        response.body = "bad query id\n";
+        return response;
+      }
+      selected = spansForQuery(queryId);
+    } else {
+      response.status = 404;
+      response.body = "not found\n";
+      return response;
+    }
+    std::string body;
+    for (const obs::SpanRecord& span : selected) {
+      body += obs::renderSpanJson(span);
+      body += '\n';
+    }
+    response.contentType = "application/x-ndjson";
+    response.body = std::move(body);
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
 }
 
 }  // namespace privtopk::query

@@ -31,7 +31,17 @@
 //     repair rule), with a RingRepair control message circulating the
 //     shrunken ring.  See docs/ROBUSTNESS.md for the failure model.
 //   * exposes initiate() returning a future, and resultOf() for queries
-//     this node merely participated in.
+//     this node merely participated in;
+//   * participates in distributed tracing (docs/OBSERVABILITY.md): when an
+//     inbound message carries an active obs::TraceContext the service and
+//     its core participant emit child spans (announce_handled, ring_round,
+//     sum_pass, group_phase, merge_phase, repair, result_dissemination)
+//     into a bounded span ring buffer and the global EventTracer, and
+//     stamp the child context onto every message they forward, so a whole
+//     federation's spans merge into one timeline (`privtopk trace-view`);
+//   * optionally serves a loopback HTTP scrape endpoint
+//     (ServiceOptions::httpPort): /metrics (Prometheus text), /healthz,
+//     /queries and /trace/<query_id>.
 //
 // Ordering assumption: links are FIFO per sender (both InProcTransport and
 // TcpTransport guarantee this), so a query's announce always arrives
@@ -59,9 +69,12 @@
 
 #include "common/rng.hpp"
 #include "data/database.hpp"
+#include "net/http.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_buffer.hpp"
+#include "obs/trace.hpp"
 #include "protocol/core.hpp"
 #include "protocol/group.hpp"
 #include "protocol/trace.hpp"
@@ -103,6 +116,20 @@ struct ServiceOptions {
   /// Bound on initiations waiting for an in-flight slot; when the queue is
   /// full initiate() throws TransportError (backpressure).
   std::size_t maxQueuedInitiations = 64;
+  /// Allocate a distributed-tracing context for queries THIS node
+  /// initiates: the announce carries it on the wire and every hop of the
+  /// federation emits spans for the query.  Queries initiated elsewhere
+  /// are traced whenever their traffic carries an active context,
+  /// regardless of this flag.
+  bool traceQueries = false;
+  /// Capacity of the in-memory span ring buffer behind spans() and the
+  /// /trace endpoint.  0 disables retention (spans still stream to the
+  /// global obs::EventTracer when it is enabled).
+  std::size_t spanRingCapacity = 0;
+  /// When set, start() launches an embedded loopback HTTP server on this
+  /// port (0 = ephemeral, see NodeService::httpPort()) serving /metrics,
+  /// /healthz, /queries and /trace/<query_id>.
+  std::optional<std::uint16_t> httpPort;
 };
 
 class NodeService {
@@ -177,6 +204,22 @@ class NodeService {
   /// with obs::renderPrometheus / obs::renderJson.
   [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const;
 
+  /// Bound port of the embedded HTTP server; 0 when it is not running.
+  [[nodiscard]] std::uint16_t httpPort() const;
+
+  /// All spans retained in the ring buffer, oldest first (requires
+  /// ServiceOptions::spanRingCapacity > 0; empty otherwise).
+  [[nodiscard]] std::vector<obs::SpanRecord> spans() const;
+
+  /// Retained spans of every trace that touched `queryId` (a grouped
+  /// query's parent id returns the phase sub-query spans too).
+  [[nodiscard]] std::vector<obs::SpanRecord> spansForQuery(
+      std::uint64_t queryId) const;
+
+  /// JSON object describing in-flight and recently retired queries (the
+  /// /queries response body).
+  [[nodiscard]] std::string queriesJson() const;
+
  private:
   /// Per-query participant state.
   struct QueryState {
@@ -207,6 +250,16 @@ class NodeService {
     std::chrono::steady_clock::time_point registeredAt;
     // Follower-side announce -> first round-token latency observation.
     bool firstTokenSeen = false;
+
+    // --- Distributed tracing (docs/OBSERVABILITY.md) ---
+    /// Context for the next service-side span this node emits for the
+    /// query; child contexts replace it as the chain grows.  Inactive
+    /// (traceId 0) when the query is untraced.
+    obs::TraceContext traceCtx;
+    /// Initiator only: span id reserved for the root "query" span, emitted
+    /// at completion so it covers the whole execution.
+    std::uint64_t rootSpanId = 0;
+    std::int64_t traceStartNs = 0;
 
     // --- Grouped two-phase state (paper §4.2; docs/PROTOCOL.md §6) ---
     /// Parent query id on phase sub-queries (0 on flat queries/parents).
@@ -287,6 +340,9 @@ class NodeService {
   struct Inbound {
     NodeId from = 0;
     net::Message message;
+    /// Receiver-thread timestamp (EventTracer::nowNs); the dispatcher
+    /// derives the scheduler queue wait recorded on spans from it.
+    std::int64_t receivedAtNs = 0;
   };
 
   using WorkItem = std::variant<Inbound, Admission>;
@@ -312,19 +368,22 @@ class NodeService {
   void maintain();
 
   // Message handlers.  mutex_ held; sends are queued on `out`, finished
-  // queries on `done`.
+  // queries on `done`.  `queueNs` is the scheduler queue wait of the
+  // message being handled (recorded on emitted spans; 0 for replays).
   void handleMessage(NodeId from, const net::Message& message,
-                     std::vector<Outbound>& out, std::deque<Completion>& done);
-  void onAnnounce(const net::QueryAnnounce& announce,
+                     std::int64_t queueNs, std::vector<Outbound>& out,
+                     std::deque<Completion>& done);
+  void onAnnounce(const net::QueryAnnounce& announce, std::int64_t queueNs,
                   std::vector<Outbound>& out, std::deque<Completion>& done);
   void onMergeAnnounce(const net::QueryAnnounce& announce,
-                       const QueryDescriptor& descriptor,
+                       const QueryDescriptor& descriptor, std::int64_t queueNs,
                        std::vector<Outbound>& out);
   void onRoundToken(NodeId from, const net::RoundToken& token,
-                    std::vector<Outbound>& out, std::deque<Completion>& done);
-  void onSumToken(NodeId from, const net::SumToken& token,
+                    std::int64_t queueNs, std::vector<Outbound>& out,
+                    std::deque<Completion>& done);
+  void onSumToken(NodeId from, const net::SumToken& token, std::int64_t queueNs,
                   std::vector<Outbound>& out, std::deque<Completion>& done);
-  void onResult(const net::ResultAnnouncement& result,
+  void onResult(const net::ResultAnnouncement& result, std::int64_t queueNs,
                 std::vector<Outbound>& out, std::deque<Completion>& done);
   void onRingRepair(const net::RingRepair& repair, std::vector<Outbound>& out);
   /// Answers a token for a query this node already retired by replaying
@@ -342,7 +401,8 @@ class NodeService {
 
   // Grouped orchestration (mutex_ held).
   void registerParentFollower(const net::QueryAnnounce& announce,
-                              const QueryDescriptor& subDescriptor);
+                              const QueryDescriptor& subDescriptor,
+                              const obs::TraceContext& ctx);
   void startMergePhase(QueryState& parent, std::vector<Outbound>& out);
   void onGroupPhaseDone(std::uint64_t parentId, TopKVector raw,
                         std::chrono::steady_clock::time_point startedAt,
@@ -396,6 +456,26 @@ class NodeService {
   /// cache, grouped phase hand-off.  mutex_ held.
   void applyCompletion(Completion completion, std::vector<Outbound>& out,
                        std::deque<Completion>& done);
+
+  // --- Distributed tracing ---
+
+  /// Fans spans into the ring buffer (when retained) and the global
+  /// EventTracer JSON stream (when enabled).
+  struct SpanFan final : obs::TraceSink {
+    obs::SpanRingBuffer* buffer = nullptr;
+    void recordSpan(const obs::SpanRecord& span) override;
+  };
+
+  /// Emits one service-side span as a child of `in` and returns the child
+  /// context for forwarded messages; an inactive context passes through
+  /// untouched (no span, no cost).
+  obs::TraceContext emitServiceSpan(const obs::TraceContext& in,
+                                    const char* name, std::uint64_t queryId,
+                                    std::uint32_t round, std::int64_t startNs,
+                                    std::int64_t queueNs);
+
+  /// Serves one request of the embedded HTTP endpoint.
+  [[nodiscard]] net::HttpResponse handleHttp(const net::HttpRequest& request);
 
   /// Cached global-metric cells (see docs/OBSERVABILITY.md for the
   /// catalog); registration happens once at service construction.
@@ -463,6 +543,11 @@ class NodeService {
   /// worker runs the admission.
   std::set<std::uint64_t> pendingIds_;
   std::atomic<std::size_t> inflightInitiations_{0};
+
+  // Tracing + scrape endpoint.
+  std::unique_ptr<obs::SpanRingBuffer> spanBuffer_;
+  SpanFan spanFan_;
+  std::unique_ptr<net::HttpServer> http_;
 
   std::thread receiver_;
   std::vector<std::thread> workers_;

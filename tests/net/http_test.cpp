@@ -1,0 +1,93 @@
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace privtopk::net {
+namespace {
+
+HttpResponse route(const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  if (request.target == "/echo") {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        request.method + " " + request.target};
+  }
+  return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+TEST(HttpServer, BindsEphemeralPortAndServesGet) {
+  HttpServer server(0, route);
+  ASSERT_NE(server.port(), 0);
+  const auto body = httpGet("127.0.0.1", server.port(), "/healthz");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, "ok\n");
+}
+
+TEST(HttpServer, HandlerSeesMethodAndTarget) {
+  HttpServer server(0, route);
+  const auto body = httpGet("127.0.0.1", server.port(), "/echo");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, "GET /echo");
+}
+
+TEST(HttpServer, NonOkStatusYieldsNullopt) {
+  HttpServer server(0, route);
+  EXPECT_FALSE(httpGet("127.0.0.1", server.port(), "/missing").has_value());
+}
+
+TEST(HttpServer, StopIsIdempotentAndGetFailsAfter) {
+  HttpServer server(0, route);
+  const std::uint16_t port = server.port();
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(httpGet("127.0.0.1", port, "/healthz",
+                       std::chrono::milliseconds(200))
+                   .has_value());
+}
+
+TEST(HttpServer, GetAgainstClosedPortFailsCleanly) {
+  std::uint16_t freed = 0;
+  {
+    HttpServer server(0, route);
+    freed = server.port();
+  }
+  EXPECT_FALSE(httpGet("127.0.0.1", freed, "/healthz",
+                       std::chrono::milliseconds(200))
+                   .has_value());
+}
+
+TEST(HttpServer, ServesConcurrentScrapers) {
+  HttpServer server(0, route);
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> succeeded{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &succeeded] {
+      const auto body = httpGet("127.0.0.1", server.port(), "/healthz");
+      if (body.has_value() && *body == "ok\n") {
+        succeeded.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(succeeded.load(), kClients);
+}
+
+TEST(HttpServer, LargeBodySurvivesRoundTrip) {
+  const std::string large(256 * 1024, 'x');
+  HttpServer server(0, [&large](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", large};
+  });
+  const auto body = httpGet("127.0.0.1", server.port(), "/trace");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->size(), large.size());
+}
+
+}  // namespace
+}  // namespace privtopk::net

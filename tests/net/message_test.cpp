@@ -108,5 +108,59 @@ TEST(Message, EmptyInputRejected) {
   EXPECT_THROW((void)decodeMessage(Bytes{}), ProtocolError);
 }
 
+TEST(Message, TraceContextRoundTripsOnEveryType) {
+  const obs::TraceContext ctx{0xfedcba9876543210ull, 0x123456789abcdef0ull};
+
+  const RoundToken token{42, 3, {9999, 1}, ctx};
+  EXPECT_EQ(std::get<RoundToken>(decodeMessage(encodeMessage(token))), token);
+
+  const ResultAnnouncement result{7, {100, 50}, ctx};
+  EXPECT_EQ(
+      std::get<ResultAnnouncement>(decodeMessage(encodeMessage(result))),
+      result);
+
+  const RingRepair repair{9, 3, 5, ctx};
+  EXPECT_EQ(std::get<RingRepair>(decodeMessage(encodeMessage(repair))),
+            repair);
+
+  const SumToken sum{11, 2, {-5, 123}, ctx};
+  EXPECT_EQ(std::get<SumToken>(decodeMessage(encodeMessage(sum))), sum);
+
+  QueryAnnounce announce{21, Bytes{0x01}, {2, 0, 1}};
+  announce.ctx = ctx;
+  EXPECT_EQ(std::get<QueryAnnounce>(decodeMessage(encodeMessage(announce))),
+            announce);
+}
+
+TEST(Message, RootTraceContextHasZeroParent) {
+  // A root span context (parent 0) is valid on the wire.
+  const RoundToken token{1, 1, {5}, obs::TraceContext{77, 0}};
+  EXPECT_EQ(std::get<RoundToken>(decodeMessage(encodeMessage(token))).ctx,
+            (obs::TraceContext{77, 0}));
+}
+
+TEST(Message, ParentSpanWithoutTraceIdRejected) {
+  // parent_span_id != 0 while trace_id == 0 is internally inconsistent;
+  // the decoder must reject it rather than propagate a half-formed
+  // context.
+  const RoundToken token{1, 1, {5}, obs::TraceContext{0, 99}};
+  EXPECT_THROW((void)decodeMessage(encodeMessage(token)), ProtocolError);
+
+  const ResultAnnouncement result{1, {5}, obs::TraceContext{0, 99}};
+  EXPECT_THROW((void)decodeMessage(encodeMessage(result)), ProtocolError);
+}
+
+TEST(Message, UntracedMessagesStaySmall) {
+  // trace_id == 0 costs exactly two zero bytes on the wire.
+  const RoundToken traced{42, 3, {1, 2, 3}, obs::TraceContext{1, 0}};
+  RoundToken untraced = traced;
+  untraced.ctx = {};
+  EXPECT_EQ(encodeMessage(untraced).size(), encodeMessage(traced).size());
+  const Bytes bytes = encodeMessage(untraced);
+  ASSERT_GE(bytes.size(), 2u);
+  EXPECT_EQ(bytes[bytes.size() - 1], 0);
+  EXPECT_EQ(bytes[bytes.size() - 2], 0);
+}
+
 }  // namespace
 }  // namespace privtopk::net

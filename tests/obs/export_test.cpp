@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/rng.hpp"
 #include "obs/metrics.hpp"
 
 namespace privtopk::obs {
@@ -74,6 +79,78 @@ TEST(JsonExport, EscapesSpecialCharacters) {
   registry.counter("weird", {{"msg", "a\"b\\c"}}).inc();
   const std::string out = renderJson(registry.snapshot(), /*pretty=*/false);
   EXPECT_NE(out.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+// --- Prometheus text-format conformance -------------------------------
+// The exposition rules scrapers rely on: `le` buckets are CUMULATIVE and
+// non-decreasing, the `+Inf` bucket equals `_count`, and label values are
+// escaped per the text format (backslash, double-quote, newline).
+
+TEST(PrometheusConformance, BucketsAreCumulativeAndInfEqualsCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {}, {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 0.5, 1.5, 3.0, 9.0}) h.observe(v);
+  const std::string out = renderPrometheus(registry.snapshot());
+  EXPECT_NE(out.find("lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{le=\"2\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{le=\"4\"} 4\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_count 5\n"), std::string::npos);
+}
+
+TEST(PrometheusConformance, BucketCountsNeverDecrease) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("h", {}, {0.1, 1.0, 10.0, 100.0, 1000.0});
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    h.observe(static_cast<double>(rng.uniformInt(0, 2000)));
+  }
+  const std::string out = renderPrometheus(registry.snapshot());
+  // Scan the rendered bucket counts in order; each must be >= the last.
+  std::uint64_t last = 0;
+  std::size_t at = 0;
+  int seen = 0;
+  while ((at = out.find("h_bucket{le=", at)) != std::string::npos) {
+    const std::size_t space = out.find(' ', at);
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t count =
+        std::strtoull(out.c_str() + space + 1, nullptr, 10);
+    EXPECT_GE(count, last);
+    last = count;
+    at = space;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 6);  // 5 finite buckets + +Inf
+}
+
+TEST(PrometheusConformance, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string out = renderPrometheus(registry.snapshot());
+  EXPECT_NE(out.find("c{path=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(PrometheusConformance, CountMatchesInfUnderConcurrentObserve) {
+  // _count and the +Inf bucket must come from one coherent snapshot even
+  // while writers race the scrape.
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("busy", {}, {1.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&h, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) h.observe(0.5);
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = renderPrometheus(registry.snapshot());
+    const auto grab = [&out](const std::string& needle) {
+      const std::size_t at = out.find(needle);
+      EXPECT_NE(at, std::string::npos) << needle;
+      return std::strtoull(out.c_str() + at + needle.size(), nullptr, 10);
+    };
+    EXPECT_EQ(grab("busy_bucket{le=\"+Inf\"} "), grab("busy_count "));
+  }
+  stop.store(true);
+  writer.join();
 }
 
 TEST(Exports, EmptySnapshot) {

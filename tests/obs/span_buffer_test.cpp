@@ -1,0 +1,143 @@
+#include "obs/span_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/context.hpp"
+
+namespace privtopk::obs {
+namespace {
+
+SpanRecord span(std::uint64_t traceId, std::uint64_t spanId,
+                std::uint64_t queryId) {
+  SpanRecord s;
+  s.traceId = traceId;
+  s.spanId = spanId;
+  s.name = "ring_round";
+  s.queryId = queryId;
+  return s;
+}
+
+TEST(SpanRingBuffer, RetainsInsertionOrderBelowCapacity) {
+  SpanRingBuffer buffer(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) buffer.recordSpan(span(1, i, 1));
+  const auto all = buffer.snapshot();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(all[i].spanId, i + 1);
+  EXPECT_EQ(buffer.size(), 5u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(SpanRingBuffer, EvictsOldestFirstWhenFull) {
+  SpanRingBuffer buffer(4);
+  for (std::uint64_t i = 1; i <= 7; ++i) buffer.recordSpan(span(1, i, 1));
+  const auto all = buffer.snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  // Spans 1-3 were evicted; 4-7 remain, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(all[i].spanId, i + 4);
+  EXPECT_EQ(buffer.dropped(), 3u);
+}
+
+TEST(SpanRingBuffer, ZeroCapacityClampsToOne) {
+  SpanRingBuffer buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+  buffer.recordSpan(span(1, 1, 1));
+  buffer.recordSpan(span(1, 2, 1));
+  const auto all = buffer.snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].spanId, 2u);
+  EXPECT_EQ(buffer.dropped(), 1u);
+}
+
+TEST(SpanRingBuffer, ForQueryReturnsTheWholeTrace) {
+  // A grouped query spreads one trace over the parent query id and the
+  // phase sub-query ids; forQuery must return every span of any trace
+  // that touched the requested id.
+  SpanRingBuffer buffer(16);
+  buffer.recordSpan(span(100, 1, 7));   // parent query
+  buffer.recordSpan(span(100, 2, 55));  // phase sub-query, same trace
+  buffer.recordSpan(span(200, 3, 9));   // unrelated trace
+  const auto matched = buffer.forQuery(7);
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_EQ(matched[0].spanId, 1u);
+  EXPECT_EQ(matched[1].spanId, 2u);
+  EXPECT_TRUE(buffer.forQuery(42).empty());
+}
+
+TEST(SpanRingBuffer, ConcurrentEmitLosesNothingBelowCapacity) {
+  // Scheduler workers of one NodeService emit concurrently; under
+  // capacity, every span must survive with a consistent dropped() == 0.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 500;
+  SpanRingBuffer buffer(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        buffer.recordSpan(span(1, static_cast<std::uint64_t>(t) * kPerThread +
+                                      i + 1,
+                               1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto all = buffer.snapshot();
+  ASSERT_EQ(all.size(), kThreads * kPerThread);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  std::set<std::uint64_t> ids;
+  for (const SpanRecord& s : all) ids.insert(s.spanId);
+  EXPECT_EQ(ids.size(), kThreads * kPerThread);
+}
+
+TEST(SpanRingBuffer, ConcurrentEmitOverCapacityKeepsInvariants) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 400;
+  SpanRingBuffer buffer(64);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        buffer.recordSpan(span(1, static_cast<std::uint64_t>(t) * kPerThread +
+                                      i + 1,
+                               1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(buffer.size(), 64u);
+  EXPECT_EQ(buffer.dropped(), kThreads * kPerThread - 64);
+  EXPECT_EQ(buffer.snapshot().size(), 64u);
+}
+
+TEST(SpanRingBuffer, AllocateSpanIdIsUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<std::uint64_t>> perThread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&perThread, t] {
+      perThread[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        perThread[t].push_back(allocateSpanId());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::uint64_t> ids;
+  for (const auto& list : perThread) {
+    for (const std::uint64_t id : list) {
+      EXPECT_NE(id, 0u);
+      ids.insert(id);
+    }
+  }
+  EXPECT_EQ(ids.size(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace privtopk::obs

@@ -169,8 +169,8 @@ TEST(NodeService, HostileTrafficIsDroppedNotFatal) {
   Cluster cluster(3);
   // Garbage bytes and tokens for unknown queries must not kill the worker.
   cluster.transport->send(2, 0, Bytes{0xff, 0x00, 0x12});
-  cluster.transport->send(2, 0,
-                          net::encodeMessage(net::RoundToken{999, 1, {5}}));
+  cluster.transport->send(
+      2, 0, net::encodeMessage(net::RoundToken{999, 1, {5}, {}}));
   auto future = cluster.services[0]->initiate(descriptor(40, QueryType::Max),
                                               cluster.ringFrom(0));
   ASSERT_EQ(future.wait_for(5s), std::future_status::ready);

@@ -1,11 +1,12 @@
 // privtopk command-line tool.
 //
 // Subcommands:
-//   analyze   - print the paper's analytic bounds for given parameters
-//   generate  - write synthetic per-party CSV datasets
-//   query     - run a federated query across local CSV files (simulation)
-//   node      - run ONE distributed participant over TCP (deployment)
-//   metrics   - run one in-process federated query, dump the metrics
+//   analyze    - print the paper's analytic bounds for given parameters
+//   generate   - write synthetic per-party CSV datasets
+//   query      - run a federated query across local CSV files (simulation)
+//   node       - run ONE distributed participant over TCP (deployment)
+//   metrics    - run one in-process federated query, dump the metrics
+//   trace-view - merge per-node span dumps/endpoints into one timeline
 //
 // Examples:
 //   privtopk analyze --p0 1 --d 0.5 --epsilon 0.001
@@ -16,15 +17,21 @@
 //   privtopk node --self 0 --peers 127.0.0.1:9100,127.0.0.1:9101,...
 //       --ring 0,1,2 --csv /tmp/party0.csv --schema id:text,value:int
 //       --attribute value --k 3 --encrypt
+//   privtopk node --self 0 ... --trace-queries --http-port 9190
+//       --span-dump /tmp/node0.spans
+//   privtopk trace-view --spans /tmp/node0.spans,/tmp/node1.spans,...
+//   privtopk trace-view --endpoints 127.0.0.1:9190,127.0.0.1:9191 --query-id 1
 //   privtopk metrics --parties 4 --k 3 --format both --trace
 //   privtopk metrics --parties 5 --k 3 --fault-spec "drop:0->1:2,crash:2@0"
 // (multi-flag invocations continue on one shell line or with backslashes;
 //  --fault-spec grammar is documented in docs/ROBUSTNESS.md)
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
 #include <thread>
 
 #include "analysis/bounds.hpp"
@@ -34,10 +41,12 @@
 #include "data/csv.hpp"
 #include "data/generator.hpp"
 #include "net/fault.hpp"
+#include "net/http.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_view.hpp"
 #include "protocol/engine.hpp"
 #include "query/federation.hpp"
 #include "query/filter.hpp"
@@ -55,8 +64,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: privtopk "
-               "<analyze|generate|query|node|metrics|record-traces|"
-               "analyze-traces> [flags]\n"
+               "<analyze|generate|query|node|metrics|trace-view|"
+               "record-traces|analyze-traces> [flags]\n"
                "run with a subcommand and no flags for its flag list\n");
   return 2;
 }
@@ -229,7 +238,7 @@ int cmdNode(int argc, const char* const* argv) {
       {"self", "peers", "ring", "csv", "schema", "table", "attribute", "type",
        "k", "p0", "d", "epsilon", "rounds", "seed", "domain-min",
        "domain-max", "query-id", "encrypt", "timeout-ms", "fault-spec",
-       "group-size"});
+       "group-size", "trace-queries", "http-port", "span-dump", "span-ring"});
   const auto self = static_cast<NodeId>(args.getInt("self", 0));
   const query::QueryDescriptor descriptor = descriptorFromArgs(args);
 
@@ -284,32 +293,67 @@ int cmdNode(int argc, const char* const* argv) {
   const auto seed =
       static_cast<std::uint64_t>(args.getInt("seed", 42)) + self;
 
-  if (descriptor.groupSize >= 3) {
-    // Group-parallel execution (§4.2) needs the multi-query NodeService:
-    // every node may serve a group ring, the merge ring and the parent
-    // query at once.  The ring's first node initiates; everyone else
-    // waits for the disseminated final result.
+  // Group-parallel execution (§4.2) needs the multi-query NodeService:
+  // every node may serve a group ring, the merge ring and the parent query
+  // at once.  The observability surface (distributed tracing, span dumps,
+  // the HTTP scrape endpoint) also lives in the service, so any of those
+  // flags routes a flat query through it as well.  The ring's first node
+  // initiates; everyone else waits for the disseminated final result.
+  const bool wantService = descriptor.groupSize >= 3 ||
+                           args.getBool("trace-queries") ||
+                           args.has("http-port") || args.has("span-dump");
+  if (wantService) {
     query::ServiceOptions serviceOptions;
     serviceOptions.staleAfter = cfg.receiveTimeout;
+    serviceOptions.traceQueries = args.getBool("trace-queries");
+    serviceOptions.spanRingCapacity =
+        static_cast<std::size_t>(args.getInt("span-ring", 8192));
+    if (args.has("http-port")) {
+      serviceOptions.httpPort =
+          static_cast<std::uint16_t>(args.getInt("http-port", 0));
+    }
     query::NodeService service(self, db, transport, seed, serviceOptions);
     service.start();
-    std::printf("node %u joined grouped ring, waiting for the protocol...\n",
-                self);
+    if (service.httpPort() != 0) {
+      std::printf("node %u serving http on 127.0.0.1:%u\n", self,
+                  service.httpPort());
+    }
+    std::printf("node %u joined ring, waiting for the protocol...\n", self);
     TopKVector result;
     if (cfg.ringOrder.front() == self) {
       auto future = service.initiate(descriptor, cfg.ringOrder);
       if (future.wait_for(cfg.receiveTimeout) != std::future_status::ready) {
-        throw TransportError("node: grouped query did not complete in time");
+        throw TransportError("node: query did not complete in time");
       }
       result = future.get();
     } else {
       const auto got = service.waitFor(descriptor.queryId, cfg.receiveTimeout);
       if (!got) {
-        throw TransportError("node: grouped query did not complete in time");
+        throw TransportError("node: query did not complete in time");
       }
       result = *got;
     }
     std::printf("result: %s\n", toString(result).c_str());
+    // Trailing traffic (the announce still circling, dissemination hops)
+    // lands shortly after the local result; drain so the span dump and a
+    // final scrape see the settled state.
+    const auto drainDeadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (service.activeQueries() > 0 &&
+           std::chrono::steady_clock::now() < drainDeadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (args.has("span-dump")) {
+      const std::string path = args.getString("span-dump");
+      std::ofstream dump(path);
+      if (!dump) throw ConfigError("node: cannot write " + path);
+      std::size_t count = 0;
+      for (const obs::SpanRecord& span : service.spans()) {
+        dump << obs::renderSpanJson(span) << '\n';
+        ++count;
+      }
+      std::printf("wrote %zu spans to %s\n", count, path.c_str());
+    }
     service.stop();
     transport.shutdown();
     return 0;
@@ -417,6 +461,71 @@ int cmdMetrics(int argc, const char* const* argv) {
   }
   if (format == "json" || format == "both") {
     std::fputs(obs::renderJson(snapshot).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+// Merges per-node span dumps (files and/or live /trace endpoints) into
+// cross-node timelines: clock alignment, critical path, phase breakdown.
+int cmdTraceView(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv,
+                       {"spans", "endpoints", "query-id", "trace-id"});
+  std::vector<obs::SpanRecord> all;
+  for (const std::string& path : args.getList("spans")) {
+    std::ifstream in(path);
+    if (!in) throw ConfigError("trace-view: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto spans = obs::parseSpanDump(buffer.str());
+    std::fprintf(stderr, "%s: %zu spans\n", path.c_str(), spans.size());
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  for (const std::string& hostPort : args.getList("endpoints")) {
+    const auto parts = splitString(hostPort, ':');
+    if (parts.size() != 2) {
+      throw ConfigError("endpoint '" + hostPort + "' is not host:port");
+    }
+    std::string target = "/trace";
+    if (args.has("query-id")) {
+      target += "/" + std::to_string(args.getInt("query-id", 0));
+    }
+    const auto body = net::httpGet(
+        parts[0], static_cast<std::uint16_t>(std::stoi(parts[1])), target);
+    if (!body) {
+      throw TransportError("trace-view: GET http://" + hostPort + target +
+                           " failed");
+    }
+    const auto spans = obs::parseSpanDump(*body);
+    std::fprintf(stderr, "http://%s%s: %zu spans\n", hostPort.c_str(),
+                 target.c_str(), spans.size());
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  if (all.empty()) {
+    std::fprintf(stderr,
+                 "trace-view: no spans loaded (use --spans files and/or "
+                 "--endpoints host:port)\n");
+    return 1;
+  }
+
+  std::vector<std::uint64_t> traceIds;
+  if (args.has("trace-id")) {
+    // Ids use the full 64-bit range; parse unsigned.
+    traceIds.push_back(
+        std::strtoull(args.getString("trace-id").c_str(), nullptr, 10));
+  } else if (args.has("query-id")) {
+    traceIds = obs::traceIdsForQuery(
+        all, static_cast<std::uint64_t>(args.getInt("query-id", 0)));
+  } else {
+    traceIds = obs::traceIdsOf(all);
+  }
+  if (traceIds.empty()) {
+    std::fprintf(stderr, "trace-view: no matching traces\n");
+    return 1;
+  }
+  for (const std::uint64_t traceId : traceIds) {
+    const obs::TraceTimeline timeline = obs::buildTimeline(all, traceId);
+    std::fputs(obs::renderTimeline(timeline).c_str(), stdout);
     std::fputc('\n', stdout);
   }
   return 0;
@@ -536,6 +645,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmdQuery(argc - 1, argv + 1);
     if (command == "node") return cmdNode(argc - 1, argv + 1);
     if (command == "metrics") return cmdMetrics(argc - 1, argv + 1);
+    if (command == "trace-view") return cmdTraceView(argc - 1, argv + 1);
     if (command == "record-traces") return cmdRecordTraces(argc - 1, argv + 1);
     if (command == "analyze-traces") return cmdAnalyzeTraces(argc - 1, argv + 1);
     return usage();

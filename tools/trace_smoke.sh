@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Distributed-tracing smoke: boots a real 9-node TCP federation with
+# tracing + HTTP enabled, runs one grouped top-k query, scrapes a live
+# node's /metrics and /healthz, and merges every node's span dump into a
+# single timeline with `privtopk trace-view`.  Fails if the query, the
+# scrape, or the merged trace (orphan spans) is broken.
+#
+# Usage: trace_smoke.sh <path-to-privtopk-binary> <work-dir>
+set -euo pipefail
+
+PRIVTOPK=$(realpath "${1:?usage: trace_smoke.sh <privtopk> <workdir>}")
+WORKDIR=${2:?usage: trace_smoke.sh <privtopk> <workdir>}
+NODES=9
+PORT_BASE=9100
+HTTP_BASE=9200
+
+mkdir -p "$WORKDIR"
+cd "$WORKDIR"
+
+"$PRIVTOPK" generate --parties $NODES --rows 50 --out party --seed 7
+
+PEERS=""
+RING=""
+for i in $(seq 0 $((NODES - 1))); do
+  PEERS+="${PEERS:+,}127.0.0.1:$((PORT_BASE + i))"
+  RING+="${RING:+,}$i"
+done
+
+launch_node() {
+  "$PRIVTOPK" node --self "$1" --peers "$PEERS" --ring "$RING" \
+    --csv "party$1.csv" --k 3 --group-size 3 \
+    --trace-queries --span-dump "node$1.spans" \
+    --http-port $((HTTP_BASE + $1)) --timeout-ms 30000 \
+    >"node$1.log" 2>&1 &
+  PIDS+=($!)
+}
+
+# Followers first: they idle-wait for the initiator's announce, which
+# gives the scrape below a guaranteed window against a live node.
+PIDS=()
+for i in $(seq 1 $((NODES - 1))); do launch_node "$i"; done
+trap 'kill "${PIDS[@]}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -sf "http://127.0.0.1:$((HTTP_BASE + 1))/healthz" >health.txt \
+    && break
+  sleep 0.1
+done
+grep -qx ok health.txt
+curl -sf "http://127.0.0.1:$((HTTP_BASE + 1))/metrics" >metrics.txt
+grep -q '^# TYPE privtopk_node_build_info gauge$' metrics.txt
+grep -q '^privtopk_query_active_queries' metrics.txt
+curl -sf "http://127.0.0.1:$((HTTP_BASE + 1))/queries" | grep -q '"node":1'
+
+# The initiator (node 0, first on the ring) drives the grouped query.
+launch_node 0
+
+# Wait for every node to exit with the disseminated result.
+FAIL=0
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || FAIL=1
+done
+trap - EXIT
+if [ "$FAIL" -ne 0 ]; then
+  echo "--- node logs ---"
+  tail -n 5 node*.log
+  exit 1
+fi
+
+grep -q '^result: ' node0.log
+
+SPANS=$(ls node*.spans | paste -sd,)
+"$PRIVTOPK" trace-view --spans "$SPANS" --query-id 1 >timeline.txt
+grep -q 'orphan spans: none' timeline.txt
+for phase in query announce_handled ring_round group_phase merge_phase \
+    result_dissemination; do
+  grep -q " $phase " timeline.txt
+done
+
+echo "trace smoke OK:"
+sed -n 1,2p timeline.txt
