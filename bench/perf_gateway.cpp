@@ -1,0 +1,145 @@
+// Gateway throughput: queries/sec over a Zipf(1.0)-popular workload of
+// distinct questions, cached+coalesced through query::Gateway vs executed
+// directly against the Federation.  The acceptance bar for the gateway is
+// >= 5x the uncached rate on the skewed workload (most requests are
+// duplicates of a hot question, so they are answered from cache - which
+// is also ZERO additional privacy leakage; see docs/GATEWAY.md).  Each
+// mode also reports per-request p50/p99 latency, exported to
+// BENCH_gateway.json for CI artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "support/bench_json.hpp"
+
+#include "data/distribution.hpp"
+#include "data/generator.hpp"
+#include "query/gateway.hpp"
+
+using namespace privtopk;
+
+namespace {
+
+constexpr std::size_t kQuestions = 50;
+constexpr std::size_t kBatch = 256;  ///< requests per benchmark iteration
+
+enum Mode : int {
+  kDirect = 0,   ///< every request runs the protocol (no gateway)
+  kGateway = 1,  ///< cache + single-flight coalescing
+};
+
+query::QueryDescriptor question(std::size_t index) {
+  query::QueryDescriptor d;
+  d.queryId = 0;  // the gateway normalizes it away anyway
+  d.tableName = "sales";
+  d.attribute = "revenue";
+  d.params.k = 1 + index;  // 50 distinct questions: top-1 .. top-50
+  d.params.rounds = 6;
+  return d;
+}
+
+/// One benchmark iteration = kBatch requests fanned over `threads`
+/// workers, question picked per request from a Zipf(1.0) popularity
+/// distribution.  Latencies accumulate across iterations; percentiles are
+/// reported once per run.
+void BM_GatewayThroughput(benchmark::State& state) {
+  const auto mode = static_cast<Mode>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+
+  data::FleetSpec spec;
+  spec.nodes = 4;
+  spec.rowsPerNode = 32;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng dataRng(4242);
+  const auto fleet = data::generateFleet(spec, dataRng);
+  const query::Federation federation(fleet);
+  query::Gateway gateway(federation, /*seed=*/7);
+
+  std::vector<query::QueryDescriptor> questions;
+  questions.reserve(kQuestions);
+  for (std::size_t i = 0; i < kQuestions; ++i) questions.push_back(question(i));
+  const data::ZipfDistribution popularity(
+      Domain{1, static_cast<Value>(kQuestions)}, /*exponent=*/1.0);
+
+  std::vector<std::vector<double>> latenciesMs(threads);
+  std::uint64_t iteration = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Deterministic per-(iteration, worker) streams: the popularity
+        // picks and the protocol rng never depend on thread timing.
+        Rng pick(splitmix64(iteration * threads + t) ^ splitmix64(1));
+        Rng protocolRng(splitmix64(iteration * threads + t) ^ splitmix64(2));
+        for (std::size_t q = t; q < kBatch; q += threads) {
+          const auto index =
+              static_cast<std::size_t>(popularity.sample(pick)) - 1;
+          const auto start = std::chrono::steady_clock::now();
+          if (mode == kGateway) {
+            benchmark::DoNotOptimize(gateway.execute(questions[index]));
+          } else {
+            benchmark::DoNotOptimize(
+                federation.execute(questions[index], protocolRng));
+          }
+          const auto elapsed = std::chrono::steady_clock::now() - start;
+          latenciesMs[t].push_back(
+              std::chrono::duration<double, std::milli>(elapsed).count());
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    ++iteration;
+  }
+
+  std::vector<double> all;
+  for (auto& perThread : latenciesMs) {
+    all.insert(all.end(), perThread.begin(), perThread.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto percentile = [&](double p) {
+    if (all.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(all.size() - 1));
+    return all[rank];
+  };
+
+  const auto requests =
+      static_cast<double>(state.iterations()) * static_cast<double>(kBatch);
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  state.counters["mode"] = static_cast<double>(mode);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["queries_per_sec"] =
+      benchmark::Counter(requests, benchmark::Counter::kIsRate);
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p99_ms"] = percentile(0.99);
+  if (mode == kGateway) {
+    const query::GatewayStats stats = gateway.stats();
+    state.counters["hit_ratio"] =
+        static_cast<double>(stats.hits + stats.coalesced) /
+        static_cast<double>(stats.hits + stats.misses + stats.coalesced);
+    state.counters["executions"] = static_cast<double>(stats.executions);
+  }
+}
+// Worker threads do the protocol work while the driver blocks on joins,
+// so rates must be wall-clock based.
+BENCHMARK(BM_GatewayThroughput)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Args({kDirect, 1})
+    ->Args({kGateway, 1})
+    ->Args({kDirect, 4})
+    ->Args({kGateway, 4});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return privtopk::benchsupport::runBenchmarksWithJson(argc, argv,
+                                                       "BENCH_gateway.json");
+}

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -34,6 +35,24 @@ class ProtocolError : public Error {
 class TransportError : public Error {
  public:
   using Error::Error;
+};
+
+/// The receiver is alive but shedding load (admission queue full, rate
+/// limit exceeded).  Deliberately NOT a TransportError: the link is
+/// healthy, so the right client reaction is to back off for retryAfter()
+/// and resubmit, not to fail over or declare the peer dead.
+class OverloadError : public Error {
+ public:
+  OverloadError(const std::string& what, std::chrono::milliseconds retryAfter)
+      : Error(what), retryAfter_(retryAfter) {}
+
+  /// How long the thrower suggests waiting before retrying.
+  [[nodiscard]] std::chrono::milliseconds retryAfter() const {
+    return retryAfter_;
+  }
+
+ private:
+  std::chrono::milliseconds retryAfter_;
 };
 
 /// Cryptographic failure (handshake mismatch, MAC verification failure).

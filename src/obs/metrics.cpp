@@ -75,6 +75,13 @@ const std::vector<double>& defaultLatencyBucketsMs() {
   return buckets;
 }
 
+const std::vector<double>& defaultFastLatencyBucketsMs() {
+  static const std::vector<double> buckets{
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+      10, 25};
+  return buckets;
+}
+
 const std::vector<double>& defaultSizeBuckets() {
   static const std::vector<double> buckets{16,   64,    256,    1024,
                                            4096, 16384, 65536,  262144,

@@ -88,6 +88,11 @@ class Histogram {
 /// Default buckets for millisecond latency histograms.
 [[nodiscard]] const std::vector<double>& defaultLatencyBucketsMs();
 
+/// Microsecond-resolution buckets (still in milliseconds) for sub-ms hot
+/// paths - cache hits, in-memory lookups - where defaultLatencyBucketsMs'
+/// 0.1 ms floor would collapse the whole distribution into one bucket.
+[[nodiscard]] const std::vector<double>& defaultFastLatencyBucketsMs();
+
 /// Default buckets for message/payload byte-size histograms.
 [[nodiscard]] const std::vector<double>& defaultSizeBuckets();
 

@@ -3,52 +3,133 @@
 // bench_ext_multiquery shows that re-running the same query over static
 // data lets a multi-round Bayesian adversary keep sharpening its posterior
 // - the protocol's guarantees are per-execution and do not compose.
-// CachedFederation answers byte-identical repeated descriptors (modulo the
-// query id, which is a transport-level nonce) from cache: same answer,
-// ZERO additional protocol executions, zero additional leakage.
+// Answering a repeated question from cache gives the same answer with
+// ZERO additional protocol executions, i.e. zero additional leakage.
+//
+// ResultCache is the storage layer the query::Gateway builds on: a
+// thread-safe, capacity-bounded (LRU) and TTL-bounded map from normalized
+// descriptor + data epoch to QueryOutcome.  Time is passed in explicitly
+// so expiry is deterministic under test.
 //
 // The cache must be invalidated when any party's data changes; parties in
 // a real deployment would version their datasets, so the cache key
-// includes a caller-supplied data epoch.
+// includes a caller-supplied data epoch (the gateway owns the epoch and
+// bumps it through its invalidation hooks).
+//
+// CachedFederation survives as a thin shim for callers that want a cache
+// in front of an in-process Federation without the gateway's admission
+// machinery.  It is thread-safe but does NOT coalesce concurrent misses -
+// use query::Gateway for single-flight execution.
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
-#include <map>
+#include <list>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "query/federation.hpp"
 
 namespace privtopk::query {
 
+/// Thread-safe LRU + TTL bounded map from cache key to QueryOutcome.
+class ResultCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Maximum retained entries; the least recently USED entry is evicted
+    /// when a new insert exceeds it.  Must be >= 1.
+    std::size_t capacity = 1024;
+    /// Entries older than this are expired at lookup time; zero disables
+    /// expiry (entries live until evicted or invalidated).
+    std::chrono::milliseconds ttl{0};
+  };
+
+  /// Monotonic event counts (never reset; read for stats/tests).
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;    ///< dropped by capacity pressure
+    std::uint64_t expirations = 0;  ///< dropped by TTL at lookup
+  };
+
+  // (no in-class default argument: Options' member initializers are not
+  // yet parsed at this point of the enclosing class)
+  ResultCache() : ResultCache(Options{}) {}
+  explicit ResultCache(Options options);
+
+  /// Returns the cached outcome and refreshes its recency, or nullopt on
+  /// miss/expiry.  `now` defaults to the real clock; tests inject time.
+  [[nodiscard]] std::optional<QueryOutcome> lookup(
+      const std::string& key, Clock::time_point now = Clock::now());
+
+  /// Inserts (or refreshes) `key`, evicting the LRU entry beyond capacity.
+  void insert(const std::string& key, QueryOutcome outcome,
+              Clock::time_point now = Clock::now());
+
+  /// Drops one entry; no-op when absent.
+  void erase(const std::string& key);
+
+  /// Drops every cached entry.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Counters counters() const;
+
+  /// Cache key: the canonical encoding of the NORMALIZED descriptor (see
+  /// normalizedForCaching - queryId zeroed, equivalent questions merged)
+  /// plus the data epoch, so equal questions cannot miss the cache and
+  /// trigger an extra leaking execution.
+  [[nodiscard]] static std::string keyFor(const QueryDescriptor& descriptor,
+                                          std::uint64_t dataEpoch);
+
+ private:
+  struct Entry {
+    std::string key;
+    QueryOutcome outcome;
+    Clock::time_point insertedAt;
+  };
+
+  /// mutex_ held.  Front of entries_ is most recently used.
+  void dropLocked(std::list<Entry>::iterator it);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Counters counters_;
+};
+
+/// Thread-safe caching decorator over an in-process Federation.  Kept as a
+/// compatibility shim; the production front door is query::Gateway, which
+/// adds single-flight coalescing and admission control on top of the same
+/// ResultCache.
 class CachedFederation {
  public:
-  explicit CachedFederation(const Federation& federation)
-      : federation_(&federation) {}
+  explicit CachedFederation(const Federation& federation,
+                            ResultCache::Options options = {})
+      : federation_(&federation), cache_(options) {}
 
   /// Executes through the cache.  `dataEpoch` identifies the federation's
-  /// data version; bump it whenever any party's data changes.
+  /// data version; bump it whenever any party's data changes.  Concurrent
+  /// misses on the same key may each execute (no coalescing here).
   [[nodiscard]] QueryOutcome execute(const QueryDescriptor& descriptor,
                                      Rng& rng, std::uint64_t dataEpoch = 0);
 
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t hits() const { return cache_.counters().hits; }
+  [[nodiscard]] std::size_t misses() const { return cache_.counters().misses; }
   [[nodiscard]] std::size_t size() const { return cache_.size(); }
 
   /// Drops every cached entry.
   void clear() { cache_.clear(); }
 
  private:
-  /// Cache key: the canonical descriptor encoding with the queryId field
-  /// zeroed (two queries differing only in their nonce are "the same
-  /// question") plus the data epoch.
-  [[nodiscard]] static std::string keyFor(const QueryDescriptor& descriptor,
-                                          std::uint64_t dataEpoch);
-
   const Federation* federation_;
-  std::map<std::string, QueryOutcome> cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  ResultCache cache_;
 };
 
 }  // namespace privtopk::query

@@ -99,6 +99,42 @@ QueryDescriptor QueryDescriptor::decode(std::span<const std::uint8_t> bytes) {
   return d;
 }
 
+QueryDescriptor normalizedForCaching(const QueryDescriptor& descriptor) {
+  QueryDescriptor n = descriptor;
+  n.queryId = 0;
+  n.groupSize = 0;
+  n.params.k = descriptor.effectiveK();
+  if (descriptor.type == QueryType::Max) n.type = QueryType::TopK;
+  if (descriptor.type == QueryType::Min) n.type = QueryType::BottomK;
+
+  const protocol::ProtocolParams defaults;
+  if (descriptor.isAggregate()) {
+    // The masked secure-sum pass never consults the ring-protocol knobs.
+    n.kind = protocol::ProtocolKind::Probabilistic;
+    n.params.p0 = defaults.p0;
+    n.params.d = defaults.d;
+    n.params.delta = defaults.delta;
+    n.params.rounds.reset();
+    n.params.epsilon = defaults.epsilon;
+    n.params.remapEachRound = defaults.remapEachRound;
+  } else if (descriptor.kind != protocol::ProtocolKind::Probabilistic) {
+    // The naive variants run exactly one deterministic round; the
+    // randomization schedule and round budget cannot shape the answer.
+    n.params.p0 = defaults.p0;
+    n.params.d = defaults.d;
+    n.params.delta = defaults.delta;
+    n.params.rounds.reset();
+    n.params.epsilon = defaults.epsilon;
+    n.params.remapEachRound = defaults.remapEachRound;
+  } else {
+    // An explicit round budget and the same budget derived from a
+    // precision target are the same question.
+    n.params.rounds = descriptor.params.effectiveRounds();
+    n.params.epsilon = defaults.epsilon;
+  }
+  return n;
+}
+
 bool operator==(const QueryDescriptor& a, const QueryDescriptor& b) {
   return a.queryId == b.queryId && a.type == b.type && a.kind == b.kind &&
          a.tableName == b.tableName && a.attribute == b.attribute &&

@@ -72,4 +72,24 @@ struct QueryDescriptor {
   friend bool operator==(const QueryDescriptor& a, const QueryDescriptor& b);
 };
 
+/// Canonicalizes `descriptor` so that semantically equivalent questions
+/// share one representation (and therefore one cache entry - a cache miss
+/// on an equal question costs an extra protocol execution, i.e. extra
+/// leakage).  Normalizations applied:
+///   * queryId = 0 (a transport nonce, not part of the question);
+///   * groupSize = 0 (grouping is an execution strategy, same answer);
+///   * Max -> TopK with k = 1, Min -> BottomK with k = 1;
+///   * params.k = effectiveK() (Max/Min/aggregates ignore the raw k);
+///   * aggregate queries reset every ring-protocol knob (kind, p0, d,
+///     delta, rounds, epsilon, remapEachRound) - the secure-sum pass does
+///     not consult them;
+///   * naive/anonymous-naive kinds reset the randomization knobs (p0, d,
+///     delta, epsilon, remapEachRound) and the round budget - they always
+///     run exactly one deterministic round;
+///   * probabilistic queries pin params.rounds = effectiveRounds() and
+///     reset epsilon, merging an explicit round budget with the same
+///     budget derived from a precision target.
+[[nodiscard]] QueryDescriptor normalizedForCaching(
+    const QueryDescriptor& descriptor);
+
 }  // namespace privtopk::query

@@ -1,0 +1,225 @@
+// query::Gateway - the multi-tenant front door over Federation/NodeService.
+//
+// The paper's privacy guarantees are per-execution and do not compose:
+// every additional protocol run for the same question lets a multi-round
+// Bayesian adversary sharpen its posterior (bench_ext_multiquery).  Under
+// heavy public traffic most queries ARE duplicates, so the gateway makes
+// deduplication both the performance and the privacy strategy:
+//
+//   * result cache - a thread-safe, capacity- and TTL-bounded ResultCache
+//     keyed by the normalized descriptor (queryId zeroed, equivalent
+//     questions merged - see normalizedForCaching) plus the data epoch,
+//     with explicit invalidation hooks (bumpDataEpoch / invalidate);
+//   * single-flight coalescing - N concurrent identical descriptors
+//     trigger ONE ring execution fanned out to all N callers;
+//   * admission control - per-tenant token-bucket rate limits on protocol
+//     EXECUTIONS (cache hits are free: they cost nothing and leak
+//     nothing), a bounded concurrency budget with priority lanes
+//     (interactive > normal > batch), and typed OverloadError shedding
+//     carrying a retry-after hint instead of a fake transport failure.
+//
+// See docs/GATEWAY.md for the full rationale and knob reference.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "query/cache.hpp"
+#include "query/descriptor.hpp"
+#include "query/federation.hpp"
+
+namespace privtopk::query {
+
+/// Admission lanes, drained highest first when execution slots free up.
+enum class Priority : std::uint8_t {
+  Batch = 0,        ///< analytics refresh, prefetch
+  Normal = 1,       ///< default
+  Interactive = 2,  ///< a user is waiting
+};
+
+[[nodiscard]] const char* toString(Priority priority);
+
+/// Token-bucket limits for one tenant's protocol executions.
+struct TenantLimits {
+  /// Sustained executions per second; <= 0 means unlimited (no bucket).
+  double ratePerSec = 0.0;
+  /// Bucket capacity: how many executions may burst back to back.
+  double burst = 1.0;
+};
+
+struct GatewayOptions {
+  /// ResultCache bound; the least recently used entry is evicted beyond it.
+  std::size_t cacheCapacity = 4096;
+  /// Result freshness bound; zero keeps entries until evicted/invalidated.
+  std::chrono::milliseconds cacheTtl{0};
+  /// Protocol executions allowed to run concurrently.
+  std::size_t maxConcurrentExecutions = 8;
+  /// Bound on executions waiting for a slot (all lanes together); beyond
+  /// it the gateway sheds with OverloadError instead of queueing.
+  std::size_t maxQueuedExecutions = 64;
+  /// Limits applied to tenants without an explicit setTenantLimits entry.
+  TenantLimits defaultLimits;
+};
+
+/// One gateway call: the question plus who is asking and how urgently.
+struct GatewayRequest {
+  QueryDescriptor descriptor;
+  std::string tenant = "default";
+  Priority priority = Priority::Normal;
+};
+
+/// Point-in-time gateway statistics (per instance; the global metrics
+/// registry carries the same series for scraping).
+struct GatewayStats {
+  std::uint64_t hits = 0;          ///< answered from cache
+  std::uint64_t misses = 0;        ///< required an execution
+  std::uint64_t coalesced = 0;     ///< attached to an in-flight execution
+  std::uint64_t executions = 0;    ///< protocol executions performed
+  std::uint64_t shedRateLimit = 0; ///< OverloadError: tenant bucket empty
+  std::uint64_t shedQueueFull = 0; ///< OverloadError: admission queue full
+  std::uint64_t invalidations = 0; ///< epoch bumps + explicit invalidates
+  std::uint64_t evictions = 0;     ///< cache capacity evictions
+  std::uint64_t expirations = 0;   ///< cache TTL expirations
+  std::size_t cacheSize = 0;
+  std::size_t inflightExecutions = 0;
+  std::size_t queuedExecutions = 0;  ///< waiting for an execution slot
+  std::size_t flightWaiters = 0;     ///< callers waiting on someone else's run
+};
+
+class Gateway {
+ public:
+  /// Pluggable back end: runs one protocol execution.  Called outside the
+  /// gateway lock, possibly from many caller threads at once; `rng` is a
+  /// private per-execution stream.
+  using Executor = std::function<QueryOutcome(const QueryDescriptor&, Rng&)>;
+
+  /// Fronts an in-process federation.  `seed` derives one independent rng
+  /// stream per execution.  The federation must outlive the gateway.
+  Gateway(const Federation& federation, std::uint64_t seed,
+          GatewayOptions options = {});
+
+  /// Fronts an arbitrary executor (a NodeService initiator, a test stub).
+  Gateway(Executor executor, std::uint64_t seed, GatewayOptions options = {});
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Serves one request: cache hit, coalesce onto an identical in-flight
+  /// execution, or admit + execute.  Throws OverloadError (with a
+  /// retry-after hint) when the tenant's bucket is empty or the admission
+  /// queue is full; executor exceptions propagate to every coalesced
+  /// caller.
+  [[nodiscard]] QueryOutcome execute(const GatewayRequest& request);
+
+  /// Convenience: default tenant, Normal priority.
+  [[nodiscard]] QueryOutcome execute(const QueryDescriptor& descriptor);
+
+  /// Overrides the token-bucket limits for one tenant (resets its bucket).
+  void setTenantLimits(const std::string& tenant, TenantLimits limits);
+
+  // --- Invalidation hooks -------------------------------------------------
+  /// Data-update hook: bumps the data epoch, so every cached result is
+  /// logically stale (old-epoch entries age out of the LRU).  Call when
+  /// any party's data changes.
+  void bumpDataEpoch();
+  [[nodiscard]] std::uint64_t dataEpoch() const;
+  /// Drops the cached result of one question (current epoch).
+  void invalidate(const QueryDescriptor& descriptor);
+  /// Drops every cached result.
+  void invalidateAll();
+
+  [[nodiscard]] GatewayStats stats() const;
+
+ private:
+  /// One in-flight execution; concurrent identical descriptors attach to
+  /// it instead of executing.
+  struct Flight {
+    bool done = false;
+    QueryOutcome outcome;
+    std::exception_ptr error;
+  };
+
+  /// One caller waiting for an execution slot in a priority lane.
+  struct Ticket {
+    Priority lane = Priority::Normal;
+    bool granted = false;
+  };
+
+  struct Bucket {
+    TenantLimits limits;
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point refilledAt;
+  };
+
+  /// Cached global-metric cells ({"component","gateway"} label; see
+  /// docs/OBSERVABILITY.md).
+  struct Metrics {
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& coalesced;
+    obs::Counter& executions;
+    obs::Counter& shedRateLimit;
+    obs::Counter& shedQueueFull;
+    obs::Counter& invalidations;
+    obs::Gauge& inflight;
+    obs::Gauge& queued;
+    obs::Histogram& hitLatencyMs;
+    obs::Histogram& executeLatencyMs;
+    obs::Histogram& queueWaitMs;
+    Metrics();
+  };
+
+  /// mutex_ held.  Charges one token from `tenant`'s bucket; on failure
+  /// returns false and sets `retryAfter` to the refill time.
+  bool tryTakeToken(const std::string& tenant,
+                    std::chrono::steady_clock::time_point now,
+                    std::chrono::milliseconds& retryAfter);
+
+  /// mutex_ held.  Hands free slots to the highest-priority queued
+  /// tickets; wakes every waiter when anything was granted.
+  void grantSlotsLocked();
+
+  /// mutex_ held.  Releases this thread's execution slot and re-grants.
+  void releaseSlotLocked();
+
+  /// Runs the execution as flight leader (slot already held), settles the
+  /// flight and fans the outcome/exception out to waiters.  `seq` indexes
+  /// the per-execution rng stream.
+  QueryOutcome runFlight(const std::string& key,
+                         const QueryDescriptor& descriptor,
+                         const std::shared_ptr<Flight>& flight,
+                         std::uint64_t seq);
+
+  Executor executor_;
+  std::uint64_t seed_;
+  GatewayOptions options_;
+  ResultCache cache_;
+  Metrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  std::map<std::string, Bucket> buckets_;
+  std::deque<std::shared_ptr<Ticket>> lanes_[3];
+  std::size_t inflightExecutions_ = 0;
+  std::size_t queuedExecutions_ = 0;
+  std::size_t flightWaiters_ = 0;
+  std::atomic<std::uint64_t> dataEpoch_{0};
+  std::uint64_t executionSeq_ = 0;
+
+  // Monotonic per-instance stats (mutex_ held for writes).
+  GatewayStats tallies_;
+};
+
+}  // namespace privtopk::query

@@ -568,7 +568,26 @@ std::future<TopKVector> NodeService::initiate(QueryDescriptor descriptor,
     }
     if (admissionQueue_.size() >= options_.maxQueuedInitiations) {
       metrics_.admissionsRejected.inc();
-      throw TransportError("NodeService::initiate: admission queue is full");
+      // Typed shedding: a full admission queue means THIS node is healthy
+      // but saturated - clients must back off, not fail over as they would
+      // for a dead link (TransportError).  Expect one queue slot to drain
+      // per completed initiation; hint from the observed mean query
+      // latency (50 ms before any completion has been recorded).
+      const std::uint64_t completions = metrics_.queryLatencyMs.count();
+      const double meanMs =
+          completions > 0
+              ? metrics_.queryLatencyMs.sum() / static_cast<double>(completions)
+              : 50.0;
+      const double hintMs = std::clamp(
+          meanMs * static_cast<double>(admissionQueue_.size() + 1) /
+              static_cast<double>(std::max<std::size_t>(
+                  1, options_.maxInflightInitiations)),
+          1.0,
+          std::chrono::duration<double, std::milli>(options_.staleAfter)
+              .count());
+      throw OverloadError(
+          "NodeService::initiate: admission queue is full",
+          std::chrono::milliseconds(static_cast<std::int64_t>(hintMs)));
     }
     pendingIds_.insert(admission.descriptor.queryId);
     admissionQueue_.push_back(std::move(admission));

@@ -22,8 +22,9 @@
 //     (per-query FIFO order is preserved; distinct queries - including
 //     the group rings of one grouped query - progress in parallel), and
 //     initiations pass through a bounded admission queue with an
-//     in-flight cap (initiate() throws TransportError when the queue is
-//     full);
+//     in-flight cap (initiate() throws OverloadError - with a retry-after
+//     hint - when the queue is full, distinguishable from a dead link's
+//     TransportError);
 //   * survives fail-stop peer crashes and lost tokens: every node
 //     retransmits its last outbound message when a query stalls, and a
 //     successor that keeps refusing sends is spliced out of the ring
@@ -114,7 +115,8 @@ struct ServiceOptions {
   /// wait in the admission queue.
   std::size_t maxInflightInitiations = 8;
   /// Bound on initiations waiting for an in-flight slot; when the queue is
-  /// full initiate() throws TransportError (backpressure).
+  /// full initiate() throws OverloadError with a retry-after hint
+  /// (backpressure the caller can distinguish from a transport failure).
   std::size_t maxQueuedInitiations = 64;
   /// Allocate a distributed-tracing context for queries THIS node
   /// initiates: the announce carries it on the wire and every hop of the
@@ -166,8 +168,10 @@ class NodeService {
 
   /// Initiates `descriptor` with this node as the starting node.
   /// `ringOrder` must contain this node first and every participant once.
-  /// The query enters the bounded admission queue (TransportError when
-  /// full; ConfigError when the service is not running); a descriptor with
+  /// The query enters the bounded admission queue (OverloadError with a
+  /// retry-after hint when full - back off and resubmit, the node is
+  /// saturated, not dead; ConfigError when the service is not running); a
+  /// descriptor with
   /// groupSize >= 3 and enough nodes for three groups runs group-parallel
   /// (§4.2).  Returns a future resolving to the result in the query's
   /// natural presentation order.

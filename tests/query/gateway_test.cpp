@@ -1,0 +1,407 @@
+// Gateway contract tests: cache sharing via normalization, single-flight
+// coalescing (N identical concurrent queries cost exactly one execution),
+// TTL/epoch invalidation, LRU bounds, per-tenant rate limiting with typed
+// OverloadError shedding, priority-lane draining, and a concurrent hammer
+// whose invariants hold under TSan (test_query runs under TSan in CI).
+
+#include "query/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/generator.hpp"
+
+namespace privtopk::query {
+namespace {
+
+using namespace std::chrono_literals;
+
+QueryDescriptor descriptor(std::uint64_t queryId = 1, std::size_t k = 3) {
+  QueryDescriptor d;
+  d.queryId = queryId;
+  d.tableName = "sales";
+  d.attribute = "revenue";
+  d.params.k = k;
+  d.params.rounds = 12;
+  return d;
+}
+
+/// Spins (politely) until `pred` holds; fails the test on timeout.
+void waitUntil(const std::function<bool()>& pred,
+               std::chrono::milliseconds timeout = 5s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "condition never became true";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+/// Controllable executor: records entry order (by descriptor k), can hold
+/// every call until released, and can throw on demand.
+struct StubExecutor {
+  std::mutex m;
+  std::condition_variable cv;
+  bool hold = false;
+  bool shouldThrow = false;
+  std::size_t entered = 0;
+  std::vector<std::size_t> order;
+
+  QueryOutcome operator()(const QueryDescriptor& d, Rng&) {
+    std::unique_lock lock(m);
+    order.push_back(d.params.k);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return !hold; });
+    if (shouldThrow) throw ProtocolError("stub executor failure");
+    QueryOutcome outcome;
+    outcome.values = {static_cast<Value>(d.params.k)};
+    outcome.rounds = 1;
+    return outcome;
+  }
+
+  void release() {
+    std::scoped_lock lock(m);
+    hold = false;
+    cv.notify_all();
+  }
+};
+
+Gateway::Executor wrap(const std::shared_ptr<StubExecutor>& stub) {
+  return [stub](const QueryDescriptor& d, Rng& rng) { return (*stub)(d, rng); };
+}
+
+TEST(Gateway, RepeatedQuestionHitsCache) {
+  auto stub = std::make_shared<StubExecutor>();
+  Gateway gateway(wrap(stub), /*seed=*/1);
+
+  const auto first = gateway.execute(descriptor());
+  const auto second = gateway.execute(descriptor());
+  EXPECT_EQ(first.values, second.values);
+  EXPECT_EQ(stub->entered, 1u);
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.cacheSize, 1u);
+}
+
+TEST(Gateway, NormalizationMergesEquivalentQuestions) {
+  auto stub = std::make_shared<StubExecutor>();
+  Gateway gateway(wrap(stub), 2);
+
+  // The query id is a transport nonce, not part of the question.
+  (void)gateway.execute(descriptor(/*queryId=*/1));
+  (void)gateway.execute(descriptor(/*queryId=*/999));
+
+  // Max IS top-1; grouping is an execution strategy, not a question.
+  QueryDescriptor top1 = descriptor(5, /*k=*/1);
+  (void)gateway.execute(top1);
+  QueryDescriptor max = descriptor(6, /*k=*/7);
+  max.type = QueryType::Max;
+  max.groupSize = 3;
+  (void)gateway.execute(max);
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stub->entered, 2u);
+}
+
+TEST(Gateway, CoalescingCostsExactlyOneExecution) {
+  constexpr std::size_t kCallers = 8;
+  auto stub = std::make_shared<StubExecutor>();
+  stub->hold = true;
+  Gateway gateway(wrap(stub), 3);
+
+  std::vector<std::thread> threads;
+  std::mutex resultMutex;
+  std::vector<TopKVector> results;
+  threads.reserve(kCallers);
+  for (std::size_t i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&] {
+      const auto outcome = gateway.execute(descriptor());
+      std::scoped_lock lock(resultMutex);
+      results.push_back(outcome.values);
+    });
+  }
+
+  // One leader is inside the executor; everyone else must be attached to
+  // its flight (NOT queued for an execution slot of their own).
+  {
+    std::unique_lock lock(stub->m);
+    stub->cv.wait(lock, [&] { return stub->entered == 1; });
+  }
+  waitUntil([&] { return gateway.stats().flightWaiters == kCallers - 1; });
+  EXPECT_EQ(gateway.stats().queuedExecutions, 0u);
+
+  stub->release();
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(results.size(), kCallers);
+  for (const auto& values : results) EXPECT_EQ(values, results.front());
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stub->entered, 1u);
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced, kCallers - 1);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(Gateway, ExecutorErrorFansOutAndIsNotCached) {
+  auto stub = std::make_shared<StubExecutor>();
+  stub->hold = true;
+  stub->shouldThrow = true;
+  Gateway gateway(wrap(stub), 4);
+
+  std::thread leader([&] {
+    EXPECT_THROW((void)gateway.execute(descriptor()), ProtocolError);
+  });
+  {
+    std::unique_lock lock(stub->m);
+    stub->cv.wait(lock, [&] { return stub->entered == 1; });
+  }
+  std::thread waiter([&] {
+    EXPECT_THROW((void)gateway.execute(descriptor()), ProtocolError);
+  });
+  waitUntil([&] { return gateway.stats().flightWaiters == 1; });
+  stub->release();
+  leader.join();
+  waiter.join();
+
+  // The failure is not cached and the flight is gone: the next call runs.
+  stub->shouldThrow = false;
+  EXPECT_EQ(gateway.execute(descriptor()).values, TopKVector{3});
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.executions, 2u);
+  EXPECT_EQ(stats.cacheSize, 1u);
+}
+
+TEST(Gateway, EpochBumpInvalidatesEveryEntry) {
+  auto stub = std::make_shared<StubExecutor>();
+  Gateway gateway(wrap(stub), 5);
+
+  (void)gateway.execute(descriptor());
+  EXPECT_EQ(gateway.dataEpoch(), 0u);
+  gateway.bumpDataEpoch();
+  EXPECT_EQ(gateway.dataEpoch(), 1u);
+  (void)gateway.execute(descriptor());  // logically stale: re-executes
+  (void)gateway.execute(descriptor());  // fresh at the new epoch: hit
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.executions, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+}
+
+TEST(Gateway, InvalidateDropsOneQuestion) {
+  auto stub = std::make_shared<StubExecutor>();
+  Gateway gateway(wrap(stub), 6);
+
+  (void)gateway.execute(descriptor(1, 3));
+  (void)gateway.execute(descriptor(1, 5));
+  gateway.invalidate(descriptor(/*queryId=*/77, 3));  // same QUESTION as k=3
+
+  (void)gateway.execute(descriptor(1, 3));  // re-executes
+  (void)gateway.execute(descriptor(1, 5));  // still cached
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.executions, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  gateway.invalidateAll();
+  EXPECT_EQ(gateway.stats().cacheSize, 0u);
+}
+
+TEST(Gateway, LruEvictionRespectsCapacity) {
+  auto stub = std::make_shared<StubExecutor>();
+  GatewayOptions options;
+  options.cacheCapacity = 1;
+  Gateway gateway(wrap(stub), 7, options);
+
+  (void)gateway.execute(descriptor(1, 3));
+  (void)gateway.execute(descriptor(1, 5));  // evicts k=3
+  (void)gateway.execute(descriptor(1, 3));  // miss again
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.executions, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_EQ(stats.cacheSize, 1u);
+}
+
+TEST(Gateway, RateLimitShedsWithRetryAfterHint) {
+  auto stub = std::make_shared<StubExecutor>();
+  Gateway gateway(wrap(stub), 8);
+  // One execution, then a ~17 minute refill: the second miss must shed.
+  gateway.setTenantLimits("acme", {/*ratePerSec=*/0.001, /*burst=*/1.0});
+
+  GatewayRequest request;
+  request.descriptor = descriptor(1, 3);
+  request.tenant = "acme";
+  (void)gateway.execute(request);
+
+  GatewayRequest second = request;
+  second.descriptor = descriptor(1, 5);
+  try {
+    (void)gateway.execute(second);
+    FAIL() << "over-budget execution should have been shed";
+  } catch (const OverloadError& e) {
+    EXPECT_GT(e.retryAfter().count(), 0);
+  }
+
+  // Cache hits are free - they cost no execution and leak nothing.
+  (void)gateway.execute(request);
+  // Other tenants have their own bucket (default: unlimited).
+  GatewayRequest other = second;
+  other.tenant = "globex";
+  (void)gateway.execute(other);
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.shedRateLimit, 1u);
+  EXPECT_EQ(stats.executions, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(Gateway, PriorityLanesDrainInteractiveFirst) {
+  auto stub = std::make_shared<StubExecutor>();
+  stub->hold = true;
+  GatewayOptions options;
+  options.maxConcurrentExecutions = 1;
+  Gateway gateway(wrap(stub), 9, options);
+
+  std::thread leader([&] { (void)gateway.execute(descriptor(1, 1)); });
+  {
+    std::unique_lock lock(stub->m);
+    stub->cv.wait(lock, [&] { return stub->entered == 1; });
+  }
+
+  // Queue a batch request FIRST, then an interactive one; the interactive
+  // lane must still get the freed slot first.
+  GatewayRequest batch;
+  batch.descriptor = descriptor(1, 2);
+  batch.priority = Priority::Batch;
+  std::thread batchThread([&] { (void)gateway.execute(batch); });
+  waitUntil([&] { return gateway.stats().queuedExecutions == 1; });
+
+  GatewayRequest interactive;
+  interactive.descriptor = descriptor(1, 3);
+  interactive.priority = Priority::Interactive;
+  std::thread interactiveThread([&] { (void)gateway.execute(interactive); });
+  waitUntil([&] { return gateway.stats().queuedExecutions == 2; });
+
+  stub->release();
+  leader.join();
+  batchThread.join();
+  interactiveThread.join();
+
+  const std::vector<std::size_t> expected{1, 3, 2};
+  EXPECT_EQ(stub->order, expected);
+  EXPECT_EQ(gateway.stats().executions, 3u);
+}
+
+TEST(Gateway, FullAdmissionQueueSheds) {
+  auto stub = std::make_shared<StubExecutor>();
+  stub->hold = true;
+  GatewayOptions options;
+  options.maxConcurrentExecutions = 1;
+  options.maxQueuedExecutions = 1;
+  Gateway gateway(wrap(stub), 10, options);
+
+  std::thread leader([&] { (void)gateway.execute(descriptor(1, 1)); });
+  {
+    std::unique_lock lock(stub->m);
+    stub->cv.wait(lock, [&] { return stub->entered == 1; });
+  }
+  std::thread queued([&] { (void)gateway.execute(descriptor(1, 2)); });
+  waitUntil([&] { return gateway.stats().queuedExecutions == 1; });
+
+  try {
+    (void)gateway.execute(descriptor(1, 3));
+    FAIL() << "queue-full execution should have been shed";
+  } catch (const OverloadError& e) {
+    EXPECT_GT(e.retryAfter().count(), 0);
+  }
+  EXPECT_EQ(gateway.stats().shedQueueFull, 1u);
+
+  stub->release();
+  leader.join();
+  queued.join();
+  EXPECT_EQ(gateway.stats().executions, 2u);
+}
+
+TEST(Gateway, FederationBackedAnswersMatchTruth) {
+  data::FleetSpec spec;
+  spec.nodes = 4;
+  spec.rowsPerNode = 10;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng rng(11);
+  const auto fleet = data::generateFleet(spec, rng);
+  const auto raw = data::fleetValues(fleet, "sales", "revenue");
+  const Federation federation(fleet);
+  Gateway gateway(federation, /*seed=*/12);
+
+  const auto outcome = gateway.execute(descriptor());
+  EXPECT_EQ(outcome.values, data::trueTopK(raw, 3));
+  EXPECT_EQ(gateway.execute(descriptor()).values, outcome.values);
+  EXPECT_EQ(gateway.stats().executions, 1u);
+}
+
+// The TSan target: many threads, a small hot descriptor pool, full
+// accounting invariants afterwards.  Each distinct question must execute
+// exactly once (cache + coalescing close every double-execution gap).
+TEST(Gateway, ConcurrentHammerKeepsInvariants) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 200;
+  constexpr std::size_t kQuestions = 6;
+
+  data::FleetSpec spec;
+  spec.nodes = 4;
+  spec.rowsPerNode = 12;
+  spec.tableName = "sales";
+  spec.attribute = "revenue";
+  Rng rng(13);
+  const auto fleet = data::generateFleet(spec, rng);
+  const auto raw = data::fleetValues(fleet, "sales", "revenue");
+  const Federation federation(fleet);
+  Gateway gateway(federation, 14);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng pick(100 + t);
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        const auto k = static_cast<std::size_t>(
+            pick.uniformInt(1, static_cast<Value>(kQuestions)));
+        GatewayRequest request;
+        request.descriptor = descriptor(t * kIterations + i, k);
+        request.tenant = t % 2 == 0 ? "even" : "odd";
+        const auto outcome = gateway.execute(request);
+        ASSERT_EQ(outcome.values, data::trueTopK(raw, k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            kThreads * kIterations);
+  EXPECT_EQ(stats.executions, kQuestions);
+  EXPECT_EQ(stats.misses, kQuestions);
+  EXPECT_EQ(stats.cacheSize, kQuestions);
+  EXPECT_EQ(stats.inflightExecutions, 0u);
+  EXPECT_EQ(stats.queuedExecutions, 0u);
+  EXPECT_EQ(stats.flightWaiters, 0u);
+}
+
+}  // namespace
+}  // namespace privtopk::query

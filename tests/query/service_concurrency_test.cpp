@@ -200,7 +200,7 @@ TEST(ServiceConcurrencySoak, DroppedResultAnnouncementRepliesFromCompleted) {
   }
 }
 
-TEST(ServiceConcurrencySoak, AdmissionQueueFullThrowsTransportError) {
+TEST(ServiceConcurrencySoak, AdmissionQueueFullThrowsOverloadError) {
   ServiceOptions options;
   options.maxInflightInitiations = 1;
   options.maxQueuedInitiations = 1;
@@ -222,9 +222,14 @@ TEST(ServiceConcurrencySoak, AdmissionQueueFullThrowsTransportError) {
 
   auto second = soak.services[0]->initiate(soakDescriptor(1),
                                            ringFrom(0, kNodes));
-  EXPECT_THROW((void)soak.services[0]->initiate(soakDescriptor(2),
-                                                ringFrom(0, kNodes)),
-               TransportError);
+  // Shed load is an overload condition, not a transport fault: callers
+  // get a typed error carrying a retry-after hint.
+  try {
+    (void)soak.services[0]->initiate(soakDescriptor(2), ringFrom(0, kNodes));
+    FAIL() << "third initiate() should have been shed";
+  } catch (const OverloadError& e) {
+    EXPECT_GT(e.retryAfter().count(), 0);
+  }
 
   // Backpressure rejects; it never corrupts the admitted queries.
   const auto values = data::fleetValues(soak.dbs, "sales", "revenue");

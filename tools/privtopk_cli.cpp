@@ -14,6 +14,8 @@
 //   privtopk query --csv /tmp/party0.csv,/tmp/party1.csv,/tmp/party2.csv
 //       --schema id:text,value:int --table data --attribute value
 //       --type topk --k 3
+//   privtopk query --csv ... --repeat 100 --cache-ttl 5000 --tenant acme
+//       --priority interactive --rate-limit 2 --burst 4
 //   privtopk node --self 0 --peers 127.0.0.1:9100,127.0.0.1:9101,...
 //       --ring 0,1,2 --csv /tmp/party0.csv --schema id:text,value:int
 //       --attribute value --k 3 --encrypt
@@ -50,6 +52,7 @@
 #include "protocol/engine.hpp"
 #include "query/federation.hpp"
 #include "query/filter.hpp"
+#include "query/gateway.hpp"
 #include "query/service.hpp"
 #include "privacy/adversary.hpp"
 #include "privacy/anonymity.hpp"
@@ -196,7 +199,8 @@ int cmdQuery(int argc, const char* const* argv) {
       argc, argv,
       {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
        "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
-       "query-id", "verbose", "filter", "group-size"});
+       "query-id", "verbose", "filter", "group-size", "repeat", "cache-ttl",
+       "cache-capacity", "tenant", "priority", "rate-limit", "burst"});
   const auto files = args.getList("csv");
   if (files.size() < 3) {
     throw ConfigError("--csv needs at least 3 comma-separated files "
@@ -214,15 +218,72 @@ int cmdQuery(int argc, const char* const* argv) {
     parties.push_back(std::move(db));
   }
 
-  Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 42)));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
   const query::Federation federation(parties);
-  const query::QueryOutcome outcome = federation.execute(descriptor, rng);
 
-  std::printf("%s(%zu) over %zu parties: %s\n", toString(descriptor.type),
-              descriptor.effectiveK(), parties.size(),
-              toString(outcome.values).c_str());
-  std::printf("protocol: %s, rounds: %u, ring messages: %zu\n",
-              toString(descriptor.kind), outcome.rounds, outcome.messages);
+  // Any gateway knob routes the query through query::Gateway: repeated
+  // runs of the same question are answered from cache (zero additional
+  // leakage) and the tenant's token bucket gates protocol executions.
+  const bool viaGateway = args.has("repeat") || args.has("cache-ttl") ||
+                          args.has("cache-capacity") || args.has("tenant") ||
+                          args.has("priority") || args.has("rate-limit") ||
+                          args.has("burst");
+  query::QueryOutcome outcome;
+  if (viaGateway) {
+    query::GatewayOptions gatewayOptions;
+    gatewayOptions.cacheCapacity =
+        static_cast<std::size_t>(args.getInt("cache-capacity", 4096));
+    gatewayOptions.cacheTtl =
+        std::chrono::milliseconds(args.getInt("cache-ttl", 0));
+    query::Gateway gateway(federation, seed, gatewayOptions);
+
+    query::GatewayRequest request;
+    request.descriptor = descriptor;
+    request.tenant = args.getString("tenant", "default");
+    const std::string priority = args.getString("priority", "normal");
+    if (priority == "batch") request.priority = query::Priority::Batch;
+    else if (priority == "normal") request.priority = query::Priority::Normal;
+    else if (priority == "interactive") {
+      request.priority = query::Priority::Interactive;
+    } else {
+      throw ConfigError("--priority must be batch|normal|interactive");
+    }
+    if (args.has("rate-limit")) {
+      gateway.setTenantLimits(request.tenant,
+                              {args.getDouble("rate-limit", 0.0),
+                               args.getDouble("burst", 1.0)});
+    }
+
+    const auto repeat = static_cast<std::size_t>(args.getInt("repeat", 1));
+    std::size_t shed = 0;
+    for (std::size_t i = 0; i < repeat; ++i) {
+      try {
+        outcome = gateway.execute(request);
+      } catch (const OverloadError&) {
+        ++shed;
+        if (i == 0) throw;  // no earlier answer to report
+      }
+    }
+    const query::GatewayStats stats = gateway.stats();
+    std::printf("%s(%zu) over %zu parties: %s\n", toString(descriptor.type),
+                descriptor.effectiveK(), parties.size(),
+                toString(outcome.values).c_str());
+    std::printf("protocol: %s, rounds: %u, ring messages: %zu\n",
+                toString(descriptor.kind), outcome.rounds, outcome.messages);
+    std::printf("gateway: %zu requests as tenant '%s' (%s), "
+                "%llu hits, %llu executions, %zu shed\n",
+                repeat, request.tenant.c_str(), toString(request.priority),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.executions), shed);
+  } else {
+    Rng rng(seed);
+    outcome = federation.execute(descriptor, rng);
+    std::printf("%s(%zu) over %zu parties: %s\n", toString(descriptor.type),
+                descriptor.effectiveK(), parties.size(),
+                toString(outcome.values).c_str());
+    std::printf("protocol: %s, rounds: %u, ring messages: %zu\n",
+                toString(descriptor.kind), outcome.rounds, outcome.messages);
+  }
   if (args.getBool("verbose")) {
     for (const auto& step : outcome.trace.steps) {
       std::printf("  r%u pos%zu node%u -> %s\n", step.round, step.position,
