@@ -6,8 +6,9 @@ namespace {
 const obs::Labels kInProcLabels{{"transport", "inproc"}};
 }  // namespace
 
-InProcTransport::InProcTransport(std::size_t nodeCount)
-    : mailboxes_(nodeCount),
+InProcTransport::InProcTransport(std::size_t nodeCount,
+                                 std::size_t maxQueueDepth)
+    : mailboxes_(nodeCount), maxQueueDepth_(maxQueueDepth),
       metricMessagesSent_(
           obs::counter("privtopk.transport.messages_sent", kInProcLabels)),
       metricBytesSent_(
@@ -33,6 +34,13 @@ void InProcTransport::send(NodeId from, NodeId to, const Bytes& payload) {
     metricSendErrors_.inc();
     throw TransportError("InProcTransport: unknown destination " +
                          std::to_string(to));
+  }
+  if (maxQueueDepth_ > 0 && mailboxes_[to].queue.size() >= maxQueueDepth_) {
+    throw OverloadError("InProcTransport: mailbox " + std::to_string(to) +
+                            " is full (" +
+                            std::to_string(mailboxes_[to].queue.size()) +
+                            " envelopes)",
+                        std::chrono::milliseconds(1));
   }
   mailboxes_[to].queue.push_back(Envelope{from, to, payload});
   ++messagesSent_;
@@ -68,6 +76,18 @@ std::optional<Envelope> InProcTransport::receive(
 
 void InProcTransport::shutdown() {
   std::unique_lock lock(mutex_);
+  if (!shutdown_) {
+    // Give discarded envelopes' contribution back to the shared gauge so
+    // a transport restarted in the same process starts from level.
+    std::size_t undelivered = 0;
+    for (auto& box : mailboxes_) {
+      undelivered += box.queue.size();
+      box.queue.clear();
+    }
+    if (undelivered > 0) {
+      metricQueueDepth_.sub(static_cast<std::int64_t>(undelivered));
+    }
+  }
   shutdown_ = true;
   cv_.notify_all();
 }

@@ -1,5 +1,8 @@
 // In-process transport: per-node FIFO mailboxes guarded by a mutex and
 // condition variable.  Delivery is instantaneous and ordered per sender.
+// An optional per-mailbox depth cap turns a send to a saturated node into
+// OverloadError, matching the TCP transport's write-queue backpressure so
+// the transport-conformance suite can exercise both the same way.
 
 #pragma once
 
@@ -17,8 +20,11 @@ namespace privtopk::net {
 
 class InProcTransport final : public Transport {
  public:
-  /// Creates mailboxes for nodes 0..nodeCount-1.
-  explicit InProcTransport(std::size_t nodeCount);
+  /// Creates mailboxes for nodes 0..nodeCount-1.  `maxQueueDepth` bounds
+  /// each mailbox (0 = unbounded); a send to a full mailbox throws
+  /// OverloadError without enqueueing.
+  explicit InProcTransport(std::size_t nodeCount,
+                           std::size_t maxQueueDepth = 0);
 
   void send(NodeId from, NodeId to, const Bytes& payload) override;
 
@@ -40,6 +46,7 @@ class InProcTransport final : public Transport {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Mailbox> mailboxes_;
+  std::size_t maxQueueDepth_ = 0;
   bool shutdown_ = false;
   std::size_t messagesSent_ = 0;
   std::size_t bytesSent_ = 0;

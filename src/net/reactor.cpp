@@ -1,0 +1,226 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace privtopk::net {
+
+namespace {
+constexpr int kMaxEvents = 64;
+
+/// Packs (generation, fd) into epoll_event.data so a stale readiness event
+/// for a closed-and-reused descriptor is detectably stale.
+std::uint64_t packTag(std::uint32_t generation, int fd) {
+  return (static_cast<std::uint64_t>(generation) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+}  // namespace
+
+Reactor::Reactor() {
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0) {
+    throw TransportError(std::string("epoll_create1 failed: ") +
+                         std::strerror(errno));
+  }
+  wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeFd_ < 0) {
+    ::close(epollFd_);
+    throw TransportError(std::string("eventfd failed: ") +
+                         std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = packTag(0, wakeFd_);
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+}
+
+Reactor::~Reactor() {
+  stop();
+  if (wakeFd_ >= 0) ::close(wakeFd_);
+  if (epollFd_ >= 0) ::close(epollFd_);
+}
+
+void Reactor::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    throw TransportError("Reactor: already started");
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Reactor::stop() {
+  {
+    std::scoped_lock lock(tasksMutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  running_.store(false);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  loopThreadId_.store(std::thread::id(), std::memory_order_release);
+  // Single-threaded from here: discard whatever never ran.
+  timers_.clear();
+  timersById_.clear();
+  {
+    std::scoped_lock lock(tasksMutex_);
+    tasks_.clear();
+  }
+}
+
+bool Reactor::onLoopThread() const {
+  const std::thread::id loopId = loopThreadId_.load(std::memory_order_acquire);
+  return loopId != std::thread::id() && std::this_thread::get_id() == loopId;
+}
+
+void Reactor::assertLoopOrIdle(const char* what) const {
+  // Registration is allowed from the owning thread before start() (no loop
+  // thread exists, so there is nothing to race) and from the loop thread
+  // afterwards.  Also allowed after stop() for teardown.
+  if (running_.load() && !onLoopThread()) {
+    throw TransportError(std::string("Reactor: ") + what +
+                         " called off the loop thread");
+  }
+}
+
+void Reactor::add(int fd, std::uint32_t events, FdHandler handler) {
+  assertLoopOrIdle("add");
+  FdEntry& entry = fds_[fd];
+  entry.generation = nextGeneration_++;
+  entry.handler = std::move(handler);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = packTag(entry.generation, fd);
+  if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    fds_.erase(fd);
+    throw TransportError(std::string("epoll_ctl ADD failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+void Reactor::modify(int fd, std::uint32_t events) {
+  assertLoopOrIdle("modify");
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    throw TransportError("Reactor: modify of unregistered fd");
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = packTag(it->second.generation, fd);
+  if (::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw TransportError(std::string("epoll_ctl MOD failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+void Reactor::remove(int fd) {
+  assertLoopOrIdle("remove");
+  if (fds_.erase(fd) == 0) return;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Reactor::TimerId Reactor::runAt(Clock::time_point when, Task task) {
+  assertLoopOrIdle("runAt");
+  const TimerId id = nextTimerId_++;
+  const auto it = timers_.emplace(when, TimerEntry{id, std::move(task)});
+  timersById_.emplace(id, it);
+  return id;
+}
+
+Reactor::TimerId Reactor::runAfter(std::chrono::milliseconds delay,
+                                   Task task) {
+  return runAt(Clock::now() + delay, std::move(task));
+}
+
+void Reactor::cancel(TimerId id) {
+  assertLoopOrIdle("cancel");
+  const auto it = timersById_.find(id);
+  if (it == timersById_.end()) return;
+  timers_.erase(it->second);
+  timersById_.erase(it);
+}
+
+void Reactor::post(Task task) {
+  {
+    std::scoped_lock lock(tasksMutex_);
+    if (stopped_) return;
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void Reactor::wake() {
+  const std::uint64_t one = 1;
+  // The eventfd counter saturates rather than blocks on EFD_NONBLOCK; a
+  // failed wake (EAGAIN) means the loop is already pending a wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof one);
+}
+
+void Reactor::loop() {
+  loopThreadId_.store(std::this_thread::get_id(), std::memory_order_release);
+  std::vector<epoll_event> events(kMaxEvents);
+  std::deque<Task> ready;
+  while (running_.load()) {
+    // Cross-thread tasks first: they are how senders kick connections.
+    {
+      std::scoped_lock lock(tasksMutex_);
+      ready.swap(tasks_);
+    }
+    for (Task& task : ready) task();
+    ready.clear();
+
+    // Due timers.
+    const auto now = Clock::now();
+    while (!timers_.empty() && timers_.begin()->first <= now) {
+      auto it = timers_.begin();
+      TimerEntry entry = std::move(it->second);
+      timersById_.erase(entry.id);
+      timers_.erase(it);
+      entry.task();
+    }
+
+    int timeoutMs = -1;
+    {
+      std::scoped_lock lock(tasksMutex_);
+      if (!tasks_.empty()) timeoutMs = 0;  // new work arrived mid-iteration
+    }
+    if (timeoutMs != 0 && !timers_.empty()) {
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          timers_.begin()->first - Clock::now());
+      timeoutMs = static_cast<int>(std::max<std::int64_t>(wait.count(), 0));
+    }
+
+    const int n = ::epoll_wait(epollFd_, events.data(), kMaxEvents, timeoutMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PRIVTOPK_LOG_WARN("reactor epoll_wait failed: ", std::strerror(errno));
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[static_cast<std::size_t>(i)].data.u64;
+      const int fd = static_cast<int>(tag & 0xFFFFFFFFu);
+      const auto generation = static_cast<std::uint32_t>(tag >> 32);
+      if (fd == wakeFd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wakeFd_, &drained, sizeof drained);
+        continue;
+      }
+      // Re-lookup per event: an earlier handler in this batch may have
+      // closed this fd (generation mismatch catches descriptor reuse).
+      const auto it = fds_.find(fd);
+      if (it == fds_.end() || it->second.generation != generation) continue;
+      it->second.handler(events[static_cast<std::size_t>(i)].events);
+    }
+  }
+}
+
+}  // namespace privtopk::net

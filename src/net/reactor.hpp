@@ -1,0 +1,129 @@
+// Epoll reactor: one thread multiplexing socket readiness, deadline timers
+// and cross-thread tasks for a whole transport.  This is the concurrency
+// foundation of net::TcpTransport (see docs/ROBUSTNESS.md): a node runs
+// O(1) network threads regardless of how many links it maintains, instead
+// of one blocking reader thread per accepted connection.
+//
+// Threading contract:
+//   * Fd handlers, timer callbacks and posted tasks all run on the single
+//     loop thread, so the state they touch needs no locking among
+//     themselves.
+//   * add()/modify()/remove() and runAt()/runAfter()/cancel() may be
+//     called from the loop thread, or from any thread BEFORE start() (for
+//     pre-registration during construction).  Other threads communicate
+//     with the loop exclusively via post(), which wakes it through an
+//     eventfd.
+//   * stop() joins the loop thread; once it returns no callback will ever
+//     run again, so the caller may tear shared state down single-threaded.
+//     Tasks posted after (or racing with) stop() are silently dropped.
+//
+// Fd-generation safety: events are dispatched through a (fd, generation)
+// pair so that a handler that closes fd N and a fresh registration reusing
+// descriptor N within the same epoll batch cannot receive each other's
+// stale readiness events.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace privtopk::net {
+
+class Reactor {
+ public:
+  /// Receives the raw epoll event mask (EPOLLIN/EPOLLOUT/EPOLLERR/...).
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  using Task = std::function<void()>;
+  using TimerId = std::uint64_t;
+  using Clock = std::chrono::steady_clock;
+
+  /// Creates the epoll instance and wakeup eventfd; throws TransportError
+  /// when either kernel object cannot be created.  Call start() to run.
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawns the loop thread.  Must be called at most once.
+  void start();
+
+  /// Wakes and joins the loop thread (idempotent).  Pending tasks and
+  /// timers are discarded; registered fds are left open for the caller.
+  void stop();
+
+  /// Registers `fd` for `events`; `handler` runs on the loop thread each
+  /// time the fd is ready.  Loop thread (or pre-start) only.
+  void add(int fd, std::uint32_t events, FdHandler handler);
+
+  /// Changes the event mask of a registered fd.  Loop thread only.
+  void modify(int fd, std::uint32_t events);
+
+  /// Deregisters `fd` (the fd itself stays open).  Safe to call for fds
+  /// that were never registered.  Loop thread (or post-stop) only.
+  void remove(int fd);
+
+  /// Schedules `task` at `when` (runAfter: now + delay).  Returns an id
+  /// for cancel().  Loop thread (or pre-start) only.
+  TimerId runAt(Clock::time_point when, Task task);
+  TimerId runAfter(std::chrono::milliseconds delay, Task task);
+
+  /// Cancels a pending timer; no-op when it already fired or never existed.
+  void cancel(TimerId id);
+
+  /// Enqueues `task` to run on the loop thread and wakes it.  Thread-safe;
+  /// dropped when the loop has stopped.
+  void post(Task task);
+
+  /// True when the calling thread is the loop thread.
+  [[nodiscard]] bool onLoopThread() const;
+
+  /// True once start() was called and stop() has not completed.
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+ private:
+  struct FdEntry {
+    std::uint32_t generation = 0;
+    FdHandler handler;
+  };
+  struct TimerEntry {
+    TimerId id = 0;
+    Task task;
+  };
+
+  void loop();
+  void wake();
+  void assertLoopOrIdle(const char* what) const;
+
+  int epollFd_ = -1;
+  int wakeFd_ = -1;
+
+  std::thread thread_;
+  // Published by the loop thread itself on entry: onLoopThread() must not
+  // read `thread_`, whose move-assignment in start() can race the freshly
+  // spawned loop's first callbacks.
+  std::atomic<std::thread::id> loopThreadId_{};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+
+  // Loop-thread state (pre-start mutation allowed: no loop thread yet).
+  std::unordered_map<int, FdEntry> fds_;
+  std::uint32_t nextGeneration_ = 1;
+  std::multimap<Clock::time_point, TimerEntry> timers_;
+  std::unordered_map<TimerId, std::multimap<Clock::time_point,
+                                            TimerEntry>::iterator>
+      timersById_;
+  TimerId nextTimerId_ = 1;
+
+  std::mutex tasksMutex_;
+  std::deque<Task> tasks_;
+  bool stopped_ = false;  // guarded by tasksMutex_: post() becomes a no-op
+};
+
+}  // namespace privtopk::net

@@ -1,7 +1,9 @@
 #include "net/socket_util.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -68,6 +70,23 @@ int makeListener(std::uint16_t port, std::uint16_t& boundPort, int backlog) {
     boundPort = ntohs(bound.sin_port);
   }
   return fd;
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw TransportError(std::string("fcntl O_NONBLOCK failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+void setTcpNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void setSendBuffer(int fd, int bytes) {
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
 }
 
 }  // namespace privtopk::net

@@ -25,4 +25,15 @@ bool readAll(int fd, std::uint8_t* data, std::size_t len);
 int makeListener(std::uint16_t port, std::uint16_t& boundPort,
                  int backlog = 16);
 
+/// Puts `fd` in non-blocking mode (O_NONBLOCK).
+void setNonBlocking(int fd);
+
+/// Disables Nagle's algorithm; small frames (hello, coalesced token
+/// batches) must not wait for an ACK clock.  Best-effort.
+void setTcpNoDelay(int fd);
+
+/// Shrinks/grows SO_SNDBUF; tests use a tiny buffer to force backpressure
+/// quickly.  Best-effort.
+void setSendBuffer(int fd, int bytes);
+
 }  // namespace privtopk::net

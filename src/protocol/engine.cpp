@@ -1,6 +1,8 @@
 #include "protocol/engine.hpp"
 
+#include <algorithm>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -64,6 +66,7 @@ DistributedParticipant::DistributedParticipant(NodeId self,
             core::makeLocalAlgorithm(config_.kind, config_.params, rng)) {}
 
 void DistributedParticipant::sendOnRing(const Bytes& payload) {
+  lastSent_ = payload;
   while (true) {
     const NodeId target = core_.successor();
     try {
@@ -72,6 +75,10 @@ void DistributedParticipant::sendOnRing(const Bytes& payload) {
       distributedMetrics().tokenBytes.observe(
           static_cast<double>(payload.size()));
       return;
+    } catch (const OverloadError&) {
+      // Backpressure from the successor's write queue: the peer is alive,
+      // just slow.  Brief pause, same target.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     } catch (const TransportError& e) {
       PRIVTOPK_LOG_WARN("node ", core_.self(), ": successor ", target,
                         " unreachable (", e.what(), "); repairing ring");
@@ -94,11 +101,24 @@ void DistributedParticipant::perform(const core::Actions& actions) {
 }
 
 net::Message DistributedParticipant::awaitMessage() {
-  const auto env = transport_.receive(core_.self(), config_.receiveTimeout);
-  if (!env) {
-    throw TransportError("DistributedParticipant: receive timed out");
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.receiveTimeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      throw TransportError("DistributedParticipant: receive timed out");
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const auto env = transport_.receive(
+        core_.self(), std::min(config_.retransmitAfter, remaining));
+    if (env) return net::decodeMessage(env->payload);
+    // Idle slice expired.  Re-send the last message: receivers suppress
+    // duplicates, and with an asynchronous transport this retransmission
+    // is what surfaces a latched link failure (sendOnRing then repairs
+    // the ring and routes around the dead successor).
+    if (!lastSent_.empty()) sendOnRing(lastSent_);
   }
-  return net::decodeMessage(env->payload);
 }
 
 TopKVector DistributedParticipant::run() {
@@ -113,13 +133,12 @@ TopKVector DistributedParticipant::run() {
       if (token->queryId != config_.queryId) {
         throw ProtocolError("participant: token for an unknown query");
       }
-      if (core_.isStart() && token->round != core_.lastProcessedRound()) {
-        throw ProtocolError("start node: unexpected message mid-round");
-      }
       const core::Actions actions =
           core_.onToken(token->round, token->vector, token->ctx);
       if (actions.duplicate) {
-        throw ProtocolError("participant: duplicate round token");
+        // A retransmission (ours or a peer's) that raced the real token;
+        // the core's round bookkeeping already absorbed the original.
+        continue;
       }
       if (actions.roundClosed) distributedMetrics().rounds.inc();
       perform(actions);
@@ -139,11 +158,20 @@ TopKVector DistributedParticipant::run() {
 
   if (core_.isStart()) {
     // Termination (§3.3): the announcement circles the ring once and dies
-    // back here.
-    const net::Message msg = awaitMessage();
-    const auto* announce = std::get_if<net::ResultAnnouncement>(&msg);
-    if (announce == nullptr || announce->queryId != config_.queryId) {
-      throw ProtocolError("start node: expected the result announcement back");
+    // back here.  Stale retransmitted tokens may trickle in ahead of it.
+    while (true) {
+      const net::Message msg = awaitMessage();
+      if (const auto* announce = std::get_if<net::ResultAnnouncement>(&msg)) {
+        if (announce->queryId != config_.queryId) {
+          throw ProtocolError(
+              "start node: expected the result announcement back");
+        }
+        break;
+      }
+      if (!std::holds_alternative<net::RoundToken>(msg)) {
+        throw ProtocolError(
+            "start node: expected the result announcement back");
+      }
     }
   }
 

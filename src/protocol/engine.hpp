@@ -40,6 +40,13 @@ struct DistributedConfig {
   std::vector<NodeId> ringOrder;
   /// How long receive() waits before concluding the ring is dead.
   std::chrono::milliseconds receiveTimeout{10'000};
+  /// Idle interval after which the last message is retransmitted toward
+  /// the successor.  Receivers suppress duplicates (round bookkeeping in
+  /// the core), and resending is what surfaces an asynchronously latched
+  /// link failure: the reactor transport reports a dead successor on the
+  /// send AFTER the failure, so a participant that only ever waited would
+  /// never learn its token was dropped.
+  std::chrono::milliseconds retransmitAfter{500};
   /// Optional sink recording this participant's view of the execution
   /// (its own steps only - peers' intermediate vectors stay private).
   /// Must outlive the participant.
@@ -81,6 +88,7 @@ class DistributedParticipant {
   net::Transport& transport_;
   DistributedConfig config_;
   core::Participant core_;
+  Bytes lastSent_;  // retransmitted after an idle interval
 };
 
 /// Convenience multi-threaded harness: runs all n participants of a query

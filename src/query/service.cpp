@@ -428,6 +428,11 @@ void NodeService::flushOutbound(std::vector<Outbound>& out) {
       // regular retransmission machinery covers losses.
       try {
         transport_->send(self_, item.target, item.wire);
+      } catch (const OverloadError& e) {
+        // Backpressure, not a dead peer: drop and let retransmission
+        // recover (the peer is alive, just slow to drain).
+        PRIVTOPK_LOG_WARN("service ", self_, ": direct send to ", item.target,
+                          " rejected by backpressure: ", e.what());
       } catch (const TransportError& e) {
         PRIVTOPK_LOG_WARN("service ", self_, ": direct send to ", item.target,
                           " failed: ", e.what());
@@ -447,6 +452,14 @@ void NodeService::flushOutbound(std::vector<Outbound>& out) {
         std::scoped_lock lock(mutex_);
         const auto it = active_.find(item.queryId);
         if (it != active_.end()) it->second.sendFailures = 0;
+        break;
+      } catch (const OverloadError& e) {
+        // The successor's write queue is full.  That is congestion, not
+        // death: counting it toward deadAfterFailures would amputate a
+        // healthy-but-slow peer from the ring.  The retransmission
+        // deadline retries once the queue drains.
+        PRIVTOPK_LOG_WARN("service ", self_, ": send to ", succ,
+                          " rejected by backpressure: ", e.what());
         break;
       } catch (const TransportError& e) {
         std::scoped_lock lock(mutex_);
