@@ -1,10 +1,22 @@
-// Extension bench for the paper's §4.3 collusion analysis: colluding
+// Extension bench for the paper's §4.3 collusion analysis.
+//
+// Part 1 reproduces the flanking-pair analysis: colluding
 // predecessor/successor exposure per round (predicted 1 - Pr(r)), the
 // multi-round Bayesian distribution exposure, and the paper's proposed
 // countermeasure of re-randomizing the ring mapping every round.
+//
+// Part 2 is the figure the paper only sketches: LoP versus the NUMBER of
+// colluders, per privacy mechanism.  A random coalition of c nodes is
+// sampled each trial; CoalitionAnalyzer reconstructs every round's ring
+// order from the trace and scores what the coalition learns about each
+// victim.  The sweep lands in BENCH_ext_collusion.json so CI can track
+// that segmented mode stays near-flat while the baseline schedule
+// degrades as c grows.
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "analysis/bounds.hpp"
@@ -16,18 +28,22 @@ using namespace privtopk;
 
 namespace {
 
-constexpr std::size_t kNodes = 6;
-constexpr Round kRounds = 6;
-constexpr int kDefaultTrials = 1500;
+// ---------------------------------------------------------------------------
+// Part 1: the paper's flanking-pair analysis (unchanged from the original
+// bench; n = 6, k = 1, the configuration §4.3 discusses).
 
-struct CollusionResult {
+constexpr std::size_t kPairNodes = 6;
+constexpr Round kPairRounds = 6;
+constexpr int kPairDefaultTrials = 1500;
+
+struct PairResult {
   std::vector<double> conditionalByRound;
   double bayesianExposure = 0.0;
 };
 
-CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
+PairResult measurePair(bool remapEachRound, std::uint64_t seed) {
   protocol::ProtocolParams params;
-  params.rounds = kRounds;
+  params.rounds = kPairRounds;
   params.remapEachRound = remapEachRound;
   const protocol::RingQueryRunner runner(params,
                                          protocol::ProtocolKind::Probabilistic);
@@ -37,12 +53,12 @@ CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
   Rng dataRng(seed);
   Rng rng(seed + 1);
 
-  const int trials = bench::effectiveTrials(kDefaultTrials);
+  const int trials = bench::effectiveTrials(kPairDefaultTrials);
   const int bayesTrials = std::min(trials, 200);
-  privacy::CollusionAnalyzer analyzer(kRounds);
+  privacy::CollusionAnalyzer analyzer(kPairRounds);
   double bayes = 0.0;
   for (int t = 0; t < trials; ++t) {
-    const auto values = data::generateValueSets(kNodes, 1, dist, dataRng);
+    const auto values = data::generateValueSets(kPairNodes, 1, dist, dataRng);
     const auto trace = runner.run(values, rng).trace;
     analyzer.addTrial(trace);
     if (t < bayesTrials) {  // the Bayesian replay is the expensive part
@@ -50,7 +66,7 @@ CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
     }
   }
 
-  CollusionResult result;
+  PairResult result;
   for (const auto& stats : analyzer.perRound()) {
     result.conditionalByRound.push_back(stats.conditionalExposure());
   }
@@ -58,16 +74,166 @@ CollusionResult measure(bool remapEachRound, std::uint64_t seed) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: LoP versus number of colluders, per privacy mechanism.
+
+// A WIDE top-k (30 of the fleet's 36 values) so most of a victim's vector
+// can surface in the answer: the secret under attack is then the
+// value-to-owner linkage (the paper's claim C), not merge suppression.
+// Each node's 4-value vector spreads over 4 segment rounds, so a fixed
+// flank learns everything under the schedule but only one segment per
+// lucky derived order under segmented mode.
+constexpr std::size_t kNodes = 9;
+constexpr std::size_t kK = 30;
+constexpr std::size_t kValuesPerNode = 4;
+constexpr Round kScheduleRounds = 6;
+constexpr std::uint32_t kSegments = 8;
+constexpr double kLdpEpsilon = 1.0;
+constexpr int kSweepDefaultTrials = 800;
+const std::vector<std::size_t> kColluders = {2, 3, 4, 5, 6};
+
+struct MechanismSeries {
+  std::string name;
+  protocol::ProtocolParams params;
+  Round rounds = 1;  // trace rounds, for the analyzer
+};
+
+std::vector<MechanismSeries> makeSeries() {
+  std::vector<MechanismSeries> series;
+
+  MechanismSeries fixed;
+  fixed.name = "schedule-fixed";
+  fixed.params.k = kK;
+  fixed.params.rounds = kScheduleRounds;
+  fixed.rounds = kScheduleRounds;
+  series.push_back(fixed);
+
+  MechanismSeries remapped = fixed;
+  remapped.name = "schedule-remapped";
+  remapped.params.remapEachRound = true;
+  series.push_back(remapped);
+
+  MechanismSeries segmented;
+  segmented.name = "segmented";
+  segmented.params.k = kK;
+  segmented.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  segmented.params.mechanism.segments = kSegments;
+  segmented.rounds = kSegments;
+  series.push_back(segmented);
+
+  MechanismSeries ldp;
+  ldp.name = "ldp";
+  ldp.params.k = kK;
+  ldp.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  ldp.params.mechanism.ldpEpsilon = kLdpEpsilon;
+  ldp.rounds = 1;
+  series.push_back(ldp);
+
+  return series;
+}
+
+/// Random c-subset of {0..n-1} via a partial Fisher-Yates shuffle.
+std::vector<NodeId> sampleCoalition(std::size_t n, std::size_t c, Rng& rng) {
+  std::vector<NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < c; ++i) {
+    std::swap(ids[i], ids[i + rng.index(n - i)]);
+  }
+  ids.resize(c);
+  return ids;
+}
+
+struct SweepPoint {
+  std::size_t colluders = 0;
+  double averageExposure = 0.0;
+  double fullReconstruction = 0.0;
+  std::size_t samples = 0;
+};
+
+struct SweepSeries {
+  std::string name;
+  int trials = 0;
+  std::vector<SweepPoint> points;
+};
+
+SweepSeries measureSweep(const MechanismSeries& series, std::uint64_t seed) {
+  const protocol::RingQueryRunner runner(series.params,
+                                         protocol::ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(seed);
+  Rng rng(seed + 1);
+  Rng coalitionRng(seed + 2);
+
+  const int trials = bench::effectiveTrials(kSweepDefaultTrials);
+  std::vector<privacy::CoalitionAnalyzer> analyzers(
+      kColluders.size(), privacy::CoalitionAnalyzer(series.rounds));
+  for (int t = 0; t < trials; ++t) {
+    const auto values =
+        data::generateValueSets(kNodes, kValuesPerNode, dist, dataRng);
+    const auto trace = runner.run(values, rng).trace;
+    // One trace scored against an independent coalition draw per size.
+    for (std::size_t ci = 0; ci < kColluders.size(); ++ci) {
+      analyzers[ci].addTrial(
+          trace, sampleCoalition(kNodes, kColluders[ci], coalitionRng));
+    }
+  }
+
+  SweepSeries out;
+  out.name = series.name;
+  out.trials = trials;
+  for (std::size_t ci = 0; ci < kColluders.size(); ++ci) {
+    SweepPoint point;
+    point.colluders = kColluders[ci];
+    point.averageExposure = analyzers[ci].averageExposure();
+    point.fullReconstruction = analyzers[ci].fullReconstructionRate();
+    point.samples = analyzers[ci].samples();
+    out.points.push_back(point);
+  }
+  return out;
+}
+
+void writeSweepJson(const std::vector<SweepSeries>& sweep,
+                    const char* argv0) {
+  if (!bench::jsonExportEnabled()) return;
+  const std::string path =
+      bench::resolveBenchJsonPath("BENCH_ext_collusion.json", argv0);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write '%s'\n", path.c_str());
+    return;
+  }
+  out << "[\n";
+  bool first = true;
+  for (const auto& series : sweep) {
+    for (const auto& point : series.points) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  {\"bench\": \"ext_collusion\", \"mechanism\": \""
+          << series.name << "\", \"colluders\": " << point.colluders
+          << ", \"n\": " << kNodes << ", \"k\": " << kK
+          << ", \"trials\": " << series.trials
+          << ", \"samples\": " << point.samples << ", \"avg_exposure\": "
+          << point.averageExposure << ", \"full_reconstruction\": "
+          << point.fullReconstruction << "}";
+    }
+  }
+  out << "\n]\n";
+  std::printf("sweep JSON: %s\n\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::initBenchCli(argc, argv, "ext_collusion");
-  const auto fixedRing = measure(false, 1201);
-  const auto remapped = measure(true, 1203);
+
+  // -------------------------------------------------------------------
+  // Part 1: flanking pair, per round.
+  const auto fixedRing = measurePair(false, 1201);
+  const auto remapped = measurePair(true, 1203);
 
   std::vector<double> xs;
   std::vector<double> predicted;
-  for (Round r = 1; r <= kRounds; ++r) {
+  for (Round r = 1; r <= kPairRounds; ++r) {
     xs.push_back(r);
     predicted.push_back(1.0 -
                         analysis::randomizationProbability(1.0, 0.5, r));
@@ -84,14 +250,56 @@ int main(int argc, char** argv) {
 
   bench::printHeader("Multi-round Bayesian distribution exposure", "");
   std::printf("  fixed ring:     %.4f\n", fixedRing.bayesianExposure);
-  std::printf("  remapped ring:  %.4f\n", remapped.bayesianExposure);
+  std::printf("  remapped ring:  %.4f\n\n", remapped.bayesianExposure);
+
+  // -------------------------------------------------------------------
+  // Part 2: LoP vs number of colluders, per privacy mechanism.
+  std::vector<SweepSeries> sweep;
+  std::uint64_t seed = 2201;
+  for (const auto& series : makeSeries()) {
+    sweep.push_back(measureSweep(series, seed));
+    seed += 10;
+  }
+
+  std::vector<double> cs;
+  for (std::size_t c : kColluders) cs.push_back(static_cast<double>(c));
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> avgCols;
+  std::vector<std::vector<double>> fullCols;
+  for (const auto& series : sweep) {
+    names.push_back(series.name);
+    std::vector<double> avg;
+    std::vector<double> full;
+    for (const auto& point : series.points) {
+      avg.push_back(point.averageExposure);
+      full.push_back(point.fullReconstruction);
+    }
+    avgCols.push_back(std::move(avg));
+    fullCols.push_back(std::move(full));
+  }
+
+  bench::printHeader(
+      "Extension: LoP vs number of colluders, per mechanism",
+      "random coalition of c nodes; n = 9, k = 30, 4 values/node; "
+      "mean learned fraction");
+  bench::printSeriesTable("colluders", names, cs, avgCols);
+
+  bench::printHeader(
+      "Full-reconstruction rate (coalition learns the ENTIRE vector)", "");
+  bench::printSeriesTable("colluders", names, cs, fullCols);
+
+  writeSweepJson(sweep, argc > 0 ? argv[0] : nullptr);
+
   std::printf(
-      "\nReading: the measured conditional exposure tracks the paper's\n"
-      "1 - Pr(r) prediction.  Per-round remapping does not change the\n"
-      "per-observation leak, but it breaks the ASSUMPTION that the same\n"
-      "pair of colluders flanks the victim every round: with remapping a\n"
-      "fixed colluding pair sees a given victim's step only ~1/n of the\n"
-      "rounds, so the multi-round aggregation above is an upper bound that\n"
-      "only a coalition colluding at every position could achieve.\n");
+      "Reading: the flanking-pair exposure tracks the paper's 1 - Pr(r)\n"
+      "prediction.  In the coalition sweep both schedule variants degrade\n"
+      "alike as c grows: the randomized top-k contributes its WHOLE local\n"
+      "vector in its first non-randomized round, so one lucky flank in\n"
+      "that round suffices and per-round remapping does not help against\n"
+      "a coalition (it only breaks a fixed flanking PAIR).  Segmented mode\n"
+      "splits the contribution itself across independent derived orders -\n"
+      "full reconstruction needs a flank per segment round and stays\n"
+      "near-flat - and LDP only ever leaks values whose noise draw\n"
+      "happened to be zero.\n");
   return 0;
 }

@@ -172,6 +172,8 @@ int effectiveTrials(int specDefault) {
   return override > 0 ? override : specDefault;
 }
 
+bool jsonExportEnabled() { return cliState().writeJson; }
+
 std::string resolveBenchJsonPath(const std::string& filename,
                                  const char* argv0) {
   namespace fs = std::filesystem;

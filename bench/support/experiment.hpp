@@ -93,6 +93,11 @@ void initBenchCli(int argc, char** argv, const std::string& benchName);
 /// knob reaches them too.
 [[nodiscard]] int effectiveTrials(int specDefault);
 
+/// Whether --no-json was ABSENT: hand-rolled benches that write their own
+/// JSON export (instead of going through measure*'s run log) gate the
+/// write on this so the flag reaches them too.
+[[nodiscard]] bool jsonExportEnabled();
+
 /// Resolves where a BENCH_*.json export lands: $PRIVTOPK_BENCH_JSON_DIR
 /// when set, otherwise the directory of the running binary (from argv0),
 /// otherwise the CWD.  Shared by the figure drivers and the

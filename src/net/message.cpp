@@ -1,5 +1,7 @@
 #include "net/message.hpp"
 
+#include <cmath>
+
 namespace privtopk::net {
 
 namespace {
@@ -66,6 +68,12 @@ Bytes encodeMessage(const Message& message) {
     w.writeU64(announce.parentQueryId);
     w.writeU8(announce.phase);
     w.writeU32(announce.groupSize);
+    w.writeVarint(announce.mechanismId);
+    if (announce.mechanismId == 1) {
+      w.writeVarint(announce.segments);
+    } else if (announce.mechanismId == 2) {
+      w.writeF64(announce.ldpEpsilon);
+    }
     writeContext(w, announce.ctx);
   }
   return w.take();
@@ -125,6 +133,24 @@ Message decodeMessage(std::span<const std::uint8_t> bytes) {
       announce.parentQueryId = r.readU64();
       announce.phase = r.readU8();
       announce.groupSize = r.readU32();
+      const std::uint64_t mechanism = r.readVarint();
+      if (mechanism > 2) {
+        throw ProtocolError("QueryAnnounce: unknown privacy mechanism");
+      }
+      announce.mechanismId = static_cast<std::uint8_t>(mechanism);
+      if (announce.mechanismId == 1) {
+        const std::uint64_t segments = r.readVarint();
+        if (segments < 2 || segments > 64) {
+          throw ProtocolError("QueryAnnounce: segment count out of range");
+        }
+        announce.segments = static_cast<std::uint32_t>(segments);
+      } else if (announce.mechanismId == 2) {
+        const double epsilon = r.readF64();
+        if (!std::isfinite(epsilon) || !(epsilon > 0.0) || epsilon > 64.0) {
+          throw ProtocolError("QueryAnnounce: ldp epsilon out of range");
+        }
+        announce.ldpEpsilon = epsilon;
+      }
       announce.ctx = readContext(r);
       if (announce.phase > 2) {
         throw ProtocolError("QueryAnnounce: unknown phase");

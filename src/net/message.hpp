@@ -78,6 +78,15 @@ struct QueryAnnounce {
   std::uint64_t parentQueryId = 0;
   std::uint8_t phase = 0;      ///< 0 standalone, 1 group ring, 2 merge ring
   std::uint32_t groupSize = 0; ///< parent's requested group size (echo)
+
+  // Privacy-mechanism echo (protocol/mechanism.hpp).  Duplicates the
+  // selection inside the (opaque) descriptor so this layer can validate
+  // without decoding it; the service cross-checks the echo against the
+  // decoded descriptor on arrival.  Varint on the wire: the default
+  // (mechanismId 0 = schedule) costs one zero byte and writes no knob.
+  std::uint8_t mechanismId = 0;   ///< protocol::MechanismKind wire id
+  std::uint32_t segments = 0;     ///< segment count (mechanismId 1 only)
+  double ldpEpsilon = 0.0;        ///< LDP epsilon (mechanismId 2 only)
   obs::TraceContext ctx{};
 
   friend bool operator==(const QueryAnnounce&, const QueryAnnounce&) = default;

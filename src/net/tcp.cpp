@@ -126,6 +126,8 @@ TcpTransport::TcpTransport(NodeId self, std::vector<TcpPeer> peers,
           obs::counter("privtopk.transport.overload_rejected", kTcpLabels)),
       metricFramesCoalesced_(
           obs::counter("privtopk.transport.frames_coalesced", kTcpLabels)),
+      metricInlineWrites_(
+          obs::counter("privtopk.transport.inline_writes", kTcpLabels)),
       metricQueueDepth_(
           obs::gauge("privtopk.transport.queue_depth", kTcpLabels)),
       metricWriteQueueDepth_(
@@ -174,6 +176,9 @@ void TcpTransport::shutdown() {
 
   std::size_t droppedQueued = 0;
   for (auto& [id, link] : outLinks_) {
+    // Close under the link mutex so an in-progress inline send() can
+    // never race the fd teardown.
+    std::scoped_lock lock(link->mutex);
     if (link->fd >= 0) {
       if (link->registered) reactor_.remove(link->fd);
       ::close(link->fd);
@@ -181,7 +186,9 @@ void TcpTransport::shutdown() {
       link->registered = false;
     }
     link->inflight.clear();
-    std::scoped_lock lock(link->mutex);
+    link->wireIdle = false;
+    link->inlinePending = false;
+    link->inlineBody = Bytes();
     link->state = OutLink::State::Failed;
     link->failReason = "transport shut down";
     droppedQueued += link->queue.size();
@@ -441,6 +448,8 @@ void TcpTransport::send(NodeId from, NodeId to, const Bytes& payload) {
 
   OutLink* link = outLinks_.find(to)->second.get();
   bool kick = false;
+  bool inlined = false;
+  std::string inlineFailure;
   {
     std::scoped_lock lock(link->mutex);
     switch (link->state) {
@@ -462,22 +471,90 @@ void TcpTransport::send(NodeId from, NodeId to, const Bytes& payload) {
       case OutLink::State::Established:
         break;
     }
-    if (link->queue.size() >= options_.maxQueuedFramesPerPeer ||
-        link->queuedBytes + payload.size() > options_.maxQueuedBytesPerPeer) {
-      metricOverloadRejected_.inc();
-      throw OverloadError(
-          "TcpTransport: write queue to " + std::to_string(to) + " is full (" +
-              std::to_string(link->queue.size()) + " frames)",
-          std::chrono::milliseconds(10));
+
+    // Inline fast path: an Established plaintext link with nothing in
+    // flight and nothing queued writes straight from the caller thread -
+    // one sendmsg, no reactor wakeup, no queue latency.  The mutex makes
+    // this safe: failLink/shutdown close the fd under it, the reactor
+    // only writes when wireIdle is false, and concurrent senders
+    // serialize here so FIFO order holds.  Encrypted links always take
+    // the queue (sealing mutates the session's sequence counter, which is
+    // reactor-thread state).
+    if (!options_.encrypt && link->state == OutLink::State::Established &&
+        link->wireIdle && link->queue.empty() && link->fd >= 0) {
+      const std::array<std::uint8_t, 4> header = lenHeader(payload.size());
+      iovec iov[2];
+      iov[0].iov_base = const_cast<std::uint8_t*>(header.data());
+      iov[0].iov_len = header.size();
+      iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
+      iov[1].iov_len = payload.size();
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = payload.empty() ? 1 : 2;
+      ssize_t n = 0;
+      do {
+        n = ::sendmsg(link->fd, &msg, MSG_NOSIGNAL);
+      } while (n < 0 && errno == EINTR);
+      const std::size_t total = header.size() + payload.size();
+      if (n == static_cast<ssize_t>(total)) {
+        inlined = true;  // fully on the wire; the link stays idle
+      } else if (n >= 0) {
+        // Partial write: park the remainder for the reactor to finish
+        // ahead of any frames queued after it.
+        link->inlinePending = true;
+        link->inlineHeader = header;
+        link->inlineBody = payload;
+        link->inlineOff = static_cast<std::size_t>(n);
+        link->wireIdle = false;
+        inlined = true;
+        if (!link->kickPending) {
+          link->kickPending = true;
+          kick = true;
+        }
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: fall through to the queued slow path.
+        link->wireIdle = false;
+      } else {
+        // Socket error: have the reactor tear the link down (it owns the
+        // registration) and surface the failure to this caller now.
+        link->wireIdle = false;
+        inlineFailure = std::strerror(errno);
+      }
     }
-    link->queue.push_back(payload);
-    link->queuedBytes += payload.size();
-    if (!link->kickPending) {
-      link->kickPending = true;
-      kick = true;
+
+    if (!inlined && inlineFailure.empty()) {
+      if (link->queue.size() >= options_.maxQueuedFramesPerPeer ||
+          link->queuedBytes + payload.size() >
+              options_.maxQueuedBytesPerPeer) {
+        metricOverloadRejected_.inc();
+        throw OverloadError(
+            "TcpTransport: write queue to " + std::to_string(to) +
+                " is full (" + std::to_string(link->queue.size()) +
+                " frames)",
+            std::chrono::milliseconds(10));
+      }
+      link->wireIdle = false;
+      link->queue.push_back(payload);
+      link->queuedBytes += payload.size();
+      if (!link->kickPending) {
+        link->kickPending = true;
+        kick = true;
+      }
     }
   }
-  metricWriteQueueDepth_.add(1);
+  if (!inlineFailure.empty()) {
+    reactor_.post([this, link, inlineFailure] {
+      failLink(link, "inline write failed: " + inlineFailure);
+    });
+    metricSendErrors_.inc();
+    throw TransportError("TcpTransport: link to " + std::to_string(to) +
+                         " failed: inline write failed: " + inlineFailure);
+  }
+  if (inlined) {
+    metricInlineWrites_.inc();
+  } else {
+    metricWriteQueueDepth_.add(1);
+  }
   if (kick) {
     reactor_.post([this, link] { kickLink(link); });
   }
@@ -689,8 +766,23 @@ void TcpTransport::drainLink(OutLink* link) {
         std::deque<Bytes> moved;
         {
           std::scoped_lock lock(link->mutex);
+          // A partially inline-written frame goes first: its head bytes
+          // are already on the wire, so nothing may overtake its tail.
+          if (link->inlinePending) {
+            link->inlinePending = false;
+            link->inflight.push_back(
+                Frame{link->inlineHeader, std::move(link->inlineBody)});
+            link->inflightOff = link->inlineOff;
+            link->inlineBody = Bytes();
+            link->inlineOff = 0;
+          }
           moved.swap(link->queue);
           link->queuedBytes = 0;
+          // Fully drained and nothing new: open the inline fast path for
+          // the next send (plaintext links only; sealing is reactor-side).
+          link->wireIdle = link->inflight.empty() && moved.empty() &&
+                           !options_.encrypt &&
+                           link->state == OutLink::State::Established;
         }
         if (!moved.empty()) {
           metricWriteQueueDepth_.sub(static_cast<std::int64_t>(moved.size()));
@@ -780,26 +872,33 @@ void TcpTransport::failLink(OutLink* link, const std::string& reason) {
     reactor_.cancel(link->retryTimer);
     link->retryTimer = 0;
   }
-  if (link->fd >= 0) {
-    if (link->registered) reactor_.remove(link->fd);
-    ::close(link->fd);
-    link->fd = -1;
-    link->registered = false;
-  }
-  link->connectPending = false;
-  link->awaitingHandshake = false;
-  link->wantWrite = false;
-  link->handshake.reset();
-  link->session.reset();
-  link->inflight.clear();
-  link->inflightIdx = 0;
-  link->inflightOff = 0;
-  link->reader = FrameReader();
-
   bool wasEstablished = false;
   std::size_t droppedQueued = 0;
   {
+    // The fd close happens UNDER the link mutex: an inline send() holding
+    // the mutex finishes its sendmsg before the fd can be closed (and
+    // once `state` flips to Failed no new inline write starts).
     std::scoped_lock lock(link->mutex);
+    if (link->fd >= 0) {
+      if (link->registered) reactor_.remove(link->fd);
+      ::close(link->fd);
+      link->fd = -1;
+      link->registered = false;
+    }
+    link->connectPending = false;
+    link->awaitingHandshake = false;
+    link->wantWrite = false;
+    link->handshake.reset();
+    link->session.reset();
+    link->inflight.clear();
+    link->inflightIdx = 0;
+    link->inflightOff = 0;
+    link->reader = FrameReader();
+    link->wireIdle = false;
+    link->inlinePending = false;
+    link->inlineBody = Bytes();
+    link->inlineOff = 0;
+
     wasEstablished = link->state == OutLink::State::Established;
     link->state = OutLink::State::Failed;
     link->failReason = reason;

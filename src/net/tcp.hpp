@@ -28,6 +28,7 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -183,6 +184,20 @@ class TcpTransport final : public Transport {
     bool kickPending = false;          // guarded by mutex
     bool everFailed = false;           // guarded by mutex
 
+    // Inline-write fast path (plaintext links only).  `wireIdle` is set by
+    // the reactor when the link is Established with nothing in flight and
+    // nothing queued: the NEXT send() may then write straight from the
+    // caller thread (one sendmsg, zero cross-thread handoff).  A partial
+    // inline write parks its remainder here; the reactor adopts it ahead
+    // of any queued frames on the next drain.  All five fields are guarded
+    // by `mutex`, and failLink()/shutdown() close `fd` UNDER the mutex so
+    // an inline sendmsg can never race the close.
+    bool wireIdle = false;             // guarded by mutex
+    bool inlinePending = false;        // guarded by mutex
+    std::array<std::uint8_t, 4> inlineHeader{};  // guarded by mutex
+    Bytes inlineBody;                  // guarded by mutex
+    std::size_t inlineOff = 0;         // guarded by mutex
+
     // Reactor-thread-only connection state.
     int fd = -1;
     bool registered = false;           // fd added to the reactor
@@ -271,6 +286,7 @@ class TcpTransport final : public Transport {
   obs::Counter& metricAcceptRetries_;
   obs::Counter& metricOverloadRejected_;
   obs::Counter& metricFramesCoalesced_;
+  obs::Counter& metricInlineWrites_;
   obs::Gauge& metricQueueDepth_;
   obs::Gauge& metricWriteQueueDepth_;
 

@@ -1,6 +1,7 @@
 #include "privacy/adversary.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.hpp"
 #include "privacy/lop.hpp"
@@ -42,6 +43,104 @@ double CollusionAnalyzer::peakConditionalExposure() const {
     peak = std::max(peak, stats.conditionalExposure());
   }
   return peak;
+}
+
+namespace {
+
+/// Multiset intersection VALUES (common/types.hpp only exposes the size).
+TopKVector multisetIntersection(TopKVector a, TopKVector b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  TopKVector out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+CoalitionAnalyzer::CoalitionAnalyzer(Round maxRounds)
+    : maxRounds_(maxRounds) {
+  if (maxRounds == 0) throw ConfigError("CoalitionAnalyzer: rounds > 0");
+}
+
+void CoalitionAnalyzer::addTrial(const protocol::ExecutionTrace& trace,
+                                 const std::vector<NodeId>& coalition) {
+  if (coalition.empty()) {
+    throw ConfigError("CoalitionAnalyzer: empty coalition");
+  }
+  const std::size_t n = trace.nodeCount;
+  std::vector<char> isMember(n, 0);
+  for (NodeId member : coalition) {
+    if (member >= n) {
+      throw ConfigError("CoalitionAnalyzer: coalition member off the ring");
+    }
+    isMember[member] = 1;
+  }
+
+  // Reconstruct each round's ring order from the recorded positions and
+  // index each victim's step per round.  A round missing any position
+  // (e.g. a repaired, shrunken ring) is skipped entirely.
+  constexpr NodeId kUnset = static_cast<NodeId>(-1);
+  const std::size_t rounds =
+      std::min<std::size_t>(maxRounds_, trace.rounds ? trace.rounds
+                                                     : maxRounds_);
+  std::vector<std::vector<NodeId>> orderOf(rounds,
+                                           std::vector<NodeId>(n, kUnset));
+  std::vector<std::vector<const protocol::TraceStep*>> stepOf(
+      rounds, std::vector<const protocol::TraceStep*>(n, nullptr));
+  for (const auto& step : trace.steps) {
+    if (step.round == 0 || step.round > rounds) continue;
+    if (step.position >= n || step.node >= n) continue;
+    orderOf[step.round - 1][step.position] = step.node;
+    stepOf[step.round - 1][step.node] = &step;
+  }
+
+  for (NodeId victim = 0; victim < n; ++victim) {
+    if (isMember[victim]) continue;
+    const TopKVector& local = trace.localVectors[victim];
+    if (local.empty()) continue;
+
+    // Learned values pool across every observed round; intersecting the
+    // pool with the victim's vector at the end caps multiplicities (the
+    // same value observed twice is still one learned item).
+    TopKVector learnedPool;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const auto& order = orderOf[r];
+      const auto it = std::find(order.begin(), order.end(), victim);
+      if (it == order.end()) continue;
+      const std::size_t pos =
+          static_cast<std::size_t>(it - order.begin());
+      const NodeId pred = order[(pos + n - 1) % n];
+      const NodeId succ = order[(pos + 1) % n];
+      if (pred == kUnset || succ == kUnset) continue;  // partial round
+      if (!isMember[pred] || !isMember[succ]) continue;
+      const protocol::TraceStep* step = stepOf[r][victim];
+      if (step == nullptr) continue;
+      const TopKVector fresh =
+          protocol::multisetDifference(step->output, step->input);
+      const TopKVector owned = multisetIntersection(fresh, local);
+      learnedPool.insert(learnedPool.end(), owned.begin(), owned.end());
+    }
+
+    const std::size_t learned =
+        multisetIntersectionSize(learnedPool, local);
+    exposureSum_ +=
+        static_cast<double>(learned) / static_cast<double>(local.size());
+    if (learned == local.size()) ++fullCount_;
+    ++samples_;
+  }
+}
+
+double CoalitionAnalyzer::averageExposure() const {
+  return samples_ == 0 ? 0.0
+                       : exposureSum_ / static_cast<double>(samples_);
+}
+
+double CoalitionAnalyzer::fullReconstructionRate() const {
+  return samples_ == 0 ? 0.0
+                       : static_cast<double>(fullCount_) /
+                             static_cast<double>(samples_);
 }
 
 double groupExposure(const protocol::ExecutionTrace& trace,

@@ -59,6 +59,49 @@ class CollusionAnalyzer {
   std::vector<CollusionRoundStats> rounds_;
 };
 
+/// A coalition of c arbitrary colluding nodes scored against a recorded
+/// trace.  The coalition jointly observes a victim's round-r step iff BOTH
+/// the victim's predecessor and successor on that round's ring order are
+/// coalition members (the predecessor sent the input, the successor
+/// received the output).  Ring orders are reconstructed per round from the
+/// TraceStep (round, position, node) triples, so per-round remapping
+/// (§4.3) and the segmented mechanism's derived orders are handled
+/// transparently.  What the coalition learns from an observed step is
+/// fresh = output − input intersected with the victim's private vector;
+/// learned values accumulate across observed rounds (multiset semantics,
+/// capped by the victim's own multiplicities).
+///
+/// Per (trial, victim) sample: |learned| / |victim local vector|.  This is
+/// the coalition generalization of the LoP point estimate: 1.0 means the
+/// coalition reconstructed the victim's entire private contribution.
+class CoalitionAnalyzer {
+ public:
+  /// `maxRounds` bounds the per-round order reconstruction; steps beyond
+  /// it are ignored (mirrors CollusionAnalyzer).
+  explicit CoalitionAnalyzer(Round maxRounds);
+
+  /// Scores `trace` against one sampled coalition.  Every node outside the
+  /// coalition with a non-empty private vector contributes one sample.
+  /// Throws ConfigError on an empty coalition or out-of-range member ids.
+  void addTrial(const protocol::ExecutionTrace& trace,
+                const std::vector<NodeId>& coalition);
+
+  /// Mean learned-fraction over all (trial, victim) samples.
+  [[nodiscard]] double averageExposure() const;
+
+  /// Fraction of samples where the coalition learned the victim's ENTIRE
+  /// private vector - the headline "can c colluders break privacy" number.
+  [[nodiscard]] double fullReconstructionRate() const;
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  Round maxRounds_;
+  double exposureSum_ = 0.0;
+  std::size_t fullCount_ = 0;
+  std::size_t samples_ = 0;
+};
+
 /// Group (m-anonymity) exposure: treats `group` as one entity and measures
 /// the fraction of an output vector's values held by ANY group member,
 /// minus the baseline |output ∩ TopK| * |group| / n.  With the full node

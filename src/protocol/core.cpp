@@ -63,27 +63,13 @@ std::unique_ptr<LocalAlgorithm> makeLocalAlgorithm(ProtocolKind kind,
                                                    const ProtocolParams& params,
                                                    Rng& rng) {
   params.validate();
-  switch (kind) {
-    case ProtocolKind::Probabilistic: {
-      auto schedule =
-          std::make_shared<const ExponentialSchedule>(params.p0, params.d);
-      if (params.k == 1) {
-        return std::make_unique<RandomizedMaxAlgorithm>(
-            std::move(schedule), rng.fork(kAlgorithmRngTag), params.domain);
-      }
-      return std::make_unique<RandomizedTopKAlgorithm>(
-          params.k, std::move(schedule), rng.fork(kAlgorithmRngTag),
-          params.domain, params.delta);
-    }
-    case ProtocolKind::Naive:
-    case ProtocolKind::AnonymousNaive:
-      return std::make_unique<NaiveAlgorithm>(params.k);
-  }
-  throw ConfigError("makeLocalAlgorithm: unknown protocol kind");
+  validateMechanismFor(kind, params);
+  return makeMechanism(params.mechanism)->makeAlgorithm(kind, params, rng);
 }
 
 Round roundBudget(ProtocolKind kind, const ProtocolParams& params) {
-  return kind == ProtocolKind::Probabilistic ? params.effectiveRounds() : 1;
+  validateMechanismFor(kind, params);
+  return makeMechanism(params.mechanism)->roundBudget(kind, params);
 }
 
 Participant::Participant(ParticipantConfig config, TopKVector localTopK,
@@ -97,11 +83,13 @@ Participant::Participant(ParticipantConfig config, TopKVector localTopK,
       local_(std::move(localTopK)),
       algorithm_(std::move(algorithm)) {
   params_.validate();
+  validateMechanismFor(config.kind, params_);
   requireRingSize(ringOrder_.size(), "core::Participant");
   if (!onRing(ringOrder_, self_)) {
     throw ConfigError("core::Participant: node is not on the ring");
   }
-  rounds_ = roundBudget(config.kind, params_);
+  mechanism_ = makeMechanism(params_.mechanism);
+  rounds_ = mechanism_->roundBudget(config.kind, params_);
   algorithm_->reset(local_);
   if (trace_ != nullptr) {
     trace_->nodeCount = std::max(trace_->nodeCount, ringOrder_.size());
@@ -116,7 +104,18 @@ Participant::Participant(ParticipantConfig config, TopKVector localTopK,
   }
 }
 
+const std::vector<NodeId>& Participant::activeOrder() const {
+  if (cachedRound_ != wireRound_ || cachedOrder_.empty()) {
+    cachedOrder_ = mechanism_->orderForRound(ringOrder_, wireRound_, queryId_);
+    cachedRound_ = wireRound_;
+  }
+  return cachedOrder_;
+}
+
 TopKVector Participant::process(Round round, const TopKVector& input) {
+  // Outgoing routing (and the traced position) follows the ordering of
+  // the round being processed from here on.
+  wireRound_ = round;
   TopKVector output = algorithm_->step(input, round);
   if (trace_ != nullptr) {
     trace_->steps.push_back(TraceStep{round, position(), self_, input, output});
@@ -127,6 +126,9 @@ TopKVector Participant::process(Round round, const TopKVector& input) {
 
 Actions Participant::finish(Actions actions, const TopKVector& result,
                             const obs::TraceContext& ctx) {
+  // The result announcement circulates on the final round's ordering; every
+  // node pins it regardless of which round it last processed.
+  wireRound_ = rounds_;
   result_ = result;
   completed_ = true;
   if (trace_ != nullptr) trace_->result = result_;
@@ -234,6 +236,7 @@ Actions Participant::onResult(const TopKVector& result,
 RepairOutcome Participant::onPeerDead(NodeId failed) {
   if (failed == self_) return RepairOutcome{};  // we are demonstrably alive
   const RepairOutcome outcome = repairRing(ringOrder_, failed);
+  cachedOrder_.clear();  // derived orders must re-derive off the repaired base
   if (outcome.applied && outcome.belowFloor && !completed_ && !aborted_) {
     aborted_ = true;
     abortReason_ = "ring shrank below the privacy floor after repair";
@@ -246,6 +249,7 @@ void Participant::setRingOrder(std::vector<NodeId> order) {
     throw Error("core::Participant: remap drops this node from the ring");
   }
   ringOrder_ = std::move(order);
+  cachedOrder_.clear();
 }
 
 }  // namespace privtopk::protocol::core

@@ -37,6 +37,7 @@
 #include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "protocol/local_algorithm.hpp"
+#include "protocol/mechanism.hpp"
 #include "protocol/params.hpp"
 #include "protocol/trace.hpp"
 
@@ -103,14 +104,17 @@ RepairOutcome repairRing(std::vector<NodeId>& order, NodeId failed);
 /// shared engine Rng (see makeLocalAlgorithm).
 inline constexpr std::uint64_t kAlgorithmRngTag = 0x5a17;
 
-/// Builds the local-algorithm instance a ProtocolKind requires.  For the
-/// probabilistic kinds `rng` is forked (with kAlgorithmRngTag) so each
-/// node owns an independent stream; the naive kinds draw nothing.
+/// Builds the local-algorithm instance the configured privacy mechanism
+/// requires (delegates to makeMechanism(params.mechanism)).  Randomizing
+/// mechanisms fork `rng` (with kAlgorithmRngTag) so each node owns an
+/// independent stream; deterministic ones draw nothing.
 [[nodiscard]] std::unique_ptr<LocalAlgorithm> makeLocalAlgorithm(
     ProtocolKind kind, const ProtocolParams& params, Rng& rng);
 
-/// The round budget a configuration implies: the paper's r_min (Eq. 4) for
-/// the probabilistic protocol, exactly one round for the naive variants.
+/// The round budget a configuration implies (delegates to the privacy
+/// mechanism): the paper's r_min (Eq. 4) for the probabilistic schedule,
+/// `segments` for the segmented mechanism, one round for LDP and the naive
+/// variants.
 [[nodiscard]] Round roundBudget(ProtocolKind kind,
                                 const ProtocolParams& params);
 
@@ -224,15 +228,23 @@ class Participant {
   // --- Observers ---
 
   [[nodiscard]] NodeId self() const { return self_; }
+  /// Controller check: the front of the BASE order (mechanisms must keep
+  /// it in front of every derived order).
   [[nodiscard]] bool isStart() const { return ringOrder_.front() == self_; }
+  /// The agreed BASE order (repair and announces operate on it); the
+  /// per-round order actually routed on is a mechanism derivation of it.
   [[nodiscard]] const std::vector<NodeId>& ringOrder() const {
     return ringOrder_;
   }
+  /// Position on the ring ordering of the round currently in flight.
   [[nodiscard]] std::size_t position() const {
-    return ringPosition(ringOrder_, self_);
+    return ringPosition(activeOrder(), self_);
   }
+  /// Where the NEXT outgoing message goes: the successor on the ring
+  /// ordering of the round currently in flight.  Drivers must route every
+  /// send through this (never through the base order).
   [[nodiscard]] NodeId successor() const {
-    return ringSuccessor(ringOrder_, self_);
+    return ringSuccessor(activeOrder(), self_);
   }
   [[nodiscard]] Round rounds() const { return rounds_; }
   /// Highest round this node's algorithm has processed.
@@ -258,16 +270,26 @@ class Participant {
   obs::TraceContext emitSpan(const obs::TraceContext& in, const char* name,
                              Round round, std::int64_t startNs,
                              std::int64_t queueNs);
+  /// The ring ordering of the round currently in flight (wireRound_),
+  /// derived from the base order by the mechanism and cached until the
+  /// round advances or the base order changes.
+  [[nodiscard]] const std::vector<NodeId>& activeOrder() const;
 
   std::uint64_t queryId_ = 0;
   NodeId self_ = 0;
   std::vector<NodeId> ringOrder_;
   ProtocolParams params_;
+  std::unique_ptr<PrivacyMechanism> mechanism_;
   ExecutionTrace* trace_ = nullptr;
   obs::TraceSink* spanSink_ = nullptr;
   TopKVector local_;
   std::unique_ptr<LocalAlgorithm> algorithm_;
   Round rounds_ = 1;
+  /// The round whose ring ordering outgoing messages ride on: the round
+  /// last processed, or rounds_ once the result is circulating.
+  Round wireRound_ = 1;
+  mutable Round cachedRound_ = 0;
+  mutable std::vector<NodeId> cachedOrder_;
   Round lastProcessed_ = 0;  // duplicate suppression (followers)
   Round lastClosed_ = 0;     // duplicate suppression (controller)
   bool started_ = false;

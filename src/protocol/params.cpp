@@ -14,6 +14,43 @@ const char* toString(ProtocolKind kind) {
   return "?";
 }
 
+const char* toString(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::Schedule: return "schedule";
+    case MechanismKind::Segmented: return "segmented";
+    case MechanismKind::Ldp: return "ldp";
+  }
+  return "?";
+}
+
+void MechanismSpec::validate() const {
+  switch (kind) {
+    case MechanismKind::Schedule:
+      return;  // the schedule knobs live in ProtocolParams itself
+    case MechanismKind::Segmented:
+      if (segments < kMinSegments || segments > kMaxSegments) {
+        throw ConfigError("MechanismSpec: segments must be in [2, 64]");
+      }
+      return;
+    case MechanismKind::Ldp:
+      if (!(ldpEpsilon > 0.0) || ldpEpsilon > 64.0) {
+        throw ConfigError("MechanismSpec: ldpEpsilon must be in (0, 64]");
+      }
+      return;
+  }
+  throw ConfigError("MechanismSpec: unknown mechanism kind");
+}
+
+bool operator==(const MechanismSpec& a, const MechanismSpec& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case MechanismKind::Schedule: return true;
+    case MechanismKind::Segmented: return a.segments == b.segments;
+    case MechanismKind::Ldp: return a.ldpEpsilon == b.ldpEpsilon;
+  }
+  return false;
+}
+
 void ProtocolParams::validate() const {
   if (k == 0) throw ConfigError("ProtocolParams: k must be >= 1");
   if (p0 < 0.0 || p0 > 1.0) {
@@ -38,6 +75,12 @@ void ProtocolParams::validate() const {
     throw ConfigError(
         "ProtocolParams: rounds bound diverges for d = 1; set rounds "
         "explicitly");
+  }
+  mechanism.validate();
+  if (mechanism.kind != MechanismKind::Schedule && remapEachRound) {
+    throw ConfigError(
+        "ProtocolParams: remapEachRound only applies to the schedule "
+        "mechanism (segmented derives its own per-round orderings)");
   }
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "common/types.hpp"
@@ -24,6 +25,50 @@ enum class ProtocolKind {
 };
 
 [[nodiscard]] const char* toString(ProtocolKind kind);
+
+/// Which privacy mechanism shapes a node's per-round contribution.  The
+/// mechanism is orthogonal to ProtocolKind: it decides HOW a node hides
+/// its values, while the kind decides the ring structure it rides on.
+/// Enumerator values are the wire ids (query/descriptor.hpp,
+/// net/message.hpp); never renumber.
+enum class MechanismKind : std::uint8_t {
+  /// The paper's Eq.-2 probabilistic schedule (Algorithm 1/2): with
+  /// probability Pr(r) = p0*d^(r-1) a node injects bounded noise instead
+  /// of its real contribution.  The classic default.
+  Schedule = 0,
+  /// Collusion-resistant segmented circulation (k-secure-sum style, per
+  /// Sheikh et al.): each node splits its top-k into `segments` parts and
+  /// contributes one part per round, with every round riding a distinct
+  /// derived ring ordering.  Exact after `segments` rounds.
+  Segmented = 1,
+  /// Local differential privacy: each node perturbs its values once with
+  /// bounded discrete-Laplace noise parameterized by `ldpEpsilon`, then
+  /// runs a single deterministic merge round.
+  Ldp = 2,
+};
+
+[[nodiscard]] const char* toString(MechanismKind kind);
+
+/// Segment-count bounds for MechanismKind::Segmented (wire-validated).
+inline constexpr std::uint32_t kMinSegments = 2;
+inline constexpr std::uint32_t kMaxSegments = 64;
+
+/// Mechanism selection plus its knobs.  Only the knob matching `kind` is
+/// meaningful (segments for Segmented, ldpEpsilon for Ldp); the others are
+/// ignored, excluded from equality, and normalized away on the wire.
+struct MechanismSpec {
+  MechanismKind kind = MechanismKind::Schedule;
+  /// Number of segments / derived ring orderings (Segmented only).
+  std::uint32_t segments = 4;
+  /// Local-DP epsilon; smaller = noisier (Ldp only).
+  double ldpEpsilon = 1.0;
+
+  /// Throws ConfigError when the knob matching `kind` is out of range.
+  void validate() const;
+
+  /// Compares `kind` and the knobs that kind actually consults.
+  friend bool operator==(const MechanismSpec& a, const MechanismSpec& b);
+};
 
 struct ProtocolParams {
   /// Number of results to select (k = 1 is the max query).
@@ -53,7 +98,13 @@ struct ProtocolParams {
 
   /// Re-randomize the ring mapping at every round (§4.3 collusion
   /// hardening).  The classic protocol keeps one mapping for all rounds.
+  /// Only meaningful for the Schedule mechanism (Segmented derives its own
+  /// per-round orderings; Ldp runs one round).
   bool remapEachRound = false;
+
+  /// Privacy mechanism driving the per-round contribution (see
+  /// protocol/mechanism.hpp for the implementations).
+  MechanismSpec mechanism;
 
   /// Throws ConfigError when any field is out of range.
   void validate() const;

@@ -1,6 +1,9 @@
 #include "query/descriptor.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "protocol/mechanism.hpp"
 
 namespace privtopk::query {
 
@@ -42,6 +45,15 @@ void QueryDescriptor::validate() const {
   protocol::ProtocolParams effective = params;
   effective.k = effectiveK();
   effective.validate();
+  if (isAggregate()) {
+    if (params.mechanism.kind != protocol::MechanismKind::Schedule) {
+      throw ConfigError(
+          "QueryDescriptor: aggregate queries run the secure-sum protocol "
+          "and take no privacy mechanism");
+    }
+  } else {
+    protocol::validateMechanismFor(kind, effective);
+  }
 }
 
 Bytes QueryDescriptor::encode() const {
@@ -64,6 +76,15 @@ Bytes QueryDescriptor::encode() const {
   w.writeU8(params.remapEachRound ? 1 : 0);
   filter.encodeTo(w);
   w.writeVarint(groupSize);
+  // Mechanism selection: id + only the knob that id consults, so the
+  // default (Schedule) costs one zero byte and the canonical encoding is
+  // free of the irrelevant knobs.
+  w.writeVarint(static_cast<std::uint64_t>(params.mechanism.kind));
+  if (params.mechanism.kind == protocol::MechanismKind::Segmented) {
+    w.writeVarint(params.mechanism.segments);
+  } else if (params.mechanism.kind == protocol::MechanismKind::Ldp) {
+    w.writeF64(params.mechanism.ldpEpsilon);
+  }
   return w.take();
 }
 
@@ -94,6 +115,25 @@ QueryDescriptor QueryDescriptor::decode(std::span<const std::uint8_t> bytes) {
   d.params.remapEachRound = r.readU8() != 0;
   d.filter = Filter::decodeFrom(r);
   d.groupSize = r.readVarint();
+  const std::uint64_t rawMechanism = r.readVarint();
+  if (rawMechanism > static_cast<std::uint64_t>(protocol::MechanismKind::Ldp)) {
+    throw ProtocolError("QueryDescriptor: unknown privacy mechanism");
+  }
+  d.params.mechanism.kind = static_cast<protocol::MechanismKind>(rawMechanism);
+  if (d.params.mechanism.kind == protocol::MechanismKind::Segmented) {
+    const std::uint64_t segments = r.readVarint();
+    if (segments < protocol::kMinSegments ||
+        segments > protocol::kMaxSegments) {
+      throw ProtocolError("QueryDescriptor: segment count out of range");
+    }
+    d.params.mechanism.segments = static_cast<std::uint32_t>(segments);
+  } else if (d.params.mechanism.kind == protocol::MechanismKind::Ldp) {
+    const double epsilon = r.readF64();
+    if (!std::isfinite(epsilon) || !(epsilon > 0.0) || epsilon > 64.0) {
+      throw ProtocolError("QueryDescriptor: ldp epsilon out of range");
+    }
+    d.params.mechanism.ldpEpsilon = epsilon;
+  }
   if (!r.atEnd()) throw ProtocolError("QueryDescriptor: trailing bytes");
   d.validate();
   return d;
@@ -111,6 +151,19 @@ QueryDescriptor normalizedForCaching(const QueryDescriptor& descriptor) {
   if (descriptor.isAggregate()) {
     // The masked secure-sum pass never consults the ring-protocol knobs.
     n.kind = protocol::ProtocolKind::Probabilistic;
+    n.params.p0 = defaults.p0;
+    n.params.d = defaults.d;
+    n.params.delta = defaults.delta;
+    n.params.rounds.reset();
+    n.params.epsilon = defaults.epsilon;
+    n.params.remapEachRound = defaults.remapEachRound;
+    n.params.mechanism = defaults.mechanism;
+  } else if (descriptor.params.mechanism.kind !=
+             protocol::MechanismKind::Schedule) {
+    // Segmented/LDP replace the Eq.-2 randomizer entirely: none of the
+    // schedule knobs or the round budget shape the answer.  The
+    // mechanism's own knob stays - distinct mechanisms (or the same
+    // mechanism at different settings) must never share a cache entry.
     n.params.p0 = defaults.p0;
     n.params.d = defaults.d;
     n.params.delta = defaults.delta;
@@ -144,7 +197,8 @@ bool operator==(const QueryDescriptor& a, const QueryDescriptor& b) {
          a.params.rounds == b.params.rounds &&
          a.params.epsilon == b.params.epsilon &&
          a.params.remapEachRound == b.params.remapEachRound &&
-         a.filter == b.filter && a.groupSize == b.groupSize;
+         a.params.mechanism == b.params.mechanism && a.filter == b.filter &&
+         a.groupSize == b.groupSize;
 }
 
 }  // namespace privtopk::query

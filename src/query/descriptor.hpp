@@ -86,9 +86,13 @@ struct QueryDescriptor {
 ///   * naive/anonymous-naive kinds reset the randomization knobs (p0, d,
 ///     delta, epsilon, remapEachRound) and the round budget - they always
 ///     run exactly one deterministic round;
-///   * probabilistic queries pin params.rounds = effectiveRounds() and
-///     reset epsilon, merging an explicit round budget with the same
-///     budget derived from a precision target.
+///   * segmented/LDP mechanisms reset every schedule knob (p0, d, delta,
+///     rounds, epsilon, remapEachRound) - they replace the Eq.-2
+///     randomizer entirely - while keeping their own knob (segments or
+///     ldpEpsilon), so distinct mechanisms NEVER share a cache entry;
+///   * probabilistic schedule queries pin params.rounds =
+///     effectiveRounds() and reset epsilon, merging an explicit round
+///     budget with the same budget derived from a precision target.
 [[nodiscard]] QueryDescriptor normalizedForCaching(
     const QueryDescriptor& descriptor);
 

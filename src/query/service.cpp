@@ -55,6 +55,56 @@ std::uint64_t queryIdOf(const net::Message& message) {
   return std::visit([](const auto& m) { return m.queryId; }, message);
 }
 
+/// Builds a QueryAnnounce for `descriptor`, duplicating the privacy
+/// mechanism selection into the wire-level echo fields (validated by the
+/// net layer without decoding the descriptor blob).
+net::QueryAnnounce announceFor(const QueryDescriptor& descriptor,
+                               std::vector<NodeId> ringOrder,
+                               std::uint64_t parentQueryId, std::uint8_t phase,
+                               std::uint32_t groupSize,
+                               obs::TraceContext ctx) {
+  net::QueryAnnounce announce;
+  announce.queryId = descriptor.queryId;
+  announce.descriptor = descriptor.encode();
+  announce.ringOrder = std::move(ringOrder);
+  announce.parentQueryId = parentQueryId;
+  announce.phase = phase;
+  announce.groupSize = groupSize;
+  const protocol::MechanismSpec& mechanism = descriptor.params.mechanism;
+  announce.mechanismId = static_cast<std::uint8_t>(mechanism.kind);
+  if (mechanism.kind == protocol::MechanismKind::Segmented) {
+    announce.segments = mechanism.segments;
+  } else if (mechanism.kind == protocol::MechanismKind::Ldp) {
+    announce.ldpEpsilon = mechanism.ldpEpsilon;
+  }
+  announce.ctx = ctx;
+  return announce;
+}
+
+/// Throws ProtocolError when the announce's mechanism echo disagrees with
+/// the mechanism inside the decoded descriptor (a tampered or buggy
+/// announce must not pass net-layer validation with one mechanism and run
+/// another).
+void requireMechanismEcho(const net::QueryAnnounce& announce,
+                          const QueryDescriptor& descriptor) {
+  const protocol::MechanismSpec& mechanism = descriptor.params.mechanism;
+  protocol::MechanismSpec echoed;
+  if (announce.mechanismId >
+      static_cast<std::uint8_t>(protocol::MechanismKind::Ldp)) {
+    throw ProtocolError("QueryAnnounce: unknown privacy mechanism");
+  }
+  echoed.kind = static_cast<protocol::MechanismKind>(announce.mechanismId);
+  if (echoed.kind == protocol::MechanismKind::Segmented) {
+    echoed.segments = announce.segments;
+  } else if (echoed.kind == protocol::MechanismKind::Ldp) {
+    echoed.ldpEpsilon = announce.ldpEpsilon;
+  }
+  if (!(echoed == mechanism)) {
+    throw ProtocolError(
+        "QueryAnnounce: mechanism echo disagrees with the descriptor");
+  }
+}
+
 }  // namespace
 
 NodeService::Metrics::Metrics()
@@ -495,6 +545,11 @@ protocol::core::RepairOutcome NodeService::applyRepair(QueryState& state,
 }
 
 NodeId NodeService::successorFor(const QueryState& state) const {
+  // The participant knows which per-round ring ordering the privacy
+  // mechanism has in flight; only pre-participant traffic (announce
+  // forwarding before buildParticipant) falls back to the base order,
+  // where the two coincide for every mechanism (round-1 order == base).
+  if (state.participant) return state.participant->successor();
   return protocol::core::ringSuccessor(ringOf(state), self_);
 }
 
@@ -691,9 +746,8 @@ void NodeService::beginFlat(Admission& admission, std::vector<Outbound>& out) {
   // Announce first (FIFO links deliver it ahead of the round token on
   // every hop), then start the protocol immediately.
   queueSend(registered,
-            net::QueryAnnounce{descriptor.queryId, descriptor.encode(),
-                               ringOf(registered), 0, 0, 0,
-                               registered.traceCtx},
+            announceFor(descriptor, ringOf(registered), 0, 0, 0,
+                        registered.traceCtx),
             out);
   beginRounds(registered, out);
 }
@@ -755,9 +809,8 @@ void NodeService::beginGrouped(Admission& admission,
     sub.groupSize = 0;
     out.push_back(Outbound{
         sub.queryId,
-        net::encodeMessage(net::QueryAnnounce{sub.queryId, sub.encode(),
-                                              layout.groups[g], parentId, 1,
-                                              groupSizeWire, rootCtx}),
+        net::encodeMessage(announceFor(sub, layout.groups[g], parentId, 1,
+                                       groupSizeWire, rootCtx)),
         layout.groups[g].front(), true});
   }
 
@@ -783,9 +836,8 @@ void NodeService::beginGrouped(Admission& admission,
   metrics_.activeQueries.add(1);
   QueryState& registered = it->second;
   queueSend(registered,
-            net::QueryAnnounce{sub.queryId, sub.encode(),
-                               layout.groups.front(), parentId, 1,
-                               groupSizeWire, rootCtx},
+            announceFor(sub, layout.groups.front(), parentId, 1,
+                        groupSizeWire, rootCtx),
             out);
   beginRounds(registered, out);
 }
@@ -870,6 +922,7 @@ void NodeService::onAnnounce(const net::QueryAnnounce& announce,
   if (descriptor.queryId != announce.queryId) {
     throw ProtocolError("QueryAnnounce: inner/outer query id mismatch");
   }
+  requireMechanismEcho(announce, descriptor);
   if (!protocol::core::meetsPrivacyFloor(announce.ringOrder.size())) {
     throw ProtocolError("QueryAnnounce: ring needs >= 3 nodes");
   }
@@ -1307,11 +1360,10 @@ void NodeService::startMergePhase(QueryState& parent,
   metrics_.activeQueries.add(1);
   QueryState& registered = it->second;
   queueSend(registered,
-            net::QueryAnnounce{
-                merged.queryId, merged.encode(), parent.layout.mergeRing,
-                parentId, 2,
+            announceFor(
+                merged, parent.layout.mergeRing, parentId, 2,
                 static_cast<std::uint32_t>(parent.descriptor.groupSize),
-                parent.traceCtx},
+                parent.traceCtx),
             out);
   beginRounds(registered, out);
 }

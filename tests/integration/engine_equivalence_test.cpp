@@ -44,7 +44,9 @@ QueryDescriptor makeDescriptor(std::uint64_t id, QueryType type,
   return d;
 }
 
-void expectEnginesAgree(const QueryDescriptor& descriptor) {
+// Returns the agreed result so mechanism tests can compare it against the
+// exact protocol's answer.
+TopKVector expectEnginesAgree(const QueryDescriptor& descriptor) {
   data::FleetSpec spec;
   spec.nodes = kNodes;
   spec.rowsPerNode = 12;
@@ -84,15 +86,22 @@ void expectEnginesAgree(const QueryDescriptor& descriptor) {
     services.back()->start();
   }
   auto future = services.front()->initiate(descriptor, kRing);
-  ASSERT_EQ(future.wait_for(5s), std::future_status::ready);
-  EXPECT_EQ(future.get(), runnerOut.result) << "service initiator diverged";
-  for (std::size_t i = 0; i < kNodes; ++i) {
-    const auto result = services[i]->waitFor(descriptor.queryId, 5000ms);
-    ASSERT_TRUE(result.has_value()) << "service " << i << " never completed";
-    EXPECT_EQ(*result, runnerOut.result) << "service " << i << " diverged";
+  if (future.wait_for(5s) != std::future_status::ready) {
+    ADD_FAILURE() << "service initiator never completed";
+  } else {
+    EXPECT_EQ(future.get(), runnerOut.result) << "service initiator diverged";
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      const auto result = services[i]->waitFor(descriptor.queryId, 5000ms);
+      if (!result.has_value()) {
+        ADD_FAILURE() << "service " << i << " never completed";
+        continue;
+      }
+      EXPECT_EQ(*result, runnerOut.result) << "service " << i << " diverged";
+    }
   }
   for (auto& s : services) s->stop();
   transport.shutdown();
+  return runnerOut.result;
 }
 
 // ---------------------------------------------------------------------------
@@ -199,6 +208,45 @@ TEST(EngineEquivalence, ProbabilisticMax) {
 TEST(EngineEquivalence, ProbabilisticTopK) {
   expectEnginesAgree(makeDescriptor(3, QueryType::TopK,
                                     protocol::ProtocolKind::Probabilistic, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Privacy mechanisms (protocol/mechanism.hpp): every mechanism must agree
+// bit for bit across the three engines, and segmented mode must equal the
+// exact (non-randomized) protocol's answer.
+
+TEST(EngineEquivalence, SegmentedTopKMatchesExactProtocol) {
+  QueryDescriptor segmented = makeDescriptor(
+      4, QueryType::TopK, protocol::ProtocolKind::Probabilistic, 3);
+  segmented.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  segmented.params.mechanism.segments = 4;
+  const TopKVector result = expectEnginesAgree(segmented);
+
+  // The exact baseline: one deterministic naive merge round.
+  const TopKVector exact = expectEnginesAgree(makeDescriptor(
+      5, QueryType::TopK, protocol::ProtocolKind::Naive, 3));
+  EXPECT_EQ(result, exact) << "segmented mode is not exact";
+}
+
+TEST(EngineEquivalence, SegmentedMaxManySegments) {
+  // More segments than any node has values: the surplus rounds are pure
+  // passthrough and the answer stays exact.
+  QueryDescriptor d = makeDescriptor(
+      6, QueryType::Max, protocol::ProtocolKind::Probabilistic, 1);
+  d.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  d.params.mechanism.segments = 7;
+  const TopKVector result = expectEnginesAgree(d);
+  const TopKVector exact = expectEnginesAgree(makeDescriptor(
+      7, QueryType::Max, protocol::ProtocolKind::Naive, 1));
+  EXPECT_EQ(result, exact);
+}
+
+TEST(EngineEquivalence, LdpTopK) {
+  QueryDescriptor d = makeDescriptor(
+      8, QueryType::TopK, protocol::ProtocolKind::Probabilistic, 3);
+  d.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  d.params.mechanism.ldpEpsilon = 1.0;
+  (void)expectEnginesAgree(d);
 }
 
 TEST(EngineEquivalence, GroupedNaiveTopK) {

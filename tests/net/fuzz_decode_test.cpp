@@ -102,6 +102,39 @@ TEST(FuzzDecode, QueryDescriptorSurvivesMutations) {
   }
 }
 
+TEST(FuzzDecode, MechanismFieldsSurviveMutations) {
+  // Mutate valid segmented/LDP encodings (descriptor and announce): the
+  // mechanism tail must reject corruption with a typed error, not crash.
+  Rng rng(0xF013);
+  query::QueryDescriptor segmented;
+  segmented.queryId = 6;
+  segmented.params.k = 4;
+  segmented.params.rounds = 5;
+  segmented.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  segmented.params.mechanism.segments = 8;
+  query::QueryDescriptor ldp = segmented;
+  ldp.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  ldp.params.mechanism.ldpEpsilon = 0.5;
+  net::QueryAnnounce announce{7, segmented.encode(), {0, 1, 2}};
+  announce.mechanismId = 1;
+  announce.segments = 8;
+  const std::vector<Bytes> seeds = {segmented.encode(), ldp.encode(),
+                                    net::encodeMessage(announce)};
+  for (int i = 0; i < 5000; ++i) {
+    Bytes mutated = seeds[i % seeds.size()];
+    const int mutations = 1 + static_cast<int>(rng.index(3));
+    for (int m = 0; m < mutations; ++m) {
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    expectNoCrash(mutated, [](const Bytes& b) {
+      (void)query::QueryDescriptor::decode(b);
+    });
+    expectNoCrash(mutated,
+                  [](const Bytes& b) { (void)net::decodeMessage(b); });
+  }
+}
+
 TEST(FuzzDecode, RoundTripSurvivesAdversarialVectors) {
   // Decoded-then-reencoded valid messages must be stable (idempotent
   // canonical encoding).

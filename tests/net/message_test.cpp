@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace privtopk::net {
 namespace {
 
@@ -65,6 +67,57 @@ TEST(Message, GroupedAnnounceRoundTrip) {
   announce.phase = 2;  // merge ring
   EXPECT_EQ(std::get<QueryAnnounce>(decodeMessage(encodeMessage(announce))),
             announce);
+}
+
+TEST(Message, MechanismEchoRoundTrip) {
+  // Segmented: the segment count rides the wire; the LDP knob does not.
+  QueryAnnounce segmented{31, Bytes{0x01}, {0, 1, 2}};
+  segmented.mechanismId = 1;
+  segmented.segments = 8;
+  const Message decoded = decodeMessage(encodeMessage(segmented));
+  ASSERT_TRUE(std::holds_alternative<QueryAnnounce>(decoded));
+  EXPECT_EQ(std::get<QueryAnnounce>(decoded), segmented);
+
+  QueryAnnounce ldp{32, Bytes{0x01}, {0, 1, 2}};
+  ldp.mechanismId = 2;
+  ldp.ldpEpsilon = 0.25;
+  EXPECT_EQ(std::get<QueryAnnounce>(decodeMessage(encodeMessage(ldp))), ldp);
+}
+
+TEST(Message, DefaultMechanismCostsOneByte) {
+  QueryAnnounce schedule{33, Bytes{0x01}, {0, 1, 2}};
+  QueryAnnounce segmented = schedule;
+  segmented.mechanismId = 1;
+  segmented.segments = 8;
+  // Schedule writes the id byte only; segmented adds id + segments varints.
+  EXPECT_EQ(encodeMessage(schedule).size() + 1,
+            encodeMessage(segmented).size());
+}
+
+TEST(Message, MechanismEchoValidation) {
+  // Unknown mechanism ids are rejected at decode time.
+  QueryAnnounce unknown{34, Bytes{0x01}, {0, 1, 2}};
+  unknown.mechanismId = 3;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(unknown)), ProtocolError);
+
+  // Out-of-range segment counts are rejected.
+  QueryAnnounce tooFew{35, Bytes{0x01}, {0, 1, 2}};
+  tooFew.mechanismId = 1;
+  tooFew.segments = 1;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(tooFew)), ProtocolError);
+
+  QueryAnnounce tooMany{36, Bytes{0x01}, {0, 1, 2}};
+  tooMany.mechanismId = 1;
+  tooMany.segments = 65;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(tooMany)), ProtocolError);
+
+  // Non-finite or non-positive epsilons are rejected.
+  QueryAnnounce badEpsilon{37, Bytes{0x01}, {0, 1, 2}};
+  badEpsilon.mechanismId = 2;
+  badEpsilon.ldpEpsilon = 0.0;
+  EXPECT_THROW((void)decodeMessage(encodeMessage(badEpsilon)), ProtocolError);
+  badEpsilon.ldpEpsilon = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)decodeMessage(encodeMessage(badEpsilon)), ProtocolError);
 }
 
 TEST(Message, GroupedAnnounceValidation) {

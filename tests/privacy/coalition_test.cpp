@@ -1,0 +1,138 @@
+// CoalitionAnalyzer: c colluding nodes scored against recorded traces.
+// The handcrafted traces pin the observation rule (both ring neighbours
+// on the ROUND's order must be coalition members) and the cross-round
+// learned-value pooling; the runner-driven test checks the segmented
+// mechanism end to end.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "privacy/adversary.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::privacy {
+namespace {
+
+protocol::TraceStep step(Round round, std::size_t position, NodeId node,
+                         TopKVector input, TopKVector output) {
+  protocol::TraceStep s;
+  s.round = round;
+  s.position = position;
+  s.node = node;
+  s.input = std::move(input);
+  s.output = std::move(output);
+  return s;
+}
+
+// One round, identity order {0,1,2,3}, k = 2.  Node 2 contributes both of
+// its values; node 0 contributes nothing.
+protocol::ExecutionTrace identityTrace() {
+  protocol::ExecutionTrace t;
+  t.nodeCount = 4;
+  t.k = 2;
+  t.rounds = 1;
+  t.initialOrder = {0, 1, 2, 3};
+  t.localVectors = {{8, 7}, {10, 9}, {20, 15}, {5, 4}};
+  t.steps.push_back(step(1, 0, 0, {}, {}));
+  t.steps.push_back(step(1, 1, 1, {}, {10, 9}));
+  t.steps.push_back(step(1, 2, 2, {10, 9}, {20, 15}));
+  t.steps.push_back(step(1, 3, 3, {20, 15}, {20, 15}));
+  t.result = {20, 15};
+  return t;
+}
+
+TEST(CoalitionAnalyzer, FlankedVictimIsFullyExposed) {
+  // Coalition {1,3} flanks BOTH non-members on the 4-ring: node 2
+  // (pred 1, succ 3) contributed everything -> exposure 1; node 0
+  // (pred 3, succ 1) emitted an unchanged vector -> exposure 0.
+  CoalitionAnalyzer analyzer(1);
+  analyzer.addTrial(identityTrace(), {1, 3});
+  EXPECT_EQ(analyzer.samples(), 2u);
+  EXPECT_DOUBLE_EQ(analyzer.averageExposure(), 0.5);
+  EXPECT_DOUBLE_EQ(analyzer.fullReconstructionRate(), 0.5);
+}
+
+TEST(CoalitionAnalyzer, SingleColluderObservesNothing) {
+  // One colluder can never hold both flanking positions.
+  CoalitionAnalyzer analyzer(1);
+  analyzer.addTrial(identityTrace(), {1});
+  EXPECT_EQ(analyzer.samples(), 3u);
+  EXPECT_DOUBLE_EQ(analyzer.averageExposure(), 0.0);
+  EXPECT_DOUBLE_EQ(analyzer.fullReconstructionRate(), 0.0);
+}
+
+// Two rounds with DIFFERENT ring orders; node 2 contributes one value per
+// round.  Round 1 order {0,1,2,3} (node 2 flanked by {1,3}); round 2
+// order {0,2,1,3} (node 2 flanked by {0,1}).
+protocol::ExecutionTrace remappedTrace() {
+  protocol::ExecutionTrace t;
+  t.nodeCount = 4;
+  t.k = 2;
+  t.rounds = 2;
+  t.initialOrder = {0, 1, 2, 3};
+  t.localVectors = {{8, 7}, {10, 9}, {20, 15}, {5, 4}};
+  t.steps.push_back(step(1, 0, 0, {}, {}));
+  t.steps.push_back(step(1, 1, 1, {}, {10, 9}));
+  t.steps.push_back(step(1, 2, 2, {10, 9}, {20, 10}));
+  t.steps.push_back(step(1, 3, 3, {20, 10}, {20, 10}));
+  t.steps.push_back(step(2, 0, 0, {20, 10}, {20, 10}));
+  t.steps.push_back(step(2, 1, 2, {20, 10}, {20, 15}));
+  t.steps.push_back(step(2, 2, 1, {20, 15}, {20, 15}));
+  t.steps.push_back(step(2, 3, 3, {20, 15}, {20, 15}));
+  t.result = {20, 15};
+  return t;
+}
+
+TEST(CoalitionAnalyzer, ReconstructsPerRoundOrders) {
+  // {1,3} flanks node 2 only in round 1 -> learns only the round-1
+  // contribution (20), half of the victim's vector.
+  CoalitionAnalyzer analyzer(2);
+  analyzer.addTrial(remappedTrace(), {1, 3});
+  EXPECT_EQ(analyzer.samples(), 2u);  // victims 0 and 2
+  EXPECT_DOUBLE_EQ(analyzer.averageExposure(), 0.25);  // (0 + 0.5) / 2
+  EXPECT_DOUBLE_EQ(analyzer.fullReconstructionRate(), 0.0);
+}
+
+TEST(CoalitionAnalyzer, PoolsLearnedValuesAcrossRounds) {
+  // {0,1,3} flanks node 2 in BOTH rounds (round 2 neighbours are 0 and
+  // 1) -> learns 20 then 15: the full vector.
+  CoalitionAnalyzer analyzer(2);
+  analyzer.addTrial(remappedTrace(), {0, 1, 3});
+  EXPECT_EQ(analyzer.samples(), 1u);
+  EXPECT_DOUBLE_EQ(analyzer.averageExposure(), 1.0);
+  EXPECT_DOUBLE_EQ(analyzer.fullReconstructionRate(), 1.0);
+}
+
+TEST(CoalitionAnalyzer, ValidatesItsInputs) {
+  EXPECT_THROW(CoalitionAnalyzer(0), ConfigError);
+  CoalitionAnalyzer analyzer(1);
+  EXPECT_THROW(analyzer.addTrial(identityTrace(), {}), ConfigError);
+  EXPECT_THROW(analyzer.addTrial(identityTrace(), {7}), ConfigError);
+}
+
+TEST(CoalitionAnalyzer, SegmentedRunReconstructedByAllButOneCoalition) {
+  // 3-node ring, victim 0 holds the global top-2: with everyone else
+  // colluding the victim is flanked on EVERY derived order, each round
+  // reveals one segment, and the full vector is reconstructed.
+  protocol::ProtocolParams params;
+  params.k = 2;
+  params.mechanism.kind = protocol::MechanismKind::Segmented;
+  params.mechanism.segments = 2;
+  const protocol::RingQueryRunner runner(
+      params, protocol::ProtocolKind::Probabilistic);
+  const std::vector<std::vector<Value>> values = {
+      {100, 90}, {50, 40}, {30, 20}};
+
+  CoalitionAnalyzer analyzer(2);
+  Rng rng(77);
+  for (int t = 0; t < 5; ++t) {
+    const auto trace = runner.run(values, rng).trace;
+    analyzer.addTrial(trace, {1, 2});
+  }
+  EXPECT_EQ(analyzer.samples(), 5u);
+  EXPECT_DOUBLE_EQ(analyzer.averageExposure(), 1.0);
+  EXPECT_DOUBLE_EQ(analyzer.fullReconstructionRate(), 1.0);
+}
+
+}  // namespace
+}  // namespace privtopk::privacy

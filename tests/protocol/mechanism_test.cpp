@@ -1,0 +1,280 @@
+// The pluggable privacy layer (protocol/mechanism.hpp): factory wiring,
+// the segmented partition/derived-order math, the LDP perturbation
+// bounds, and the core invariants (sorted outputs, monotone growth,
+// soundness up to the mechanism's slack) for EVERY mechanism via the
+// runner-driven property sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/generator.hpp"
+#include "protocol/core.hpp"
+#include "protocol/mechanism.hpp"
+#include "protocol/runner.hpp"
+
+namespace privtopk::protocol {
+namespace {
+
+ProtocolParams paramsFor(MechanismKind kind, std::size_t k) {
+  ProtocolParams p;
+  p.k = k;
+  p.rounds = 6;
+  p.mechanism.kind = kind;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Factory + budgets.
+
+TEST(PrivacyMechanism, FactoryBuildsEveryKindWithItsBudget) {
+  const auto schedule = makeMechanism(MechanismSpec{});
+  EXPECT_STREQ(schedule->name(), "schedule");
+  EXPECT_EQ(schedule->roundBudget(ProtocolKind::Probabilistic,
+                                  paramsFor(MechanismKind::Schedule, 2)),
+            6u);
+  EXPECT_EQ(schedule->roundBudget(ProtocolKind::Naive,
+                                  paramsFor(MechanismKind::Schedule, 2)),
+            1u);
+  EXPECT_EQ(schedule->soundnessSlack(paramsFor(MechanismKind::Schedule, 2)),
+            0);
+
+  MechanismSpec segmentedSpec;
+  segmentedSpec.kind = MechanismKind::Segmented;
+  segmentedSpec.segments = 5;
+  const auto segmented = makeMechanism(segmentedSpec);
+  EXPECT_STREQ(segmented->name(), "segmented");
+  ProtocolParams sp = paramsFor(MechanismKind::Segmented, 2);
+  sp.mechanism.segments = 5;
+  EXPECT_EQ(segmented->roundBudget(ProtocolKind::Probabilistic, sp), 5u);
+  EXPECT_EQ(segmented->soundnessSlack(sp), 0);
+
+  MechanismSpec ldpSpec;
+  ldpSpec.kind = MechanismKind::Ldp;
+  ldpSpec.ldpEpsilon = 0.5;
+  const auto ldp = makeMechanism(ldpSpec);
+  EXPECT_STREQ(ldp->name(), "ldp");
+  ProtocolParams lp = paramsFor(MechanismKind::Ldp, 2);
+  lp.mechanism.ldpEpsilon = 0.5;
+  EXPECT_EQ(ldp->roundBudget(ProtocolKind::Probabilistic, lp), 1u);
+  EXPECT_EQ(ldp->soundnessSlack(lp), ldpNoiseBound(0.5));
+}
+
+TEST(PrivacyMechanism, NonScheduleRequiresProbabilisticKind) {
+  ProtocolParams p = paramsFor(MechanismKind::Segmented, 2);
+  EXPECT_THROW(validateMechanismFor(ProtocolKind::Naive, p), ConfigError);
+  EXPECT_THROW(validateMechanismFor(ProtocolKind::AnonymousNaive, p),
+               ConfigError);
+  EXPECT_NO_THROW(validateMechanismFor(ProtocolKind::Probabilistic, p));
+  EXPECT_NO_THROW(validateMechanismFor(
+      ProtocolKind::Naive, paramsFor(MechanismKind::Schedule, 2)));
+}
+
+TEST(PrivacyMechanism, NoiseBoundScalesInverselyWithEpsilon) {
+  EXPECT_EQ(ldpNoiseBound(1.0), 6);
+  EXPECT_EQ(ldpNoiseBound(0.5), 12);
+  EXPECT_EQ(ldpNoiseBound(6.0), 1);
+  EXPECT_GT(ldpNoiseBound(0.1), ldpNoiseBound(1.0));
+  EXPECT_THROW((void)ldpNoiseBound(0.0), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented: partition + derived ring orderings.
+
+TEST(SegmentedMergeAlgorithm, DealsRoundRobinAndStaysExact) {
+  SegmentedMergeAlgorithm alg(5, 3);
+  alg.reset({50, 40, 30, 20, 10});
+  EXPECT_EQ(alg.segment(1), (TopKVector{50, 20}));
+  EXPECT_EQ(alg.segment(2), (TopKVector{40, 10}));
+  EXPECT_EQ(alg.segment(3), (TopKVector{30}));
+
+  // Feeding the rounds in order merges every segment exactly once; the
+  // final vector is the exact top-5 of the union with the incoming data.
+  TopKVector global(5, 1);  // domain minimum placeholders
+  for (Round r = 1; r <= 3; ++r) global = alg.step(global, r);
+  EXPECT_EQ(global, (TopKVector{50, 40, 30, 20, 10}));
+
+  // Fewer local values than segments leaves the tail parts empty
+  // (passthrough rounds).
+  SegmentedMergeAlgorithm sparse(2, 4);
+  sparse.reset({9, 8});
+  EXPECT_EQ(sparse.segment(1), (TopKVector{9}));
+  EXPECT_EQ(sparse.segment(2), (TopKVector{8}));
+  EXPECT_TRUE(sparse.segment(3).empty());
+  EXPECT_EQ(sparse.step({10, 7}, 3), (TopKVector{10, 7}));
+  EXPECT_EQ(sparse.passCounts().passthrough, 1u);
+}
+
+TEST(SegmentedMergeAlgorithm, RejectsRoundsOutsideTheBudget) {
+  SegmentedMergeAlgorithm alg(2, 2);
+  alg.reset({5, 4});
+  EXPECT_THROW((void)alg.step({1, 1}, 0), ProtocolError);
+  EXPECT_THROW((void)alg.step({1, 1}, 3), ProtocolError);
+}
+
+TEST(SegmentedMechanism, DerivedOrdersKeepTheControllerInFront) {
+  MechanismSpec spec;
+  spec.kind = MechanismKind::Segmented;
+  spec.segments = 8;
+  const auto mechanism = makeMechanism(spec);
+  const std::vector<NodeId> base = {3, 1, 4, 0, 2, 5};
+  const std::uint64_t queryId = 0xabcdef;
+
+  std::set<std::vector<NodeId>> distinct;
+  for (Round r = 1; r <= 8; ++r) {
+    const auto order = mechanism->orderForRound(base, r, queryId);
+    EXPECT_EQ(order.front(), base.front()) << "round " << r;
+    EXPECT_TRUE(std::is_permutation(order.begin(), order.end(), base.begin()))
+        << "round " << r;
+    // Deterministic: every participant derives the identical ordering.
+    EXPECT_EQ(order, mechanism->orderForRound(base, r, queryId));
+    distinct.insert(order);
+  }
+  // Round 1 is the base order (the announce and the first token share a
+  // path); later rounds must actually vary.
+  EXPECT_EQ(mechanism->orderForRound(base, 1, queryId), base);
+  EXPECT_GT(distinct.size(), 4u);
+
+  // A different query derives different orderings (round >= 2).
+  EXPECT_NE(mechanism->orderForRound(base, 2, queryId),
+            mechanism->orderForRound(base, 2, queryId + 1));
+}
+
+TEST(SegmentedMechanism, DefaultOrderIsIdentityForOtherMechanisms) {
+  const auto schedule = makeMechanism(MechanismSpec{});
+  const std::vector<NodeId> base = {2, 0, 1};
+  for (Round r = 1; r <= 4; ++r) {
+    EXPECT_EQ(schedule->orderForRound(base, r, 99), base);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LDP: bounded perturbation.
+
+TEST(LdpAlgorithm, PerturbationIsBoundedSortedAndDeterministic) {
+  const Domain domain{1, 10000};
+  const double epsilon = 1.0;
+  const Value bound = ldpNoiseBound(epsilon);
+  const TopKVector local = {9000, 5000, 100, 1};
+
+  LdpAlgorithm a(4, epsilon, Rng(1234), domain);
+  a.reset(local);
+  const TopKVector& perturbed = a.perturbed();
+  ASSERT_EQ(perturbed.size(), local.size());
+  EXPECT_TRUE(std::is_sorted(perturbed.begin(), perturbed.end(),
+                             std::greater<>()));
+  // Each value moved at most `bound` (before the domain clamp) - compare
+  // against the sorted originals since sorting can reorder equal noise.
+  TopKVector sortedLocal = local;
+  std::sort(sortedLocal.begin(), sortedLocal.end(), std::greater<>());
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    EXPECT_TRUE(domain.contains(perturbed[i]));
+    EXPECT_LE(std::abs(perturbed[i] - sortedLocal[i]), bound);
+  }
+
+  // Same seed, same perturbation (the engines' bit-equivalence depends on
+  // this); a different seed draws a different stream.
+  LdpAlgorithm b(4, epsilon, Rng(1234), domain);
+  b.reset(local);
+  EXPECT_EQ(b.perturbed(), perturbed);
+}
+
+TEST(LdpAlgorithm, StepMergesThePerturbedVectorOnly) {
+  const Domain domain{1, 100};
+  LdpAlgorithm a(2, 8.0, Rng(77), domain);
+  a.reset({50, 40});
+  const TopKVector out = a.step({60, 1}, 1);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), std::greater<>()));
+  EXPECT_EQ(a.passCounts().randomized, 1u);
+  EXPECT_EQ(a.passCounts().real, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end invariants per mechanism, via the runner.
+
+class MechanismSweep : public testing::TestWithParam<MechanismKind> {};
+
+TEST_P(MechanismSweep, StepsSortedMonotoneAndSoundUpToSlack) {
+  const MechanismKind kind = GetParam();
+  const std::size_t n = 6, k = 4;
+  ProtocolParams params = paramsFor(kind, k);
+  const Value slack =
+      makeMechanism(params.mechanism)->soundnessSlack(params);
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(501);
+  Rng rng(502);
+  for (int t = 0; t < 25; ++t) {
+    const auto values = data::generateValueSets(n, 8, dist, dataRng);
+    const TopKVector truth = data::trueTopK(values, k);
+    const RunResult res = runner.run(values, rng);
+    for (const auto& step : res.trace.steps) {
+      EXPECT_EQ(step.output.size(), k);
+      EXPECT_TRUE(std::is_sorted(step.output.begin(), step.output.end(),
+                                 std::greater<>()))
+          << toString(kind) << " round " << step.round;
+      for (std::size_t slot = 0; slot < k; ++slot) {
+        // Monotone up to delta: a step never loses ground beyond the
+        // randomization's allowance.
+        EXPECT_GE(step.output[slot], step.input[slot] - params.delta)
+            << toString(kind);
+        // Sound up to the mechanism's slack: never above the truth by
+        // more than the declared noise bound.
+        if (slot < truth.size()) {
+          EXPECT_LE(step.output[slot], truth[slot] + slack) << toString(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(SegmentedMechanism, RunnerResultIsExact) {
+  // The tentpole guarantee: after S segment rounds the segmented run IS
+  // the exact protocol - bit-identical to the true top-k.
+  for (std::uint32_t segments : {2u, 4u, 7u}) {
+    ProtocolParams params = paramsFor(MechanismKind::Segmented, 3);
+    params.mechanism.segments = segments;
+    const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+    data::UniformDistribution dist;
+    Rng dataRng(601 + segments);
+    Rng rng(602 + segments);
+    for (int t = 0; t < 20; ++t) {
+      const auto values = data::generateValueSets(5, 9, dist, dataRng);
+      EXPECT_EQ(runner.run(values, rng).result, data::trueTopK(values, 3))
+          << "segments=" << segments;
+    }
+  }
+}
+
+TEST(LdpMechanism, RunnerResultStaysWithinTheNoiseBound) {
+  ProtocolParams params = paramsFor(MechanismKind::Ldp, 3);
+  params.mechanism.ldpEpsilon = 1.0;
+  const Value bound = ldpNoiseBound(1.0);
+  const RingQueryRunner runner(params, ProtocolKind::Probabilistic);
+  data::UniformDistribution dist;
+  Rng dataRng(701);
+  Rng rng(702);
+  for (int t = 0; t < 20; ++t) {
+    const auto values = data::generateValueSets(5, 9, dist, dataRng);
+    const TopKVector truth = data::trueTopK(values, 3);
+    const TopKVector result = runner.run(values, rng).result;
+    ASSERT_EQ(result.size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_LE(std::abs(result[i] - truth[i]), bound) << "slot " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, MechanismSweep,
+                         testing::Values(MechanismKind::Schedule,
+                                         MechanismKind::Segmented,
+                                         MechanismKind::Ldp),
+                         [](const auto& info) {
+                           return std::string(toString(info.param));
+                         });
+
+}  // namespace
+}  // namespace privtopk::protocol

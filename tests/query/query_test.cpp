@@ -98,6 +98,89 @@ TEST(QueryDescriptor, DecodeRejectsCorruptInput) {
   EXPECT_THROW((void)QueryDescriptor::decode(badType), ProtocolError);
 }
 
+TEST(QueryDescriptor, MechanismRoundTrip) {
+  QueryDescriptor segmented = baseDescriptor();
+  segmented.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  segmented.params.mechanism.segments = 8;
+  EXPECT_EQ(QueryDescriptor::decode(segmented.encode()), segmented);
+
+  QueryDescriptor ldp = baseDescriptor();
+  ldp.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  ldp.params.mechanism.ldpEpsilon = 0.5;
+  EXPECT_EQ(QueryDescriptor::decode(ldp.encode()), ldp);
+
+  // The default mechanism costs exactly one extra byte on the wire.
+  QueryDescriptor schedule = baseDescriptor();
+  EXPECT_EQ(schedule.encode().size() + 1, segmented.encode().size());
+}
+
+TEST(QueryDescriptor, MechanismValidation) {
+  // Non-schedule mechanisms replace the probabilistic randomizer: the
+  // naive kinds and aggregates reject them.
+  QueryDescriptor d = baseDescriptor();
+  d.kind = protocol::ProtocolKind::Naive;
+  d.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  EXPECT_THROW(d.validate(), ConfigError);
+
+  d = baseDescriptor();
+  d.type = QueryType::Sum;
+  d.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  EXPECT_THROW(d.validate(), ConfigError);
+
+  // Segmented forbids the schedule-only per-round remap knob.
+  d = baseDescriptor();
+  d.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  d.params.remapEachRound = true;
+  EXPECT_THROW(d.validate(), ConfigError);
+
+  // Out-of-range knobs are rejected by encode (validate) and decode alike.
+  d = baseDescriptor();
+  d.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  d.params.mechanism.segments = 1;
+  EXPECT_THROW((void)d.encode(), ConfigError);
+  d.params.mechanism.segments = 65;
+  EXPECT_THROW((void)d.encode(), ConfigError);
+
+  d = baseDescriptor();
+  d.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  d.params.mechanism.ldpEpsilon = 0.0;
+  EXPECT_THROW((void)d.encode(), ConfigError);
+
+  // A tampered wire mechanism id is rejected with a typed error.
+  Bytes wire = baseDescriptor().encode();
+  wire.back() = 0x03;  // the mechanism id varint is the trailing byte
+  EXPECT_THROW((void)QueryDescriptor::decode(wire), ProtocolError);
+}
+
+TEST(QueryDescriptor, MechanismsNeverShareACacheKey) {
+  QueryDescriptor schedule = baseDescriptor();
+  QueryDescriptor segmented = baseDescriptor();
+  segmented.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  segmented.params.mechanism.segments = 8;
+  QueryDescriptor ldp = baseDescriptor();
+  ldp.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  ldp.params.mechanism.ldpEpsilon = 1.0;
+
+  const Bytes a = normalizedForCaching(schedule).encode();
+  const Bytes b = normalizedForCaching(segmented).encode();
+  const Bytes c = normalizedForCaching(ldp).encode();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+
+  // Same mechanism at a different setting is a different question too.
+  QueryDescriptor segmented16 = segmented;
+  segmented16.params.mechanism.segments = 16;
+  EXPECT_NE(b, normalizedForCaching(segmented16).encode());
+
+  // ...but the schedule knobs no longer shape the answer: two segmented
+  // queries differing only in p0/d/rounds normalize to one key.
+  QueryDescriptor segmentedOtherSchedule = segmented;
+  segmentedOtherSchedule.params.p0 = 0.25;
+  segmentedOtherSchedule.params.rounds = 3;
+  EXPECT_EQ(b, normalizedForCaching(segmentedOtherSchedule).encode());
+}
+
 TEST(QueryDescriptor, TypeNames) {
   EXPECT_STREQ(toString(QueryType::TopK), "topk");
   EXPECT_STREQ(toString(QueryType::BottomK), "bottomk");

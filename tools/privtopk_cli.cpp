@@ -16,6 +16,8 @@
 //       --type topk --k 3
 //   privtopk query --csv ... --repeat 100 --cache-ttl 5000 --tenant acme
 //       --priority interactive --rate-limit 2 --burst 4
+//   privtopk query --csv ... --privacy-mechanism segmented --segments 8
+//   privtopk query --csv ... --privacy-mechanism ldp --ldp-epsilon 0.5
 //   privtopk node --self 0 --peers 127.0.0.1:9100,127.0.0.1:9101,...
 //       --ring 0,1,2 --csv /tmp/party0.csv --schema id:text,value:int
 //       --attribute value --k 3 --encrypt
@@ -111,6 +113,27 @@ query::QueryDescriptor descriptorFromArgs(const ArgParser& args) {
   }
   d.groupSize = static_cast<std::size_t>(args.getInt("group-size", 0));
 
+  // Privacy mechanism selection (docs/PRIVACY.md).  Knobs only apply when
+  // given, so the mechanism defaults stay in one place (MechanismParams).
+  const std::string mechanism =
+      args.getString("privacy-mechanism", "schedule");
+  if (mechanism == "schedule") {
+    d.params.mechanism.kind = protocol::MechanismKind::Schedule;
+  } else if (mechanism == "segmented") {
+    d.params.mechanism.kind = protocol::MechanismKind::Segmented;
+  } else if (mechanism == "ldp") {
+    d.params.mechanism.kind = protocol::MechanismKind::Ldp;
+  } else {
+    throw ConfigError("--privacy-mechanism must be schedule|segmented|ldp");
+  }
+  if (args.has("segments")) {
+    d.params.mechanism.segments =
+        static_cast<std::uint32_t>(args.getInt("segments", 4));
+  }
+  if (args.has("ldp-epsilon")) {
+    d.params.mechanism.ldpEpsilon = args.getDouble("ldp-epsilon", 1.0);
+  }
+
   const std::string type = args.getString("type", "topk");
   if (type == "topk") d.type = query::QueryType::TopK;
   else if (type == "bottomk") d.type = query::QueryType::BottomK;
@@ -199,8 +222,9 @@ int cmdQuery(int argc, const char* const* argv) {
       argc, argv,
       {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
        "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
-       "query-id", "verbose", "filter", "group-size", "repeat", "cache-ttl",
-       "cache-capacity", "tenant", "priority", "rate-limit", "burst"});
+       "query-id", "verbose", "filter", "group-size", "privacy-mechanism",
+       "segments", "ldp-epsilon", "repeat", "cache-ttl", "cache-capacity",
+       "tenant", "priority", "rate-limit", "burst"});
   const auto files = args.getList("csv");
   if (files.size() < 3) {
     throw ConfigError("--csv needs at least 3 comma-separated files "
@@ -299,7 +323,8 @@ int cmdNode(int argc, const char* const* argv) {
       {"self", "peers", "ring", "csv", "schema", "table", "attribute", "type",
        "k", "p0", "d", "epsilon", "rounds", "seed", "domain-min",
        "domain-max", "query-id", "encrypt", "timeout-ms", "fault-spec",
-       "group-size", "trace-queries", "http-port", "span-dump", "span-ring"});
+       "group-size", "privacy-mechanism", "segments", "ldp-epsilon",
+       "trace-queries", "http-port", "span-dump", "span-ring"});
   const auto self = static_cast<NodeId>(args.getInt("self", 0));
   const query::QueryDescriptor descriptor = descriptorFromArgs(args);
 
@@ -442,7 +467,8 @@ int cmdMetrics(int argc, const char* const* argv) {
       argc, argv,
       {"parties", "rows", "dist", "type", "k", "protocol", "p0", "d",
        "epsilon", "rounds", "seed", "domain-min", "domain-max", "query-id",
-       "format", "trace", "fault-spec", "group-size"});
+       "format", "trace", "fault-spec", "group-size", "privacy-mechanism",
+       "segments", "ldp-epsilon"});
   const auto n = static_cast<std::size_t>(args.getInt("parties", 4));
   if (n < 3) throw ConfigError("metrics: --parties must be >= 3");
   const std::string format = args.getString("format", "both");
@@ -597,7 +623,8 @@ int cmdRecordTraces(int argc, const char* const* argv) {
       argc, argv,
       {"csv", "schema", "table", "attribute", "type", "k", "protocol", "p0",
        "d", "epsilon", "rounds", "seed", "domain-min", "domain-max",
-       "query-id", "filter", "trials", "threads", "out", "group-size"});
+       "query-id", "filter", "trials", "threads", "out", "group-size",
+       "privacy-mechanism", "segments", "ldp-epsilon"});
   const auto files = args.getList("csv");
   if (files.size() < 3) {
     throw ConfigError("--csv needs at least 3 comma-separated files");
