@@ -1,6 +1,7 @@
 #include "net/fault.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <thread>
 
 #include "common/args.hpp"
@@ -12,30 +13,42 @@ namespace {
 
 const obs::Labels kFaultLabels{{"transport", "fault"}};
 
+/// Whole-token unsigned parse: rejects empty text and trailing garbage, so
+/// "50x" is an error naming the token, not a silent 50.
+std::size_t parseCount(const std::string& text, const std::string& clause) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    throw ConfigError("fault spec clause '" + clause + "': bad count '" +
+                      text + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+NodeId parseNode(const std::string& text, const std::string& clause) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    throw ConfigError("fault spec clause '" + clause + "': bad node id '" +
+                      text + "'");
+  }
+  return static_cast<NodeId>(value);
+}
+
 /// Parses "F->T" into a node pair.
 std::pair<NodeId, NodeId> parseLink(const std::string& text,
                                     const std::string& clause) {
   const auto arrow = text.find("->");
   if (arrow == std::string::npos) {
     throw ConfigError("fault spec clause '" + clause +
-                      "': expected FROM->TO link");
+                      "': expected FROM->TO link, got '" + text + "'");
   }
-  try {
-    const auto from = static_cast<NodeId>(std::stoul(text.substr(0, arrow)));
-    const auto to = static_cast<NodeId>(std::stoul(text.substr(arrow + 2)));
-    return {from, to};
-  } catch (const std::exception&) {
-    throw ConfigError("fault spec clause '" + clause + "': bad node id");
-  }
-}
-
-std::size_t parseCount(const std::string& text, const std::string& clause) {
-  try {
-    return static_cast<std::size_t>(std::stoul(text));
-  } catch (const std::exception&) {
-    throw ConfigError("fault spec clause '" + clause + "': bad count '" +
-                      text + "'");
-  }
+  return {parseNode(text.substr(0, arrow), clause),
+          parseNode(text.substr(arrow + 2), clause)};
 }
 
 }  // namespace
@@ -83,11 +96,7 @@ FaultSpec FaultSpec::parse(const std::string& text) {
                           "': expected crash:NODE@N");
       }
       FaultSpec::Crash crash;
-      try {
-        crash.node = static_cast<NodeId>(std::stoul(args.substr(0, at)));
-      } catch (const std::exception&) {
-        throw ConfigError("fault spec clause '" + clause + "': bad node id");
-      }
+      crash.node = parseNode(args.substr(0, at), clause);
       crash.afterSends = parseCount(args.substr(at + 1), clause);
       spec.crashes.push_back(crash);
     } else {
@@ -96,6 +105,29 @@ FaultSpec FaultSpec::parse(const std::string& text) {
     }
   }
   return spec;
+}
+
+std::string FaultSpec::toString() const {
+  std::vector<std::string> parts;
+  for (const auto& d : drops) {
+    parts.push_back("drop:" + std::to_string(d.from) + "->" +
+                    std::to_string(d.to) + ":" + std::to_string(d.nth));
+  }
+  for (const auto& d : delays) {
+    parts.push_back("delay:" + std::to_string(d.from) + "->" +
+                    std::to_string(d.to) + ":" +
+                    std::to_string(d.delay.count()));
+  }
+  for (const auto& c : crashes) {
+    parts.push_back("crash:" + std::to_string(c.node) + "@" +
+                    std::to_string(c.afterSends));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ",";
+    out += parts[i];
+  }
+  return out;
 }
 
 FaultState::FaultState(FaultSpec spec) : spec_(std::move(spec)) {

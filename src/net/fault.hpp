@@ -61,8 +61,13 @@ struct FaultSpec {
   ///   drop:F->T:N    drop the Nth message from F to T (1-based)
   ///   delay:F->T:MS  delay the F->T link by MS milliseconds
   ///   crash:NODE@N   fail-stop NODE after it has sent N messages
-  /// Throws ConfigError on malformed input.  Empty string = no faults.
+  /// Throws ConfigError on malformed input, naming the offending token.
+  /// Empty string = no faults.  Numbers must be whole tokens: "50x" is an
+  /// error, not 50.
   static FaultSpec parse(const std::string& text);
+
+  /// Canonical spec string; parse(toString()) reproduces the spec exactly.
+  [[nodiscard]] std::string toString() const;
 };
 
 /// Mutable fault bookkeeping shared by every wrapper of one logical fleet.

@@ -1,0 +1,390 @@
+#include "net/shaping.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/args.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace privtopk::net {
+
+namespace {
+
+const obs::Labels kShapingLabels{{"transport", "shaping"}};
+
+using Clock = std::chrono::steady_clock;
+using FpMillis = std::chrono::duration<double, std::milli>;
+
+[[noreturn]] void badClause(const std::string& clause,
+                            const std::string& detail) {
+  throw ConfigError("shape spec clause '" + clause + "': " + detail);
+}
+
+/// Whole-token unsigned parse; rejects empty text and trailing garbage so
+/// "50x" is an error, not 50.
+std::uint64_t parseU64Strict(const std::string& text,
+                             const std::string& clause) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    badClause(clause, "bad integer '" + text + "'");
+  }
+  return value;
+}
+
+/// Whole-token non-negative finite double parse.
+double parseDoubleStrict(const std::string& text, const std::string& clause) {
+  double value = 0.0;
+  try {
+    std::size_t pos = 0;
+    value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    badClause(clause, "bad number '" + text + "'");
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    badClause(clause, "bad number '" + text + "'");
+  }
+  return value;
+}
+
+/// Parses "F->T" or "*"; returns nullopt for "*".
+std::optional<std::pair<NodeId, NodeId>> parseLink(const std::string& text,
+                                                   const std::string& clause) {
+  if (text == "*") return std::nullopt;
+  const auto arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    badClause(clause, "expected FROM->TO or * link, got '" + text + "'");
+  }
+  const auto from = parseU64Strict(text.substr(0, arrow), clause);
+  const auto to = parseU64Strict(text.substr(arrow + 2), clause);
+  return std::make_pair(static_cast<NodeId>(from), static_cast<NodeId>(to));
+}
+
+/// Minimal stable formatting: parse(format(x)) == x for the %.10g range we
+/// emit, so ShapingSpec::toString round-trips.
+std::string formatNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string linkLabel(const std::pair<NodeId, NodeId>& link) {
+  return std::to_string(link.first) + "->" + std::to_string(link.second);
+}
+
+}  // namespace
+
+const LinkShape* ShapingSpec::shapeFor(NodeId from, NodeId to) const {
+  const auto it = links.find({from, to});
+  if (it != links.end()) return &it->second;
+  if (defaultShape.has_value()) return &*defaultShape;
+  return nullptr;
+}
+
+LinkShape ShapingSpec::profile(const std::string& name) {
+  // One-way latency / jitter loosely modeled on published inter-DC RTTs;
+  // bandwidth in KiB/s (10 Gb/s, 1 Gb/s, 200 Mb/s, 50 Mb/s).
+  if (name == "lan") return {0.2, 0.05, 1250000.0, 0.0, 0.0};
+  if (name == "metro") return {2.0, 0.5, 125000.0, 0.0, 0.0};
+  if (name == "cross-region") return {30.0, 5.0, 25000.0, 0.0, 0.0};
+  if (name == "intercontinental") return {80.0, 20.0, 6250.0, 0.0, 0.0};
+  throw ConfigError("shape spec: unknown profile '" + name +
+                    "' (lan|metro|cross-region|intercontinental)");
+}
+
+ShapingSpec ShapingSpec::parse(const std::string& text) {
+  ShapingSpec spec;
+  std::string normalized = text;
+  std::replace(normalized.begin(), normalized.end(), ';', ',');
+  for (const std::string& clause : splitString(normalized, ',')) {
+    if (clause.empty()) continue;
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos) {
+      badClause(clause, "expected kind:args");
+    }
+    const std::string kind = clause.substr(0, colon);
+    const std::string rest = clause.substr(colon + 1);
+    if (kind == "seed") {
+      spec.seed = parseU64Strict(rest, clause);
+      continue;
+    }
+    if (kind == "queue") {
+      spec.maxQueued = static_cast<std::size_t>(parseU64Strict(rest, clause));
+      if (spec.maxQueued == 0) badClause(clause, "queue bound must be > 0");
+      continue;
+    }
+    const auto linkColon = rest.find(':');
+    if (linkColon == std::string::npos) {
+      badClause(clause, "expected " + kind + ":LINK:args");
+    }
+    const auto link = parseLink(rest.substr(0, linkColon), clause);
+    const std::string args = rest.substr(linkColon + 1);
+    if (!link.has_value() && !spec.defaultShape.has_value()) {
+      spec.defaultShape.emplace();
+    }
+    LinkShape& shape =
+        link.has_value() ? spec.links[*link] : *spec.defaultShape;
+    if (kind == "profile") {
+      shape = profile(args);
+    } else if (kind == "lat") {
+      const auto tilde = args.find('~');
+      if (tilde == std::string::npos) {
+        shape.latencyMs = parseDoubleStrict(args, clause);
+        shape.jitterMs = 0.0;
+      } else {
+        shape.latencyMs = parseDoubleStrict(args.substr(0, tilde), clause);
+        shape.jitterMs = parseDoubleStrict(args.substr(tilde + 1), clause);
+      }
+    } else if (kind == "bw") {
+      shape.kbytesPerSec = parseDoubleStrict(args, clause);
+    } else if (kind == "reorder") {
+      const auto sep = args.find(':');
+      if (sep == std::string::npos) {
+        badClause(clause, "expected reorder:LINK:PROB:WINDOW_MS");
+      }
+      shape.reorderProb = parseDoubleStrict(args.substr(0, sep), clause);
+      if (shape.reorderProb > 1.0) {
+        badClause(clause, "reorder probability must be in [0,1]");
+      }
+      shape.reorderWindowMs = parseDoubleStrict(args.substr(sep + 1), clause);
+    } else {
+      badClause(clause, "unknown kind '" + kind +
+                            "' (profile|lat|bw|reorder|seed|queue)");
+    }
+  }
+  return spec;
+}
+
+std::string ShapingSpec::toString() const {
+  std::vector<std::string> parts;
+  const auto emit = [&parts](const std::string& label, const LinkShape& s) {
+    std::string lat = "lat:" + label + ":" + formatNum(s.latencyMs);
+    if (s.jitterMs > 0.0) lat += "~" + formatNum(s.jitterMs);
+    parts.push_back(std::move(lat));
+    if (s.kbytesPerSec > 0.0) {
+      parts.push_back("bw:" + label + ":" + formatNum(s.kbytesPerSec));
+    }
+    if (s.reorderProb > 0.0) {
+      parts.push_back("reorder:" + label + ":" + formatNum(s.reorderProb) +
+                      ":" + formatNum(s.reorderWindowMs));
+    }
+  };
+  if (defaultShape.has_value()) emit("*", *defaultShape);
+  for (const auto& [link, shape] : links) emit(linkLabel(link), shape);
+  if (seed != kDefaultSeed) parts.push_back("seed:" + std::to_string(seed));
+  if (maxQueued != kDefaultMaxQueued) {
+    parts.push_back("queue:" + std::to_string(maxQueued));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ",";
+    out += parts[i];
+  }
+  return out;
+}
+
+ShapingState::ShapingState(ShapingSpec spec) : spec_(std::move(spec)) {}
+
+ShapingState::SendPlan ShapingState::planSend(NodeId from, NodeId to,
+                                              std::size_t bytes,
+                                              Clock::time_point now) {
+  std::scoped_lock lock(mutex_);
+  SendPlan plan;
+  const LinkShape* shape = spec_.shapeFor(from, to);
+  if (shape == nullptr || shape->passthrough()) return plan;
+  plan.shaped = true;
+  ++messagesShaped_;
+
+  const auto key = std::make_pair(from, to);
+  const std::uint64_t nth = ++linkSendCount_[key];
+
+  // Counter-derived stream: the draws for message n on this link are a pure
+  // function of (seed, from, to, n), independent of thread interleaving.
+  const std::uint64_t linkTag =
+      splitmix64((static_cast<std::uint64_t>(from) << 32) ^
+                 static_cast<std::uint64_t>(to));
+  Rng rng(splitmix64(spec_.seed ^ linkTag) ^ splitmix64(nth));
+  const double jitter =
+      shape->jitterMs > 0.0 ? rng.uniform01() * shape->jitterMs : 0.0;
+  plan.displaced = rng.bernoulli(shape->reorderProb);
+
+  // Byte-accurate serialization: the link is a pipe that transmits at
+  // kbytesPerSec; back-to-back messages queue behind each other.
+  Clock::time_point base = now;
+  if (shape->kbytesPerSec > 0.0) {
+    auto& busyUntil = linkBusyUntil_[key];
+    const Clock::time_point start = std::max(now, busyUntil);
+    const double txMs =
+        (static_cast<double>(bytes) / 1024.0) / shape->kbytesPerSec * 1000.0;
+    busyUntil = start + std::chrono::duration_cast<Clock::duration>(
+                            FpMillis(txMs));
+    base = busyUntil;
+  }
+  plan.deliverAt = base + std::chrono::duration_cast<Clock::duration>(
+                             FpMillis(shape->latencyMs + jitter));
+  if (plan.displaced) {
+    ++messagesDisplaced_;
+    // Displaced messages take the long way round: extra window delay and no
+    // FIFO clamp, so later messages on the link overtake them.
+    plan.deliverAt += std::chrono::duration_cast<Clock::duration>(
+        FpMillis(shape->reorderWindowMs));
+  } else {
+    auto& last = linkLastDeliverAt_[key];
+    plan.deliverAt = std::max(plan.deliverAt, last);
+    last = plan.deliverAt;
+  }
+  return plan;
+}
+
+std::size_t ShapingState::messagesShaped() const {
+  std::scoped_lock lock(mutex_);
+  return messagesShaped_;
+}
+
+std::size_t ShapingState::messagesDisplaced() const {
+  std::scoped_lock lock(mutex_);
+  return messagesDisplaced_;
+}
+
+ShapingTransport::ShapingTransport(Transport& inner, ShapingSpec spec)
+    : ShapingTransport(inner,
+                       std::make_shared<ShapingState>(std::move(spec))) {}
+
+ShapingTransport::ShapingTransport(Transport& inner,
+                                   std::shared_ptr<ShapingState> state)
+    : inner_(&inner), state_(std::move(state)),
+      metricShaped_(
+          obs::counter("privtopk.transport.shaped_messages", kShapingLabels)),
+      metricDelayMsTotal_(obs::counter("privtopk.transport.shaped_delay_ms",
+                                       kShapingLabels)),
+      metricReordered_(
+          obs::counter("privtopk.transport.shaped_reordered", kShapingLabels)),
+      metricDropped_(
+          obs::counter("privtopk.transport.shaped_dropped", kShapingLabels)),
+      metricSheds_(
+          obs::counter("privtopk.transport.shaped_sheds", kShapingLabels)) {
+  delivery_ = std::thread([this] { deliveryLoop(); });
+}
+
+ShapingTransport::~ShapingTransport() { stopDelivery(); }
+
+void ShapingTransport::send(NodeId from, NodeId to, const Bytes& payload) {
+  const auto now = Clock::now();
+  const auto plan = state_->planSend(from, to, payload.size(), now);
+  if (!plan.shaped) {
+    // Unshaped link: inline, so inner backpressure/errors reach the sender.
+    inner_->send(from, to, payload);
+    return;
+  }
+  metricShaped_.inc();
+  metricDelayMsTotal_.inc(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(plan.deliverAt -
+                                                            now)
+          .count()));
+  if (plan.displaced) metricReordered_.inc();
+  std::scoped_lock lock(queueMutex_);
+  if (shutdown_) {
+    throw TransportError("shaping: transport is shut down");
+  }
+  if (queue_.size() >= state_->spec().maxQueued) {
+    metricSheds_.inc();
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        queue_.top().deliverAt - now);
+    throw OverloadError(
+        "shaping: delivery queue full (" +
+            std::to_string(state_->spec().maxQueued) + " pending)",
+        std::max(wait, std::chrono::milliseconds(1)));
+  }
+  queue_.push(Pending{plan.deliverAt, nextSeq_++, Envelope{from, to, payload}});
+  queueCv_.notify_all();
+}
+
+std::optional<Envelope> ShapingTransport::receive(
+    NodeId node, std::chrono::milliseconds timeout) {
+  return inner_->receive(node, timeout);
+}
+
+void ShapingTransport::shutdown() {
+  stopDelivery();
+  inner_->shutdown();
+}
+
+void ShapingTransport::stopDelivery() {
+  {
+    std::scoped_lock lock(queueMutex_);
+    shutdown_ = true;
+    queueCv_.notify_all();
+  }
+  if (delivery_.joinable()) delivery_.join();
+}
+
+std::size_t ShapingTransport::queuedMessages() const {
+  std::scoped_lock lock(queueMutex_);
+  return queue_.size();
+}
+
+std::size_t ShapingTransport::deliveryDrops() const {
+  std::scoped_lock lock(queueMutex_);
+  return deliveryDrops_;
+}
+
+void ShapingTransport::deliveryLoop() {
+  std::unique_lock lock(queueMutex_);
+  while (true) {
+    if (shutdown_) return;  // pending messages are dropped: in-flight loss
+    if (queue_.empty()) {
+      queueCv_.wait(lock,
+                    [this] { return shutdown_ || !queue_.empty(); });
+      continue;
+    }
+    const auto due = queue_.top().deliverAt;
+    if (Clock::now() < due) {
+      // Wake early if shutdown arrives or an earlier message is queued.
+      queueCv_.wait_until(lock, due, [this, due] {
+        return shutdown_ || (!queue_.empty() && queue_.top().deliverAt < due);
+      });
+      continue;
+    }
+    Pending next = queue_.top();
+    queue_.pop();
+    lock.unlock();
+    // Deliver outside the lock; senders keep enqueueing meanwhile.  Retry
+    // in place on inner overload — re-queueing would let a later message on
+    // the same link overtake and break FIFO.  This head-of-line blocks
+    // other links while the inner is saturated, which is the modeled
+    // behavior of a congested egress.
+    while (true) {
+      try {
+        inner_->send(next.env.from, next.env.to, next.env.payload);
+        break;
+      } catch (const OverloadError& e) {
+        const auto backoff =
+            std::clamp(e.retryAfter(), std::chrono::milliseconds(1),
+                       std::chrono::milliseconds(5));
+        std::unique_lock retryLock(queueMutex_);
+        if (shutdown_) return;
+        queueCv_.wait_for(retryLock, backoff, [this] { return shutdown_; });
+        if (shutdown_) return;
+      } catch (const TransportError&) {
+        // Link died while the message was in flight: the message is lost,
+        // exactly like a real WAN; retransmission recovers it.
+        metricDropped_.inc();
+        PRIVTOPK_LOG_WARN_C("shaping", "dropping in-flight message ",
+                            next.env.from, " -> ", next.env.to);
+        std::scoped_lock dropLock(queueMutex_);
+        ++deliveryDrops_;
+        break;
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace privtopk::net

@@ -1,0 +1,202 @@
+// Network-condition shaping for transports: a decorator that wraps any
+// Transport and models wide-area links — per-link one-way latency with
+// jitter, bandwidth caps with byte-accurate serialization delay, and
+// optional reordering windows.  Complements net::FaultInjectingTransport
+// (which models failures); the two compose freely.  Exposed on the CLI via
+// --shape-spec (see docs/ROBUSTNESS.md, "WAN realism").
+//
+// Determinism contract: every random draw (jitter, reorder displacement)
+// for the nth message on a link is a pure function of
+// (spec seed, from, to, n) — counter-derived, never wall-clock — so the
+// *decisions* are bit-reproducible at any thread count.  Actual delivery
+// timestamps additionally depend on when the sender handed the message
+// over (bandwidth occupancy accrues in real time), which is inherently
+// scheduling-dependent; protocol results must therefore never depend on
+// absolute shaped timing, only on ordering, which is preserved per link
+// for non-displaced messages.
+//
+// Delivery model: send() never sleeps.  Shaped messages are timestamped
+// and handed to a background delivery thread that releases them into the
+// inner transport at their due time, preserving per-link FIFO order
+// (displaced messages opt out of the FIFO clamp — that is the reordering).
+// Backpressure is a bounded pending queue: when full, send() throws
+// OverloadError with a retry-after hint.  Inner-transport OverloadError at
+// delivery time is retried with backoff (the message was already accepted);
+// inner TransportError at delivery time drops the message, modeling a loss
+// in flight — recovered by the service retransmission layer.
+//
+// Deployment model mirrors fault.hpp: in-process fleets share one wrapper;
+// TCP fleets run one wrapper per node around a SHARED ShapingState so
+// per-link counters and stats aggregate fleet-wide.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace privtopk::net {
+
+/// Shape of one directed link.  All-zero = passthrough.
+struct LinkShape {
+  double latencyMs = 0.0;       ///< fixed one-way latency
+  double jitterMs = 0.0;        ///< uniform extra latency in [0, jitterMs)
+  double kbytesPerSec = 0.0;    ///< bandwidth cap (KiB/s); 0 = uncapped
+  double reorderProb = 0.0;     ///< probability a message is displaced
+  double reorderWindowMs = 0.0; ///< extra delay applied to displaced msgs
+
+  [[nodiscard]] bool passthrough() const {
+    return latencyMs <= 0.0 && jitterMs <= 0.0 && kbytesPerSec <= 0.0 &&
+           reorderProb <= 0.0;
+  }
+};
+
+/// Declarative link-shaping schedule, parsed from --shape-spec.
+struct ShapingSpec {
+  static constexpr std::uint64_t kDefaultSeed = 0x5a17ULL;
+  static constexpr std::size_t kDefaultMaxQueued = 4096;
+
+  /// Shape applied to links without a per-link entry ("*" clauses).
+  std::optional<LinkShape> defaultShape;
+  /// Per-link overrides.  An entry fully replaces the default for its link
+  /// (per-link clauses start from an all-zero shape, not from the default).
+  std::map<std::pair<NodeId, NodeId>, LinkShape> links;
+  /// Root seed for the counter-derived jitter/reorder draws.
+  std::uint64_t seed = kDefaultSeed;
+  /// Bound on messages pending in the delivery queue before send() sheds
+  /// with OverloadError.
+  std::size_t maxQueued = kDefaultMaxQueued;
+
+  [[nodiscard]] bool empty() const {
+    return !defaultShape.has_value() && links.empty();
+  }
+
+  /// Effective shape for a link: exact entry, else the default, else null.
+  [[nodiscard]] const LinkShape* shapeFor(NodeId from, NodeId to) const;
+
+  /// Named geo profile (lan | metro | cross-region | intercontinental).
+  /// Throws ConfigError naming the offending token on an unknown name.
+  static LinkShape profile(const std::string& name);
+
+  /// Parses a comma/semicolon-separated clause list, e.g.
+  ///   "profile:*:metro,lat:0->1:30~5,bw:0->1:25000,reorder:2->3:0.01:40"
+  ///   profile:LINK:NAME   apply a named geo profile to LINK
+  ///   lat:LINK:MS[~JIT]   one-way latency MS ms, uniform jitter [0,JIT)
+  ///   bw:LINK:KBPS        bandwidth cap in KiB/s (0 clears the cap)
+  ///   reorder:LINK:P:WMS  displace msgs with prob P by an extra WMS ms
+  ///   seed:N              root seed for the deterministic draws
+  ///   queue:N             pending-delivery bound (OverloadError when full)
+  /// where LINK is FROM->TO or "*" (the default for unlisted links).
+  /// Throws ConfigError naming the offending token on malformed input.
+  /// Empty string = no shaping.
+  static ShapingSpec parse(const std::string& text);
+
+  /// Canonical spec string; parse(toString()) reproduces the spec exactly.
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Per-link bookkeeping shared by every wrapper of one logical fleet.
+class ShapingState {
+ public:
+  explicit ShapingState(ShapingSpec spec);
+
+  /// Delivery decision for one message.
+  struct SendPlan {
+    bool shaped = false;     ///< false: deliver inline through the inner
+    bool displaced = false;  ///< true: reordered out of FIFO order
+    std::chrono::steady_clock::time_point deliverAt{};
+  };
+
+  /// Plans the next message on `from`->`to`: advances the per-link counter,
+  /// derives jitter/displacement from (seed, link, counter), and accrues
+  /// byte-accurate serialization delay against the link's bandwidth cap.
+  SendPlan planSend(NodeId from, NodeId to, std::size_t bytes,
+                    std::chrono::steady_clock::time_point now);
+
+  [[nodiscard]] const ShapingSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t messagesShaped() const;
+  [[nodiscard]] std::size_t messagesDisplaced() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ShapingSpec spec_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> linkSendCount_;
+  std::map<std::pair<NodeId, NodeId>, std::chrono::steady_clock::time_point>
+      linkBusyUntil_;
+  std::map<std::pair<NodeId, NodeId>, std::chrono::steady_clock::time_point>
+      linkLastDeliverAt_;
+  std::size_t messagesShaped_ = 0;
+  std::size_t messagesDisplaced_ = 0;
+};
+
+class ShapingTransport final : public Transport {
+ public:
+  /// Standalone wrapper with its own shaping state (in-process fleets).
+  ShapingTransport(Transport& inner, ShapingSpec spec);
+
+  /// Wrapper sharing `state` with sibling wrappers (one-transport-per-node
+  /// TCP fleets).
+  ShapingTransport(Transport& inner, std::shared_ptr<ShapingState> state);
+
+  ~ShapingTransport() override;
+
+  void send(NodeId from, NodeId to, const Bytes& payload) override;
+  [[nodiscard]] std::optional<Envelope> receive(
+      NodeId node, std::chrono::milliseconds timeout) override;
+  void shutdown() override;
+
+  [[nodiscard]] const std::shared_ptr<ShapingState>& state() const {
+    return state_;
+  }
+  /// Messages currently waiting in the delivery queue.
+  [[nodiscard]] std::size_t queuedMessages() const;
+  /// Messages dropped because the inner transport failed at delivery time.
+  [[nodiscard]] std::size_t deliveryDrops() const;
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point deliverAt;
+    std::uint64_t seq = 0;
+    Envelope env;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.deliverAt != b.deliverAt) return a.deliverAt > b.deliverAt;
+      return a.seq > b.seq;
+    }
+  };
+
+  void deliveryLoop();
+  void stopDelivery();
+
+  Transport* inner_;
+  std::shared_ptr<ShapingState> state_;
+
+  mutable std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
+  std::uint64_t nextSeq_ = 0;
+  std::size_t deliveryDrops_ = 0;
+  bool shutdown_ = false;
+  std::thread delivery_;
+
+  obs::Counter& metricShaped_;
+  obs::Counter& metricDelayMsTotal_;
+  obs::Counter& metricReordered_;
+  obs::Counter& metricDropped_;
+  obs::Counter& metricSheds_;
+};
+
+}  // namespace privtopk::net

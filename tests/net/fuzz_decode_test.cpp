@@ -1,12 +1,17 @@
-// Robustness "fuzzing" of every wire decoder: random byte soup, random
-// mutations of valid encodings, truncations, and extensions must either
-// decode cleanly or throw a typed Error - never crash, hang, or allocate
-// absurdly.  Deterministic seeds keep failures reproducible.
+// Robustness "fuzzing" of every wire decoder and CLI spec parser: random
+// byte/text soup, random mutations of valid inputs, truncations, and
+// extensions must either decode cleanly or throw a typed Error - never
+// crash, hang, or allocate absurdly.  Deterministic seeds keep failures
+// reproducible.
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/rng.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
+#include "net/shaping.hpp"
 #include "query/descriptor.hpp"
 
 namespace privtopk {
@@ -150,6 +155,145 @@ TEST(FuzzDecode, RoundTripSurvivesAdversarialVectors) {
     const Bytes twice = net::encodeMessage(net::decodeMessage(once));
     EXPECT_EQ(once, twice);
   }
+}
+
+// ---------------------------------------------------------------------------
+// CLI spec parsers (--fault-spec / --shape-spec)
+// ---------------------------------------------------------------------------
+
+/// Text soup biased toward the grammars' alphabet so mutations regularly
+/// hit interesting paths (half-formed links, numeric prefixes, separators).
+std::string randomSpecText(Rng& rng, std::size_t maxLen) {
+  static const std::string alphabet =
+      "0123456789:->*,;~@.xlatbwdropdelaycrashseedqueueprofile ";
+  std::string out(rng.index(maxLen + 1), ' ');
+  for (auto& c : out) c = alphabet[rng.index(alphabet.size())];
+  return out;
+}
+
+template <typename ParseFn>
+void expectTypedOrOk(const std::string& input, ParseFn&& parse) {
+  try {
+    parse(input);
+  } catch (const ConfigError&) {
+    // typed rejection is the expected failure mode
+  } catch (const std::exception& e) {
+    FAIL() << "non-ConfigError exception for '" << input << "': " << e.what();
+  }
+}
+
+TEST(FuzzSpecParsers, FaultSpecSurvivesRandomText) {
+  Rng rng(0xFA01);
+  for (int i = 0; i < 5000; ++i) {
+    expectTypedOrOk(randomSpecText(rng, 48), [](const std::string& s) {
+      (void)net::FaultSpec::parse(s);
+    });
+  }
+}
+
+TEST(FuzzSpecParsers, ShapingSpecSurvivesRandomText) {
+  Rng rng(0xFA02);
+  for (int i = 0; i < 5000; ++i) {
+    expectTypedOrOk(randomSpecText(rng, 64), [](const std::string& s) {
+      (void)net::ShapingSpec::parse(s);
+    });
+  }
+}
+
+TEST(FuzzSpecParsers, BothParsersSurviveMutatedValidSpecs) {
+  Rng rng(0xFA03);
+  const std::string validFault = "drop:0->1:3,delay:1->2:50,crash:2@5";
+  const std::string validShape =
+      "profile:*:metro,lat:0->1:30~5,bw:1->2:25000,reorder:2->3:0.1:40,"
+      "seed:9,queue:64";
+  static const std::string alphabet = "0123456789:->*,;~@.x ";
+  for (int i = 0; i < 5000; ++i) {
+    std::string mutated = (i % 2 == 0) ? validFault : validShape;
+    const int mutations = 1 + static_cast<int>(rng.index(4));
+    for (int m = 0; m < mutations; ++m) {
+      mutated[rng.index(mutated.size())] = alphabet[rng.index(alphabet.size())];
+    }
+    if (i % 2 == 0) {
+      expectTypedOrOk(mutated, [](const std::string& s) {
+        (void)net::FaultSpec::parse(s);
+      });
+    } else {
+      expectTypedOrOk(mutated, [](const std::string& s) {
+        (void)net::ShapingSpec::parse(s);
+      });
+    }
+  }
+}
+
+TEST(FuzzSpecParsers, RandomFaultSpecsRoundTripThroughToString) {
+  Rng rng(0xFA04);
+  for (int i = 0; i < 500; ++i) {
+    net::FaultSpec spec;
+    for (std::size_t d = rng.index(4); d > 0; --d) {
+      spec.drops.push_back({static_cast<NodeId>(rng.index(16)),
+                            static_cast<NodeId>(rng.index(16)),
+                            1 + rng.index(100)});
+    }
+    for (std::size_t d = rng.index(4); d > 0; --d) {
+      spec.delays.push_back(
+          {static_cast<NodeId>(rng.index(16)), static_cast<NodeId>(rng.index(16)),
+           std::chrono::milliseconds(static_cast<long>(rng.index(1000)))});
+    }
+    for (std::size_t d = rng.index(3); d > 0; --d) {
+      spec.crashes.push_back(
+          {static_cast<NodeId>(rng.index(16)), rng.index(50)});
+    }
+    const std::string text = spec.toString();
+    EXPECT_EQ(net::FaultSpec::parse(text).toString(), text);
+  }
+}
+
+TEST(FuzzSpecParsers, RandomShapingSpecsRoundTripThroughToString) {
+  Rng rng(0xFA05);
+  // Quarter-millisecond grid keeps the doubles exactly representable so
+  // the parse(toString()) comparison is meaningful, not float-lucky.
+  const auto quantized = [&rng](double hi) {
+    return static_cast<double>(rng.index(static_cast<std::size_t>(hi * 4))) /
+           4.0;
+  };
+  for (int i = 0; i < 500; ++i) {
+    net::ShapingSpec spec;
+    if (rng.bernoulli(0.5)) {
+      spec.defaultShape = net::LinkShape{quantized(100), quantized(20),
+                                         quantized(1000), 0.25, quantized(50)};
+    }
+    for (std::size_t d = rng.index(4); d > 0; --d) {
+      spec.links[{static_cast<NodeId>(rng.index(16)),
+                  static_cast<NodeId>(rng.index(16))}] =
+          net::LinkShape{quantized(200), quantized(40), quantized(2000),
+                         rng.bernoulli(0.5) ? 0.5 : 0.0, quantized(100)};
+    }
+    spec.seed = rng.next();
+    spec.maxQueued = 1 + rng.index(10000);
+    const std::string text = spec.toString();
+    EXPECT_EQ(net::ShapingSpec::parse(text).toString(), text);
+  }
+}
+
+TEST(FuzzSpecParsers, MalformedTokensAreNamedInTheError) {
+  const auto expectTokenIn = [](const std::string& token, auto&& parse) {
+    try {
+      parse();
+      FAIL() << "expected ConfigError naming '" << token << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+          << "error should name '" << token << "' but was: " << e.what();
+    }
+  };
+  // stoul used to accept garbage suffixes ("50x" parsed as 50); the strict
+  // parsers must reject the whole token and echo it back.
+  expectTokenIn("50x", [] { (void)net::FaultSpec::parse("delay:0->1:50x"); });
+  expectTokenIn("1a", [] { (void)net::FaultSpec::parse("drop:0->1a:3"); });
+  expectTokenIn("7q", [] { (void)net::FaultSpec::parse("crash:7q@1"); });
+  expectTokenIn("3.5", [] { (void)net::FaultSpec::parse("drop:0->1:3.5"); });
+  expectTokenIn("9z", [] { (void)net::ShapingSpec::parse("lat:*:9z"); });
+  expectTokenIn("0>1", [] { (void)net::ShapingSpec::parse("lat:0>1:5"); });
+  expectTokenIn("nan", [] { (void)net::ShapingSpec::parse("bw:*:nan"); });
 }
 
 }  // namespace

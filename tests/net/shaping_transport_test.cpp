@@ -1,0 +1,281 @@
+// ShapingTransport + ShapingSpec tests: grammar and profile parsing,
+// toString round-trips, the counter-derived determinism contract,
+// byte-accurate serialization delay, per-link FIFO under jitter,
+// reordering windows, bounded-queue shedding and shutdown semantics.
+
+#include "net/shaping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "net/inproc.hpp"
+
+namespace privtopk::net {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+Bytes bytesOf(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------------------------------------------------------------------------
+// ShapingSpec parsing
+// ---------------------------------------------------------------------------
+
+TEST(ShapingSpec, ParsesFullGrammar) {
+  const ShapingSpec spec = ShapingSpec::parse(
+      "lat:0->1:30~5,bw:0->1:25000;reorder:2->3:0.25:40,seed:99,queue:16");
+  ASSERT_EQ(spec.links.size(), 2u);
+  const LinkShape& link01 = spec.links.at({0, 1});
+  EXPECT_DOUBLE_EQ(link01.latencyMs, 30.0);
+  EXPECT_DOUBLE_EQ(link01.jitterMs, 5.0);
+  EXPECT_DOUBLE_EQ(link01.kbytesPerSec, 25000.0);
+  const LinkShape& link23 = spec.links.at({2, 3});
+  EXPECT_DOUBLE_EQ(link23.reorderProb, 0.25);
+  EXPECT_DOUBLE_EQ(link23.reorderWindowMs, 40.0);
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_EQ(spec.maxQueued, 16u);
+  EXPECT_FALSE(spec.defaultShape.has_value());
+}
+
+TEST(ShapingSpec, StarClauseSetsTheDefaultShape) {
+  const ShapingSpec spec = ShapingSpec::parse("profile:*:metro,lat:4->5:100");
+  ASSERT_TRUE(spec.defaultShape.has_value());
+  EXPECT_DOUBLE_EQ(spec.defaultShape->latencyMs, 2.0);
+  // Unlisted links resolve to the default; listed links fully override it.
+  EXPECT_DOUBLE_EQ(spec.shapeFor(0, 1)->latencyMs, 2.0);
+  EXPECT_DOUBLE_EQ(spec.shapeFor(4, 5)->latencyMs, 100.0);
+  EXPECT_DOUBLE_EQ(spec.shapeFor(4, 5)->kbytesPerSec, 0.0);
+}
+
+TEST(ShapingSpec, NamedProfilesCoverTheGeoLadder) {
+  const LinkShape lan = ShapingSpec::profile("lan");
+  const LinkShape metro = ShapingSpec::profile("metro");
+  const LinkShape cross = ShapingSpec::profile("cross-region");
+  const LinkShape inter = ShapingSpec::profile("intercontinental");
+  EXPECT_LT(lan.latencyMs, metro.latencyMs);
+  EXPECT_LT(metro.latencyMs, cross.latencyMs);
+  EXPECT_LT(cross.latencyMs, inter.latencyMs);
+  EXPECT_GT(lan.kbytesPerSec, inter.kbytesPerSec);
+  EXPECT_THROW((void)ShapingSpec::profile("mars"), ConfigError);
+}
+
+TEST(ShapingSpec, EmptyStringMeansNoShaping) {
+  EXPECT_TRUE(ShapingSpec::parse("").empty());
+  EXPECT_EQ(ShapingSpec{}.shapeFor(0, 1), nullptr);
+}
+
+TEST(ShapingSpec, ToStringRoundTrips) {
+  const std::string text =
+      "lat:*:2~0.5,bw:*:125000,lat:0->1:30~5,bw:0->1:25000,"
+      "reorder:0->1:0.25:40,seed:99,queue:16";
+  const ShapingSpec spec = ShapingSpec::parse(text);
+  const ShapingSpec again = ShapingSpec::parse(spec.toString());
+  EXPECT_EQ(spec.toString(), again.toString());
+  EXPECT_EQ(again.links.size(), spec.links.size());
+  EXPECT_EQ(again.seed, spec.seed);
+  EXPECT_EQ(again.maxQueued, spec.maxQueued);
+  EXPECT_DOUBLE_EQ(again.links.at({0, 1}).jitterMs, 5.0);
+}
+
+TEST(ShapingSpec, RejectsMalformedInputNamingTheToken) {
+  const auto expectBad = [](const std::string& text,
+                            const std::string& token) {
+    try {
+      (void)ShapingSpec::parse(text);
+      FAIL() << "expected ConfigError for: " << text;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+          << "error for '" << text << "' should name '" << token
+          << "' but was: " << e.what();
+    }
+  };
+  expectBad("lat:0->1:50x", "50x");
+  expectBad("lat:0=>1:50", "0=>1");
+  expectBad("bw:*:-3", "-3");
+  expectBad("seed:12z", "12z");
+  expectBad("warp:0->1:9", "warp");
+  expectBad("reorder:0->1:2:40", "reorder probability");
+  expectBad("queue:0", "queue bound");
+  expectBad("nonsense", "nonsense");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract
+// ---------------------------------------------------------------------------
+
+TEST(ShapingState, DrawsAreAPureFunctionOfSeedLinkAndCounter) {
+  const ShapingSpec spec =
+      ShapingSpec::parse("lat:*:10~8,reorder:*:0.3:25,seed:7");
+  const Clock::time_point t0 = Clock::now();
+
+  // Same link stream interleaved with other links in a different order:
+  // the per-link plan sequence must be identical.
+  ShapingState a(spec);
+  ShapingState b(spec);
+  std::vector<ShapingState::SendPlan> plansA;
+  std::vector<ShapingState::SendPlan> plansB;
+  for (int i = 0; i < 32; ++i) {
+    plansA.push_back(a.planSend(0, 1, 100, t0));
+    (void)a.planSend(2, 3, 100, t0);
+  }
+  for (int i = 0; i < 32; ++i) {
+    (void)b.planSend(4, 5, 100, t0);
+    (void)b.planSend(4, 5, 100, t0);
+    plansB.push_back(b.planSend(0, 1, 100, t0));
+  }
+  for (std::size_t i = 0; i < plansA.size(); ++i) {
+    EXPECT_EQ(plansA[i].deliverAt, plansB[i].deliverAt) << "message " << i;
+    EXPECT_EQ(plansA[i].displaced, plansB[i].displaced) << "message " << i;
+  }
+  // And the stream actually exercises both branches somewhere.
+  std::size_t displaced = 0;
+  for (const auto& p : plansA) displaced += p.displaced ? 1 : 0;
+  EXPECT_GT(displaced, 0u);
+  EXPECT_LT(displaced, plansA.size());
+}
+
+TEST(ShapingState, BandwidthCapAddsByteAccurateSerializationDelay) {
+  // 1 KiB/s: a 1024-byte message occupies the link for exactly 1000 ms.
+  ShapingState state(ShapingSpec::parse("lat:*:5,bw:*:1"));
+  const Clock::time_point t0 = Clock::now();
+  const auto p1 = state.planSend(0, 1, 1024, t0);
+  const auto p2 = state.planSend(0, 1, 1024, t0);
+  EXPECT_EQ(p1.deliverAt - t0, 1005ms);
+  EXPECT_EQ(p2.deliverAt - t0, 2005ms);  // queued behind p1's transmission
+  // A different link has its own pipe.
+  const auto p3 = state.planSend(1, 0, 1024, t0);
+  EXPECT_EQ(p3.deliverAt - t0, 1005ms);
+}
+
+TEST(ShapingState, DisplacedMessagesSkipTheFifoClampAndTakeTheWindow) {
+  ShapingState state(ShapingSpec::parse("lat:*:10,reorder:*:1:50"));
+  const Clock::time_point t0 = Clock::now();
+  const auto p = state.planSend(0, 1, 64, t0);
+  EXPECT_TRUE(p.displaced);
+  EXPECT_EQ(p.deliverAt - t0, 60ms);  // latency + reorder window
+  EXPECT_EQ(state.messagesDisplaced(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ShapingTransport delivery semantics
+// ---------------------------------------------------------------------------
+
+TEST(ShapingTransport, UnshapedLinksPassThroughInline) {
+  InProcTransport inner(3);
+  ShapingTransport t(inner, ShapingSpec::parse("lat:1->2:500"));
+  t.send(0, 1, bytesOf("fast"));  // link 0->1 has no shape
+  EXPECT_EQ(t.receive(1, 50ms)->payload, bytesOf("fast"));
+  EXPECT_EQ(t.state()->messagesShaped(), 0u);
+}
+
+TEST(ShapingTransport, AppliesOneWayLatency) {
+  InProcTransport inner(2);
+  ShapingTransport t(inner, ShapingSpec::parse("lat:*:60"));
+  const auto start = Clock::now();
+  t.send(0, 1, bytesOf("slow"));
+  // send() itself must not block for the link latency.
+  EXPECT_LT(Clock::now() - start, 50ms);
+  const auto env = t.receive(1, 1000ms);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_GE(Clock::now() - start, 55ms);
+  EXPECT_EQ(env->payload, bytesOf("slow"));
+  t.shutdown();
+}
+
+TEST(ShapingTransport, PreservesPerLinkFifoUnderJitter) {
+  InProcTransport inner(2);
+  // Jitter far larger than the inter-send gap: without the FIFO clamp the
+  // delivery order would scramble.
+  ShapingTransport t(inner, ShapingSpec::parse("lat:*:2~8,seed:11"));
+  constexpr int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) {
+    t.send(0, 1, bytesOf("m" + std::to_string(i)));
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    const auto env = t.receive(1, 2000ms);
+    ASSERT_TRUE(env.has_value()) << "message " << i;
+    EXPECT_EQ(env->payload, bytesOf("m" + std::to_string(i)));
+  }
+  t.shutdown();
+}
+
+TEST(ShapingTransport, DisplacedMessagesAreOvertakenButStillDelivered) {
+  InProcTransport inner(2);
+  // Every message displaced by a 80 ms window on top of 1 ms latency: a
+  // displaced message sent first arrives after an inline-latency message
+  // sent later on the same link.
+  ShapingTransport shaped(inner, ShapingSpec::parse("lat:0->1:1,"
+                                                    "reorder:0->1:1:80"));
+  ShapingTransport plain(inner, ShapingSpec::parse("lat:0->1:1"));
+  shaped.send(0, 1, bytesOf("displaced"));
+  plain.send(0, 1, bytesOf("direct"));
+  EXPECT_EQ(shaped.receive(1, 1000ms)->payload, bytesOf("direct"));
+  EXPECT_EQ(shaped.receive(1, 1000ms)->payload, bytesOf("displaced"));
+  shaped.shutdown();
+}
+
+TEST(ShapingTransport, BoundedQueueShedsWithRetryHint) {
+  InProcTransport inner(2);
+  ShapingTransport t(inner, ShapingSpec::parse("lat:*:200,queue:2"));
+  t.send(0, 1, bytesOf("a"));
+  t.send(0, 1, bytesOf("b"));
+  try {
+    t.send(0, 1, bytesOf("c"));
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_GE(e.retryAfter(), 1ms);
+  }
+  // The accepted messages still arrive, and capacity recovers.
+  EXPECT_EQ(t.receive(1, 2000ms)->payload, bytesOf("a"));
+  EXPECT_EQ(t.receive(1, 2000ms)->payload, bytesOf("b"));
+  t.send(0, 1, bytesOf("c"));
+  EXPECT_EQ(t.receive(1, 2000ms)->payload, bytesOf("c"));
+  t.shutdown();
+}
+
+TEST(ShapingTransport, ShutdownDropsPendingAndRejectsNewSends) {
+  InProcTransport inner(2);
+  ShapingTransport t(inner, ShapingSpec::parse("lat:*:500"));
+  t.send(0, 1, bytesOf("doomed"));
+  const auto start = Clock::now();
+  t.shutdown();
+  // Shutdown must not wait out the 500 ms link latency.
+  EXPECT_LT(Clock::now() - start, 250ms);
+  EXPECT_THROW(t.send(0, 1, bytesOf("late")), TransportError);
+  EXPECT_EQ(t.receive(1, 20ms), std::nullopt);
+}
+
+TEST(ShapingTransport, InnerFailureAtDeliveryTimeCountsAsInFlightLoss) {
+  InProcTransport inner(2);
+  ShapingTransport t(inner, ShapingSpec::parse("lat:*:50"));
+  t.send(0, 1, bytesOf("lost"));
+  inner.shutdown();  // the link dies while the message is in flight
+  const auto deadline = Clock::now() + 2000ms;
+  while (t.deliveryDrops() == 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(t.deliveryDrops(), 1u);
+  t.shutdown();
+}
+
+TEST(ShapingTransport, WrappersShareFleetWideStateLikeFaultState) {
+  InProcTransport innerA(3);
+  InProcTransport innerB(3);
+  auto state = std::make_shared<ShapingState>(ShapingSpec::parse("lat:*:1"));
+  ShapingTransport a(innerA, state);
+  ShapingTransport b(innerB, state);
+  a.send(0, 1, bytesOf("x"));
+  b.send(1, 2, bytesOf("y"));
+  EXPECT_EQ(a.receive(1, 1000ms)->payload, bytesOf("x"));
+  EXPECT_EQ(b.receive(2, 1000ms)->payload, bytesOf("y"));
+  EXPECT_EQ(state->messagesShaped(), 2u);
+  a.shutdown();
+  b.shutdown();
+}
+
+}  // namespace
+}  // namespace privtopk::net

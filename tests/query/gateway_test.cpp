@@ -11,12 +11,17 @@
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <thread>
 #include <vector>
 
 #include "data/generator.hpp"
+#include "net/inproc.hpp"
+#include "net/shaping.hpp"
+#include "query/service.hpp"
 
 namespace privtopk::query {
 namespace {
@@ -401,6 +406,151 @@ TEST(Gateway, ConcurrentHammerKeepsInvariants) {
   EXPECT_EQ(stats.inflightExecutions, 0u);
   EXPECT_EQ(stats.queuedExecutions, 0u);
   EXPECT_EQ(stats.flightWaiters, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Gateway over a WAN-shaped federation: executions take genuinely long
+// (tens of shaped hops), so cache hits, single-flight coalescing and the
+// retry-after machinery must stay correct while flights are long-lived.
+// ---------------------------------------------------------------------------
+
+/// 5-node in-process NodeService fleet behind a ShapingTransport: every
+/// hop costs ~10 ms one-way, so one ring query runs for hundreds of ms.
+struct ShapedFederation {
+  static constexpr std::size_t kNodes = 5;
+
+  std::vector<data::PrivateDatabase> dbs;
+  net::InProcTransport inner{kNodes};
+  net::ShapingTransport shaped{inner, net::ShapingSpec::parse("lat:*:10~2")};
+  std::vector<std::unique_ptr<NodeService>> services;
+
+  ShapedFederation() {
+    data::FleetSpec spec;
+    spec.nodes = kNodes;
+    spec.rowsPerNode = 10;
+    spec.tableName = "sales";
+    spec.attribute = "revenue";
+    Rng rng(77);
+    dbs = data::generateFleet(spec, rng);
+    ServiceOptions options;
+    options.workerThreads = 2;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      services.push_back(std::make_unique<NodeService>(
+          static_cast<NodeId>(i), dbs[i], shaped, 600 + i, options));
+      services.back()->start();
+    }
+  }
+
+  ~ShapedFederation() {
+    for (auto& s : services) s->stop();
+    shaped.shutdown();
+  }
+
+  [[nodiscard]] Gateway::Executor executor() {
+    return [this](const QueryDescriptor& d, Rng&) {
+      const NodeId initiator = static_cast<NodeId>(d.queryId % kNodes);
+      std::vector<NodeId> ring(kNodes);
+      std::iota(ring.begin(), ring.end(), NodeId{0});
+      std::rotate(ring.begin(), ring.begin() + initiator, ring.end());
+      auto future = services[initiator]->initiate(d, ring);
+      if (future.wait_for(30s) != std::future_status::ready) {
+        throw TransportError("shaped execution timed out");
+      }
+      QueryOutcome outcome;
+      outcome.values = future.get();
+      return outcome;
+    };
+  }
+
+  [[nodiscard]] TopKVector truth(std::size_t k) const {
+    return data::trueTopK(data::fleetValues(dbs, "sales", "revenue"), k);
+  }
+
+  static QueryDescriptor wanDescriptor(std::uint64_t queryId, std::size_t k) {
+    QueryDescriptor d;
+    d.queryId = queryId;
+    d.kind = protocol::ProtocolKind::Naive;
+    d.tableName = "sales";
+    d.attribute = "revenue";
+    d.type = QueryType::TopK;
+    d.params.k = k;
+    d.params.rounds = 2;
+    return d;
+  }
+};
+
+TEST(GatewayOverWan, LongFlightsCoalesceAndThenHitTheCache) {
+  ShapedFederation fed;
+  Gateway gateway(fed.executor(), /*seed=*/21);
+  const auto d = ShapedFederation::wanDescriptor(1, 3);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread leader([&] {
+    EXPECT_EQ(gateway.execute(d).values, fed.truth(3));
+  });
+  waitUntil([&] { return gateway.stats().inflightExecutions == 1; });
+
+  // The flight is airborne for many shaped hops: identical questions must
+  // attach to it, not start their own WAN round-trip.
+  std::vector<std::thread> followers;
+  for (int i = 0; i < 3; ++i) {
+    followers.emplace_back([&] {
+      EXPECT_EQ(gateway.execute(d).values, fed.truth(3));
+    });
+  }
+  waitUntil([&] { return gateway.stats().flightWaiters == 3; });
+  leader.join();
+  for (auto& t : followers) t.join();
+  const auto coldElapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(coldElapsed, 50ms) << "shaping did not make the execution WAN-"
+                                  "scale; the test is not testing anything";
+
+  // Cache hits must answer at memory speed despite the WAN backend.
+  const auto cachedStart = std::chrono::steady_clock::now();
+  EXPECT_EQ(gateway.execute(d).values, fed.truth(3));
+  EXPECT_LT(std::chrono::steady_clock::now() - cachedStart, coldElapsed / 2);
+
+  const auto stats = gateway.stats();
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.coalesced, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(GatewayOverWan, RetryAfterHintsStayHonestUnderLongExecutions) {
+  ShapedFederation fed;
+  GatewayOptions options;
+  options.maxConcurrentExecutions = 1;
+  options.maxQueuedExecutions = 1;
+  Gateway gateway(fed.executor(), 22, options);
+
+  // Distinct questions: k=1 occupies the single slot for a WAN round
+  // trip, k=2 takes the only queue slot, k=3 must shed with a hint.
+  std::thread leader([&] {
+    EXPECT_EQ(gateway.execute(ShapedFederation::wanDescriptor(1, 1)).values,
+              fed.truth(1));
+  });
+  waitUntil([&] { return gateway.stats().inflightExecutions == 1; });
+  std::thread queued([&] {
+    EXPECT_EQ(gateway.execute(ShapedFederation::wanDescriptor(2, 2)).values,
+              fed.truth(2));
+  });
+  waitUntil([&] { return gateway.stats().queuedExecutions == 1; });
+
+  try {
+    (void)gateway.execute(ShapedFederation::wanDescriptor(3, 3));
+    FAIL() << "third concurrent WAN execution should have been shed";
+  } catch (const OverloadError& e) {
+    EXPECT_GT(e.retryAfter().count(), 0);
+  }
+  EXPECT_EQ(gateway.stats().shedQueueFull, 1u);
+
+  leader.join();
+  queued.join();
+
+  // Backing off as hinted succeeds once the WAN flights land.
+  EXPECT_EQ(gateway.execute(ShapedFederation::wanDescriptor(3, 3)).values,
+            fed.truth(3));
+  EXPECT_EQ(gateway.stats().executions, 3u);
 }
 
 }  // namespace
